@@ -1,0 +1,254 @@
+//! Hardware prefetching schemes (paper §2, refs [18, 19, 13]).
+
+use std::collections::{HashMap, HashSet};
+
+use rtpf_cache::{CacheConfig, MemTiming};
+use rtpf_isa::{MemBlockId, Program};
+use rtpf_sim::{HwPrefetcher, SimConfig, SimError, SimResult, Simulator};
+
+/// Which hardware scheme to simulate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HwScheme {
+    /// Next-N-line, issued on every access ("next-line always" for n = 1).
+    NextLine {
+        /// How many sequential lines to prefetch ahead.
+        n: u32,
+    },
+    /// Next-N-line, issued only on misses.
+    NextLineOnMiss {
+        /// How many sequential lines to prefetch ahead.
+        n: u32,
+    },
+    /// Next-line issued on the first touch of each line (tag bit).
+    NextLineTagged,
+    /// Target prefetching: a reference prediction table maps each branch
+    /// to its last taken-target block, prefetched on the next encounter.
+    Target,
+    /// Wrong-path prefetching: the RPT stores both the taken target and
+    /// the fall-through block and prefetches both.
+    WrongPath,
+}
+
+/// Builds a fresh prefetcher for one simulation run.
+pub fn build(scheme: HwScheme) -> Box<dyn HwPrefetcher> {
+    match scheme {
+        HwScheme::NextLine { n } => Box::new(NextLine {
+            n,
+            on_miss_only: false,
+        }),
+        HwScheme::NextLineOnMiss { n } => Box::new(NextLine {
+            n,
+            on_miss_only: true,
+        }),
+        HwScheme::NextLineTagged => Box::new(Tagged {
+            touched: HashSet::new(),
+        }),
+        HwScheme::Target => Box::new(Rpt {
+            table: HashMap::new(),
+            wrong_path: false,
+        }),
+        HwScheme::WrongPath => Box::new(Rpt {
+            table: HashMap::new(),
+            wrong_path: true,
+        }),
+    }
+}
+
+/// Simulates `p` under the given hardware scheme.
+///
+/// # Errors
+///
+/// Propagates simulator errors (invalid program, fetch cap).
+pub fn simulate_hw(
+    p: &Program,
+    config: CacheConfig,
+    timing: MemTiming,
+    sim: SimConfig,
+    scheme: HwScheme,
+) -> Result<SimResult, SimError> {
+    Simulator::new(config, timing, sim).run_hw(p, || build(scheme))
+}
+
+struct NextLine {
+    n: u32,
+    on_miss_only: bool,
+}
+
+impl HwPrefetcher for NextLine {
+    fn on_fetch(&mut self, _addr: u64, block: MemBlockId, was_miss: bool) -> Vec<MemBlockId> {
+        if self.on_miss_only && !was_miss {
+            return Vec::new();
+        }
+        (1..=u64::from(self.n)).map(|k| MemBlockId(block.0 + k)).collect()
+    }
+
+    fn on_branch(&mut self, _b: u64, _t: MemBlockId, _taken: bool) -> Vec<MemBlockId> {
+        Vec::new()
+    }
+}
+
+struct Tagged {
+    touched: HashSet<MemBlockId>,
+}
+
+impl HwPrefetcher for Tagged {
+    fn on_fetch(&mut self, _addr: u64, block: MemBlockId, _was_miss: bool) -> Vec<MemBlockId> {
+        if self.touched.insert(block) {
+            vec![MemBlockId(block.0 + 1)]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_branch(&mut self, _b: u64, _t: MemBlockId, _taken: bool) -> Vec<MemBlockId> {
+        Vec::new()
+    }
+}
+
+struct Rpt {
+    /// branch address → (taken target, fall-through target).
+    table: HashMap<u64, (Option<MemBlockId>, Option<MemBlockId>)>,
+    wrong_path: bool,
+}
+
+impl HwPrefetcher for Rpt {
+    fn on_fetch(&mut self, addr: u64, _block: MemBlockId, _was_miss: bool) -> Vec<MemBlockId> {
+        // Prediction happens when the (potential) branch is fetched.
+        match self.table.get(&addr) {
+            Some(&(taken, fall)) => {
+                let mut v = Vec::new();
+                if let Some(t) = taken {
+                    v.push(t);
+                }
+                if self.wrong_path {
+                    if let Some(f) = fall {
+                        v.push(f);
+                    }
+                }
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn on_branch(&mut self, branch_addr: u64, target_block: MemBlockId, taken: bool) -> Vec<MemBlockId> {
+        let entry = self.table.entry(branch_addr).or_insert((None, None));
+        if taken {
+            entry.0 = Some(target_block);
+        } else {
+            entry.1 = Some(target_block);
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtpf_isa::shape::Shape;
+
+    fn run(scheme: HwScheme) -> SimResult {
+        let p = Shape::loop_(40, Shape::code(80)).compile("t");
+        simulate_hw(
+            &p,
+            CacheConfig::new(2, 16, 256).unwrap(),
+            MemTiming::default(),
+            SimConfig {
+                runs: 1,
+                seed: 7,
+                ..SimConfig::default()
+            },
+            scheme,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn next_line_always_prefetches_a_lot() {
+        let r = run(HwScheme::NextLine { n: 1 });
+        assert!(r.prefetches_issued > 0);
+    }
+
+    #[test]
+    fn on_miss_issues_fewer_than_always() {
+        let always = run(HwScheme::NextLine { n: 1 });
+        let on_miss = run(HwScheme::NextLineOnMiss { n: 1 });
+        assert!(on_miss.prefetches_issued <= always.prefetches_issued);
+    }
+
+    #[test]
+    fn next_line_helps_a_streaming_loop() {
+        // Body (320 B) exceeds the 256 B cache: sequential prefetch hides
+        // part of the refill latency each iteration.
+        let base = {
+            let p = Shape::loop_(40, Shape::code(80)).compile("t");
+            Simulator::new(
+                CacheConfig::new(2, 16, 256).unwrap(),
+                MemTiming::default(),
+                SimConfig {
+                    runs: 1,
+                    seed: 7,
+                    ..SimConfig::default()
+                },
+            )
+            .run(&p)
+            .unwrap()
+        };
+        let pf = run(HwScheme::NextLine { n: 2 });
+        assert!(
+            pf.stats.cycles < base.stats.cycles,
+            "prefetch {} vs base {}",
+            pf.stats.cycles,
+            base.stats.cycles
+        );
+    }
+
+    #[test]
+    fn tagged_prefetches_once_per_line() {
+        let r = run(HwScheme::NextLineTagged);
+        // Tagged issues at most one prefetch per distinct block touched.
+        assert!(r.prefetches_issued > 0);
+        let always = run(HwScheme::NextLine { n: 1 });
+        assert!(r.prefetches_issued <= always.prefetches_issued);
+    }
+
+    #[test]
+    fn target_prefetcher_trains_on_branches() {
+        let p = Shape::loop_(60, Shape::if_else(2, Shape::code(40), Shape::code(40))).compile("b");
+        let r = simulate_hw(
+            &p,
+            CacheConfig::new(2, 16, 128).unwrap(),
+            MemTiming::default(),
+            SimConfig {
+                runs: 1,
+                seed: 3,
+                ..SimConfig::default()
+            },
+            HwScheme::Target,
+        )
+        .unwrap();
+        assert!(r.prefetches_issued > 0, "RPT should fire after training");
+    }
+
+    #[test]
+    fn wrong_path_issues_at_least_as_many_as_target() {
+        let p = Shape::loop_(60, Shape::if_else(2, Shape::code(40), Shape::code(40))).compile("b");
+        let mk = |scheme| {
+            simulate_hw(
+                &p,
+                CacheConfig::new(2, 16, 128).unwrap(),
+                MemTiming::default(),
+                SimConfig {
+                    runs: 1,
+                    seed: 3,
+                    ..SimConfig::default()
+                },
+                scheme,
+            )
+            .unwrap()
+        };
+        let t = mk(HwScheme::Target);
+        let w = mk(HwScheme::WrongPath);
+        assert!(w.prefetches_issued >= t.prefetches_issued);
+    }
+}

@@ -1,0 +1,65 @@
+//! Ablations of the design choices DESIGN.md calls out, measured as
+//! runtime here (result-quality deltas are printed by
+//! `cargo run -p rtpf-experiments --bin ablations`):
+//!
+//! * `ablation_criterion` — effectiveness check on (the paper) vs. off
+//!   (the WCET-only prior work [5] that ignores the latency window);
+//! * `ablation_join` — `J_SE` WCET-path join vs. a conventional
+//!   deterministic join in the reverse analysis;
+//! * `ablation_iterate` — full iterative improvement vs. a single round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rtpf_cache::{CacheConfig, MemTiming};
+use rtpf_core::{candidates, JoinPolicy, OptimizeParams, Optimizer};
+use rtpf_wcet::WcetAnalysis;
+
+fn bench_ablation(c: &mut Criterion) {
+    let b = rtpf_suite::by_name("compress").expect("compress");
+    let config = CacheConfig::new(2, 16, 1024).expect("valid");
+    let timing = MemTiming::default();
+    let analysis = WcetAnalysis::analyze(&b.program, &config, &timing).expect("analyzes");
+
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+
+    for (label, check_effectiveness) in
+        [("criterion/effectiveness_on", true), ("criterion/effectiveness_off", false)]
+    {
+        let params = OptimizeParams {
+            timing,
+            max_rounds: 3,
+            max_singles_per_round: 6,
+            check_effectiveness,
+            ..OptimizeParams::default()
+        };
+        g.bench_function(label, |bench| {
+            bench.iter(|| Optimizer::new(config, params).run(&b.program).expect("runs"))
+        });
+    }
+
+    for (label, policy) in [
+        ("join/j_se_wcet_path", JoinPolicy::WcetPath),
+        ("join/first_successor", JoinPolicy::FirstSucc),
+    ] {
+        g.bench_function(label, |bench| {
+            bench.iter(|| candidates::scan_with_join(&b.program, &analysis, policy))
+        });
+    }
+
+    for (label, rounds) in [("iterate/single_round", 1u32), ("iterate/to_fixpoint", 6)] {
+        let params = OptimizeParams {
+            timing,
+            max_rounds: rounds,
+            max_singles_per_round: 6,
+            ..OptimizeParams::default()
+        };
+        g.bench_function(label, |bench| {
+            bench.iter(|| Optimizer::new(config, params).run(&b.program).expect("runs"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! WCET-analysis scalability: VIVU + classification + IPET runtime across
+//! real suite programs of increasing size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rtpf_cache::{CacheConfig, MemTiming};
+use rtpf_wcet::WcetAnalysis;
+
+fn bench_analysis(c: &mut Criterion) {
+    let config = CacheConfig::new(2, 16, 1024).expect("valid");
+    let timing = MemTiming::default();
+    let mut g = c.benchmark_group("wcet_analysis");
+    g.sample_size(10);
+    // Small, medium, large, giant.
+    for name in ["bs", "fft1", "ndes", "statemate"] {
+        let b = rtpf_suite::by_name(name).expect("known");
+        g.bench_function(
+            format!("{name}/{}_instrs", b.program.instr_count()),
+            |bench| {
+                bench.iter(|| {
+                    WcetAnalysis::analyze(&b.program, &config, &timing).expect("analyzes")
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

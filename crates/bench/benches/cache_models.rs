@@ -1,0 +1,72 @@
+//! Throughput of the concrete and abstract cache models — the inner loop
+//! of both simulation and classification.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rtpf_cache::{CacheConfig, ConcreteState, MayState, MustState};
+use rtpf_isa::MemBlockId;
+
+fn trace(len: usize, span: u64) -> Vec<MemBlockId> {
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..len).map(|_| MemBlockId(rng.gen_range(0..span))).collect()
+}
+
+fn bench_cache_models(c: &mut Criterion) {
+    let config = CacheConfig::new(4, 16, 4096).expect("valid");
+    let t = trace(10_000, 512);
+
+    let mut g = c.benchmark_group("cache_models");
+    g.bench_function("concrete_lru_10k_accesses", |b| {
+        b.iter_batched(
+            || ConcreteState::new(&config),
+            |mut s| {
+                for &blk in &t {
+                    s.access(blk);
+                }
+                s
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("must_update_10k_accesses", |b| {
+        b.iter_batched(
+            || MustState::new(&config),
+            |mut s| {
+                for &blk in &t {
+                    s.update(blk);
+                }
+                s
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("may_update_10k_accesses", |b| {
+        b.iter_batched(
+            || MayState::new(&config),
+            |mut s| {
+                for &blk in &t {
+                    s.update(blk);
+                }
+                s
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("must_join", |b| {
+        let mut x = MustState::new(&config);
+        let mut y = MustState::new(&config);
+        for &blk in &t[..4000] {
+            x.update(blk);
+        }
+        for &blk in &t[4000..8000] {
+            y.update(blk);
+        }
+        b.iter(|| x.join(&y))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache_models);
+criterion_main!(benches);

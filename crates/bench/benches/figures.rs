@@ -1,0 +1,93 @@
+//! One benchmark per paper table/figure: times the code path that
+//! regenerates each artefact on a representative slice (the full sweep is
+//! `cargo run -p rtpf-experiments --bin sweep`).
+//!
+//! * Table 1 — suite catalog construction
+//! * Table 2 — configuration enumeration + energy/timing derivation
+//! * Figure 3 — optimize + simulate + energy for one unit (ACET/energy/WCET)
+//! * Figure 4 — the miss-rate measurement path (simulation only)
+//! * Figure 5 — the shrunken-cache re-evaluation path
+//! * Figure 7 — the Theorem 1 verification path (re-analysis)
+//! * Figure 8 — the executed-instruction measurement path
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rtpf_cache::CacheConfig;
+use rtpf_core::{check, OptimizeParams, Optimizer};
+use rtpf_energy::{EnergyModel, Technology};
+use rtpf_sim::{SimConfig, Simulator};
+
+fn bench_figures(c: &mut Criterion) {
+    let b = rtpf_suite::by_name("fft1").expect("fft1");
+    let config = CacheConfig::new(2, 16, 512).expect("valid");
+    let model = EnergyModel::new(&config, Technology::Nm45);
+    let timing = model.timing();
+    let params = OptimizeParams {
+        timing,
+        max_rounds: 3,
+        max_singles_per_round: 6,
+        ..OptimizeParams::default()
+    };
+    let sim_cfg = SimConfig {
+        runs: 1,
+        seed: 77,
+        ..SimConfig::default()
+    };
+    let opt = Optimizer::new(config, params).run(&b.program).expect("optimizes");
+
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("table1_catalog", |bench| bench.iter(rtpf_suite::catalog));
+    g.bench_function("table2_configs", |bench| {
+        bench.iter(|| {
+            CacheConfig::paper_configs()
+                .into_iter()
+                .map(|(_, cfg)| EnergyModel::new(&cfg, Technology::Nm32).timing())
+                .collect::<Vec<_>>()
+        })
+    });
+    g.bench_function("fig3_optimize_unit", |bench| {
+        bench.iter(|| Optimizer::new(config, params).run(&b.program).expect("optimizes"))
+    });
+    g.bench_function("fig4_missrate_simulation", |bench| {
+        bench.iter(|| {
+            Simulator::new(config, timing, sim_cfg)
+                .run(&b.program)
+                .expect("simulates")
+                .miss_rate()
+        })
+    });
+    g.bench_function("fig5_shrunken_cache_reeval", |bench| {
+        let small = config.shrink(2).expect("valid");
+        let m = EnergyModel::new(&small, Technology::Nm32);
+        bench.iter(|| {
+            Simulator::new(small, m.timing(), sim_cfg)
+                .run(&opt.program)
+                .expect("simulates")
+        })
+    });
+    g.bench_function("fig7_theorem_verification", |bench| {
+        bench.iter(|| {
+            check(
+                &b.program,
+                &opt.program,
+                opt.analysis_after.layout().clone(),
+                &config,
+                &timing,
+            )
+            .expect("verifies")
+        })
+    });
+    g.bench_function("fig8_instr_overhead_measurement", |bench| {
+        bench.iter(|| {
+            let r = Simulator::new(config, timing, sim_cfg)
+                .run(&opt.program)
+                .expect("simulates");
+            r.mean_instr_executed()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

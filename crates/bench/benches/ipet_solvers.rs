@@ -1,0 +1,49 @@
+//! Ablation: the DAG longest-path IPET fast path vs. the general
+//! simplex + branch-and-bound ILP encoding (DESIGN.md `ipet_solvers`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rtpf_isa::shape::Shape;
+use rtpf_wcet::{ipet, VivuGraph};
+
+fn instance(loops: u32) -> (VivuGraph, Vec<u64>) {
+    let shape = Shape::loop_(
+        10,
+        Shape::seq(
+            (0..loops)
+                .map(|_| Shape::seq([Shape::loop_(6, Shape::code(12)), Shape::code(5)]))
+                .collect::<Vec<_>>(),
+        ),
+    );
+    let p = shape.compile("ipet");
+    let v = VivuGraph::build(&p).expect("builds");
+    let w: Vec<u64> = v
+        .nodes()
+        .iter()
+        .map(|n| p.block(n.block).len() as u64 * n.mult)
+        .collect();
+    (v, w)
+}
+
+fn bench_ipet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ipet_solvers");
+    g.sample_size(20);
+    for loops in [2u32, 4, 8] {
+        let (v, w) = instance(loops);
+        // Cross-check once: both solvers must agree.
+        let dag = ipet::solve_dag(&v, &w).expect("dag").tau_w;
+        let ilp = ipet::solve_ilp(&v, &w).expect("ilp");
+        assert_eq!(dag, ilp, "solvers disagree on {loops}-loop instance");
+
+        g.bench_function(format!("dag_longest_path/{loops}_loops"), |b| {
+            b.iter(|| ipet::solve_dag(&v, &w).expect("dag"))
+        });
+        g.bench_function(format!("simplex_bb_ilp/{loops}_loops"), |b| {
+            b.iter(|| ipet::solve_ilp(&v, &w).expect("ilp"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ipet);
+criterion_main!(benches);

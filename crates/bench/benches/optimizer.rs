@@ -1,0 +1,37 @@
+//! End-to-end optimizer runtime across program sizes — the practical
+//! check on the paper's O(|R|²) complexity claim (Supplement S.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rtpf_cache::{CacheConfig, MemTiming};
+use rtpf_core::{OptimizeParams, Optimizer};
+
+fn bench_optimizer(c: &mut Criterion) {
+    let timing = MemTiming::default();
+    let mut g = c.benchmark_group("optimizer");
+    g.sample_size(10);
+    for (name, capacity) in [("crc", 512u32), ("fft1", 512), ("compress", 1024), ("ndes", 1024)] {
+        let b = rtpf_suite::by_name(name).expect("known");
+        let config = CacheConfig::new(2, 16, capacity).expect("valid");
+        let params = OptimizeParams {
+            timing,
+            max_rounds: 4,
+            max_singles_per_round: 8,
+            ..OptimizeParams::default()
+        };
+        g.bench_function(
+            format!("{name}/{}_instrs", b.program.instr_count()),
+            |bench| {
+                bench.iter(|| {
+                    Optimizer::new(config, params)
+                        .run(&b.program)
+                        .expect("optimizes")
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Criterion benchmark host crate; see the `benches/` directory.
+//!
+//! Run with `cargo bench -p rtpf-bench`. Each bench file covers one
+//! artefact group: cache-model throughput, IPET solver comparison,
+//! analysis/optimizer scalability, per-figure paths, and ablations.

@@ -1,0 +1,218 @@
+//! Exact LRU cache states (`c : L → S` in the paper's Section 3.1).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use rtpf_isa::MemBlockId;
+
+use crate::config::CacheConfig;
+
+/// Result of one concrete cache access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessOutcome {
+    /// The block was already cached (Property 1).
+    Hit,
+    /// The block was fetched; `evicted` is the replaced block, if the set
+    /// was full (Properties 2 and 3).
+    Miss {
+        /// Block replaced to make room, if any.
+        evicted: Option<MemBlockId>,
+    },
+}
+
+impl AccessOutcome {
+    /// Whether the access hit.
+    #[inline]
+    pub fn is_hit(&self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+
+    /// The evicted block, if this was a replacing miss.
+    pub fn evicted(&self) -> Option<MemBlockId> {
+        match self {
+            AccessOutcome::Hit => None,
+            AccessOutcome::Miss { evicted } => *evicted,
+        }
+    }
+}
+
+/// A concrete state of a set-associative LRU cache.
+///
+/// Each set holds up to `assoc` blocks ordered most-recently-used first,
+/// matching the `[MRU, LRU]` notation of the paper's Figure 1.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ConcreteState {
+    /// Per set: blocks MRU-first; length ≤ associativity.
+    sets: Vec<Vec<MemBlockId>>,
+    assoc: u32,
+    n_sets: u32,
+}
+
+impl ConcreteState {
+    /// An all-invalid cache (`ĉ_I`) for the given geometry.
+    pub fn new(config: &CacheConfig) -> Self {
+        ConcreteState {
+            sets: vec![Vec::with_capacity(config.assoc() as usize); config.n_sets() as usize],
+            assoc: config.assoc(),
+            n_sets: config.n_sets(),
+        }
+    }
+
+    /// The update function `U` (Definition 1): reference `block`, applying
+    /// LRU replacement, and report the outcome.
+    pub fn access(&mut self, block: MemBlockId) -> AccessOutcome {
+        let set = (block.0 % u64::from(self.n_sets)) as usize;
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&b| b == block) {
+            // Hit: promote to MRU.
+            let b = ways.remove(pos);
+            ways.insert(0, b);
+            return AccessOutcome::Hit;
+        }
+        let evicted = if ways.len() == self.assoc as usize {
+            ways.pop()
+        } else {
+            None
+        };
+        ways.insert(0, block);
+        AccessOutcome::Miss { evicted }
+    }
+
+    /// Whether `block` is currently cached.
+    pub fn contains(&self, block: MemBlockId) -> bool {
+        let set = (block.0 % u64::from(self.n_sets)) as usize;
+        self.sets[set].contains(&block)
+    }
+
+    /// The set of all cached blocks, `B(ĉ)` (Definition 9).
+    pub fn blocks(&self) -> BTreeSet<MemBlockId> {
+        self.sets.iter().flatten().copied().collect()
+    }
+
+    /// Blocks of one set, MRU first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn set(&self, set: usize) -> &[MemBlockId] {
+        &self.sets[set]
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn n_sets(&self) -> u32 {
+        self.n_sets
+    }
+
+    /// Associativity.
+    #[inline]
+    pub fn assoc(&self) -> u32 {
+        self.assoc
+    }
+
+    /// Predicts, without mutating, which block an access to `block` would
+    /// replace (Property 3 applied prospectively). Returns `None` on a hit
+    /// or a non-replacing fill.
+    pub fn would_evict(&self, block: MemBlockId) -> Option<MemBlockId> {
+        let set = (block.0 % u64::from(self.n_sets)) as usize;
+        let ways = &self.sets[set];
+        if ways.contains(&block) || ways.len() < self.assoc as usize {
+            None
+        } else {
+            ways.last().copied()
+        }
+    }
+}
+
+impl fmt::Display for ConcreteState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, ways) in self.sets.iter().enumerate() {
+            let cells: Vec<String> = ways.iter().map(|b| b.to_string()).collect();
+            writeln!(f, "set {i}: [{}]", cells.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_set_two_way() -> ConcreteState {
+        // 2-way, 16 B blocks, 32 B capacity → a single set.
+        ConcreteState::new(&CacheConfig::new(2, 16, 32).unwrap())
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = one_set_two_way();
+        assert_eq!(c.access(MemBlockId(1)), AccessOutcome::Miss { evicted: None });
+        assert_eq!(c.access(MemBlockId(1)), AccessOutcome::Hit);
+        assert!(c.contains(MemBlockId(1)));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = one_set_two_way();
+        c.access(MemBlockId(1));
+        c.access(MemBlockId(2));
+        // 1 is LRU; accessing 3 must evict 1.
+        assert_eq!(
+            c.access(MemBlockId(3)),
+            AccessOutcome::Miss {
+                evicted: Some(MemBlockId(1))
+            }
+        );
+        assert_eq!(c.set(0), &[MemBlockId(3), MemBlockId(2)]);
+    }
+
+    #[test]
+    fn hit_promotes_to_mru() {
+        let mut c = one_set_two_way();
+        c.access(MemBlockId(1));
+        c.access(MemBlockId(2)); // [2, 1]
+        c.access(MemBlockId(1)); // [1, 2]
+        assert_eq!(
+            c.access(MemBlockId(3)).evicted(),
+            Some(MemBlockId(2)) // 2 became LRU after 1 was promoted
+        );
+    }
+
+    #[test]
+    fn blocks_collects_all_sets() {
+        let cfg = CacheConfig::new(1, 16, 32).unwrap(); // 2 direct-mapped sets
+        let mut c = ConcreteState::new(&cfg);
+        c.access(MemBlockId(0)); // set 0
+        c.access(MemBlockId(1)); // set 1
+        let blocks = c.blocks();
+        assert!(blocks.contains(&MemBlockId(0)));
+        assert!(blocks.contains(&MemBlockId(1)));
+        assert_eq!(blocks.len(), 2);
+    }
+
+    #[test]
+    fn would_evict_is_consistent_with_access() {
+        let mut c = one_set_two_way();
+        c.access(MemBlockId(1));
+        c.access(MemBlockId(2));
+        let predicted = c.would_evict(MemBlockId(5));
+        assert_eq!(c.access(MemBlockId(5)).evicted(), predicted);
+        // Hit case predicts no eviction.
+        assert_eq!(c.would_evict(MemBlockId(5)), None);
+    }
+
+    #[test]
+    fn different_sets_do_not_interfere() {
+        let cfg = CacheConfig::new(1, 16, 64).unwrap(); // 4 sets, direct-mapped
+        let mut c = ConcreteState::new(&cfg);
+        c.access(MemBlockId(0));
+        c.access(MemBlockId(1));
+        c.access(MemBlockId(2));
+        c.access(MemBlockId(3));
+        // All four coexist; a fifth conflicting block evicts only set 0.
+        assert_eq!(c.access(MemBlockId(4)).evicted(), Some(MemBlockId(0)));
+        assert!(c.contains(MemBlockId(1)));
+        assert!(c.contains(MemBlockId(2)));
+        assert!(c.contains(MemBlockId(3)));
+    }
+}

@@ -1,0 +1,192 @@
+//! Cache geometry.
+
+use std::error::Error;
+use std::fmt;
+
+use rtpf_isa::MemBlockId;
+
+/// Error returned for an inconsistent cache geometry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConfigError {
+    /// A parameter was zero.
+    Zero,
+    /// A parameter was not a power of two.
+    NotPowerOfTwo,
+    /// `capacity < associativity * block_bytes` (fewer than one set).
+    TooSmall,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Zero => write!(f, "cache parameters must be positive"),
+            ConfigError::NotPowerOfTwo => {
+                write!(f, "cache parameters must be powers of two")
+            }
+            ConfigError::TooSmall => {
+                write!(f, "capacity smaller than one set (associativity * block size)")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Instruction-cache geometry: `(a, b, c)` in the paper's Table 2 notation —
+/// associativity, block size in bytes, capacity in bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CacheConfig {
+    assoc: u32,
+    block_bytes: u32,
+    capacity_bytes: u32,
+}
+
+impl CacheConfig {
+    /// Creates a geometry after validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any parameter is zero, not a power of
+    /// two, or the capacity holds less than one full set.
+    pub fn new(assoc: u32, block_bytes: u32, capacity_bytes: u32) -> Result<Self, ConfigError> {
+        for v in [assoc, block_bytes, capacity_bytes] {
+            if v == 0 {
+                return Err(ConfigError::Zero);
+            }
+            if !v.is_power_of_two() {
+                return Err(ConfigError::NotPowerOfTwo);
+            }
+        }
+        if capacity_bytes < assoc * block_bytes {
+            return Err(ConfigError::TooSmall);
+        }
+        Ok(CacheConfig {
+            assoc,
+            block_bytes,
+            capacity_bytes,
+        })
+    }
+
+    /// Associativity (`a`).
+    #[inline]
+    pub fn assoc(&self) -> u32 {
+        self.assoc
+    }
+
+    /// Block (line) size in bytes (`b`).
+    #[inline]
+    pub fn block_bytes(&self) -> u32 {
+        self.block_bytes
+    }
+
+    /// Total capacity in bytes (`c`).
+    #[inline]
+    pub fn capacity_bytes(&self) -> u32 {
+        self.capacity_bytes
+    }
+
+    /// Number of sets (`c / (a * b)`).
+    #[inline]
+    pub fn n_sets(&self) -> u32 {
+        self.capacity_bytes / (self.assoc * self.block_bytes)
+    }
+
+    /// The set a memory block maps to.
+    #[inline]
+    pub fn set_of(&self, block: MemBlockId) -> usize {
+        (block.0 % u64::from(self.n_sets())) as usize
+    }
+
+    /// A geometry with the same block size and associativity but
+    /// `capacity / divisor` bytes, as used by the paper's Figure 5
+    /// (running optimized programs on 1/2 and 1/4 capacity).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the shrunken capacity is not a valid
+    /// geometry (e.g. fewer than one set would remain).
+    pub fn shrink(&self, divisor: u32) -> Result<Self, ConfigError> {
+        Self::new(self.assoc, self.block_bytes, self.capacity_bytes / divisor.max(1))
+    }
+
+    /// The 36 configurations of the paper's Table 2 (`k1..k36`), in order:
+    /// capacities 256 B to 8 KiB, block sizes 16/32 B, associativities
+    /// 1/2/4.
+    pub fn paper_configs() -> Vec<(String, CacheConfig)> {
+        let mut out = Vec::with_capacity(36);
+        let mut k = 1;
+        for capacity in [256u32, 512, 1024, 2048, 4096, 8192] {
+            for block in [16u32, 32] {
+                for assoc in [1u32, 2, 4] {
+                    let cfg = CacheConfig::new(assoc, block, capacity)
+                        .expect("table 2 configurations are valid");
+                    out.push((format!("k{k}"), cfg));
+                    k += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({}, {}, {})",
+            self.assoc, self.block_bytes, self.capacity_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_geometry() {
+        let c = CacheConfig::new(2, 16, 256).unwrap();
+        assert_eq!(c.n_sets(), 8);
+        assert_eq!(c.to_string(), "(2, 16, 256)");
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert_eq!(CacheConfig::new(0, 16, 256), Err(ConfigError::Zero));
+        assert_eq!(CacheConfig::new(3, 16, 256), Err(ConfigError::NotPowerOfTwo));
+        assert_eq!(CacheConfig::new(4, 32, 64), Err(ConfigError::TooSmall));
+    }
+
+    #[test]
+    fn set_mapping_is_modular() {
+        let c = CacheConfig::new(1, 16, 64).unwrap(); // 4 sets
+        assert_eq!(c.set_of(MemBlockId(0)), 0);
+        assert_eq!(c.set_of(MemBlockId(5)), 1);
+        assert_eq!(c.set_of(MemBlockId(7)), 3);
+    }
+
+    #[test]
+    fn paper_configs_match_table2() {
+        let cfgs = CacheConfig::paper_configs();
+        assert_eq!(cfgs.len(), 36);
+        assert_eq!(cfgs[0].0, "k1");
+        assert_eq!(cfgs[0].1, CacheConfig::new(1, 16, 256).unwrap());
+        assert_eq!(cfgs[35].0, "k36");
+        assert_eq!(cfgs[35].1, CacheConfig::new(4, 32, 8192).unwrap());
+        // All distinct.
+        for i in 0..cfgs.len() {
+            for j in i + 1..cfgs.len() {
+                assert_ne!(cfgs[i].1, cfgs[j].1);
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_preserves_shape() {
+        let c = CacheConfig::new(4, 32, 8192).unwrap();
+        let h = c.shrink(2).unwrap();
+        assert_eq!(h.capacity_bytes(), 4096);
+        assert_eq!(h.assoc(), 4);
+        assert!(CacheConfig::new(4, 32, 128).unwrap().shrink(4).is_err());
+    }
+}

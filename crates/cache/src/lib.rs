@@ -1,0 +1,44 @@
+//! Concrete and abstract set-associative LRU instruction-cache models.
+//!
+//! This crate substitutes for the cache semantics of Ferdinand & Wilhelm
+//! (reference [8] of the paper) that the authors' WCET analyzer builds on:
+//!
+//! * [`CacheConfig`] — geometry `(associativity, block bytes, capacity)`,
+//!   including [`CacheConfig::paper_configs`], the paper's Table 2 set
+//!   k1..k36;
+//! * [`ConcreteState`] — an exact LRU cache state (`c : L → S`), used by the
+//!   trace simulator and by the optimizer's reverse analysis;
+//! * [`MustState`] / [`MayState`] — abstract cache states with the classic
+//!   must/may update and join functions, used to classify references as
+//!   always-hit / always-miss / unclassified during WCET analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use rtpf_cache::{CacheConfig, ConcreteState, AccessOutcome};
+//! use rtpf_isa::MemBlockId;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = CacheConfig::new(2, 16, 64)?; // 2-way, 16 B blocks, 64 B
+//! let mut cache = ConcreteState::new(&config);
+//! assert!(matches!(cache.access(MemBlockId(7)), AccessOutcome::Miss { .. }));
+//! assert!(matches!(cache.access(MemBlockId(7)), AccessOutcome::Hit));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod classify;
+pub mod concrete;
+pub mod config;
+pub mod may;
+pub mod must;
+pub mod persistence;
+pub mod timing;
+
+pub use classify::Classification;
+pub use concrete::{AccessOutcome, ConcreteState};
+pub use config::{CacheConfig, ConfigError};
+pub use may::MayState;
+pub use must::MustState;
+pub use persistence::PersistenceState;
+pub use timing::MemTiming;

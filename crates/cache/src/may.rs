@@ -1,0 +1,234 @@
+//! May analysis: which blocks *might* be cached.
+//!
+//! Abstract may states assign each block a lower bound on its LRU age. A
+//! block absent from the may state is cached in **no** concrete state the
+//! abstract state represents, so a reference to it is an *always miss*.
+
+use std::fmt;
+
+use rtpf_isa::MemBlockId;
+
+use crate::config::CacheConfig;
+
+/// Abstract may cache state.
+///
+/// Per set, `ages[h]` holds the blocks whose minimal LRU age is `h`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MayState {
+    sets: Vec<Vec<Vec<MemBlockId>>>,
+    assoc: u32,
+    n_sets: u32,
+}
+
+impl MayState {
+    /// The empty may state (nothing possibly cached): the correct entry
+    /// state for a cold cache.
+    pub fn new(config: &CacheConfig) -> Self {
+        MayState {
+            sets: vec![vec![Vec::new(); config.assoc() as usize]; config.n_sets() as usize],
+            assoc: config.assoc(),
+            n_sets: config.n_sets(),
+        }
+    }
+
+    /// Minimal age of `block`, if it might be cached.
+    pub fn age(&self, block: MemBlockId) -> Option<u32> {
+        let set = (block.0 % u64::from(self.n_sets)) as usize;
+        for (h, bucket) in self.sets[set].iter().enumerate() {
+            if bucket.binary_search(&block).is_ok() {
+                return Some(h as u32);
+            }
+        }
+        None
+    }
+
+    /// Whether `block` might be cached. A `false` answer classifies a
+    /// reference to it as always-miss.
+    #[inline]
+    pub fn contains(&self, block: MemBlockId) -> bool {
+        self.age(block).is_some()
+    }
+
+    /// Abstract may update: the referenced block gets minimal age 0; blocks
+    /// whose minimal age was ≤ the referenced block's move one step older;
+    /// blocks aging past the associativity are definitely evicted.
+    pub fn update(&mut self, block: MemBlockId) {
+        let set = (block.0 % u64::from(self.n_sets)) as usize;
+        let a = self.assoc as usize;
+        let old_age = self.age_in_set(set, block);
+        let buckets = &mut self.sets[set];
+        match old_age {
+            Some(h) => {
+                let h = h as usize;
+                if let Ok(pos) = buckets[h].binary_search(&block) {
+                    buckets[h].remove(pos);
+                }
+                // Blocks of age ≤ h (except the referenced one) age by one.
+                let mut carry: Vec<MemBlockId> = Vec::new();
+                for bucket in buckets.iter_mut().take(h + 1) {
+                    std::mem::swap(bucket, &mut carry);
+                }
+                // `carry` now holds the old bucket[h] remnants destined for
+                // h+1 (or eviction if h+1 == assoc).
+                if h + 1 < a {
+                    merge_into(&mut buckets[h + 1], carry);
+                }
+                buckets[0] = vec![block];
+            }
+            None => {
+                buckets.pop();
+                buckets.insert(0, vec![block]);
+                debug_assert_eq!(buckets.len(), a);
+            }
+        }
+    }
+
+    /// May join: union of both sides, keeping the *minimal* age.
+    pub fn join(&self, other: &MayState) -> MayState {
+        debug_assert_eq!(self.n_sets, other.n_sets);
+        debug_assert_eq!(self.assoc, other.assoc);
+        let mut out = MayState {
+            sets: vec![vec![Vec::new(); self.assoc as usize]; self.n_sets as usize],
+            assoc: self.assoc,
+            n_sets: self.n_sets,
+        };
+        for s in 0..self.n_sets as usize {
+            for (h, bucket) in self.sets[s].iter().enumerate() {
+                for &b in bucket {
+                    let age = match other.age_in_set(s, b) {
+                        Some(h2) => h.min(h2 as usize),
+                        None => h,
+                    };
+                    insert_sorted(&mut out.sets[s][age], b);
+                }
+            }
+            for (h, bucket) in other.sets[s].iter().enumerate() {
+                for &b in bucket {
+                    if self.age_in_set(s, b).is_none() {
+                        insert_sorted(&mut out.sets[s][h], b);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All possibly-cached blocks with their minimal ages.
+    pub fn iter(&self) -> impl Iterator<Item = (MemBlockId, u32)> + '_ {
+        self.sets.iter().flat_map(|set| {
+            set.iter()
+                .enumerate()
+                .flat_map(|(h, bucket)| bucket.iter().map(move |&b| (b, h as u32)))
+        })
+    }
+
+    /// Number of possibly-cached blocks.
+    pub fn len(&self) -> usize {
+        self.sets.iter().flatten().map(Vec::len).sum()
+    }
+
+    /// Whether no block might be cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn age_in_set(&self, set: usize, block: MemBlockId) -> Option<u32> {
+        for (h, bucket) in self.sets[set].iter().enumerate() {
+            if bucket.binary_search(&block).is_ok() {
+                return Some(h as u32);
+            }
+        }
+        None
+    }
+}
+
+fn insert_sorted(v: &mut Vec<MemBlockId>, b: MemBlockId) {
+    if let Err(pos) = v.binary_search(&b) {
+        v.insert(pos, b);
+    }
+}
+
+fn merge_into(dst: &mut Vec<MemBlockId>, src: Vec<MemBlockId>) {
+    for b in src {
+        insert_sorted(dst, b);
+    }
+}
+
+impl fmt::Display for MayState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (s, set) in self.sets.iter().enumerate() {
+            write!(f, "set {s}:")?;
+            for (h, bucket) in set.iter().enumerate() {
+                let cells: Vec<String> = bucket.iter().map(|b| b.to_string()).collect();
+                write!(f, " age{h}={{{}}}", cells.join(","))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig::new(2, 16, 32).unwrap()
+    }
+
+    #[test]
+    fn absent_block_is_definitely_uncached() {
+        let m = MayState::new(&cfg());
+        assert!(!m.contains(MemBlockId(1)));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn update_tracks_minimal_ages() {
+        let mut m = MayState::new(&cfg());
+        m.update(MemBlockId(1));
+        m.update(MemBlockId(2));
+        assert_eq!(m.age(MemBlockId(2)), Some(0));
+        assert_eq!(m.age(MemBlockId(1)), Some(1));
+        m.update(MemBlockId(3)); // 1 falls out (min age would be 2)
+        assert!(!m.contains(MemBlockId(1)));
+    }
+
+    #[test]
+    fn join_is_union_with_min_age() {
+        let mut a = MayState::new(&cfg());
+        a.update(MemBlockId(1)); // age 0 in a
+        let mut b = MayState::new(&cfg());
+        b.update(MemBlockId(2));
+        b.update(MemBlockId(1)); // 1 at age 0, 2 at age 1
+        let j = a.join(&b);
+        assert_eq!(j.age(MemBlockId(1)), Some(0));
+        assert_eq!(j.age(MemBlockId(2)), Some(1)); // only in b
+    }
+
+    #[test]
+    fn soundness_vs_concrete_on_a_fixed_string() {
+        use crate::concrete::ConcreteState;
+        // Every concretely-cached block must appear in the may state.
+        let config = CacheConfig::new(2, 16, 64).unwrap();
+        let mut c = ConcreteState::new(&config);
+        let mut m = MayState::new(&config);
+        for &b in &[3u64, 7, 3, 11, 15, 7, 3, 4, 8, 4] {
+            c.access(MemBlockId(b));
+            m.update(MemBlockId(b));
+            for blk in c.blocks() {
+                assert!(m.contains(blk), "concrete holds {blk} but may lost it");
+            }
+        }
+    }
+
+    #[test]
+    fn hit_update_ages_siblings() {
+        let mut m = MayState::new(&cfg());
+        m.update(MemBlockId(1));
+        m.update(MemBlockId(2)); // ages: 2→0, 1→1
+        m.update(MemBlockId(2)); // hit at age 0: nothing else younger
+        assert_eq!(m.age(MemBlockId(2)), Some(0));
+        assert_eq!(m.age(MemBlockId(1)), Some(1));
+    }
+}

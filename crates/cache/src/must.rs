@@ -1,0 +1,273 @@
+//! Must analysis: which blocks are *guaranteed* cached.
+//!
+//! Abstract must states assign each cached block an upper bound on its LRU
+//! age (0 = MRU). A block present in the must state is present in **every**
+//! concrete state the abstract state represents, so a reference to it is an
+//! *always hit*. Update and join follow Ferdinand's abstract semantics
+//! (reference [8] of the paper).
+
+use std::fmt;
+
+use rtpf_isa::MemBlockId;
+
+use crate::config::CacheConfig;
+
+/// Abstract must cache state.
+///
+/// Per set, `ages[h]` holds the blocks whose maximal LRU age is `h`; each
+/// block appears in at most one bucket, and the total number of blocks per
+/// set never exceeds the associativity.
+///
+/// # Example
+///
+/// ```
+/// use rtpf_cache::{CacheConfig, MustState};
+/// use rtpf_isa::MemBlockId;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = CacheConfig::new(2, 16, 32)?; // one 2-way set
+/// let mut must = MustState::new(&config);
+/// must.update(MemBlockId(1));
+/// must.update(MemBlockId(2));
+/// assert!(must.contains(MemBlockId(1))); // guaranteed cached (age 1)
+/// must.update(MemBlockId(3));            // ages 1 out of the guarantee
+/// assert!(!must.contains(MemBlockId(1)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MustState {
+    /// `sets[s][h]` = sorted blocks of set `s` with max-age `h`.
+    sets: Vec<Vec<Vec<MemBlockId>>>,
+    assoc: u32,
+    n_sets: u32,
+}
+
+impl MustState {
+    /// The empty must state (nothing guaranteed cached) — also the analysis
+    /// top for joins and the correct entry state (`ĉ_I`).
+    pub fn new(config: &CacheConfig) -> Self {
+        MustState {
+            sets: vec![vec![Vec::new(); config.assoc() as usize]; config.n_sets() as usize],
+            assoc: config.assoc(),
+            n_sets: config.n_sets(),
+        }
+    }
+
+    /// Maximal age of `block`, if it is guaranteed cached.
+    pub fn age(&self, block: MemBlockId) -> Option<u32> {
+        let set = (block.0 % u64::from(self.n_sets)) as usize;
+        for (h, bucket) in self.sets[set].iter().enumerate() {
+            if bucket.binary_search(&block).is_ok() {
+                return Some(h as u32);
+            }
+        }
+        None
+    }
+
+    /// Whether a reference to `block` is an always-hit in this state.
+    #[inline]
+    pub fn contains(&self, block: MemBlockId) -> bool {
+        self.age(block).is_some()
+    }
+
+    /// Abstract must update `Û(ĉ, s)`: the referenced block becomes age 0;
+    /// younger blocks age by one; blocks aging past the associativity are
+    /// no longer guaranteed cached.
+    pub fn update(&mut self, block: MemBlockId) {
+        let set = (block.0 % u64::from(self.n_sets)) as usize;
+        let a = self.assoc as usize;
+        let old_age = {
+            let mut found = None;
+            for (h, bucket) in self.sets[set].iter().enumerate() {
+                if bucket.binary_search(&block).is_ok() {
+                    found = Some(h);
+                    break;
+                }
+            }
+            found
+        };
+        let buckets = &mut self.sets[set];
+        match old_age {
+            Some(h) => {
+                // Blocks with age < h grow one step older; the touched block
+                // moves to age 0; ages ≥ h are unchanged.
+                if let Ok(pos) = buckets[h].binary_search(&block) {
+                    buckets[h].remove(pos);
+                }
+                for i in (1..=h).rev() {
+                    let moved = std::mem::take(&mut buckets[i - 1]);
+                    merge_into(&mut buckets[i], moved);
+                }
+                buckets[0] = vec![block];
+            }
+            None => {
+                // Everything ages one step; the oldest bucket falls out.
+                buckets.pop();
+                buckets.insert(0, vec![block]);
+                debug_assert_eq!(buckets.len(), a);
+            }
+        }
+    }
+
+    /// Must join (Definition in [8]): keep only blocks present on **both**
+    /// sides, at their *maximal* age.
+    pub fn join(&self, other: &MustState) -> MustState {
+        debug_assert_eq!(self.n_sets, other.n_sets);
+        debug_assert_eq!(self.assoc, other.assoc);
+        let mut out = MustState::new_raw(self.assoc, self.n_sets);
+        for s in 0..self.n_sets as usize {
+            for (h, bucket) in self.sets[s].iter().enumerate() {
+                for &b in bucket {
+                    if let Some(h2) = other.age_in_set(s, b) {
+                        let age = h.max(h2 as usize);
+                        insert_sorted(&mut out.sets[s][age], b);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All blocks guaranteed cached, with their maximal ages.
+    pub fn iter(&self) -> impl Iterator<Item = (MemBlockId, u32)> + '_ {
+        self.sets.iter().flat_map(|set| {
+            set.iter()
+                .enumerate()
+                .flat_map(|(h, bucket)| bucket.iter().map(move |&b| (b, h as u32)))
+        })
+    }
+
+    /// Number of blocks guaranteed cached.
+    pub fn len(&self) -> usize {
+        self.sets.iter().flatten().map(Vec::len).sum()
+    }
+
+    /// Whether nothing is guaranteed cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn new_raw(assoc: u32, n_sets: u32) -> Self {
+        MustState {
+            sets: vec![vec![Vec::new(); assoc as usize]; n_sets as usize],
+            assoc,
+            n_sets,
+        }
+    }
+
+    fn age_in_set(&self, set: usize, block: MemBlockId) -> Option<u32> {
+        for (h, bucket) in self.sets[set].iter().enumerate() {
+            if bucket.binary_search(&block).is_ok() {
+                return Some(h as u32);
+            }
+        }
+        None
+    }
+}
+
+fn insert_sorted(v: &mut Vec<MemBlockId>, b: MemBlockId) {
+    if let Err(pos) = v.binary_search(&b) {
+        v.insert(pos, b);
+    }
+}
+
+fn merge_into(dst: &mut Vec<MemBlockId>, src: Vec<MemBlockId>) {
+    for b in src {
+        insert_sorted(dst, b);
+    }
+}
+
+impl fmt::Display for MustState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (s, set) in self.sets.iter().enumerate() {
+            write!(f, "set {s}:")?;
+            for (h, bucket) in set.iter().enumerate() {
+                let cells: Vec<String> = bucket.iter().map(|b| b.to_string()).collect();
+                write!(f, " age{h}={{{}}}", cells.join(","))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig::new(2, 16, 32).unwrap() // one set, 2-way
+    }
+
+    #[test]
+    fn update_inserts_at_age_zero() {
+        let mut m = MustState::new(&cfg());
+        m.update(MemBlockId(1));
+        assert_eq!(m.age(MemBlockId(1)), Some(0));
+        assert!(m.contains(MemBlockId(1)));
+    }
+
+    #[test]
+    fn update_ages_out_old_blocks() {
+        let mut m = MustState::new(&cfg());
+        m.update(MemBlockId(1));
+        m.update(MemBlockId(2)); // 1 → age 1
+        assert_eq!(m.age(MemBlockId(1)), Some(1));
+        m.update(MemBlockId(3)); // 1 ages past assoc → gone
+        assert!(!m.contains(MemBlockId(1)));
+        assert_eq!(m.age(MemBlockId(2)), Some(1));
+        assert_eq!(m.age(MemBlockId(3)), Some(0));
+    }
+
+    #[test]
+    fn touching_a_guaranteed_block_refreshes_it() {
+        let mut m = MustState::new(&cfg());
+        m.update(MemBlockId(1));
+        m.update(MemBlockId(2));
+        m.update(MemBlockId(1)); // promote back to 0; 2 ages to 1
+        assert_eq!(m.age(MemBlockId(1)), Some(0));
+        assert_eq!(m.age(MemBlockId(2)), Some(1));
+        m.update(MemBlockId(3));
+        assert!(!m.contains(MemBlockId(2)));
+    }
+
+    #[test]
+    fn join_keeps_intersection_at_max_age() {
+        let mut a = MustState::new(&cfg());
+        a.update(MemBlockId(1)); // age 0 in a
+        a.update(MemBlockId(2));
+        let mut b = MustState::new(&cfg());
+        b.update(MemBlockId(2));
+        b.update(MemBlockId(1)); // age 0 in b, but age 1 in a
+        let j = a.join(&b);
+        assert_eq!(j.age(MemBlockId(1)), Some(1)); // max(1, 0)
+        assert_eq!(j.age(MemBlockId(2)), Some(1)); // max(0, 1)
+    }
+
+    #[test]
+    fn join_drops_one_sided_blocks() {
+        let mut a = MustState::new(&cfg());
+        a.update(MemBlockId(1));
+        let b = MustState::new(&cfg());
+        let j = a.join(&b);
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn soundness_vs_concrete_on_a_fixed_string() {
+        use crate::concrete::ConcreteState;
+        // Run the same access string through the concrete and must models;
+        // every must-cached block must be concretely cached.
+        let config = CacheConfig::new(2, 16, 64).unwrap();
+        let mut c = ConcreteState::new(&config);
+        let mut m = MustState::new(&config);
+        for &b in &[1u64, 5, 1, 9, 13, 5, 1, 2, 6, 2] {
+            c.access(MemBlockId(b));
+            m.update(MemBlockId(b));
+            for (blk, _) in m.iter() {
+                assert!(c.contains(blk), "must claims {blk} but concrete lacks it");
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Memory-system timing parameters shared by WCET analysis and simulation.
+
+use std::fmt;
+
+/// Cycle-level timing of the memory hierarchy for one cache geometry.
+///
+/// `rtpf-energy` derives these from the CACTI-style model; tests construct
+/// them directly. All analyses interpret a reference as costing
+/// [`MemTiming::hit_cycles`] on a hit and [`MemTiming::miss_cycles`] on a
+/// miss (total, access included).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MemTiming {
+    /// Cycles for a level-1 hit.
+    pub hit_cycles: u64,
+    /// Total cycles for a miss (level-2 access + line fill + restart).
+    pub miss_cycles: u64,
+    /// Prefetch latency `Λ` (Definition 4): cycles from issuing a prefetch
+    /// until the block is in cache. Typically equals the fill time.
+    pub prefetch_latency: u64,
+}
+
+impl MemTiming {
+    /// A typical embedded configuration: 1-cycle hits, `penalty`-cycle
+    /// misses, prefetch latency equal to the miss time.
+    pub fn with_miss_penalty(penalty: u64) -> Self {
+        MemTiming {
+            hit_cycles: 1,
+            miss_cycles: 1 + penalty,
+            prefetch_latency: 1 + penalty,
+        }
+    }
+
+    /// Cost of one access under the given hit/miss outcome.
+    #[inline]
+    pub fn access_cycles(&self, hit: bool) -> u64 {
+        if hit {
+            self.hit_cycles
+        } else {
+            self.miss_cycles
+        }
+    }
+}
+
+impl Default for MemTiming {
+    /// 1-cycle hits, 20-cycle miss penalty.
+    fn default() -> Self {
+        MemTiming::with_miss_penalty(20)
+    }
+}
+
+impl fmt::Display for MemTiming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hit={} miss={} Λ={}",
+            self.hit_cycles, self.miss_cycles, self.prefetch_latency
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let t = MemTiming::default();
+        assert_eq!(t.hit_cycles, 1);
+        assert_eq!(t.miss_cycles, 21);
+        assert_eq!(t.access_cycles(true), 1);
+        assert_eq!(t.access_cycles(false), 21);
+    }
+}

@@ -1,0 +1,500 @@
+//! The `rtpf` command-line front end.
+//!
+//! Lets a real-time engineer drive the whole toolchain from task
+//! descriptions in the [`rtpf_isa::text`] format (or the built-in
+//! Mälardalen skeletons via `suite:NAME`):
+//!
+//! ```text
+//! rtpf analyze  task.rtpf --cache 2,16,512
+//! rtpf optimize task.rtpf --cache 2,16,512 --verbose
+//! rtpf simulate suite:fft1 --cache 2,16,512 --behavior worst --runs 3
+//! rtpf sweep    suite:compress
+//! rtpf fmt      task.rtpf
+//! rtpf suite
+//! ```
+//!
+//! All command logic lives in this library (returning strings) so it is
+//! unit-testable; `main.rs` only does I/O.
+
+use std::fmt::Write as _;
+
+use rtpf_cache::{CacheConfig, MemTiming};
+use rtpf_core::{check, OptimizeParams, Optimizer};
+use rtpf_energy::{EnergyModel, Technology};
+use rtpf_isa::{InstrKind, Program};
+use rtpf_sim::{BranchBehavior, SimConfig, Simulator};
+use rtpf_wcet::WcetAnalysis;
+
+/// A user-facing failure: bad arguments, unreadable file, analysis error.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Options {
+    /// Subcommand name.
+    pub command: String,
+    /// Program spec (`path` or `suite:NAME`), if the command takes one.
+    pub spec: Option<String>,
+    /// `--cache a,b,c`.
+    pub cache: Option<(u32, u32, u32)>,
+    /// `--penalty N` (miss penalty in cycles).
+    pub penalty: Option<u64>,
+    /// `--runs N`.
+    pub runs: Option<u32>,
+    /// `--seed N`.
+    pub seed: Option<u64>,
+    /// `--behavior worst|random`.
+    pub behavior: Option<BranchBehavior>,
+    /// `--rounds N` (optimizer).
+    pub rounds: Option<u32>,
+    /// `--verbose`.
+    pub verbose: bool,
+}
+
+impl Options {
+    /// Parses CLI arguments (without the binary name).
+    ///
+    /// # Errors
+    ///
+    /// Returns usage-style errors for unknown flags or malformed values.
+    pub fn parse(args: &[String]) -> Result<Options, CliError> {
+        let mut it = args.iter().peekable();
+        let command = it
+            .next()
+            .ok_or_else(|| err(USAGE))?
+            .clone();
+        let mut o = Options {
+            command,
+            spec: None,
+            cache: None,
+            penalty: None,
+            runs: None,
+            seed: None,
+            behavior: None,
+            rounds: None,
+            verbose: false,
+        };
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--cache" => {
+                    let v = it.next().ok_or_else(|| err("--cache needs a,b,c"))?;
+                    let parts: Vec<u32> = v
+                        .split(',')
+                        .map(|p| p.trim().parse().map_err(|_| err(format!("bad --cache {v}"))))
+                        .collect::<Result<_, _>>()?;
+                    if parts.len() != 3 {
+                        return Err(err(format!("--cache wants 3 numbers, got {v}")));
+                    }
+                    o.cache = Some((parts[0], parts[1], parts[2]));
+                }
+                "--penalty" => {
+                    o.penalty = Some(parse_num(it.next(), "--penalty")?);
+                }
+                "--runs" => o.runs = Some(parse_num(it.next(), "--runs")? as u32),
+                "--seed" => o.seed = Some(parse_num(it.next(), "--seed")?),
+                "--rounds" => o.rounds = Some(parse_num(it.next(), "--rounds")? as u32),
+                "--behavior" => {
+                    let v = it.next().ok_or_else(|| err("--behavior needs worst|random"))?;
+                    o.behavior = Some(match v.as_str() {
+                        "worst" => BranchBehavior::WorstLike,
+                        "random" => BranchBehavior::Random,
+                        other => return Err(err(format!("unknown behavior {other}"))),
+                    });
+                }
+                "--verbose" | "-v" => o.verbose = true,
+                flag if flag.starts_with("--") => {
+                    return Err(err(format!("unknown flag {flag}")))
+                }
+                spec => {
+                    if o.spec.is_some() {
+                        return Err(err(format!("unexpected argument {spec}")));
+                    }
+                    o.spec = Some(spec.to_string());
+                }
+            }
+        }
+        Ok(o)
+    }
+
+    fn cache_config(&self) -> Result<CacheConfig, CliError> {
+        let (a, b, c) = self.cache.ok_or_else(|| {
+            err("this command needs --cache ASSOC,BLOCK,CAPACITY (e.g. --cache 2,16,512)")
+        })?;
+        CacheConfig::new(a, b, c).map_err(|e| err(format!("invalid cache geometry: {e}")))
+    }
+
+    fn timing(&self, config: &CacheConfig) -> MemTiming {
+        match self.penalty {
+            Some(p) => MemTiming::with_miss_penalty(p),
+            None => EnergyModel::new(config, Technology::Nm45).timing(),
+        }
+    }
+
+    fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            behavior: self.behavior.unwrap_or_default(),
+            seed: self.seed.unwrap_or(0xC0FF_EE00),
+            runs: self.runs.unwrap_or(3),
+            max_fetches: 8_000_000,
+        }
+    }
+}
+
+fn parse_num(v: Option<&String>, flag: &str) -> Result<u64, CliError> {
+    let v = v.ok_or_else(|| err(format!("{flag} needs a number")))?;
+    v.parse().map_err(|_| err(format!("bad {flag} value {v}")))
+}
+
+/// Usage text.
+pub const USAGE: &str = "usage: rtpf <command> [args]
+
+commands:
+  analyze  <file|suite:NAME> --cache a,b,c [--penalty N]
+  optimize <file|suite:NAME> --cache a,b,c [--penalty N] [--rounds N] [-v]
+  simulate <file|suite:NAME> --cache a,b,c [--runs N] [--seed N] [--behavior worst|random]
+  sweep    <file|suite:NAME>                # all 36 paper configurations
+  fmt      <file>                           # parse + pretty-print
+  suite                                     # list built-in benchmarks
+
+the program format is documented in `rtpf_isa::text`; `suite:NAME` loads a
+built-in Mälardalen skeleton (see `rtpf suite`).";
+
+/// Loads a program from `path` or `suite:NAME`.
+///
+/// # Errors
+///
+/// Fails when the file is unreadable/malformed or the suite name unknown.
+pub fn load_program(spec: &str) -> Result<(String, Program), CliError> {
+    if let Some(name) = spec.strip_prefix("suite:") {
+        let b = rtpf_suite::by_name(name)
+            .ok_or_else(|| err(format!("unknown suite program {name} (try `rtpf suite`)")))?;
+        return Ok((b.name.to_string(), b.program));
+    }
+    let src = std::fs::read_to_string(spec)
+        .map_err(|e| err(format!("cannot read {spec}: {e}")))?;
+    let (name, shape) =
+        rtpf_isa::text::parse(&src).map_err(|e| err(format!("{spec}: {e}")))?;
+    Ok((name.clone(), shape.compile(name)))
+}
+
+/// Executes a parsed command, returning the output to print.
+///
+/// # Errors
+///
+/// Propagates argument, I/O, and analysis failures as [`CliError`].
+pub fn run(o: &Options) -> Result<String, CliError> {
+    match o.command.as_str() {
+        "analyze" => cmd_analyze(o),
+        "optimize" => cmd_optimize(o),
+        "simulate" => cmd_simulate(o),
+        "sweep" => cmd_sweep(o),
+        "fmt" => cmd_fmt(o),
+        "suite" => Ok(cmd_suite()),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(err(format!("unknown command {other}\n\n{USAGE}"))),
+    }
+}
+
+fn spec_of(o: &Options) -> Result<&str, CliError> {
+    o.spec
+        .as_deref()
+        .ok_or_else(|| err("this command needs a program (a file or suite:NAME)"))
+}
+
+fn cmd_analyze(o: &Options) -> Result<String, CliError> {
+    let (name, p) = load_program(spec_of(o)?)?;
+    let config = o.cache_config()?;
+    let timing = o.timing(&config);
+    let a = WcetAnalysis::analyze(&p, &config, &timing)
+        .map_err(|e| err(format!("analysis failed: {e}")))?;
+    let (hit, miss, unk) = a.classification_counts();
+    let mut s = String::new();
+    let _ = writeln!(s, "program {name}: {} instrs ({} B)", p.instr_count(), p.code_bytes());
+    let _ = writeln!(s, "cache {config} ({} sets), {timing}", config.n_sets());
+    let _ = writeln!(s, "references: {} over {} contexts", a.acfg().len(), a.vivu().len());
+    let _ = writeln!(s, "classification: {hit} always-hit / {miss} always-miss / {unk} unclassified");
+    let _ = writeln!(s, "WCET (memory): {} cycles", a.tau_w());
+    let _ = writeln!(s, "WCET-path accesses: {} ({} misses)", a.wcet_accesses(), a.wcet_misses());
+    let pr = rtpf_wcet::persistence_report(&p, &a);
+    if pr.first_miss_refs > 0 {
+        let _ = writeln!(
+            s,
+            "persistence: {} first-miss refs; a first-miss-aware bound could \
+             recover up to {} cycles ({:.1}%)",
+            pr.first_miss_refs,
+            pr.recoverable_cycles,
+            100.0 * pr.recoverable_cycles as f64 / a.tau_w() as f64
+        );
+    }
+    Ok(s)
+}
+
+fn cmd_optimize(o: &Options) -> Result<String, CliError> {
+    let (name, p) = load_program(spec_of(o)?)?;
+    let config = o.cache_config()?;
+    let timing = o.timing(&config);
+    let params = OptimizeParams {
+        timing,
+        max_rounds: o.rounds.unwrap_or(OptimizeParams::default().max_rounds),
+        ..OptimizeParams::default()
+    };
+    let r = Optimizer::new(config, params)
+        .run(&p)
+        .map_err(|e| err(format!("optimization failed: {e}")))?;
+    let theorem = check(
+        &p,
+        &r.program,
+        r.analysis_after.layout().clone(),
+        &config,
+        &timing,
+    )
+    .map_err(|e| err(format!("verification failed: {e}")))?;
+
+    let mut s = String::new();
+    let rep = &r.report;
+    let _ = writeln!(s, "program {name} on {config}:");
+    let _ = writeln!(
+        s,
+        "  inserted {} prefetches over {} rounds ({} candidates seen)",
+        rep.inserted, rep.rounds, rep.candidates_seen
+    );
+    let _ = writeln!(
+        s,
+        "  WCET (memory): {} -> {} cycles ({:+.2}%)",
+        rep.wcet_before,
+        rep.wcet_after,
+        100.0 * (rep.wcet_after as f64 / rep.wcet_before as f64 - 1.0)
+    );
+    let _ = writeln!(s, "  WCET-path misses: {} -> {}", rep.misses_before, rep.misses_after);
+    let _ = writeln!(
+        s,
+        "  Theorem 1: equivalent={} wcet_preserved={}",
+        theorem.equivalent, theorem.wcet_preserved
+    );
+    if o.verbose {
+        let _ = writeln!(s, "  placements:");
+        for b in r.program.block_ids() {
+            for (pos, &i) in r.program.block(b).instrs().iter().enumerate() {
+                if let InstrKind::Prefetch { target } = r.program.instr(i).kind {
+                    let _ = writeln!(
+                        s,
+                        "    {b}[{pos}]: prefetch block of {target} \
+                         (addr {:#x})",
+                        r.analysis_after.layout().addr(target)
+                    );
+                }
+            }
+        }
+    }
+    Ok(s)
+}
+
+fn cmd_simulate(o: &Options) -> Result<String, CliError> {
+    let (name, p) = load_program(spec_of(o)?)?;
+    let config = o.cache_config()?;
+    let timing = o.timing(&config);
+    let run = Simulator::new(config, timing, o.sim_config())
+        .run(&p)
+        .map_err(|e| err(format!("simulation failed: {e}")))?;
+    let m45 = EnergyModel::new(&config, Technology::Nm45);
+    let m32 = EnergyModel::new(&config, Technology::Nm32);
+    let mut s = String::new();
+    let _ = writeln!(s, "program {name} on {config} ({} runs):", run.runs);
+    let _ = writeln!(s, "  ACET (memory): {:.0} cycles", run.acet_cycles());
+    let _ = writeln!(
+        s,
+        "  accesses {} | hits {} | misses {} (miss rate {:.2}%)",
+        run.stats.accesses,
+        run.stats.hits,
+        run.stats.misses,
+        100.0 * run.miss_rate()
+    );
+    let _ = writeln!(
+        s,
+        "  prefetches issued {} (useful {}), stall cycles {}",
+        run.prefetches_issued, run.prefetch_useful, run.stall_cycles
+    );
+    let _ = writeln!(
+        s,
+        "  energy: {:.1} nJ @45nm, {:.1} nJ @32nm",
+        m45.energy_of(&run.mean_stats()).total_nj(),
+        m32.energy_of(&run.mean_stats()).total_nj()
+    );
+    Ok(s)
+}
+
+fn cmd_sweep(o: &Options) -> Result<String, CliError> {
+    let (name, p) = load_program(spec_of(o)?)?;
+    let mut s = String::new();
+    let _ = writeln!(s, "program {name}: WCET before/after per Table 2 configuration");
+    let _ = writeln!(
+        s,
+        "{:<5} {:>2} {:>3} {:>6} {:>12} {:>12} {:>8} {:>4}",
+        "k", "a", "b", "c", "wcet_orig", "wcet_opt", "delta", "pf"
+    );
+    for (k, config) in CacheConfig::paper_configs() {
+        let timing = EnergyModel::new(&config, Technology::Nm45).timing();
+        let params = OptimizeParams {
+            timing,
+            max_rounds: o.rounds.unwrap_or(4),
+            max_singles_per_round: 8,
+            ..OptimizeParams::default()
+        };
+        let r = Optimizer::new(config, params)
+            .run(&p)
+            .map_err(|e| err(format!("{k}: {e}")))?;
+        let _ = writeln!(
+            s,
+            "{:<5} {:>2} {:>3} {:>6} {:>12} {:>12} {:>7.2}% {:>4}",
+            k,
+            config.assoc(),
+            config.block_bytes(),
+            config.capacity_bytes(),
+            r.report.wcet_before,
+            r.report.wcet_after,
+            100.0 * (r.report.wcet_after as f64 / r.report.wcet_before as f64 - 1.0),
+            r.report.inserted
+        );
+    }
+    Ok(s)
+}
+
+fn cmd_fmt(o: &Options) -> Result<String, CliError> {
+    let spec = spec_of(o)?;
+    let src = std::fs::read_to_string(spec)
+        .map_err(|e| err(format!("cannot read {spec}: {e}")))?;
+    let (name, shape) =
+        rtpf_isa::text::parse(&src).map_err(|e| err(format!("{spec}: {e}")))?;
+    Ok(rtpf_isa::text::write(&name, &shape))
+}
+
+fn cmd_suite() -> String {
+    let mut s = String::from("built-in Mälardalen skeletons (use as suite:NAME):\n");
+    for b in rtpf_suite::catalog() {
+        let _ = writeln!(
+            s,
+            "  {:<4} {:<14} {:>6} instrs  {}",
+            b.id,
+            b.name,
+            b.program.instr_count(),
+            b.description
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_option_set() {
+        let o = Options::parse(&args(&[
+            "optimize",
+            "suite:fft1",
+            "--cache",
+            "2,16,512",
+            "--penalty",
+            "30",
+            "--rounds",
+            "5",
+            "--verbose",
+        ]))
+        .expect("parses");
+        assert_eq!(o.command, "optimize");
+        assert_eq!(o.spec.as_deref(), Some("suite:fft1"));
+        assert_eq!(o.cache, Some((2, 16, 512)));
+        assert_eq!(o.penalty, Some(30));
+        assert_eq!(o.rounds, Some(5));
+        assert!(o.verbose);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_cache() {
+        assert!(Options::parse(&args(&["analyze", "--bogus"])).is_err());
+        assert!(Options::parse(&args(&["analyze", "x", "--cache", "2,16"])).is_err());
+        assert!(Options::parse(&args(&["analyze", "x", "--cache", "a,b,c"])).is_err());
+    }
+
+    #[test]
+    fn suite_listing_names_all_programs() {
+        let out = cmd_suite();
+        assert!(out.contains("matmult"));
+        assert!(out.contains("p37"));
+    }
+
+    #[test]
+    fn analyze_on_a_suite_program() {
+        let o = Options::parse(&args(&["analyze", "suite:bs", "--cache", "2,16,512"]))
+            .expect("parses");
+        let out = run(&o).expect("runs");
+        assert!(out.contains("WCET (memory):"));
+        assert!(out.contains("classification:"));
+    }
+
+    #[test]
+    fn optimize_reports_theorem() {
+        let o = Options::parse(&args(&[
+            "optimize",
+            "suite:crc",
+            "--cache",
+            "2,16,512",
+            "--rounds",
+            "2",
+        ]))
+        .expect("parses");
+        let out = run(&o).expect("runs");
+        assert!(out.contains("Theorem 1: equivalent=true wcet_preserved=true"));
+    }
+
+    #[test]
+    fn simulate_prints_energy() {
+        let o = Options::parse(&args(&[
+            "simulate",
+            "suite:bs",
+            "--cache",
+            "2,16,512",
+            "--runs",
+            "1",
+        ]))
+        .expect("parses");
+        let out = run(&o).expect("runs");
+        assert!(out.contains("nJ @45nm"));
+    }
+
+    #[test]
+    fn unknown_command_shows_usage() {
+        let o = Options::parse(&args(&["frobnicate"])).expect("parses");
+        let e = run(&o).unwrap_err();
+        assert!(e.0.contains("usage:"));
+    }
+
+    #[test]
+    fn missing_cache_is_a_clear_error() {
+        let o = Options::parse(&args(&["analyze", "suite:bs"])).expect("parses");
+        let e = run(&o).unwrap_err();
+        assert!(e.0.contains("--cache"));
+    }
+
+    #[test]
+    fn load_program_rejects_unknown_suite() {
+        assert!(load_program("suite:doom").is_err());
+    }
+}

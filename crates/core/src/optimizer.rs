@@ -1,0 +1,395 @@
+//! The iterative prefetch-insertion optimizer (paper Algorithms 1–3).
+
+use rtpf_cache::{CacheConfig, MemTiming};
+use rtpf_isa::{InstrId, InstrKind, Layout, Program};
+use rtpf_wcet::{AnalysisError, WcetAnalysis};
+
+use crate::candidates;
+use crate::path::WcetPath;
+
+/// Tuning knobs of the optimizer.
+#[derive(Clone, Copy, Debug)]
+pub struct OptimizeParams {
+    /// Memory timing (hit/miss cycles and the prefetch latency `Λ`).
+    pub timing: MemTiming,
+    /// Maximum optimize–verify rounds.
+    pub max_rounds: u32,
+    /// Hard cap on inserted prefetch instructions.
+    pub max_prefetches: u32,
+    /// Cap on one-at-a-time verification attempts within a single round
+    /// (only reached when a batch was rejected).
+    pub max_singles_per_round: u32,
+    /// Enforce the effectiveness condition (Definition 10). Disabling it
+    /// mimics the WCET-only prior work (paper ref [5]) that inserts the
+    /// prefetch without checking that `Λ` fits before the use — the
+    /// `ablation_criterion` benchmark measures what that costs.
+    pub check_effectiveness: bool,
+}
+
+impl Default for OptimizeParams {
+    fn default() -> Self {
+        OptimizeParams {
+            timing: MemTiming::default(),
+            max_rounds: 25,
+            max_prefetches: 512,
+            max_singles_per_round: 48,
+            check_effectiveness: true,
+        }
+    }
+}
+
+/// Statistics of one optimization.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct OptimizeReport {
+    /// Optimize–verify rounds executed.
+    pub rounds: u32,
+    /// Prefetch instructions in the final program.
+    pub inserted: u32,
+    /// `τ_w` of the original program.
+    pub wcet_before: u64,
+    /// `τ_w` of the optimized program (never larger; Theorem 1).
+    pub wcet_after: u64,
+    /// WCET-path miss count before.
+    pub misses_before: u64,
+    /// WCET-path miss count after.
+    pub misses_after: u64,
+    /// Replacement candidates examined across rounds.
+    pub candidates_seen: u64,
+    /// Insertions rejected by the end-to-end verifier.
+    pub rejected_by_verifier: u64,
+}
+
+/// An optimized program plus the analyses proving the transformation safe.
+#[derive(Clone, Debug)]
+pub struct OptimizeResult {
+    /// The prefetch-equivalent optimized program.
+    pub program: Program,
+    /// Outcome statistics.
+    pub report: OptimizeReport,
+    /// Analysis of the original program.
+    pub analysis_before: WcetAnalysis,
+    /// Analysis of the optimized program (under its relocated layout).
+    pub analysis_after: WcetAnalysis,
+}
+
+/// One planned insertion: a prefetch of the block containing `target`,
+/// placed immediately before `anchor` (the paper's `r_{i+1}`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct PlanEntry {
+    anchor: InstrId,
+    target: InstrId,
+}
+
+/// The prefetch-insertion optimizer for one cache configuration.
+#[derive(Clone, Debug)]
+pub struct Optimizer {
+    config: CacheConfig,
+    params: OptimizeParams,
+}
+
+impl Optimizer {
+    /// An optimizer for `config` with the given parameters.
+    pub fn new(config: CacheConfig, params: OptimizeParams) -> Self {
+        Optimizer { config, params }
+    }
+
+    /// Optimizes `p`, returning the transformed program and its proof
+    /// artefacts. The result satisfies
+    /// `report.wcet_after ≤ report.wcet_before` **by construction**: every
+    /// accepted insertion batch was re-verified by a full WCET analysis.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the program is invalid or the analysis context budget is
+    /// exceeded.
+    pub fn run(&self, p: &Program) -> Result<OptimizeResult, AnalysisError> {
+        let timing = self.params.timing;
+        let mut prog = p.clone();
+        let mut layout = Layout::of(&prog);
+        let before =
+            WcetAnalysis::analyze_with_layout(&prog, layout.clone(), &self.config, &timing)?;
+        let mut cur = before.clone();
+        let mut report = OptimizeReport {
+            wcet_before: before.tau_w(),
+            wcet_after: before.tau_w(),
+            misses_before: before.wcet_misses(),
+            misses_after: before.wcet_misses(),
+            ..OptimizeReport::default()
+        };
+
+        for _ in 0..self.params.max_rounds {
+            if report.inserted >= self.params.max_prefetches {
+                break;
+            }
+            report.rounds += 1;
+            let plan = self.plan_round(&prog, &cur, &mut report);
+            if plan.is_empty() {
+                break;
+            }
+
+            // Batch-apply on a clone and verify end to end.
+            let budget = (self.params.max_prefetches - report.inserted) as usize;
+            let mut p2 = prog.clone();
+            let mut l2 = layout.clone();
+            let mut applied = 0u32;
+            for e in plan.iter().take(budget) {
+                if self.apply(&mut p2, &mut l2, *e) {
+                    applied += 1;
+                }
+            }
+            if applied == 0 {
+                break;
+            }
+            let a2 = WcetAnalysis::analyze_with_layout(&p2, l2.clone(), &self.config, &timing)?;
+            if accepts(&cur, &a2) {
+                prog = p2;
+                layout = l2;
+                cur = a2;
+                report.inserted += applied;
+                continue;
+            }
+            report.rejected_by_verifier += u64::from(applied);
+
+            // Batch failed: verify insertions one at a time (the paper's
+            // per-prefetch criterion, enforced exactly).
+            let mut any = false;
+            let mut tried = 0u32;
+            for e in &plan {
+                if report.inserted >= self.params.max_prefetches
+                    || tried >= self.params.max_singles_per_round
+                {
+                    break;
+                }
+                tried += 1;
+                let mut p3 = prog.clone();
+                let mut l3 = layout.clone();
+                if !self.apply(&mut p3, &mut l3, *e) {
+                    continue;
+                }
+                let a3 =
+                    WcetAnalysis::analyze_with_layout(&p3, l3.clone(), &self.config, &timing)?;
+                if accepts(&cur, &a3) {
+                    prog = p3;
+                    layout = l3;
+                    cur = a3;
+                    report.inserted += 1;
+                    any = true;
+                } else {
+                    report.rejected_by_verifier += 1;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+
+        report.wcet_after = cur.tau_w();
+        report.misses_after = cur.wcet_misses();
+        debug_assert!(report.wcet_after <= report.wcet_before);
+        Ok(OptimizeResult {
+            program: prog,
+            report,
+            analysis_before: before,
+            analysis_after: cur,
+        })
+    }
+
+    /// Evaluates the joint improvement criterion over the current
+    /// analysis, returning the accepted insertions in reverse execution
+    /// order (the paper's processing order).
+    fn plan_round(
+        &self,
+        prog: &Program,
+        cur: &WcetAnalysis,
+        report: &mut OptimizeReport,
+    ) -> Vec<PlanEntry> {
+        let timing = self.params.timing;
+        let path = WcetPath::of(cur);
+        let cands = candidates::scan(prog, cur);
+        report.candidates_seen += cands.len() as u64;
+        let mut plan: Vec<PlanEntry> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+
+        for c in cands.iter().rev() {
+            // `r_i` must lie on the WCET path (Eq. 9 weighs by n^w).
+            let Some(pi) = path.position(c.r_i) else { continue };
+            // `r_{i+1}`: the insertion anchor.
+            let Some(&r_next) = path.refs().get(pi + 1) else {
+                continue;
+            };
+            // `r_j`: the next use of the replaced block on the path.
+            let Some(r_j) = path.next_use(cur, c.r_i, c.evicted) else {
+                continue;
+            };
+            let pj = path.position(r_j).expect("next_use returns path refs");
+            // No gain if `r_j` already always hits, and Eq. 9 forbids
+            // prefetching for a prefetch.
+            if !cur.classification(r_j).counts_as_miss() {
+                continue;
+            }
+            let rj_instr = cur.acfg().reference(r_j).instr;
+            if prog.instr(rj_instr).kind.is_prefetch() {
+                continue;
+            }
+            // Effectiveness (Definition 10): Λ ≤ t_w(r_{i+1}, r_{j−1}).
+            if pj == 0 || pj <= pi + 1 {
+                continue;
+            }
+            let window = path.span_cycles(pi + 1, pj - 1);
+            if self.params.check_effectiveness && timing.prefetch_latency > window {
+                continue;
+            }
+            // Profit (Eqs. 6, 7, 9): mcost − pcost > 0. The prefetch's own
+            // fetch is estimated at hit cost (it lands beside code that is
+            // being fetched anyway); the end-to-end verifier catches the
+            // rare cases where the estimate is optimistic.
+            let mcost = cur.t_w(r_j) * cur.n_w(r_j);
+            let pcost =
+                timing.hit_cycles * cur.n_w(r_next) + timing.hit_cycles * cur.n_w(r_j);
+            if mcost <= pcost {
+                continue;
+            }
+            let anchor = cur.acfg().reference(r_next).instr;
+            let entry = PlanEntry {
+                anchor,
+                target: rj_instr,
+            };
+            if seen.insert(entry) {
+                plan.push(entry);
+            }
+        }
+        plan
+    }
+
+    /// Inserts a prefetch immediately before `anchor`, relocating with the
+    /// suffix anchored (paper `relocate_upwards`). Returns false for
+    /// redundant insertions (an equivalent prefetch already sits there, or
+    /// the target block is the anchor's own).
+    fn apply(&self, prog: &mut Program, layout: &mut Layout, e: PlanEntry) -> bool {
+        let bytes = self.config.block_bytes();
+        let tb = layout.block_of(e.target, bytes);
+        if tb == layout.block_of(e.anchor, bytes) {
+            return false;
+        }
+        let bb = prog.block_of(e.anchor);
+        let pos = prog.pos_in_block(e.anchor);
+        // Redundancy window: the two instructions preceding the anchor.
+        let instrs = prog.block(bb).instrs();
+        for k in pos.saturating_sub(2)..pos {
+            if let InstrKind::Prefetch { target } = prog.instr(instrs[k]).kind {
+                if layout.block_of(target, bytes) == tb {
+                    return false;
+                }
+            }
+        }
+        let anchor_addr = layout.addr(e.anchor);
+        prog.insert_instr(bb, pos, InstrKind::Prefetch { target: e.target })
+            .expect("anchor block exists");
+        *layout = Layout::anchored(prog, e.anchor, anchor_addr);
+        true
+    }
+}
+
+/// Acceptance: `τ_w` must not grow and the WCET-path misses must shrink
+/// (or `τ_w` strictly improves) — Problem 1's constraint and objective.
+fn accepts(cur: &WcetAnalysis, new: &WcetAnalysis) -> bool {
+    new.tau_w() <= cur.tau_w()
+        && (new.wcet_misses() < cur.wcet_misses() || new.tau_w() < cur.tau_w())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtpf_isa::shape::Shape;
+
+    fn optimize(shape: Shape, config: CacheConfig) -> OptimizeResult {
+        let p = shape.compile("t");
+        Optimizer::new(config, OptimizeParams::default())
+            .run(&p)
+            .unwrap()
+    }
+
+    #[test]
+    fn roomy_cache_needs_no_prefetching() {
+        let r = optimize(Shape::code(16), CacheConfig::new(4, 32, 8192).unwrap());
+        assert_eq!(r.report.inserted, 0);
+        assert_eq!(r.report.wcet_after, r.report.wcet_before);
+    }
+
+    /// A compress-like skeleton in the paper's 1–10 % miss regime: an
+    /// outer loop whose branchy body slightly exceeds the cache.
+    fn compress_mini() -> Shape {
+        Shape::seq([
+            Shape::code(30),
+            Shape::loop_(
+                20,
+                Shape::seq([
+                    Shape::code(10),
+                    Shape::if_else(2, Shape::code(16), Shape::code(8)),
+                    Shape::if_then(2, Shape::code(12)),
+                ]),
+            ),
+            Shape::code(14),
+        ])
+    }
+
+    #[test]
+    fn conflicting_loop_gets_prefetches_and_a_lower_wcet() {
+        let r = optimize(compress_mini(), CacheConfig::new(2, 16, 128).unwrap());
+        assert!(r.report.inserted > 0, "expected insertions: {:?}", r.report);
+        assert!(
+            r.report.wcet_after < r.report.wcet_before,
+            "WCET should improve: {:?}",
+            r.report
+        );
+        assert!(r.report.misses_after < r.report.misses_before);
+        assert_eq!(r.program.prefetch_count() as u32, r.report.inserted);
+    }
+
+    #[test]
+    fn wcet_never_increases_on_any_suite_like_shape() {
+        let shapes = [
+            Shape::loop_(10, Shape::if_else(2, Shape::code(30), Shape::code(10))),
+            Shape::seq([Shape::code(20), Shape::loop_(8, Shape::code(50)), Shape::code(10)]),
+            Shape::loop_(5, Shape::loop_(6, Shape::code(25))),
+        ];
+        for (i, s) in shapes.into_iter().enumerate() {
+            let r = optimize(s, CacheConfig::new(2, 16, 128).unwrap());
+            assert!(
+                r.report.wcet_after <= r.report.wcet_before,
+                "shape {i} violated Theorem 1: {:?}",
+                r.report
+            );
+        }
+    }
+
+    #[test]
+    fn optimized_program_still_validates() {
+        let r = optimize(compress_mini(), CacheConfig::new(2, 16, 128).unwrap());
+        assert!(r.report.inserted > 0);
+        assert!(r.program.validate().is_ok());
+    }
+
+    #[test]
+    fn prefetch_cap_is_respected() {
+        let p = compress_mini().compile("cap");
+        let params = OptimizeParams {
+            max_prefetches: 3,
+            ..OptimizeParams::default()
+        };
+        let r = Optimizer::new(CacheConfig::new(2, 16, 128).unwrap(), params)
+            .run(&p)
+            .unwrap();
+        assert!(r.report.inserted <= 3);
+        assert!(r.report.inserted > 0, "cap should not prevent all work");
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let r = optimize(compress_mini(), CacheConfig::new(2, 16, 128).unwrap());
+        assert_eq!(r.report.misses_before, r.analysis_before.wcet_misses());
+        assert_eq!(r.report.misses_after, r.analysis_after.wcet_misses());
+        assert_eq!(r.report.wcet_before, r.analysis_before.tau_w());
+        assert_eq!(r.report.wcet_after, r.analysis_after.tau_w());
+    }
+}

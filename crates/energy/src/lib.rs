@@ -1,0 +1,296 @@
+//! CACTI-style analytical energy and timing models.
+//!
+//! The paper obtained per-access energies, leakage power, and access times
+//! from CACTI 6.5 for a 45 nm and a 32 nm process, with a 128 MB DRAM as
+//! level-two memory. CACTI itself is not reproducible here, so this crate
+//! provides analytical fits with the same *qualitative shape*, which is all
+//! the paper's claims rely on:
+//!
+//! * dynamic read/fill energy grows with capacity, associativity and block
+//!   size and **shrinks** with the technology node;
+//! * leakage power grows linearly with capacity and **grows** as the node
+//!   shrinks from 45 nm to 32 nm (the key trend behind the paper's
+//!   cache-locking critique in §2.3);
+//! * the miss penalty covers the DRAM access plus the line transfer.
+//!
+//! Absolute joule values are fitted placeholders, not CACTI output; all
+//! experiment results are reported as *ratios* (optimized / original), as
+//! in the paper's Inequations 10–12.
+//!
+//! # Example
+//!
+//! ```
+//! use rtpf_cache::CacheConfig;
+//! use rtpf_energy::{EnergyModel, MemStats, Technology};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = CacheConfig::new(2, 16, 1024)?;
+//! let model = EnergyModel::new(&config, Technology::Nm45);
+//! let stats = MemStats { accesses: 1000, hits: 950, misses: 50, fills: 50, cycles: 2000 };
+//! let e = model.energy_of(&stats);
+//! assert!(e.total_nj() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+
+use rtpf_cache::{CacheConfig, MemTiming};
+
+/// CMOS process technology node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Technology {
+    /// 45 nm node: higher dynamic energy, lower leakage, 1.0 ns cycle.
+    Nm45,
+    /// 32 nm node: lower dynamic energy, higher leakage, 0.8 ns cycle.
+    Nm32,
+}
+
+impl Technology {
+    /// Both nodes evaluated by the paper, in its order.
+    pub fn all() -> [Technology; 2] {
+        [Technology::Nm45, Technology::Nm32]
+    }
+
+    /// Cycle time in nanoseconds.
+    pub fn cycle_ns(&self) -> f64 {
+        match self {
+            Technology::Nm45 => 1.0,
+            Technology::Nm32 => 0.8,
+        }
+    }
+
+    fn dynamic_scale(&self) -> f64 {
+        match self {
+            Technology::Nm45 => 1.0,
+            Technology::Nm32 => 0.72, // dynamic energy shrinks with node
+        }
+    }
+
+    fn leakage_scale(&self) -> f64 {
+        match self {
+            Technology::Nm45 => 1.0,
+            Technology::Nm32 => 1.9, // leakage worsens with node
+        }
+    }
+}
+
+impl fmt::Display for Technology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Technology::Nm45 => f.write_str("45nm"),
+            Technology::Nm32 => f.write_str("32nm"),
+        }
+    }
+}
+
+/// Memory-system activity counters produced by analysis or simulation.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct MemStats {
+    /// Level-1 lookups (demand fetches and prefetch-instruction fetches).
+    pub accesses: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Line fills (demand misses + completed prefetch operations).
+    pub fills: u64,
+    /// Total memory-subsystem busy cycles (drives static energy).
+    pub cycles: u64,
+}
+
+/// Energy breakdown in nanojoules.
+#[derive(Clone, Copy, PartialEq, Default, Debug)]
+pub struct EnergyBreakdown {
+    /// Cache dynamic energy (reads + fills).
+    pub cache_dynamic_nj: f64,
+    /// Cache leakage over the busy window.
+    pub cache_static_nj: f64,
+    /// DRAM access energy for fills.
+    pub dram_dynamic_nj: f64,
+    /// DRAM background power over the busy window.
+    pub dram_static_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total memory-system energy.
+    pub fn total_nj(&self) -> f64 {
+        self.cache_dynamic_nj + self.cache_static_nj + self.dram_dynamic_nj + self.dram_static_nj
+    }
+}
+
+/// Analytical energy/timing model for one cache geometry and technology.
+#[derive(Clone, Copy, Debug)]
+pub struct EnergyModel {
+    config: CacheConfig,
+    tech: Technology,
+}
+
+/// Reference geometry the fits are normalized to (256 B, 16 B, direct).
+const BASE_CAPACITY: f64 = 256.0;
+const BASE_BLOCK: f64 = 16.0;
+
+/// Fitted constants (CACTI-shaped, see crate docs).
+///
+/// The balance mirrors the paper's setup (S.4): the level-two memory is a
+/// **128 MB DRAM**, whose background (refresh + standby) power dwarfs the
+/// per-access energies, and nanometer SRAM leaks heavily (§2.3's premise).
+/// Time-proportional power therefore dominates, which is exactly why the
+/// paper's measured energy improvement (−11.2%) tracks its ACET
+/// improvement (−10.2%) so closely.
+const READ_BASE_NJ: f64 = 0.012;
+const LEAK_BASE_MW: f64 = 0.35;
+const DRAM_ACCESS_BASE_NJ: f64 = 1.2;
+const DRAM_STATIC_MW: f64 = 55.0;
+const DRAM_LATENCY_CYCLES: u64 = 18;
+
+impl EnergyModel {
+    /// A model for the given geometry and technology.
+    pub fn new(config: &CacheConfig, tech: Technology) -> Self {
+        EnergyModel {
+            config: *config,
+            tech,
+        }
+    }
+
+    /// The geometry being modelled.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// The technology node being modelled.
+    pub fn technology(&self) -> Technology {
+        self.tech
+    }
+
+    /// Dynamic energy of one cache read (tag + data) in nJ.
+    pub fn read_energy_nj(&self) -> f64 {
+        let cap = f64::from(self.config.capacity_bytes()) / BASE_CAPACITY;
+        let assoc = f64::from(self.config.assoc());
+        let block = f64::from(self.config.block_bytes()) / BASE_BLOCK;
+        READ_BASE_NJ * cap.powf(0.45) * assoc.powf(0.25) * block.powf(0.15)
+            * self.tech.dynamic_scale()
+    }
+
+    /// Dynamic energy of one line fill (write of a whole block) in nJ.
+    pub fn fill_energy_nj(&self) -> f64 {
+        // Filling writes `block` bytes: costlier than a read, scaling with
+        // the line size.
+        let block = f64::from(self.config.block_bytes()) / BASE_BLOCK;
+        self.read_energy_nj() * (1.1 + 0.5 * block)
+    }
+
+    /// Cache leakage power in mW.
+    pub fn leakage_mw(&self) -> f64 {
+        let cap = f64::from(self.config.capacity_bytes()) / BASE_CAPACITY;
+        LEAK_BASE_MW * cap * self.tech.leakage_scale()
+    }
+
+    /// DRAM energy per block transfer in nJ.
+    pub fn dram_access_nj(&self) -> f64 {
+        let block = f64::from(self.config.block_bytes()) / BASE_BLOCK;
+        DRAM_ACCESS_BASE_NJ * (0.6 + 0.4 * block)
+    }
+
+    /// Cycle-level timing for this geometry: 1-cycle hits; misses pay the
+    /// DRAM latency plus the line transfer (4 bytes/cycle).
+    pub fn timing(&self) -> MemTiming {
+        let transfer = u64::from(self.config.block_bytes()) / 4;
+        let penalty = DRAM_LATENCY_CYCLES + transfer;
+        MemTiming {
+            hit_cycles: 1,
+            miss_cycles: 1 + penalty,
+            prefetch_latency: penalty,
+        }
+    }
+
+    /// Energy of an execution with the given activity counters.
+    pub fn energy_of(&self, stats: &MemStats) -> EnergyBreakdown {
+        let ns = stats.cycles as f64 * self.tech.cycle_ns();
+        EnergyBreakdown {
+            cache_dynamic_nj: stats.accesses as f64 * self.read_energy_nj()
+                + stats.fills as f64 * self.fill_energy_nj(),
+            // mW × ns = pJ; /1000 → nJ.
+            cache_static_nj: self.leakage_mw() * ns / 1000.0,
+            dram_dynamic_nj: stats.fills as f64 * self.dram_access_nj(),
+            dram_static_nj: DRAM_STATIC_MW * ns / 1000.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(assoc: u32, block: u32, cap: u32) -> CacheConfig {
+        CacheConfig::new(assoc, block, cap).unwrap()
+    }
+
+    #[test]
+    fn dynamic_energy_grows_with_capacity() {
+        let small = EnergyModel::new(&cfg(2, 16, 256), Technology::Nm45);
+        let large = EnergyModel::new(&cfg(2, 16, 8192), Technology::Nm45);
+        assert!(large.read_energy_nj() > small.read_energy_nj());
+        assert!(large.leakage_mw() > small.leakage_mw());
+    }
+
+    #[test]
+    fn node_shrink_trades_dynamic_for_leakage() {
+        let c = cfg(2, 16, 1024);
+        let n45 = EnergyModel::new(&c, Technology::Nm45);
+        let n32 = EnergyModel::new(&c, Technology::Nm32);
+        assert!(n32.read_energy_nj() < n45.read_energy_nj());
+        assert!(n32.leakage_mw() > n45.leakage_mw());
+    }
+
+    #[test]
+    fn miss_penalty_scales_with_block_size() {
+        let t16 = EnergyModel::new(&cfg(1, 16, 256), Technology::Nm45).timing();
+        let t32 = EnergyModel::new(&cfg(1, 32, 256), Technology::Nm45).timing();
+        assert!(t32.miss_cycles > t16.miss_cycles);
+        assert_eq!(t16.hit_cycles, 1);
+    }
+
+    #[test]
+    fn energy_attribution_is_additive() {
+        let m = EnergyModel::new(&cfg(2, 16, 1024), Technology::Nm32);
+        let s1 = MemStats { accesses: 100, hits: 90, misses: 10, fills: 10, cycles: 500 };
+        let s2 = MemStats { accesses: 200, hits: 180, misses: 20, fills: 20, cycles: 1000 };
+        let e1 = m.energy_of(&s1).total_nj();
+        let e2 = m.energy_of(&s2).total_nj();
+        assert!((e2 - 2.0 * e1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fewer_misses_means_less_energy_and_shorter_runtime_less_static() {
+        let m = EnergyModel::new(&cfg(2, 16, 1024), Technology::Nm45);
+        let timing = m.timing();
+        let slow = MemStats {
+            accesses: 1000,
+            hits: 800,
+            misses: 200,
+            fills: 200,
+            cycles: 800 * timing.hit_cycles + 200 * timing.miss_cycles,
+        };
+        let fast = MemStats {
+            accesses: 1000,
+            hits: 950,
+            misses: 50,
+            fills: 50,
+            cycles: 950 * timing.hit_cycles + 50 * timing.miss_cycles,
+        };
+        let es = m.energy_of(&slow);
+        let ef = m.energy_of(&fast);
+        assert!(ef.total_nj() < es.total_nj());
+        assert!(ef.cache_static_nj < es.cache_static_nj);
+        assert!(ef.dram_dynamic_nj < es.dram_dynamic_nj);
+    }
+
+    #[test]
+    fn timing_is_consistent_with_memtiming_contract() {
+        let m = EnergyModel::new(&cfg(4, 32, 4096), Technology::Nm32);
+        let t = m.timing();
+        assert!(t.miss_cycles > t.hit_cycles);
+        assert!(t.prefetch_latency >= t.miss_cycles - t.hit_cycles);
+    }
+}

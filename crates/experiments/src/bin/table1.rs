@@ -1,0 +1,16 @@
+//! Regenerates the paper's Table 1: benchmark program identification.
+
+fn main() {
+    println!("Table 1: Program identification (Mälardalen WCET benchmark)");
+    println!("{:<6} {:<14} {:>8} {:>7}  description", "ID", "program", "instrs", "bytes");
+    for b in rtpf_suite::catalog() {
+        println!(
+            "{:<6} {:<14} {:>8} {:>7}  {}",
+            b.id,
+            b.name,
+            b.program.instr_count(),
+            b.program.code_bytes(),
+            b.description
+        );
+    }
+}

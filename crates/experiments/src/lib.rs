@@ -1,0 +1,460 @@
+//! The paper's evaluation harness (§5 / Supplement S.4).
+//!
+//! One *use case* is a `(program, cache configuration, technology)`
+//! triple; the full evaluation covers 37 programs × 36 configurations × 2
+//! technologies = **2664 use cases**. Because our timing model is
+//! technology-independent (only energy scales with the node), the
+//! expensive work — WCET analysis, prefetch optimization, and trace
+//! simulation — runs once per `(program, configuration)` pair (1332
+//! units) and both technologies' energies are derived from it.
+//!
+//! [`sweep`] runs everything in parallel and caches the per-unit metrics
+//! as CSV under `results/sweep.csv`; the per-figure binaries (`fig3`,
+//! `fig4`, `fig5`, `fig7`, `fig8`, `table1`, `table2`) reuse the cache so
+//! each figure regenerates instantly once the sweep has run.
+//!
+//! Reported numbers are ratios (optimized / original), matching the
+//! paper's Inequations 10–12.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rtpf_cache::CacheConfig;
+use rtpf_core::{OptimizeParams, Optimizer};
+use rtpf_energy::{EnergyModel, MemStats, Technology};
+use rtpf_isa::Program;
+use rtpf_sim::{BranchBehavior, SimConfig, SimResult, Simulator};
+
+/// Metrics of one `(program, configuration)` unit (both technologies).
+#[derive(Clone, Debug, PartialEq)]
+pub struct UnitResult {
+    /// Benchmark name (Table 1).
+    pub program: String,
+    /// Configuration id (`k1`..`k36`, Table 2).
+    pub k: String,
+    /// Cache geometry.
+    pub assoc: u32,
+    /// Block size in bytes.
+    pub block: u32,
+    /// Capacity in bytes.
+    pub capacity: u32,
+    /// Inserted prefetches.
+    pub inserted: u32,
+    /// `τ_w` of the original / optimized program.
+    pub wcet_orig: u64,
+    /// `τ_w` of the optimized program.
+    pub wcet_opt: u64,
+    /// Simulated ACET cycles (memory contribution), original / optimized.
+    pub acet_orig: f64,
+    /// Simulated ACET cycles of the optimized program.
+    pub acet_opt: f64,
+    /// Simulated miss rate of the original program.
+    pub missrate_orig: f64,
+    /// Simulated miss rate of the optimized program (prefetch-satisfied
+    /// fetches count as hits, as in the paper's Figure 4).
+    pub missrate_opt: f64,
+    /// Executed instructions per run, original / optimized (Figure 8).
+    pub instr_orig: f64,
+    /// Executed instructions per run of the optimized program.
+    pub instr_opt: f64,
+    /// Memory-system energy (nJ), per technology, original then optimized.
+    pub energy_orig: [f64; 2],
+    /// Energy of the optimized program per technology.
+    pub energy_opt: [f64; 2],
+    /// Figure 5: optimized program run on capacity/2 — `(wcet, acet,
+    /// energy45, energy32)`; `None` when the shrunken geometry is invalid.
+    pub half: Option<[f64; 4]>,
+    /// Figure 5: optimized program run on capacity/4.
+    pub quarter: Option<[f64; 4]>,
+}
+
+impl UnitResult {
+    /// Energy ratio optimized/original for a technology index
+    /// (0 = 45 nm, 1 = 32 nm).
+    pub fn energy_ratio(&self, tech: usize) -> f64 {
+        self.energy_opt[tech] / self.energy_orig[tech]
+    }
+
+    /// ACET ratio optimized/original.
+    pub fn acet_ratio(&self) -> f64 {
+        self.acet_opt / self.acet_orig
+    }
+
+    /// WCET ratio optimized/original (Inequation 12).
+    pub fn wcet_ratio(&self) -> f64 {
+        self.wcet_opt as f64 / self.wcet_orig as f64
+    }
+
+    /// Executed-instruction ratio (Figure 8).
+    pub fn instr_ratio(&self) -> f64 {
+        self.instr_opt / self.instr_orig
+    }
+}
+
+/// Simulation policy used throughout the evaluation.
+///
+/// The Mälardalen programs are single-path by design (fixed loop counts,
+/// data-independent control flow), so the ACET traces run every loop to
+/// its bound — [`BranchBehavior::WorstLike`] — with conditionals drawn
+/// from the seeded RNG. This mirrors the paper's gem5 traces far better
+/// than uniformly random loop trip counts would.
+pub fn sim_config() -> SimConfig {
+    SimConfig {
+        behavior: BranchBehavior::WorstLike,
+        seed: 0x5EED_2013,
+        runs: 2,
+        max_fetches: 4_000_000,
+    }
+}
+
+/// Optimizer knobs used throughout the evaluation. The verification
+/// budget adapts to program size: each one-at-a-time verification costs a
+/// full WCET analysis, which is what dominates on the two giant generated
+/// programs (`nsichneu`, `statemate`).
+pub fn optimize_params(timing: rtpf_cache::MemTiming, instr_count: usize) -> OptimizeParams {
+    let big = instr_count >= 1000;
+    OptimizeParams {
+        timing,
+        max_rounds: if big { 8 } else { 20 },
+        max_prefetches: 256,
+        max_singles_per_round: if big { 12 } else { 48 },
+        ..OptimizeParams::default()
+    }
+}
+
+fn energy_of(model: &EnergyModel, stats: MemStats) -> f64 {
+    model.energy_of(&stats).total_nj()
+}
+
+fn simulate(p: &Program, config: CacheConfig, timing: rtpf_cache::MemTiming) -> SimResult {
+    Simulator::new(config, timing, sim_config())
+        .run(p)
+        .expect("suite programs simulate")
+}
+
+/// An optimization that passed the paper's Condition 3 gate (or the
+/// original program if it did not).
+pub struct Gated {
+    /// The optimization result actually shipped.
+    pub opt: rtpf_core::OptimizeResult,
+    /// Simulation of the original program.
+    pub sim_orig: SimResult,
+    /// Simulation of the shipped program.
+    pub sim_opt: SimResult,
+}
+
+/// Optimizes under the paper's three conditions: the optimizer enforces
+/// Condition 1 (WCET non-increase) and Condition 2 (miss reduction on the
+/// WCET path); this wrapper enforces **Condition 3** (the measured ACET —
+/// and with it the static-dominated energy — must not increase), exactly
+/// like the paper's outer iterative-improvement loop: when no improvement
+/// is observed, the original (prefetch-equivalent) binary ships unchanged.
+pub fn optimize_with_condition3(program: &Program, config: CacheConfig) -> Gated {
+    let e45 = EnergyModel::new(&config, Technology::Nm45);
+    let timing = e45.timing();
+    let mut opt = Optimizer::new(config, optimize_params(timing, program.instr_count()))
+        .run(program)
+        .expect("suite programs optimize");
+    let sim_orig = simulate(program, config, timing);
+    let mut sim_opt = simulate(&opt.program, config, timing);
+    let regressed = sim_opt.acet_cycles() > sim_orig.acet_cycles() * 1.001
+        || energy_of(&e45, sim_opt.mean_stats()) > energy_of(&e45, sim_orig.mean_stats()) * 1.0005;
+    if regressed {
+        opt = Optimizer::new(
+            config,
+            OptimizeParams {
+                max_rounds: 0,
+                ..optimize_params(timing, program.instr_count())
+            },
+        )
+        .run(program)
+        .expect("no-op optimization succeeds");
+        sim_opt = sim_orig;
+    }
+    Gated {
+        opt,
+        sim_orig,
+        sim_opt,
+    }
+}
+
+/// Runs one `(program, configuration)` unit.
+pub fn run_unit(name: &str, program: &Program, k: &str, config: CacheConfig) -> UnitResult {
+    let model45 = EnergyModel::new(&config, Technology::Nm45);
+    let model32 = EnergyModel::new(&config, Technology::Nm32);
+    let Gated {
+        opt,
+        sim_orig,
+        sim_opt,
+    } = optimize_with_condition3(program, config);
+
+    let e_orig = [
+        energy_of(&model45, sim_orig.mean_stats()),
+        energy_of(&model32, sim_orig.mean_stats()),
+    ];
+    let e_opt = [
+        energy_of(&model45, sim_opt.mean_stats()),
+        energy_of(&model32, sim_opt.mean_stats()),
+    ];
+
+    // Figure 5: the optimized binary on half / quarter capacity.
+    let shrunk = |divisor: u32| -> Option<[f64; 4]> {
+        let small = config.shrink(divisor).ok()?;
+        let m45 = EnergyModel::new(&small, Technology::Nm45);
+        let m32 = EnergyModel::new(&small, Technology::Nm32);
+        let t = m45.timing();
+        let wcet = rtpf_wcet::WcetAnalysis::analyze_with_layout(
+            &opt.program,
+            opt.analysis_after.layout().clone(),
+            &small,
+            &t,
+        )
+        .ok()?
+        .tau_w();
+        let sim = Simulator::new(small, t, sim_config()).run(&opt.program).ok()?;
+        Some([
+            wcet as f64,
+            sim.acet_cycles(),
+            energy_of(&m45, sim.mean_stats()),
+            energy_of(&m32, sim.mean_stats()),
+        ])
+    };
+
+    UnitResult {
+        program: name.to_string(),
+        k: k.to_string(),
+        assoc: config.assoc(),
+        block: config.block_bytes(),
+        capacity: config.capacity_bytes(),
+        inserted: opt.report.inserted,
+        wcet_orig: opt.report.wcet_before,
+        wcet_opt: opt.report.wcet_after,
+        acet_orig: sim_orig.acet_cycles(),
+        acet_opt: sim_opt.acet_cycles(),
+        missrate_orig: sim_orig.miss_rate(),
+        missrate_opt: sim_opt.miss_rate(),
+        instr_orig: sim_orig.mean_instr_executed(),
+        instr_opt: sim_opt.mean_instr_executed(),
+        energy_orig: e_orig,
+        energy_opt: e_opt,
+        half: shrunk(2),
+        quarter: shrunk(4),
+    }
+}
+
+/// Location of the sweep cache.
+pub fn cache_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/sweep.csv")
+}
+
+/// Runs (or loads) the full 37 × 36 sweep.
+///
+/// # Panics
+///
+/// Panics if the cache file exists but cannot be parsed, or a worker
+/// thread panics.
+pub fn sweep() -> Vec<UnitResult> {
+    if let Ok(text) = fs::read_to_string(cache_path()) {
+        let rows = parse_csv(&text);
+        if rows.len() == 37 * 36 {
+            return rows;
+        }
+        eprintln!(
+            "cache has {} rows (expected {}), recomputing",
+            rows.len(),
+            37 * 36
+        );
+    }
+    let results = run_sweep();
+    let _ = fs::create_dir_all(cache_path().parent().expect("has parent"));
+    let mut f = fs::File::create(cache_path()).expect("create cache");
+    f.write_all(to_csv(&results).as_bytes()).expect("write cache");
+    results
+}
+
+/// Computes the sweep from scratch, in parallel.
+pub fn run_sweep() -> Vec<UnitResult> {
+    let suite = rtpf_suite::catalog();
+    let configs = CacheConfig::paper_configs();
+    let units: Vec<(usize, usize)> = (0..suite.len())
+        .flat_map(|p| (0..configs.len()).map(move |c| (p, c)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let results: Mutex<Vec<UnitResult>> = Mutex::new(Vec::with_capacity(units.len()));
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= units.len() {
+                    break;
+                }
+                let (pi, ci) = units[i];
+                let b = &suite[pi];
+                let (k, config) = &configs[ci];
+                let r = run_unit(b.name, &b.program, k, *config);
+                results.lock().expect("no poisoned worker").push(r);
+                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if d % 100 == 0 {
+                    eprintln!("sweep: {d}/{} units", units.len());
+                }
+            });
+        }
+    });
+
+    let mut out = results.into_inner().expect("workers joined");
+    out.sort_by(|a, b| (&a.program, &a.k).cmp(&(&b.program, &b.k)));
+    out
+}
+
+/// Column order of the CSV cache.
+const COLUMNS: &str = "program,k,assoc,block,capacity,inserted,wcet_orig,wcet_opt,\
+acet_orig,acet_opt,missrate_orig,missrate_opt,instr_orig,instr_opt,\
+e45_orig,e45_opt,e32_orig,e32_opt,\
+half_wcet,half_acet,half_e45,half_e32,quarter_wcet,quarter_acet,quarter_e45,quarter_e32";
+
+/// Serializes results (stable column order, `nan` for absent Figure-5
+/// entries).
+pub fn to_csv(rows: &[UnitResult]) -> String {
+    let mut s = String::from(COLUMNS);
+    s.push('\n');
+    for r in rows {
+        let opt4 = |o: &Option<[f64; 4]>| -> String {
+            match o {
+                Some(v) => format!("{},{},{},{}", v[0], v[1], v[2], v[3]),
+                None => "nan,nan,nan,nan".to_string(),
+            }
+        };
+        s.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            r.program,
+            r.k,
+            r.assoc,
+            r.block,
+            r.capacity,
+            r.inserted,
+            r.wcet_orig,
+            r.wcet_opt,
+            r.acet_orig,
+            r.acet_opt,
+            r.missrate_orig,
+            r.missrate_opt,
+            r.instr_orig,
+            r.instr_opt,
+            r.energy_orig[0],
+            r.energy_opt[0],
+            r.energy_orig[1],
+            r.energy_opt[1],
+            opt4(&r.half),
+            opt4(&r.quarter),
+        ));
+    }
+    s
+}
+
+/// Parses the CSV cache back.
+///
+/// # Panics
+///
+/// Panics on malformed rows (delete `results/sweep.csv` to recompute).
+pub fn parse_csv(text: &str) -> Vec<UnitResult> {
+    let mut rows = Vec::new();
+    for line in text.lines().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.split(',').collect();
+        assert_eq!(f.len(), 26, "malformed cache row: {line}");
+        let opt4 = |i: usize| -> Option<[f64; 4]> {
+            let v: Vec<f64> = (i..i + 4).map(|j| f[j].parse().expect("float")).collect();
+            if v[0].is_nan() {
+                None
+            } else {
+                Some([v[0], v[1], v[2], v[3]])
+            }
+        };
+        rows.push(UnitResult {
+            program: f[0].to_string(),
+            k: f[1].to_string(),
+            assoc: f[2].parse().expect("assoc"),
+            block: f[3].parse().expect("block"),
+            capacity: f[4].parse().expect("capacity"),
+            inserted: f[5].parse().expect("inserted"),
+            wcet_orig: f[6].parse().expect("wcet"),
+            wcet_opt: f[7].parse().expect("wcet"),
+            acet_orig: f[8].parse().expect("acet"),
+            acet_opt: f[9].parse().expect("acet"),
+            missrate_orig: f[10].parse().expect("missrate"),
+            missrate_opt: f[11].parse().expect("missrate"),
+            instr_orig: f[12].parse().expect("instr"),
+            instr_opt: f[13].parse().expect("instr"),
+            energy_orig: [f[14].parse().expect("e"), f[16].parse().expect("e")],
+            energy_opt: [f[15].parse().expect("e"), f[17].parse().expect("e")],
+            half: opt4(18),
+            quarter: opt4(22),
+        });
+    }
+    rows
+}
+
+/// Paper Table 2 capacities, used as Figure 3/4/5 x-axes.
+pub const CAPACITIES: [u32; 6] = [256, 512, 1024, 2048, 4096, 8192];
+
+/// Mean of `f` over the rows with the given capacity.
+pub fn mean_by_capacity(rows: &[UnitResult], capacity: u32, f: impl Fn(&UnitResult) -> f64) -> f64 {
+    let vals: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.capacity == capacity)
+        .map(&f)
+        .filter(|v| v.is_finite())
+        .collect();
+    if vals.is_empty() {
+        f64::NAN
+    } else {
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip_preserves_rows() {
+        let b = rtpf_suite::by_name("bs").unwrap();
+        let cfg = CacheConfig::new(2, 16, 256).unwrap();
+        let r = run_unit("bs", &b.program, "k2", cfg);
+        let text = to_csv(std::slice::from_ref(&r));
+        let back = parse_csv(&text);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].program, r.program);
+        assert_eq!(back[0].wcet_orig, r.wcet_orig);
+        assert_eq!(back[0].inserted, r.inserted);
+        assert!((back[0].acet_orig - r.acet_orig).abs() < 1e-9);
+        assert_eq!(back[0].half.is_some(), r.half.is_some());
+    }
+
+    #[test]
+    fn unit_satisfies_theorem_one() {
+        let b = rtpf_suite::by_name("fft1").unwrap();
+        let cfg = CacheConfig::new(1, 16, 512).unwrap();
+        let r = run_unit("fft1", &b.program, "k7", cfg);
+        assert!(r.wcet_opt <= r.wcet_orig);
+        assert!(r.wcet_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn mean_by_capacity_filters() {
+        let b = rtpf_suite::by_name("bs").unwrap();
+        let r1 = run_unit("bs", &b.program, "k1", CacheConfig::new(1, 16, 256).unwrap());
+        let rows = vec![r1];
+        assert!(mean_by_capacity(&rows, 256, |r| r.wcet_ratio()).is_finite());
+        assert!(mean_by_capacity(&rows, 512, |r| r.wcet_ratio()).is_nan());
+    }
+}

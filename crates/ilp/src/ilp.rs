@@ -1,0 +1,151 @@
+//! Branch & bound integer programming on top of the simplex relaxation.
+
+use crate::problem::{Cmp, LinearProgram, LpOutcome, Solution};
+use crate::simplex;
+
+/// Integrality tolerance: values within this of an integer count as integral.
+const INT_TOL: f64 = 1e-6;
+
+/// Hard cap on explored branch & bound nodes; IPET instances stay far below
+/// this, and hitting it signals a modelling error rather than a hard input.
+const MAX_NODES: usize = 200_000;
+
+/// Solves `lp` with **all variables required integral**, by LP-relaxation
+/// branch & bound (best-first on the relaxation bound).
+///
+/// Returns [`LpOutcome::Infeasible`] when no integral point exists. The
+/// relaxation being unbounded is reported as [`LpOutcome::Unbounded`].
+///
+/// # Panics
+///
+/// Panics if the node cap is exceeded (indicates a degenerate model).
+pub fn solve(lp: &LinearProgram) -> LpOutcome {
+    let root = match simplex::solve(lp) {
+        LpOutcome::Optimal(s) => s,
+        other => return other,
+    };
+    let mut best: Option<Solution> = None;
+    // Stack of subproblems: extra bound constraints (var, cmp, value).
+    let mut stack: Vec<Vec<(usize, Cmp, f64)>> = vec![Vec::new()];
+    let mut explored = 0usize;
+    let root_bound = root.value;
+
+    while let Some(extra) = stack.pop() {
+        explored += 1;
+        assert!(explored <= MAX_NODES, "branch & bound node cap exceeded");
+        let mut sub = lp.clone();
+        for &(v, cmp, b) in &extra {
+            sub.add_constraint(&[(v, 1.0)], cmp, b);
+        }
+        let sol = match simplex::solve(&sub) {
+            LpOutcome::Optimal(s) => s,
+            LpOutcome::Infeasible => continue,
+            LpOutcome::Unbounded => return LpOutcome::Unbounded,
+        };
+        // Bound: cannot beat the incumbent.
+        if let Some(ref inc) = best {
+            if sol.value <= inc.value + INT_TOL {
+                continue;
+            }
+        }
+        match most_fractional(&sol.x) {
+            None => {
+                // Integral: round off numerical fuzz and keep if better.
+                let x: Vec<f64> = sol.x.iter().map(|v| v.round()).collect();
+                let value = lp.objective_value(&x);
+                if best.as_ref().map_or(true, |inc| value > inc.value) {
+                    best = Some(Solution { x, value });
+                }
+            }
+            Some((v, frac)) => {
+                let lo = frac.floor();
+                // Explore the rounded-up branch last-pushed first: for IPET
+                // maximization, higher counts usually carry the optimum.
+                let mut down = extra.clone();
+                down.push((v, Cmp::Le, lo));
+                let mut up = extra;
+                up.push((v, Cmp::Ge, lo + 1.0));
+                stack.push(down);
+                stack.push(up);
+            }
+        }
+        // Early exit: incumbent matches the root relaxation bound.
+        if let Some(ref inc) = best {
+            if inc.value >= root_bound - INT_TOL {
+                break;
+            }
+        }
+    }
+
+    match best {
+        Some(s) => LpOutcome::Optimal(s),
+        None => LpOutcome::Infeasible,
+    }
+}
+
+/// Index and value of the most fractional variable, if any.
+fn most_fractional(x: &[f64]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64, f64)> = None; // (idx, value, dist-to-half)
+    for (i, &v) in x.iter().enumerate() {
+        let frac = v - v.floor();
+        if frac > INT_TOL && frac < 1.0 - INT_TOL {
+            let dist = (frac - 0.5).abs();
+            if best.map_or(true, |(_, _, d)| dist < d) {
+                best = Some((i, v, dist));
+            }
+        }
+    }
+    best.map(|(i, v, _)| (i, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Cmp, LinearProgram};
+
+    #[test]
+    fn knapsack_requires_integrality() {
+        // max 8a + 11b + 6c + 4d s.t. 5a+7b+4c+3d <= 14, vars <= 1
+        // LP relaxation is fractional; integer optimum is 21 (b, c, d).
+        let mut lp = LinearProgram::new(4);
+        lp.set_objective(&[8.0, 11.0, 6.0, 4.0]);
+        lp.add_constraint(&[(0, 5.0), (1, 7.0), (2, 4.0), (3, 3.0)], Cmp::Le, 14.0);
+        for v in 0..4 {
+            lp.add_constraint(&[(v, 1.0)], Cmp::Le, 1.0);
+        }
+        let sol = solve(&lp).optimal().expect("feasible");
+        assert!((sol.value - 21.0).abs() < 1e-6);
+        for v in &sol.x {
+            assert!((v - v.round()).abs() < 1e-6, "non-integral {v}");
+        }
+    }
+
+    #[test]
+    fn already_integral_relaxation_short_circuits() {
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[1.0, 1.0]);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Le, 3.0);
+        lp.add_constraint(&[(1, 1.0)], Cmp::Le, 4.0);
+        let sol = solve(&lp).optimal().expect("feasible");
+        assert!((sol.value - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_integer_problem() {
+        // 2x = 1 has no integral solution.
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(&[1.0]);
+        lp.add_constraint(&[(0, 2.0)], Cmp::Eq, 1.0);
+        assert!(matches!(solve(&lp), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn fractional_lp_rounds_down_correctly() {
+        // max x s.t. 2x <= 5 → LP gives 2.5, ILP gives 2.
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(&[1.0]);
+        lp.add_constraint(&[(0, 2.0)], Cmp::Le, 5.0);
+        let sol = solve(&lp).optimal().expect("feasible");
+        assert!((sol.value - 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,330 @@
+//! Two-phase dense-tableau simplex with Bland's anti-cycling rule.
+//!
+//! Robust rather than fast: IPET instances are small and network-flow-like,
+//! and the heavy lifting is done by the [`dag`](crate::dag) fast path. This
+//! solver exists for the general formulation and as the LP relaxation
+//! engine of the [`ilp`](crate::ilp) branch & bound.
+
+use crate::problem::{Cmp, LinearProgram, LpOutcome, Solution};
+
+const TOL: f64 = 1e-7;
+
+/// Solves `lp` to optimality.
+///
+/// Returns [`LpOutcome::Infeasible`] when no point satisfies the
+/// constraints and [`LpOutcome::Unbounded`] when the maximum is infinite.
+pub fn solve(lp: &LinearProgram) -> LpOutcome {
+    Tableau::build(lp).solve(lp)
+}
+
+/// Dense simplex tableau in standard equality form.
+struct Tableau {
+    /// `rows × (n_cols + 1)`; last column is the RHS.
+    t: Vec<Vec<f64>>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    n_structural: usize,
+    n_cols: usize,
+    artificials: Vec<usize>,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram) -> Tableau {
+        let n = lp.n_vars();
+        let m = lp.n_rows();
+        // Count slack and artificial columns.
+        let mut n_slack = 0;
+        let mut n_art = 0;
+        for (_, cmp, _) in lp.rows() {
+            match cmp {
+                Cmp::Le => n_slack += 1,
+                Cmp::Ge => {
+                    n_slack += 1;
+                    n_art += 1;
+                }
+                Cmp::Eq => n_art += 1,
+            }
+        }
+        let n_cols = n + n_slack + n_art;
+        let mut t = vec![vec![0.0; n_cols + 1]; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut artificials = Vec::with_capacity(n_art);
+        let mut next_slack = n;
+        let mut next_art = n + n_slack;
+        for (i, (row, cmp, rhs)) in lp.rows().iter().enumerate() {
+            let mut rhs = *rhs;
+            let mut coeffs: Vec<(usize, f64)> = row.clone();
+            // Normalize to a non-negative RHS.
+            let flip = rhs < 0.0;
+            if flip {
+                rhs = -rhs;
+                for (_, a) in &mut coeffs {
+                    *a = -*a;
+                }
+            }
+            let cmp = match (cmp, flip) {
+                (Cmp::Le, true) => Cmp::Ge,
+                (Cmp::Ge, true) => Cmp::Le,
+                (c, _) => *c,
+            };
+            for (j, a) in coeffs {
+                t[i][j] += a;
+            }
+            t[i][n_cols] = rhs;
+            match cmp {
+                Cmp::Le => {
+                    t[i][next_slack] = 1.0;
+                    basis[i] = next_slack;
+                    next_slack += 1;
+                }
+                Cmp::Ge => {
+                    t[i][next_slack] = -1.0;
+                    next_slack += 1;
+                    t[i][next_art] = 1.0;
+                    basis[i] = next_art;
+                    artificials.push(next_art);
+                    next_art += 1;
+                }
+                Cmp::Eq => {
+                    t[i][next_art] = 1.0;
+                    basis[i] = next_art;
+                    artificials.push(next_art);
+                    next_art += 1;
+                }
+            }
+        }
+        Tableau {
+            t,
+            basis,
+            n_structural: n,
+            n_cols,
+            artificials,
+        }
+    }
+
+    fn solve(mut self, lp: &LinearProgram) -> LpOutcome {
+        // Phase 1: minimize the sum of artificials (maximize the negation).
+        if !self.artificials.is_empty() {
+            let mut c1 = vec![0.0; self.n_cols];
+            for &a in &self.artificials {
+                c1[a] = -1.0;
+            }
+            match self.optimize(&c1) {
+                Phase::Optimal(v) => {
+                    if v < -TOL {
+                        return LpOutcome::Infeasible;
+                    }
+                }
+                Phase::Unbounded => unreachable!("phase-1 objective is bounded"),
+            }
+            // Pivot any artificial still in the basis out (degenerate rows).
+            for i in 0..self.t.len() {
+                if self.artificials.contains(&self.basis[i]) {
+                    let pivot_col = (0..self.n_structural)
+                        .find(|&j| self.t[i][j].abs() > TOL)
+                        .or_else(|| {
+                            (self.n_structural..self.n_cols)
+                                .find(|j| !self.artificials.contains(j) && self.t[i][*j].abs() > TOL)
+                        });
+                    if let Some(j) = pivot_col {
+                        self.pivot(i, j);
+                    }
+                    // Otherwise the row is all-zero: redundant, harmless.
+                }
+            }
+            // Freeze artificial columns at zero for phase 2.
+            for row in &mut self.t {
+                for &a in &self.artificials {
+                    row[a] = 0.0;
+                }
+            }
+        }
+
+        // Phase 2: the real objective.
+        let mut c2 = vec![0.0; self.n_cols];
+        c2[..lp.n_vars()].copy_from_slice(lp.objective());
+        match self.optimize(&c2) {
+            Phase::Unbounded => LpOutcome::Unbounded,
+            Phase::Optimal(value) => {
+                let mut x = vec![0.0; lp.n_vars()];
+                for (i, &b) in self.basis.iter().enumerate() {
+                    if b < lp.n_vars() {
+                        x[b] = self.t[i][self.n_cols];
+                    }
+                }
+                LpOutcome::Optimal(Solution { x, value })
+            }
+        }
+    }
+
+    /// Maximizes `c · x` from the current basic feasible solution.
+    fn optimize(&mut self, c: &[f64]) -> Phase {
+        let m = self.t.len();
+        let rhs_col = self.n_cols;
+        loop {
+            // Reduced costs: z_j - c_j = Σ_i c[basis_i] * t[i][j] - c[j].
+            let cb: Vec<f64> = self.basis.iter().map(|&b| c[b]).collect();
+            let mut entering = None;
+            for j in 0..self.n_cols {
+                let zj: f64 = (0..m).map(|i| cb[i] * self.t[i][j]).sum();
+                // Bland's rule: first improving column.
+                if zj - c[j] < -TOL {
+                    entering = Some(j);
+                    break;
+                }
+            }
+            let Some(j) = entering else {
+                let value: f64 = (0..m).map(|i| cb[i] * self.t[i][rhs_col]).sum();
+                return Phase::Optimal(value);
+            };
+            // Ratio test, Bland tie-break on the leaving basic variable.
+            let mut leave: Option<(usize, f64)> = None;
+            for i in 0..m {
+                let a = self.t[i][j];
+                if a > TOL {
+                    let ratio = self.t[i][rhs_col] / a;
+                    match leave {
+                        None => leave = Some((i, ratio)),
+                        Some((li, lr)) => {
+                            if ratio < lr - TOL
+                                || ((ratio - lr).abs() <= TOL && self.basis[i] < self.basis[li])
+                            {
+                                leave = Some((i, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((i, _)) = leave else {
+                return Phase::Unbounded;
+            };
+            self.pivot(i, j);
+        }
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let rhs_col = self.n_cols;
+        let p = self.t[row][col];
+        debug_assert!(p.abs() > TOL * TOL, "pivot on (near) zero");
+        for v in &mut self.t[row] {
+            *v /= p;
+        }
+        for i in 0..self.t.len() {
+            if i == row {
+                continue;
+            }
+            let f = self.t[i][col];
+            if f.abs() <= TOL * TOL {
+                continue;
+            }
+            for j in 0..=rhs_col {
+                self.t[i][j] -= f * self.t[row][j];
+            }
+        }
+        self.basis[row] = col;
+    }
+}
+
+enum Phase {
+    Optimal(f64),
+    Unbounded,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Cmp, LinearProgram};
+
+    fn assert_opt(lp: &LinearProgram, expected: f64) -> Vec<f64> {
+        let sol = solve(lp).optimal().expect("should be optimal");
+        assert!(
+            (sol.value - expected).abs() < 1e-6,
+            "value {} != expected {expected}",
+            sol.value
+        );
+        assert!(lp.is_feasible(&sol.x, 1e-6));
+        sol.x
+    }
+
+    #[test]
+    fn textbook_le_problem() {
+        // max 3x+5y s.t. x<=4, 2y<=12, 3x+2y<=18 → 36 at (2,6)
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[3.0, 5.0]);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Le, 4.0);
+        lp.add_constraint(&[(1, 2.0)], Cmp::Le, 12.0);
+        lp.add_constraint(&[(0, 3.0), (1, 2.0)], Cmp::Le, 18.0);
+        let x = assert_opt(&lp, 36.0);
+        assert!((x[0] - 2.0).abs() < 1e-6 && (x[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints_phase1() {
+        // max x+y s.t. x+y = 5, x <= 3 → 5
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[1.0, 1.0]);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Eq, 5.0);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Le, 3.0);
+        assert_opt(&lp, 5.0);
+    }
+
+    #[test]
+    fn ge_constraints() {
+        // max -x (i.e. minimize x) s.t. x >= 2.5 → -2.5
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(&[-1.0]);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Ge, 2.5);
+        assert_opt(&lp, -2.5);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LinearProgram::new(1);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Le, 1.0);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Ge, 2.0);
+        assert!(matches!(solve(&lp), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(&[1.0]);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Ge, 0.0);
+        assert!(matches!(solve(&lp), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // max x s.t. -x >= -3 (i.e. x <= 3) → 3
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(&[1.0]);
+        lp.add_constraint(&[(0, -1.0)], Cmp::Ge, -3.0);
+        assert_opt(&lp, 3.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // A classically degenerate LP (Beale-like); Bland's rule must not cycle.
+        let mut lp = LinearProgram::new(4);
+        lp.set_objective(&[0.75, -150.0, 0.02, -6.0]);
+        lp.add_constraint(&[(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], Cmp::Le, 0.0);
+        lp.add_constraint(&[(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], Cmp::Le, 0.0);
+        lp.add_constraint(&[(2, 1.0)], Cmp::Le, 1.0);
+        let sol = solve(&lp).optimal().expect("optimal");
+        assert!((sol.value - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flow_conservation_network() {
+        // A tiny IPET-like flow problem:
+        // n0 = 1 (entry), n0 = n1 + n2 (split), n3 = n1 + n2 (join)
+        // max 10*n1 + 3*n2 + n3  → path through n1: 10 + 1 = 11 + n0 weight.
+        let mut lp = LinearProgram::new(4);
+        lp.set_objective(&[1.0, 10.0, 3.0, 1.0]);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Eq, 1.0);
+        lp.add_constraint(&[(0, 1.0), (1, -1.0), (2, -1.0)], Cmp::Eq, 0.0);
+        lp.add_constraint(&[(3, 1.0), (1, -1.0), (2, -1.0)], Cmp::Eq, 0.0);
+        let x = assert_opt(&lp, 12.0);
+        assert!((x[1] - 1.0).abs() < 1e-6, "heavy arm takes the flow");
+    }
+}

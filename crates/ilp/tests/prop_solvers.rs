@@ -1,0 +1,163 @@
+//! Property tests cross-checking the three solvers against each other
+//! and against brute force on small instances.
+
+use proptest::prelude::*;
+
+use rtpf_ilp::dag::Dag;
+use rtpf_ilp::{Cmp, LinearProgram, LpOutcome};
+
+/// Random layered DAGs: `layers` × `width` nodes with forward edges, plus
+/// a source and sink. A diagonal chain guarantees sink reachability.
+fn layered_dag() -> impl Strategy<Value = (Dag, usize, usize)> {
+    (2usize..5, 1usize..4).prop_flat_map(|(layers, width)| {
+        let n = layers * width + 2;
+        (
+            prop::collection::vec(0u64..50, n),
+            prop::collection::vec(any::<bool>(), (layers - 1) * width * width),
+        )
+            .prop_map(move |(weights, mask)| {
+                let n = layers * width + 2;
+                let mut dag = Dag::new(weights);
+                let source = n - 2;
+                let sink = n - 1;
+                for j in 0..width {
+                    dag.add_edge(source, j).expect("in range");
+                    dag.add_edge((layers - 1) * width + j, sink).expect("in range");
+                }
+                let mut m = 0;
+                for l in 0..layers - 1 {
+                    for a in 0..width {
+                        for b in 0..width {
+                            let on = mask.get(m).copied().unwrap_or(false) || a == b;
+                            m += 1;
+                            if on {
+                                dag.add_edge(l * width + a, (l + 1) * width + b)
+                                    .expect("in range");
+                            }
+                        }
+                    }
+                }
+                (dag, source, sink)
+            })
+    })
+}
+
+/// Solves the same longest-path instance as an edge-flow ILP.
+fn flow_ilp_value(dag: &Dag, source: usize, sink: usize) -> u64 {
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for u in 0..dag.len() {
+        for &v in dag.succs(u) {
+            edges.push((u, v));
+        }
+    }
+    let mut lp = LinearProgram::new(edges.len());
+    // One unit of flow enters every on-path node (sink included) exactly
+    // once, so charging each edge with its head's weight counts every
+    // path node except the source, which is added at the end.
+    for (e, &(_, v)) in edges.iter().enumerate() {
+        lp.set_objective_coeff(e, dag.weight(v) as f64);
+    }
+    let src_out: Vec<(usize, f64)> = edges
+        .iter()
+        .enumerate()
+        .filter(|(_, &(u, _))| u == source)
+        .map(|(e, _)| (e, 1.0))
+        .collect();
+    lp.add_constraint(&src_out, Cmp::Eq, 1.0);
+    for v in 0..dag.len() {
+        if v == source || v == sink {
+            continue;
+        }
+        let mut row: Vec<(usize, f64)> = Vec::new();
+        for (e, &(a, b)) in edges.iter().enumerate() {
+            if b == v {
+                row.push((e, 1.0));
+            }
+            if a == v {
+                row.push((e, -1.0));
+            }
+        }
+        if !row.is_empty() {
+            lp.add_constraint(&row, Cmp::Eq, 0.0);
+        }
+    }
+    match rtpf_ilp::ilp::solve(&lp) {
+        LpOutcome::Optimal(s) => s.value.round() as u64 + dag.weight(source),
+        other => panic!("flow must be feasible: {other}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn longest_path_matches_flow_ilp((dag, source, sink) in layered_dag()) {
+        let lp = dag.longest_path(source, sink).expect("reachable by construction");
+        // The reported path is a real path with the reported value.
+        let sum: u64 = lp.path.iter().map(|&n| dag.weight(n)).sum();
+        prop_assert_eq!(sum, lp.value);
+        for w in lp.path.windows(2) {
+            prop_assert!(dag.succs(w[0]).contains(&w[1]), "path edge missing");
+        }
+        // And it agrees with the independent ILP formulation.
+        prop_assert_eq!(flow_ilp_value(&dag, source, sink), lp.value);
+    }
+
+    #[test]
+    fn knapsack_branch_and_bound_matches_brute_force(
+        pairs in prop::collection::vec((1f64..20.0, 1f64..10.0), 1..8),
+        cap in 5f64..30.0,
+    ) {
+        let n = pairs.len();
+        let mut lp = LinearProgram::new(n);
+        for (i, &(v, _)) in pairs.iter().enumerate() {
+            lp.set_objective_coeff(i, v);
+            lp.add_constraint(&[(i, 1.0)], Cmp::Le, 1.0);
+        }
+        let row: Vec<(usize, f64)> = pairs.iter().enumerate().map(|(i, &(_, w))| (i, w)).collect();
+        lp.add_constraint(&row, Cmp::Le, cap);
+        let got = match rtpf_ilp::ilp::solve(&lp) {
+            LpOutcome::Optimal(s) => s.value,
+            other => panic!("knapsack must be feasible: {other}"),
+        };
+        let mut best = 0.0f64;
+        for m in 0u32..(1 << n) {
+            let (mut v, mut w) = (0.0, 0.0);
+            for (i, &(vi, wi)) in pairs.iter().enumerate() {
+                if m & (1 << i) != 0 {
+                    v += vi;
+                    w += wi;
+                }
+            }
+            if w <= cap + 1e-9 {
+                best = best.max(v);
+            }
+        }
+        prop_assert!((got - best).abs() < 1e-5, "b&b {got} vs brute {best}");
+    }
+
+    #[test]
+    fn simplex_matches_vertex_enumeration(
+        c0 in 0f64..10.0, c1 in 0f64..10.0,
+        b0 in 1f64..20.0, b1 in 1f64..20.0,
+    ) {
+        // max c·x s.t. x0 + x1 <= b0, x0 <= b1: optimum at a vertex.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[c0, c1]);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Le, b0);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Le, b1);
+        let sol = rtpf_ilp::simplex::solve(&lp).optimal().expect("feasible");
+        prop_assert!(lp.is_feasible(&sol.x, 1e-6));
+        let candidates = [
+            (0.0, 0.0),
+            (b1.min(b0), 0.0),
+            (0.0, b0),
+            (b1.min(b0), (b0 - b1).max(0.0)),
+        ];
+        let best = candidates
+            .iter()
+            .map(|&(x, y)| c0 * x + c1 * y)
+            .fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((sol.value - best).abs() < 1e-5, "{} vs {}", sol.value, best);
+    }
+}

@@ -1,0 +1,111 @@
+//! Order computations over the control-flow graph.
+
+use crate::program::{BlockId, Program};
+
+/// Blocks reachable from the entry, in reverse postorder (a topological
+/// order when back edges are ignored).
+///
+/// Reverse postorder is the canonical iteration order for forward dataflow
+/// analyses such as the must/may cache analyses in `rtpf-cache`.
+pub fn reverse_postorder(p: &Program) -> Vec<BlockId> {
+    let mut post = Vec::with_capacity(p.block_count());
+    let mut seen = vec![false; p.block_count()];
+    // Iterative DFS with an explicit stack of (block, next-successor-index).
+    let mut stack: Vec<(BlockId, usize)> = vec![(p.entry(), 0)];
+    seen[p.entry().index()] = true;
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        let succs = p.succs(b);
+        if *i < succs.len() {
+            let (s, _) = succs[*i];
+            *i += 1;
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Postorder of the blocks reachable from the entry.
+pub fn postorder(p: &Program) -> Vec<BlockId> {
+    let mut o = reverse_postorder(p);
+    o.reverse();
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::EdgeKind;
+
+    fn chain(n: usize) -> Program {
+        let mut p = Program::new("chain");
+        let mut prev = p.entry();
+        for _ in 1..n {
+            let b = p.add_block();
+            p.add_edge(prev, b, EdgeKind::Fallthrough).unwrap();
+            prev = b;
+        }
+        p
+    }
+
+    #[test]
+    fn rpo_of_chain_is_layout_order() {
+        let p = chain(5);
+        let rpo = reverse_postorder(&p);
+        assert_eq!(rpo, (0..5).map(BlockId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rpo_visits_only_reachable_blocks() {
+        let mut p = chain(3);
+        p.add_block(); // orphan
+        assert_eq!(reverse_postorder(&p).len(), 3);
+    }
+
+    #[test]
+    fn rpo_places_join_after_both_arms() {
+        // diamond: 0 -> {1,2} -> 3
+        let mut p = Program::new("d");
+        let b0 = p.entry();
+        let b1 = p.add_block();
+        let b2 = p.add_block();
+        let b3 = p.add_block();
+        p.add_edge(b0, b1, EdgeKind::Fallthrough).unwrap();
+        p.add_edge(b0, b2, EdgeKind::Taken).unwrap();
+        p.add_edge(b1, b3, EdgeKind::Fallthrough).unwrap();
+        p.add_edge(b2, b3, EdgeKind::Fallthrough).unwrap();
+        let rpo = reverse_postorder(&p);
+        let pos = |b: BlockId| rpo.iter().position(|&x| x == b).unwrap();
+        assert!(pos(b3) > pos(b1));
+        assert!(pos(b3) > pos(b2));
+        assert_eq!(pos(b0), 0);
+    }
+
+    #[test]
+    fn rpo_handles_cycles() {
+        let mut p = Program::new("l");
+        let b0 = p.entry();
+        let body = p.add_block();
+        let exit = p.add_block();
+        p.add_edge(b0, body, EdgeKind::Fallthrough).unwrap();
+        p.add_edge(body, body, EdgeKind::Taken).unwrap();
+        p.add_edge(body, exit, EdgeKind::Fallthrough).unwrap();
+        let rpo = reverse_postorder(&p);
+        assert_eq!(rpo.len(), 3);
+        assert_eq!(rpo[0], b0);
+    }
+
+    #[test]
+    fn postorder_is_reverse_of_rpo() {
+        let p = chain(4);
+        let mut rpo = reverse_postorder(&p);
+        rpo.reverse();
+        assert_eq!(rpo, postorder(&p));
+    }
+}

@@ -1,0 +1,152 @@
+//! Dominator computation (Cooper–Harvey–Kennedy iterative algorithm).
+
+use crate::cfg::reverse_postorder;
+use crate::program::{BlockId, Program};
+
+/// Immediate-dominator tree of the blocks reachable from the entry.
+///
+/// Built with the Cooper–Harvey–Kennedy "simple, fast" iterative algorithm,
+/// which is near-linear on reducible CFGs of the sizes handled here.
+#[derive(Clone, Debug)]
+pub struct Dominators {
+    /// `idom[b]` is the immediate dominator of `b`; the entry maps to itself.
+    /// Unreachable blocks map to `None`.
+    idom: Vec<Option<BlockId>>,
+    entry: BlockId,
+}
+
+impl Dominators {
+    /// Computes the dominator tree of `p`.
+    pub fn compute(p: &Program) -> Self {
+        let rpo = reverse_postorder(p);
+        let mut rpo_index = vec![usize::MAX; p.block_count()];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; p.block_count()];
+        let entry = p.entry();
+        idom[entry.index()] = Some(entry);
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            while a != b {
+                while rpo_index[a.index()] > rpo_index[b.index()] {
+                    a = idom[a.index()].expect("processed");
+                }
+                while rpo_index[b.index()] > rpo_index[a.index()] {
+                    b = idom[b.index()].expect("processed");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &pred in p.preds(b) {
+                    if rpo_index[pred.index()] == usize::MAX {
+                        continue; // unreachable predecessor
+                    }
+                    if idom[pred.index()].is_none() {
+                        continue; // not yet processed this round
+                    }
+                    new_idom = Some(match new_idom {
+                        None => pred,
+                        Some(cur) => intersect(&idom, cur, pred),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom, entry }
+    }
+
+    /// Immediate dominator of `b` (`None` for the entry or unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            None
+        } else {
+            self.idom[b.index()]
+        }
+    }
+
+    /// Whether `a` dominates `b` (reflexive: every block dominates itself).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        b == self.entry || self.idom[b.index()].is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::EdgeKind;
+
+    /// Classic figure: 0→1, 1→2, 1→3, 2→4, 3→4, 4→1 (loop), 4→5.
+    fn looped_diamond() -> (Program, Vec<BlockId>) {
+        let mut p = Program::new("ld");
+        let b: Vec<BlockId> = (0..6)
+            .map(|i| if i == 0 { p.entry() } else { p.add_block() })
+            .collect();
+        let e = EdgeKind::Fallthrough;
+        p.add_edge(b[0], b[1], e).unwrap();
+        p.add_edge(b[1], b[2], e).unwrap();
+        p.add_edge(b[1], b[3], EdgeKind::Taken).unwrap();
+        p.add_edge(b[2], b[4], e).unwrap();
+        p.add_edge(b[3], b[4], e).unwrap();
+        p.add_edge(b[4], b[1], EdgeKind::Taken).unwrap();
+        p.add_edge(b[4], b[5], e).unwrap();
+        (p, b)
+    }
+
+    #[test]
+    fn idoms_of_looped_diamond() {
+        let (p, b) = looped_diamond();
+        let dom = Dominators::compute(&p);
+        assert_eq!(dom.idom(b[0]), None);
+        assert_eq!(dom.idom(b[1]), Some(b[0]));
+        assert_eq!(dom.idom(b[2]), Some(b[1]));
+        assert_eq!(dom.idom(b[3]), Some(b[1]));
+        assert_eq!(dom.idom(b[4]), Some(b[1])); // join, not either arm
+        assert_eq!(dom.idom(b[5]), Some(b[4]));
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_transitive() {
+        let (p, b) = looped_diamond();
+        let dom = Dominators::compute(&p);
+        assert!(dom.dominates(b[2], b[2]));
+        assert!(dom.dominates(b[0], b[5]));
+        assert!(dom.dominates(b[1], b[4]));
+        assert!(!dom.dominates(b[2], b[4]));
+        assert!(!dom.dominates(b[5], b[0]));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let mut p = Program::new("u");
+        let orphan = p.add_block();
+        let dom = Dominators::compute(&p);
+        assert!(!dom.is_reachable(orphan));
+        assert_eq!(dom.idom(orphan), None);
+    }
+}

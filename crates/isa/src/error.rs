@@ -1,0 +1,94 @@
+//! Error types for program construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::program::BlockId;
+
+/// Error raised when mutating a [`Program`](crate::Program) with
+/// inconsistent arguments.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProgramError {
+    /// A referenced basic block does not exist.
+    UnknownBlock(BlockId),
+    /// A referenced instruction does not exist.
+    UnknownInstr(crate::InstrId),
+    /// An instruction insertion position is past the end of the block.
+    PositionOutOfRange {
+        /// Block the insertion targeted.
+        block: BlockId,
+        /// Requested position.
+        pos: usize,
+        /// Number of instructions currently in the block.
+        len: usize,
+    },
+    /// An edge refers to a successor that is not in the CFG.
+    DanglingEdge(BlockId, BlockId),
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::UnknownBlock(b) => write!(f, "unknown basic block {b}"),
+            ProgramError::UnknownInstr(i) => write!(f, "unknown instruction {i}"),
+            ProgramError::PositionOutOfRange { block, pos, len } => write!(
+                f,
+                "position {pos} out of range for block {block} of length {len}"
+            ),
+            ProgramError::DanglingEdge(a, b) => write!(f, "edge {a} -> {b} is dangling"),
+        }
+    }
+}
+
+impl Error for ProgramError {}
+
+/// Structural defect reported by [`Program::validate`](crate::Program::validate).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ValidateError {
+    /// The entry block is unreachable or missing.
+    NoEntry,
+    /// A block other than an exit has no successors.
+    DeadEnd(BlockId),
+    /// A block is not reachable from the entry.
+    Unreachable(BlockId),
+    /// A back edge was found whose loop header carries no loop bound.
+    MissingLoopBound {
+        /// Header of the offending natural loop.
+        header: BlockId,
+    },
+    /// A loop bound of zero was supplied (bounds count total body entries).
+    ZeroLoopBound {
+        /// Header of the offending natural loop.
+        header: BlockId,
+    },
+    /// An irreducible cycle (cycle without a dominating header) was found.
+    Irreducible(BlockId),
+    /// A prefetch names a target instruction that is not in the program.
+    DanglingPrefetch(crate::InstrId),
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::NoEntry => write!(f, "program has no reachable entry block"),
+            ValidateError::DeadEnd(b) => {
+                write!(f, "non-exit block {b} has no successors")
+            }
+            ValidateError::Unreachable(b) => write!(f, "block {b} is unreachable from entry"),
+            ValidateError::MissingLoopBound { header } => {
+                write!(f, "loop headed by {header} has no iteration bound")
+            }
+            ValidateError::ZeroLoopBound { header } => {
+                write!(f, "loop headed by {header} has a zero iteration bound")
+            }
+            ValidateError::Irreducible(b) => {
+                write!(f, "irreducible cycle through block {b}")
+            }
+            ValidateError::DanglingPrefetch(i) => {
+                write!(f, "prefetch targets unknown instruction {i}")
+            }
+        }
+    }
+}
+
+impl Error for ValidateError {}

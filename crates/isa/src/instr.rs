@@ -1,0 +1,126 @@
+//! Instruction representation.
+//!
+//! All instructions occupy [`INSTR_BYTES`] bytes, mirroring a fixed-width
+//! 32-bit RISC encoding (the paper targets ARMv7 without Thumb). The cache
+//! analyses only care about *where* an instruction lives and whether it is a
+//! software prefetch, so [`InstrKind`] stays deliberately coarse.
+
+use std::fmt;
+
+/// Size of every instruction in bytes (fixed-width 32-bit encoding).
+pub const INSTR_BYTES: u64 = 4;
+
+/// Stable identity of an instruction within a [`Program`](crate::Program).
+///
+/// Ids are arena indices: they never change once allocated, even when the
+/// optimizer inserts prefetch instructions and the code is relocated. Use a
+/// [`Layout`](crate::Layout) to map an id to its current byte address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct InstrId(pub u32);
+
+impl InstrId {
+    /// Arena index of this instruction.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for InstrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// What an instruction does, as far as the memory analyses care.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum InstrKind {
+    /// An ordinary computational instruction (ALU, load/store, move, …).
+    ///
+    /// The payload is a free-form tag that workload generators may use to
+    /// diversify programs; the analyses ignore it.
+    Compute(u16),
+    /// A control-transfer instruction terminating a basic block.
+    ///
+    /// Successor blocks are recorded in the CFG, not in the instruction.
+    Branch,
+    /// A procedure call (modelled as an intra-program control transfer; the
+    /// suite inlines callees, so this is informational).
+    Call,
+    /// A return from a procedure.
+    Return,
+    /// A software prefetch for the memory block that contains `target`.
+    ///
+    /// The prefetched *block* is resolved against the current
+    /// [`Layout`](crate::Layout) because relocation can move `target` into a
+    /// different block. This mirrors how a real prefetch would be emitted
+    /// with a label-relative address fixed up at link time.
+    Prefetch {
+        /// Instruction whose enclosing memory block is prefetched.
+        target: InstrId,
+    },
+}
+
+impl InstrKind {
+    /// Whether this instruction is a software prefetch.
+    #[inline]
+    pub fn is_prefetch(&self) -> bool {
+        matches!(self, InstrKind::Prefetch { .. })
+    }
+}
+
+impl fmt::Display for InstrKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstrKind::Compute(tag) => write!(f, "compute#{tag}"),
+            InstrKind::Branch => write!(f, "branch"),
+            InstrKind::Call => write!(f, "call"),
+            InstrKind::Return => write!(f, "return"),
+            InstrKind::Prefetch { target } => write!(f, "prefetch {target}"),
+        }
+    }
+}
+
+/// A single instruction: a stable id plus its kind.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Instr {
+    /// Stable identity (arena index).
+    pub id: InstrId,
+    /// Coarse classification.
+    pub kind: InstrKind,
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.id, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instr_id_roundtrip() {
+        let id = InstrId(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "i42");
+    }
+
+    #[test]
+    fn prefetch_detection() {
+        assert!(InstrKind::Prefetch { target: InstrId(0) }.is_prefetch());
+        assert!(!InstrKind::Compute(0).is_prefetch());
+        assert!(!InstrKind::Branch.is_prefetch());
+    }
+
+    #[test]
+    fn display_forms() {
+        let i = Instr {
+            id: InstrId(3),
+            kind: InstrKind::Prefetch { target: InstrId(9) },
+        };
+        assert_eq!(i.to_string(), "i3: prefetch i9");
+        assert_eq!(InstrKind::Compute(7).to_string(), "compute#7");
+    }
+}

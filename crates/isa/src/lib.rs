@@ -1,0 +1,44 @@
+//! Program model, control-flow analyses, and code layout for the
+//! `unlocked-prefetch` toolchain.
+//!
+//! This crate substitutes for the GCC/ARMv7 binaries used by the original
+//! paper (Wuerges et al., DAC 2013). The prefetch-insertion technique never
+//! inspects instruction *semantics*; it only needs
+//!
+//! * instruction **addresses** (to derive memory-block membership),
+//! * **basic-block** structure and the **CFG** (with loop bounds),
+//! * the ability to **insert** a prefetch instruction and observe the
+//!   resulting **relocation** of the surrounding code.
+//!
+//! The model therefore uses fixed-width 4-byte instructions whose payload is
+//! an opaque [`InstrKind`]. A [`Program`] owns an arena of instructions and
+//! basic blocks plus the CFG; [`Layout`] assigns byte addresses;
+//! [`shape::Shape`] is a structured AST that compiles to a `Program` and is
+//! used by `rtpf-suite` to reconstruct the Mälardalen control-flow skeletons.
+//!
+//! # Example
+//!
+//! ```
+//! use rtpf_isa::shape::Shape;
+//!
+//! // for (i in 0..10) { if c { 8 instrs } else { 3 instrs } }
+//! let shape = Shape::loop_(10, Shape::if_else(2, Shape::code(8), Shape::code(3)));
+//! let program = shape.compile("demo");
+//! assert!(program.instr_count() > 10);
+//! assert!(program.validate().is_ok());
+//! ```
+
+pub mod cfg;
+pub mod dom;
+pub mod error;
+pub mod instr;
+pub mod layout;
+pub mod loops;
+pub mod program;
+pub mod shape;
+pub mod text;
+
+pub use error::{ProgramError, ValidateError};
+pub use instr::{Instr, InstrId, InstrKind, INSTR_BYTES};
+pub use layout::{Layout, MemBlockId};
+pub use program::{BasicBlock, BlockId, EdgeKind, Program};

@@ -1,0 +1,305 @@
+//! Natural-loop detection.
+//!
+//! A *back edge* is a CFG edge `t -> h` where `h` dominates `t`; its natural
+//! loop is `h` plus every block that reaches `t` without passing through
+//! `h`. The VIVU transformation in `rtpf-wcet` peels each natural loop once,
+//! which is why the forest (header nesting) is computed here.
+
+use std::collections::BTreeSet;
+
+use crate::dom::Dominators;
+use crate::program::{BlockId, Program};
+
+/// One natural loop.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NaturalLoop {
+    /// The loop header (target of the back edges).
+    pub header: BlockId,
+    /// Sources of the back edges (`latch -> header`).
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop body, header included.
+    pub body: BTreeSet<BlockId>,
+    /// Header of the innermost enclosing loop, if nested.
+    pub parent: Option<BlockId>,
+}
+
+impl NaturalLoop {
+    /// Nesting depth: 1 for an outermost loop, 2 for one nested inside, …
+    /// Requires the owning [`LoopForest`] to resolve parents.
+    pub fn depth(&self, forest: &LoopForest) -> usize {
+        let mut d = 1;
+        let mut cur = self.parent;
+        while let Some(h) = cur {
+            d += 1;
+            cur = forest.loop_of(h).and_then(|l| l.parent);
+        }
+        d
+    }
+}
+
+/// All natural loops of a program, with nesting resolved.
+#[derive(Clone, Debug, Default)]
+pub struct LoopForest {
+    loops: Vec<NaturalLoop>,
+    /// `header_of[b]` = header of the innermost loop containing block `b`.
+    header_of: Vec<Option<BlockId>>,
+}
+
+impl LoopForest {
+    /// Detects every natural loop of `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending block if the CFG contains an irreducible cycle
+    /// (a cycle entered other than through a dominating header). Such CFGs
+    /// never arise from the structured [`Shape`](crate::shape::Shape)
+    /// builder; rejecting them keeps VIVU simple, matching the paper's
+    /// implicit assumption of compiler-generated reducible code.
+    pub fn compute(p: &Program, dom: &Dominators) -> Result<Self, BlockId> {
+        // Collect back edges.
+        let mut back: Vec<(BlockId, BlockId)> = Vec::new(); // (latch, header)
+        for b in p.block_ids() {
+            if !dom.is_reachable(b) {
+                continue;
+            }
+            for &(s, _) in p.succs(b) {
+                if dom.dominates(s, b) {
+                    back.push((b, s));
+                }
+            }
+        }
+        // Natural loop of each header = union over its back edges.
+        let mut headers: Vec<BlockId> = back.iter().map(|&(_, h)| h).collect();
+        headers.sort_unstable();
+        headers.dedup();
+
+        let mut loops: Vec<NaturalLoop> = Vec::new();
+        for &h in &headers {
+            let latches: Vec<BlockId> = back
+                .iter()
+                .filter(|&&(_, hh)| hh == h)
+                .map(|&(l, _)| l)
+                .collect();
+            let mut body: BTreeSet<BlockId> = BTreeSet::new();
+            body.insert(h);
+            let mut stack: Vec<BlockId> = Vec::new();
+            for &l in &latches {
+                if body.insert(l) {
+                    stack.push(l);
+                }
+            }
+            while let Some(b) = stack.pop() {
+                for &pr in p.preds(b) {
+                    if !dom.is_reachable(pr) {
+                        continue;
+                    }
+                    if body.insert(pr) {
+                        stack.push(pr);
+                    }
+                }
+            }
+            loops.push(NaturalLoop {
+                header: h,
+                latches,
+                body,
+                parent: None,
+            });
+        }
+
+        // Reject irreducible cycles: any remaining cycle among blocks not
+        // covered by a natural loop. Detect by checking that removing all
+        // back edges leaves an acyclic graph.
+        if let Some(bad) = find_cycle_without_back_edges(p, &back) {
+            return Err(bad);
+        }
+
+        // Nesting: parent of loop L = smallest loop strictly containing L's
+        // header among loops with a different header.
+        let order: Vec<usize> = {
+            let mut idx: Vec<usize> = (0..loops.len()).collect();
+            idx.sort_by_key(|&i| loops[i].body.len());
+            idx
+        };
+        for i in 0..loops.len() {
+            let h = loops[i].header;
+            let mut best: Option<(usize, usize)> = None; // (size, index)
+            for &j in &order {
+                if j == i {
+                    continue;
+                }
+                if loops[j].body.contains(&h) && loops[j].header != h {
+                    let sz = loops[j].body.len();
+                    if best.map_or(true, |(bs, _)| sz < bs) {
+                        best = Some((sz, j));
+                    }
+                }
+            }
+            loops[i].parent = best.map(|(_, j)| loops[j].header);
+        }
+
+        // innermost loop per block: assign from the largest loop to the
+        // smallest so inner loops overwrite outer ones.
+        let mut header_of: Vec<Option<BlockId>> = vec![None; p.block_count()];
+        let mut by_size: Vec<usize> = (0..loops.len()).collect();
+        by_size.sort_by_key(|&i| std::cmp::Reverse(loops[i].body.len()));
+        for &i in &by_size {
+            for &b in &loops[i].body {
+                header_of[b.index()] = Some(loops[i].header);
+            }
+        }
+
+        Ok(LoopForest { loops, header_of })
+    }
+
+    /// All loops (unspecified order).
+    #[inline]
+    pub fn loops(&self) -> &[NaturalLoop] {
+        &self.loops
+    }
+
+    /// The loop headed by `header`, if one exists.
+    pub fn loop_of(&self, header: BlockId) -> Option<&NaturalLoop> {
+        self.loops.iter().find(|l| l.header == header)
+    }
+
+    /// Header of the innermost loop containing `b`, if any.
+    pub fn innermost_header(&self, b: BlockId) -> Option<BlockId> {
+        self.header_of.get(b.index()).copied().flatten()
+    }
+
+    /// Whether edge `from -> to` is a back edge of some detected loop.
+    pub fn is_back_edge(&self, from: BlockId, to: BlockId) -> bool {
+        self.loop_of(to).is_some_and(|l| l.latches.contains(&from))
+    }
+
+    /// Maximum loop-nesting depth in the program.
+    pub fn max_depth(&self) -> usize {
+        self.loops.iter().map(|l| l.depth(self)).max().unwrap_or(0)
+    }
+}
+
+/// DFS cycle check ignoring the given back edges; returns a block on a
+/// remaining (irreducible) cycle, if any.
+fn find_cycle_without_back_edges(p: &Program, back: &[(BlockId, BlockId)]) -> Option<BlockId> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let is_back = |f: BlockId, t: BlockId| back.iter().any(|&(l, h)| l == f && h == t);
+    let mut mark = vec![Mark::White; p.block_count()];
+    // Iterative coloured DFS from the entry.
+    let mut stack: Vec<(BlockId, usize)> = vec![(p.entry(), 0)];
+    mark[p.entry().index()] = Mark::Grey;
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        let succs = p.succs(b);
+        if *i < succs.len() {
+            let (s, _) = succs[*i];
+            *i += 1;
+            if is_back(b, s) {
+                continue;
+            }
+            match mark[s.index()] {
+                Mark::White => {
+                    mark[s.index()] = Mark::Grey;
+                    stack.push((s, 0));
+                }
+                Mark::Grey => return Some(s),
+                Mark::Black => {}
+            }
+        } else {
+            mark[b.index()] = Mark::Black;
+            stack.pop();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::EdgeKind;
+
+    fn nested_loops() -> (Program, Vec<BlockId>) {
+        // 0 -> 1(outer hdr) -> 2(inner hdr) -> 2, 2 -> 3, 3 -> 1, 3 -> 4
+        let mut p = Program::new("nest");
+        let b: Vec<BlockId> = (0..5)
+            .map(|i| if i == 0 { p.entry() } else { p.add_block() })
+            .collect();
+        let e = EdgeKind::Fallthrough;
+        p.add_edge(b[0], b[1], e).unwrap();
+        p.add_edge(b[1], b[2], e).unwrap();
+        p.add_edge(b[2], b[2], EdgeKind::Taken).unwrap();
+        p.add_edge(b[2], b[3], e).unwrap();
+        p.add_edge(b[3], b[1], EdgeKind::Taken).unwrap();
+        p.add_edge(b[3], b[4], e).unwrap();
+        (p, b)
+    }
+
+    #[test]
+    fn detects_two_nested_loops() {
+        let (p, b) = nested_loops();
+        let dom = Dominators::compute(&p);
+        let forest = LoopForest::compute(&p, &dom).unwrap();
+        assert_eq!(forest.loops().len(), 2);
+        let outer = forest.loop_of(b[1]).unwrap();
+        let inner = forest.loop_of(b[2]).unwrap();
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.parent, Some(b[1]));
+        assert_eq!(outer.depth(&forest), 1);
+        assert_eq!(inner.depth(&forest), 2);
+        assert!(outer.body.contains(&b[3]));
+        assert_eq!(inner.body.len(), 1);
+        assert_eq!(forest.max_depth(), 2);
+    }
+
+    #[test]
+    fn innermost_header_resolution() {
+        let (p, b) = nested_loops();
+        let dom = Dominators::compute(&p);
+        let forest = LoopForest::compute(&p, &dom).unwrap();
+        assert_eq!(forest.innermost_header(b[2]), Some(b[2]));
+        assert_eq!(forest.innermost_header(b[3]), Some(b[1]));
+        assert_eq!(forest.innermost_header(b[0]), None);
+        assert_eq!(forest.innermost_header(b[4]), None);
+    }
+
+    #[test]
+    fn back_edge_classification() {
+        let (p, b) = nested_loops();
+        let dom = Dominators::compute(&p);
+        let forest = LoopForest::compute(&p, &dom).unwrap();
+        assert!(forest.is_back_edge(b[2], b[2]));
+        assert!(forest.is_back_edge(b[3], b[1]));
+        assert!(!forest.is_back_edge(b[1], b[2]));
+    }
+
+    #[test]
+    fn irreducible_cycle_is_rejected() {
+        // 0 -> 1, 0 -> 2, 1 -> 2, 2 -> 1: cycle {1,2} with two entries.
+        let mut p = Program::new("irr");
+        let b0 = p.entry();
+        let b1 = p.add_block();
+        let b2 = p.add_block();
+        let e = EdgeKind::Fallthrough;
+        p.add_edge(b0, b1, e).unwrap();
+        p.add_edge(b0, b2, EdgeKind::Taken).unwrap();
+        p.add_edge(b1, b2, e).unwrap();
+        p.add_edge(b2, b1, EdgeKind::Taken).unwrap();
+        let dom = Dominators::compute(&p);
+        assert!(LoopForest::compute(&p, &dom).is_err());
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let mut p = Program::new("s");
+        let b0 = p.entry();
+        let b1 = p.add_block();
+        p.add_edge(b0, b1, EdgeKind::Fallthrough).unwrap();
+        let dom = Dominators::compute(&p);
+        let forest = LoopForest::compute(&p, &dom).unwrap();
+        assert!(forest.loops().is_empty());
+        assert_eq!(forest.max_depth(), 0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Cycle-accounting cache engine with non-blocking prefetch.
+
+use std::collections::BTreeSet;
+
+use rtpf_cache::{CacheConfig, ConcreteState, MemTiming};
+use rtpf_energy::MemStats;
+use rtpf_isa::MemBlockId;
+
+/// Hook for hardware prefetching baselines.
+///
+/// The simulator reports fetches and resolved control transfers; every
+/// suggested block is issued as a non-blocking fill (if not already cached
+/// or in flight). Implementations live in `rtpf-baselines`.
+pub trait HwPrefetcher {
+    /// Called after a demand fetch at `addr` of `block`; returns blocks to
+    /// prefetch (e.g. the next line).
+    fn on_fetch(&mut self, addr: u64, block: MemBlockId, was_miss: bool) -> Vec<MemBlockId>;
+
+    /// Called after a control transfer from the branch at `branch_addr` to
+    /// a target in `target_block`; `taken` distinguishes taken branches
+    /// from fall-through. Returns blocks to prefetch (e.g. the predicted
+    /// target from an RPT).
+    fn on_branch(&mut self, branch_addr: u64, target_block: MemBlockId, taken: bool)
+        -> Vec<MemBlockId>;
+}
+
+/// Statically locked cache contents: a set of blocks that always hit and
+/// are never evicted; everything else bypasses the cache straight to the
+/// level-two memory (the classic full-lock model of [4, 14]).
+#[derive(Clone, Debug, Default)]
+pub struct LockedContents {
+    blocks: BTreeSet<MemBlockId>,
+}
+
+impl LockedContents {
+    /// Locks exactly the given blocks.
+    pub fn new(blocks: impl IntoIterator<Item = MemBlockId>) -> Self {
+        LockedContents {
+            blocks: blocks.into_iter().collect(),
+        }
+    }
+
+    /// Whether `block` is locked in.
+    pub fn contains(&self, block: MemBlockId) -> bool {
+        self.blocks.contains(&block)
+    }
+
+    /// Number of locked blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether nothing is locked.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// The simulation cache: LRU state, prefetch port, counters, and clock.
+#[derive(Debug)]
+pub struct CacheEngine {
+    cache: ConcreteState,
+    timing: MemTiming,
+    locked: Option<LockedContents>,
+    /// Prefetches in flight: `(block, ready_cycle)`.
+    inflight: Vec<(MemBlockId, u64)>,
+    /// Current cycle.
+    pub cycle: u64,
+    /// Activity counters.
+    pub stats: MemStats,
+    /// Prefetch operations issued (software + hardware).
+    pub prefetches_issued: u64,
+    /// Demand fetches that hit only thanks to a completed/in-flight prefetch.
+    pub prefetch_useful: u64,
+    /// Cycles spent stalling on in-flight prefetches.
+    pub stall_cycles: u64,
+    /// Blocks most recently installed by a prefetch (for usefulness stats).
+    prefetched: BTreeSet<MemBlockId>,
+}
+
+impl CacheEngine {
+    /// A cold engine for the given geometry and timing.
+    pub fn new(config: &CacheConfig, timing: MemTiming) -> Self {
+        CacheEngine {
+            cache: ConcreteState::new(config),
+            timing,
+            locked: None,
+            inflight: Vec::new(),
+            cycle: 0,
+            stats: MemStats::default(),
+            prefetches_issued: 0,
+            prefetch_useful: 0,
+            stall_cycles: 0,
+            prefetched: BTreeSet::new(),
+        }
+    }
+
+    /// Replaces normal operation with statically locked contents.
+    pub fn lock(&mut self, contents: LockedContents) {
+        self.locked = Some(contents);
+    }
+
+    /// Completes every prefetch whose latency has elapsed, installing the
+    /// block (counted as a fill, not a demand access).
+    fn drain_inflight(&mut self) {
+        let now = self.cycle;
+        let mut i = 0;
+        while i < self.inflight.len() {
+            if self.inflight[i].1 <= now {
+                let (block, _) = self.inflight.swap_remove(i);
+                self.cache.access(block);
+                self.stats.fills += 1;
+                self.prefetched.insert(block);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// A demand instruction fetch of `block`. Advances the clock and
+    /// returns whether it hit.
+    pub fn fetch(&mut self, block: MemBlockId) -> bool {
+        self.drain_inflight();
+        self.stats.accesses += 1;
+
+        if let Some(locked) = &self.locked {
+            // Locked cache: locked blocks hit, everything else goes to DRAM
+            // every time (no fill, no pollution).
+            let hit = locked.contains(block);
+            if hit {
+                self.stats.hits += 1;
+                self.cycle += self.timing.hit_cycles;
+            } else {
+                self.stats.misses += 1;
+                self.cycle += self.timing.miss_cycles;
+                self.stats.fills += 1; // the block transfer still happens
+            }
+            self.stats.cycles = self.cycle;
+            return hit;
+        }
+
+        // An in-flight prefetch of this block: stall for the remaining
+        // latency, then count as a (prefetch-assisted) hit.
+        if let Some(pos) = self.inflight.iter().position(|&(b, _)| b == block) {
+            let (b, ready) = self.inflight.swap_remove(pos);
+            let wait = ready.saturating_sub(self.cycle);
+            self.stall_cycles += wait;
+            self.cycle += wait;
+            self.cache.access(b);
+            self.stats.fills += 1;
+            self.prefetched.insert(b);
+            self.stats.hits += 1;
+            self.prefetch_useful += 1;
+            self.cycle += self.timing.hit_cycles;
+            self.stats.cycles = self.cycle;
+            return true;
+        }
+
+        let outcome = self.cache.access(block);
+        if outcome.is_hit() {
+            self.stats.hits += 1;
+            if self.prefetched.remove(&block) {
+                self.prefetch_useful += 1;
+            }
+            self.cycle += self.timing.hit_cycles;
+        } else {
+            self.stats.misses += 1;
+            self.stats.fills += 1;
+            self.cycle += self.timing.miss_cycles;
+            if let Some(ev) = outcome.evicted() {
+                self.prefetched.remove(&ev);
+            }
+        }
+        self.stats.cycles = self.cycle;
+        outcome.is_hit()
+    }
+
+    /// Issues a non-blocking prefetch of `block` (no clock cost beyond the
+    /// instruction fetch, which the caller accounts separately).
+    pub fn prefetch(&mut self, block: MemBlockId) {
+        self.drain_inflight();
+        if self.cache.contains(block) {
+            return;
+        }
+        if self.inflight.iter().any(|&(b, _)| b == block) {
+            return;
+        }
+        self.prefetches_issued += 1;
+        self.inflight
+            .push((block, self.cycle + self.timing.prefetch_latency));
+    }
+
+    /// Whether `block` is currently cached (completed fills only).
+    pub fn contains(&self, block: MemBlockId) -> bool {
+        self.cache.contains(block)
+    }
+
+    /// The timing model in use.
+    pub fn timing(&self) -> &MemTiming {
+        &self.timing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> CacheEngine {
+        let cfg = CacheConfig::new(2, 16, 64).unwrap();
+        CacheEngine::new(&cfg, MemTiming::with_miss_penalty(20))
+    }
+
+    #[test]
+    fn demand_miss_then_hit() {
+        let mut e = engine();
+        assert!(!e.fetch(MemBlockId(1)));
+        assert!(e.fetch(MemBlockId(1)));
+        assert_eq!(e.stats.misses, 1);
+        assert_eq!(e.stats.hits, 1);
+        assert_eq!(e.cycle, 21 + 1);
+    }
+
+    #[test]
+    fn prefetch_hides_latency_when_early_enough() {
+        let mut e = engine();
+        e.prefetch(MemBlockId(9));
+        // Burn more than Λ = 21 cycles on other fetches.
+        e.fetch(MemBlockId(1)); // miss, 21 cycles
+        e.fetch(MemBlockId(1)); // hit, 1 cycle
+        assert!(e.cycle >= 21);
+        let hit = e.fetch(MemBlockId(9));
+        assert!(hit, "prefetched block must hit");
+        assert_eq!(e.stall_cycles, 0);
+        assert_eq!(e.prefetch_useful, 1);
+    }
+
+    #[test]
+    fn late_prefetch_stalls_only_residual() {
+        let mut e = engine();
+        e.fetch(MemBlockId(1)); // 21 cycles
+        e.prefetch(MemBlockId(9)); // ready at 21 + 21 = 42
+        e.fetch(MemBlockId(1)); // hit → cycle 22
+        let before = e.cycle;
+        let hit = e.fetch(MemBlockId(9));
+        assert!(hit);
+        // Stalled 42 − 22 = 20 cycles + 1 hit cycle; cheaper than a miss.
+        assert_eq!(e.cycle, before + 20 + 1);
+        assert_eq!(e.stall_cycles, 20);
+    }
+
+    #[test]
+    fn prefetch_of_cached_block_is_a_no_op() {
+        let mut e = engine();
+        e.fetch(MemBlockId(3));
+        e.prefetch(MemBlockId(3));
+        assert_eq!(e.prefetches_issued, 0);
+    }
+
+    #[test]
+    fn duplicate_inflight_prefetch_is_deduplicated() {
+        let mut e = engine();
+        e.prefetch(MemBlockId(5));
+        e.prefetch(MemBlockId(5));
+        assert_eq!(e.prefetches_issued, 1);
+    }
+
+    #[test]
+    fn locked_cache_hits_only_locked_blocks() {
+        let mut e = engine();
+        e.lock(LockedContents::new([MemBlockId(1), MemBlockId(2)]));
+        assert!(e.fetch(MemBlockId(1)));
+        assert!(e.fetch(MemBlockId(2)));
+        assert!(!e.fetch(MemBlockId(3)));
+        assert!(!e.fetch(MemBlockId(3)), "unlocked blocks never allocate");
+        assert_eq!(e.stats.hits, 2);
+        assert_eq!(e.stats.misses, 2);
+    }
+
+    #[test]
+    fn counters_reconcile() {
+        let mut e = engine();
+        for b in [1u64, 2, 3, 1, 2, 3, 4, 1] {
+            e.fetch(MemBlockId(b));
+        }
+        assert_eq!(e.stats.accesses, 8);
+        assert_eq!(e.stats.hits + e.stats.misses, 8);
+        assert_eq!(e.stats.cycles, e.cycle);
+    }
+}

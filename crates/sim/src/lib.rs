@@ -1,0 +1,44 @@
+//! Trace-driven instruction-cache simulation.
+//!
+//! This crate substitutes for the gem5 instruction-set simulator the paper
+//! used to collect fetch traces for ACET and energy estimation. Instead of
+//! materializing traces, [`Simulator`] walks the program's CFG directly
+//! under a [`BranchBehavior`] policy (loop bounds are respected; branch
+//! outcomes are drawn from a seeded RNG), feeding every instruction fetch
+//! through a cycle-accounting cache engine that models:
+//!
+//! * set-associative LRU lookups with hit/miss timing,
+//! * **non-blocking software prefetch**: a `prefetch` instruction issues a
+//!   fill that completes `Λ` cycles later; a demand fetch of an in-flight
+//!   block stalls only for the remaining latency,
+//! * optional hardware prefetchers ([`HwPrefetcher`], implemented by
+//!   `rtpf-baselines`),
+//! * optional statically locked cache contents (the locking baseline).
+//!
+//! The result is a [`MemStats`](rtpf_energy::MemStats) ready for the
+//! [`EnergyModel`](rtpf_energy::EnergyModel).
+//!
+//! # Example
+//!
+//! ```
+//! use rtpf_cache::{CacheConfig, MemTiming};
+//! use rtpf_isa::shape::Shape;
+//! use rtpf_sim::{BranchBehavior, SimConfig, Simulator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let p = Shape::loop_(100, Shape::code(12)).compile("hot");
+//! let config = CacheConfig::new(2, 16, 256)?;
+//! let sim = Simulator::new(config, MemTiming::default(), SimConfig::default());
+//! let r = sim.run(&p)?;
+//! assert!(r.stats.hits > r.stats.misses, "loop should be cache friendly");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod engine;
+pub mod exec;
+pub mod result;
+
+pub use engine::{CacheEngine, HwPrefetcher, LockedContents};
+pub use exec::{BranchBehavior, SimConfig, SimError, Simulator};
+pub use result::SimResult;

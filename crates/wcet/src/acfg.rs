@@ -1,0 +1,277 @@
+//! The abstract control-flow graph over *references* (paper Definition 6).
+//!
+//! Every instruction fetch in a VIVU context is a reference `r ∈ R`; edges
+//! give the execution order. The graph is polar (virtual source/sink are
+//! implicit: [`Acfg::entry_refs`] / nodes without successors) and acyclic —
+//! back edges were already broken by VIVU. The prefetch optimizer walks
+//! this graph in reverse topological order (the paper's `ACFG*` is its
+//! reversal, which we expose as [`Acfg::preds`] rather than materializing a
+//! second graph).
+
+use rtpf_isa::{InstrId, Program};
+
+use crate::vivu::{NodeId, VivuGraph};
+
+/// Identity of a reference (an instruction fetch in one VIVU context).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RefId(pub u32);
+
+impl RefId {
+    /// Arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for RefId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One reference: which instruction, in which VIVU node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Reference {
+    /// Identity of the reference.
+    pub id: RefId,
+    /// The fetched instruction.
+    pub instr: InstrId,
+    /// The VIVU context instance performing the fetch.
+    pub node: NodeId,
+}
+
+/// The acyclic reference graph.
+#[derive(Clone, Debug)]
+pub struct Acfg {
+    refs: Vec<Reference>,
+    succs: Vec<Vec<RefId>>,
+    preds: Vec<Vec<RefId>>,
+    entry_refs: Vec<RefId>,
+    topo: Vec<RefId>,
+    node_refs: Vec<Vec<RefId>>,
+}
+
+impl Acfg {
+    /// Builds the reference graph of `p` over its VIVU expansion.
+    pub fn build(p: &Program, vivu: &VivuGraph) -> Acfg {
+        let mut refs: Vec<Reference> = Vec::new();
+        let mut node_refs: Vec<Vec<RefId>> = vec![Vec::new(); vivu.len()];
+
+        // Allocate references node by node in topological order so that the
+        // flattened order is itself topological.
+        for &n in vivu.topo() {
+            let block = vivu.node(n).block;
+            for &i in p.block(block).instrs() {
+                let id = RefId(refs.len() as u32);
+                refs.push(Reference { id, instr: i, node: n });
+                node_refs[n.index()].push(id);
+            }
+        }
+
+        let mut succs: Vec<Vec<RefId>> = vec![Vec::new(); refs.len()];
+        let mut preds: Vec<Vec<RefId>> = vec![Vec::new(); refs.len()];
+
+        // Intra-node chains.
+        for chain in &node_refs {
+            for w in chain.windows(2) {
+                succs[w[0].index()].push(w[1]);
+                preds[w[1].index()].push(w[0]);
+            }
+        }
+
+        // `first_of[n]`: the references where execution continues when it
+        // reaches node `n`; resolves through empty nodes. Computed in
+        // reverse topological order so successors are ready.
+        let mut first_of: Vec<Vec<RefId>> = vec![Vec::new(); vivu.len()];
+        for &n in vivu.topo().iter().rev() {
+            if let Some(&f) = node_refs[n.index()].first() {
+                first_of[n.index()] = vec![f];
+            } else {
+                let mut firsts: Vec<RefId> = Vec::new();
+                for &s in vivu.succs(n) {
+                    for &f in &first_of[s.index()] {
+                        if !firsts.contains(&f) {
+                            firsts.push(f);
+                        }
+                    }
+                }
+                first_of[n.index()] = firsts;
+            }
+        }
+
+        // Inter-node edges: last reference of a node to the first
+        // reference(s) of each successor.
+        for n in 0..vivu.len() {
+            let Some(&last) = node_refs[n].last() else {
+                continue;
+            };
+            for &s in vivu.succs(NodeId(n as u32)) {
+                for &f in &first_of[s.index()] {
+                    if !succs[last.index()].contains(&f) {
+                        succs[last.index()].push(f);
+                        preds[f.index()].push(last);
+                    }
+                }
+            }
+        }
+
+        let entry_refs = first_of[vivu.entry().index()].clone();
+        let topo: Vec<RefId> = vivu
+            .topo()
+            .iter()
+            .flat_map(|&n| node_refs[n.index()].iter().copied())
+            .collect();
+
+        Acfg {
+            refs,
+            succs,
+            preds,
+            entry_refs,
+            topo,
+            node_refs,
+        }
+    }
+
+    /// All references.
+    #[inline]
+    pub fn refs(&self) -> &[Reference] {
+        &self.refs
+    }
+
+    /// Reference lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn reference(&self, id: RefId) -> Reference {
+        self.refs[id.index()]
+    }
+
+    /// Execution-order successors of `id`.
+    #[inline]
+    pub fn succs(&self, id: RefId) -> &[RefId] {
+        &self.succs[id.index()]
+    }
+
+    /// Execution-order predecessors of `id` (the successors in the paper's
+    /// reversed `ACFG*`).
+    #[inline]
+    pub fn preds(&self, id: RefId) -> &[RefId] {
+        &self.preds[id.index()]
+    }
+
+    /// References where execution starts (targets of the virtual source).
+    #[inline]
+    pub fn entry_refs(&self) -> &[RefId] {
+        &self.entry_refs
+    }
+
+    /// References with no successors (sources of the virtual sink).
+    pub fn exit_refs(&self) -> Vec<RefId> {
+        (0..self.refs.len() as u32)
+            .map(RefId)
+            .filter(|r| self.succs[r.index()].is_empty())
+            .collect()
+    }
+
+    /// A topological order of the references (execution order).
+    #[inline]
+    pub fn topo(&self) -> &[RefId] {
+        &self.topo
+    }
+
+    /// References of a VIVU node, in instruction order.
+    #[inline]
+    pub fn refs_of_node(&self, n: NodeId) -> &[RefId] {
+        &self.node_refs[n.index()]
+    }
+
+    /// Number of references.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Whether the program has no references.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtpf_isa::shape::Shape;
+
+    fn build(shape: Shape) -> (Program, VivuGraph, Acfg) {
+        let p = shape.compile("t");
+        let v = VivuGraph::build(&p).unwrap();
+        let a = Acfg::build(&p, &v);
+        (p, v, a)
+    }
+
+    #[test]
+    fn straight_line_is_a_chain() {
+        let (p, _, a) = build(Shape::code(8));
+        assert_eq!(a.len(), p.instr_count());
+        assert_eq!(a.entry_refs().len(), 1);
+        assert_eq!(a.exit_refs().len(), 1);
+        for r in a.refs() {
+            assert!(a.succs(r.id).len() <= 1);
+            assert!(a.preds(r.id).len() <= 1);
+        }
+    }
+
+    #[test]
+    fn loop_references_appear_twice() {
+        let (p, _, a) = build(Shape::loop_(10, Shape::code(5)));
+        // Loop header and body referenced in first and rest contexts.
+        assert!(a.len() > p.instr_count());
+        use std::collections::HashMap;
+        let mut count: HashMap<rtpf_isa::InstrId, usize> = HashMap::new();
+        for r in a.refs() {
+            *count.entry(r.instr).or_default() += 1;
+        }
+        assert!(count.values().all(|&c| c <= 2));
+        assert!(count.values().any(|&c| c == 2));
+    }
+
+    #[test]
+    fn topo_respects_edges() {
+        let (_, _, a) = build(Shape::loop_(
+            4,
+            Shape::if_else(1, Shape::code(3), Shape::code(2)),
+        ));
+        let pos: std::collections::HashMap<RefId, usize> =
+            a.topo().iter().enumerate().map(|(i, &r)| (r, i)).collect();
+        for r in a.refs() {
+            for &s in a.succs(r.id) {
+                assert!(pos[&r.id] < pos[&s]);
+            }
+        }
+        assert_eq!(a.topo().len(), a.len());
+    }
+
+    #[test]
+    fn merge_points_have_multiple_preds() {
+        let (_, _, a) = build(Shape::if_else(1, Shape::code(3), Shape::code(2)));
+        let merges = a
+            .refs()
+            .iter()
+            .filter(|r| a.preds(r.id).len() >= 2)
+            .count();
+        assert_eq!(merges, 1, "exactly the join after the diamond");
+    }
+
+    #[test]
+    fn node_refs_partition_all_references() {
+        let (_, v, a) = build(Shape::loop_(3, Shape::code(4)));
+        let total: usize = (0..v.len())
+            .map(|n| a.refs_of_node(crate::vivu::NodeId(n as u32)).len())
+            .sum();
+        assert_eq!(total, a.len());
+    }
+}

@@ -1,0 +1,320 @@
+//! End-to-end WCET analysis: VIVU → classification → IPET.
+
+use rtpf_cache::{CacheConfig, Classification, MemTiming};
+use rtpf_isa::{Layout, MemBlockId, Program};
+
+use crate::acfg::{Acfg, RefId};
+use crate::classify;
+use crate::error::AnalysisError;
+use crate::ipet;
+use crate::vivu::{NodeId, VivuGraph};
+
+/// Result of analysing one program under one cache configuration.
+///
+/// Holds everything the prefetch optimizer needs: the reference graph, the
+/// per-reference classification and worst-case access time `t_w(r)`, the
+/// WCET-scenario execution counts `n^w`, and the total memory contribution
+/// `τ_w` to the WCET.
+#[derive(Clone, Debug)]
+pub struct WcetAnalysis {
+    layout: Layout,
+    vivu: VivuGraph,
+    acfg: Acfg,
+    config: CacheConfig,
+    timing: MemTiming,
+    class: Vec<Classification>,
+    mem_block: Vec<MemBlockId>,
+    t_w: Vec<u64>,
+    n_w: Vec<u64>,
+    on_path: Vec<bool>,
+    tau_w: u64,
+}
+
+impl WcetAnalysis {
+    /// Analyses `p` under the default base layout.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `p` is structurally invalid or the analysis blows its
+    /// context budget.
+    pub fn analyze(
+        p: &Program,
+        config: &CacheConfig,
+        timing: &MemTiming,
+    ) -> Result<Self, AnalysisError> {
+        Self::analyze_with_layout(p, Layout::of(p), config, timing)
+    }
+
+    /// Analyses `p` under an explicit layout (used by the optimizer after
+    /// relocation).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `p` is structurally invalid or the analysis blows its
+    /// context budget.
+    pub fn analyze_with_layout(
+        p: &Program,
+        layout: Layout,
+        config: &CacheConfig,
+        timing: &MemTiming,
+    ) -> Result<Self, AnalysisError> {
+        Self::analyze_full(p, layout, config, timing, None)
+    }
+
+    /// Analyses `p` assuming an always-on **next-N-line hardware
+    /// prefetcher** (the abstract-semantics extension of the paper's
+    /// reference [22]). The bound assumes ideal prefetch timing and is
+    /// therefore optimistic — see
+    /// [`classify_with_hw`](crate::classify::classify_with_hw).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `p` is structurally invalid or the analysis blows its
+    /// context budget.
+    pub fn analyze_with_hw_next_line(
+        p: &Program,
+        config: &CacheConfig,
+        timing: &MemTiming,
+        n: u32,
+    ) -> Result<Self, AnalysisError> {
+        Self::analyze_full(p, Layout::of(p), config, timing, Some(n))
+    }
+
+    fn analyze_full(
+        p: &Program,
+        layout: Layout,
+        config: &CacheConfig,
+        timing: &MemTiming,
+        hw_next_line: Option<u32>,
+    ) -> Result<Self, AnalysisError> {
+        let vivu = VivuGraph::build(p)?;
+        let acfg = Acfg::build(p, &vivu);
+        let cls = classify::classify_with_hw(p, &layout, &vivu, &acfg, config, hw_next_line);
+
+        // Per-reference worst-case access time.
+        let t_w: Vec<u64> = cls
+            .class
+            .iter()
+            .map(|c| timing.access_cycles(!c.counts_as_miss()))
+            .collect();
+
+        // Node weights: Σ t_w over the node's references × multiplicity.
+        let node_weight: Vec<u64> = (0..vivu.len())
+            .map(|i| {
+                let n = NodeId(i as u32);
+                let sum: u64 = acfg
+                    .refs_of_node(n)
+                    .iter()
+                    .map(|r| t_w[r.index()])
+                    .sum();
+                sum.saturating_mul(vivu.node(n).mult)
+            })
+            .collect();
+
+        let ipet = ipet::solve_dag(&vivu, &node_weight)?;
+        let n_w: Vec<u64> = acfg
+            .refs()
+            .iter()
+            .map(|r| ipet.n_w[r.node.index()])
+            .collect();
+
+        Ok(WcetAnalysis {
+            layout,
+            vivu,
+            acfg,
+            config: *config,
+            timing: *timing,
+            class: cls.class,
+            mem_block: cls.mem_block,
+            t_w,
+            n_w,
+            on_path: ipet.on_path,
+            tau_w: ipet.tau_w,
+        })
+    }
+
+    /// The memory system's contribution to the WCET (`τ_w`, Eq. 3).
+    #[inline]
+    pub fn tau_w(&self) -> u64 {
+        self.tau_w
+    }
+
+    /// The layout the analysis ran under.
+    #[inline]
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The VIVU context graph.
+    #[inline]
+    pub fn vivu(&self) -> &VivuGraph {
+        &self.vivu
+    }
+
+    /// The reference graph (ACFG).
+    #[inline]
+    pub fn acfg(&self) -> &Acfg {
+        &self.acfg
+    }
+
+    /// The cache geometry analysed against.
+    #[inline]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// The timing model analysed against.
+    #[inline]
+    pub fn timing(&self) -> &MemTiming {
+        &self.timing
+    }
+
+    /// Classification of reference `r`.
+    #[inline]
+    pub fn classification(&self, r: RefId) -> Classification {
+        self.class[r.index()]
+    }
+
+    /// Worst-case access time `t_w(r)` in cycles.
+    #[inline]
+    pub fn t_w(&self, r: RefId) -> u64 {
+        self.t_w[r.index()]
+    }
+
+    /// WCET-scenario execution count of `r`'s basic-block instance
+    /// (`n^w_{B(r)}`).
+    #[inline]
+    pub fn n_w(&self, r: RefId) -> u64 {
+        self.n_w[r.index()]
+    }
+
+    /// Whether `r` lies on the WCET path.
+    #[inline]
+    pub fn on_wcet_path(&self, r: RefId) -> bool {
+        self.n_w[r.index()] > 0
+    }
+
+    /// Whether the VIVU node lies on the WCET path.
+    #[inline]
+    pub fn node_on_wcet_path(&self, n: NodeId) -> bool {
+        self.on_path[n.index()]
+    }
+
+    /// Memory block fetched by reference `r`.
+    #[inline]
+    pub fn mem_block(&self, r: RefId) -> MemBlockId {
+        self.mem_block[r.index()]
+    }
+
+    /// Overall contribution of reference `r` to the WCET
+    /// (`τ_w(r) = t_w(r) × n^w`, Eq. 2).
+    #[inline]
+    pub fn tau_of(&self, r: RefId) -> u64 {
+        self.t_w[r.index()] * self.n_w[r.index()]
+    }
+
+    /// Number of classified-miss references weighted by WCET counts
+    /// (misses the WCET bound accounts for).
+    pub fn wcet_misses(&self) -> u64 {
+        self.acfg
+            .refs()
+            .iter()
+            .filter(|r| self.class[r.id.index()].counts_as_miss())
+            .map(|r| self.n_w[r.id.index()])
+            .sum()
+    }
+
+    /// Total accesses on the WCET path.
+    pub fn wcet_accesses(&self) -> u64 {
+        self.acfg.refs().iter().map(|r| self.n_w[r.id.index()]).sum()
+    }
+
+    /// Static counts of always-hit / always-miss / unclassified references.
+    pub fn classification_counts(&self) -> (usize, usize, usize) {
+        let mut hit = 0;
+        let mut miss = 0;
+        let mut unk = 0;
+        for c in &self.class {
+            match c {
+                Classification::AlwaysHit => hit += 1,
+                Classification::AlwaysMiss => miss += 1,
+                Classification::Unclassified => unk += 1,
+            }
+        }
+        (hit, miss, unk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtpf_isa::shape::Shape;
+
+    fn analyze(shape: Shape, config: CacheConfig) -> WcetAnalysis {
+        let p = shape.compile("t");
+        WcetAnalysis::analyze(&p, &config, &MemTiming::default()).unwrap()
+    }
+
+    #[test]
+    fn tau_w_equals_sum_of_reference_contributions() {
+        let a = analyze(
+            Shape::loop_(10, Shape::if_else(1, Shape::code(6), Shape::code(2))),
+            CacheConfig::new(2, 16, 256).unwrap(),
+        );
+        let sum: u64 = a.acfg().refs().iter().map(|r| a.tau_of(r.id)).sum();
+        assert_eq!(sum, a.tau_w());
+    }
+
+    #[test]
+    fn bigger_cache_never_increases_tau_w() {
+        let shape = Shape::loop_(20, Shape::code(60));
+        let small = analyze(shape.clone(), CacheConfig::new(2, 16, 128).unwrap());
+        let large = analyze(shape, CacheConfig::new(2, 16, 4096).unwrap());
+        assert!(large.tau_w() <= small.tau_w());
+    }
+
+    #[test]
+    fn warm_loop_wcet_dominated_by_first_iteration_misses() {
+        // Body fits in cache: rest iterations all hit, so WCET ≈
+        // cold misses + (iterations × hits).
+        let cfg = CacheConfig::new(4, 16, 1024).unwrap();
+        let a = analyze(Shape::loop_(100, Shape::code(16)), cfg);
+        let t = MemTiming::default();
+        // All instructions execute ≈ 100×16 times at hit cost; misses only
+        // on first touch of each block (16 instrs = 4 blocks + wrapper).
+        let lower = 100 * 16 * t.hit_cycles;
+        let upper = lower + 40 * t.miss_cycles;
+        assert!(a.tau_w() >= lower, "tau {} < {lower}", a.tau_w());
+        assert!(a.tau_w() <= upper, "tau {} > {upper}", a.tau_w());
+    }
+
+    #[test]
+    fn miss_counts_drop_with_capacity() {
+        let shape = Shape::loop_(10, Shape::code(120));
+        let small = analyze(shape.clone(), CacheConfig::new(1, 16, 128).unwrap());
+        let large = analyze(shape, CacheConfig::new(4, 32, 8192).unwrap());
+        assert!(large.wcet_misses() < small.wcet_misses());
+    }
+
+    #[test]
+    fn accessors_are_consistent() {
+        let a = analyze(Shape::code(10), CacheConfig::new(2, 16, 256).unwrap());
+        for r in a.acfg().refs() {
+            assert!(a.t_w(r.id) >= 1);
+            if a.on_wcet_path(r.id) {
+                assert!(a.n_w(r.id) >= 1);
+                assert!(a.node_on_wcet_path(r.node));
+            }
+        }
+        let (h, m, u) = a.classification_counts();
+        assert_eq!(h + m + u, a.acfg().len());
+    }
+
+    #[test]
+    fn straight_line_wcet_is_exact() {
+        // 8 instrs on two 16-B blocks, big cache: 2 misses + 6 hits.
+        let t = MemTiming::default();
+        let a = analyze(Shape::code(8), CacheConfig::new(2, 16, 256).unwrap());
+        assert_eq!(a.tau_w(), 2 * t.miss_cycles + 6 * t.hit_cycles);
+    }
+}

@@ -1,0 +1,339 @@
+//! Must/may classification fixpoint over the VIVU graph.
+//!
+//! States propagate at basic-block (VIVU node) granularity; inside a node
+//! every reference is classified against the running state and then folded
+//! into it. The broken back edges are *included* in the join, and the whole
+//! system is iterated to a fixpoint, so the rest instance of a loop sees
+//! the states from later iterations — this keeps the classification sound
+//! despite the acyclic ACFG used elsewhere.
+//!
+//! Software prefetch instructions have two effects: their own fetch (a
+//! normal reference to their containing block) and the prefetched block
+//! entering the cache. Following the semantics of next-N-line analysis
+//! extension (reference [22] of the paper), the prefetched block is folded
+//! into the abstract states at the prefetch point; the insertion criterion
+//! of `rtpf-core` guarantees the latency is hidden on the WCET path.
+
+use rtpf_cache::{CacheConfig, Classification, MayState, MustState};
+use rtpf_isa::{InstrKind, Layout, MemBlockId, Program};
+
+use crate::acfg::Acfg;
+use crate::vivu::VivuGraph;
+
+/// Per-reference classification results.
+#[derive(Clone, Debug)]
+pub struct ClassifyResult {
+    /// Classification per [`RefId`](crate::acfg::RefId) index.
+    pub class: Vec<Classification>,
+    /// Memory block fetched by each reference.
+    pub mem_block: Vec<MemBlockId>,
+    /// Number of fixpoint iterations performed (diagnostics).
+    pub iterations: usize,
+}
+
+/// Runs the must/may fixpoint and classifies every reference.
+pub fn classify(
+    p: &Program,
+    layout: &Layout,
+    vivu: &VivuGraph,
+    acfg: &Acfg,
+    config: &CacheConfig,
+) -> ClassifyResult {
+    classify_with_hw(p, layout, vivu, acfg, config, None)
+}
+
+/// [`classify`] extended with **next-N-line hardware prefetching**
+/// semantics, reproducing the abstract-semantics extension of the paper's
+/// reference [22]: every fetch of block `b` additionally folds blocks
+/// `b+1 ..= b+n` into the abstract states (the "next-line always"
+/// policy).
+///
+/// The resulting classification assumes ideal prefetch timing (the
+/// prefetched line arrives before its first use), so the WCET computed
+/// from it is *optimistic* for hardware prefetching — which is exactly
+/// the comparison the paper draws: hardware prefetching has no safe
+/// WCET story, software insertion does.
+pub fn classify_with_hw(
+    p: &Program,
+    layout: &Layout,
+    vivu: &VivuGraph,
+    acfg: &Acfg,
+    config: &CacheConfig,
+    hw_next_line: Option<u32>,
+) -> ClassifyResult {
+    let n = vivu.len();
+    let empty = (MustState::new(config), MayState::new(config));
+    // Out-states per node.
+    let mut out: Vec<(MustState, MayState)> = vec![empty.clone(); n];
+    let mut iterations = 0usize;
+
+    // Predecessor lists including broken back edges.
+    let mut all_preds: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            vivu.preds(crate::vivu::NodeId(i as u32))
+                .iter()
+                .map(|p| p.index())
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    for &(latch, header) in vivu.back_edges() {
+        let hp = &mut all_preds[header.index()];
+        if !hp.contains(&latch.index()) {
+            hp.push(latch.index());
+        }
+    }
+
+    let block_bytes = config.block_bytes();
+    let touch = |state: &mut (MustState, MayState), b: rtpf_isa::MemBlockId| {
+        state.0.update(b);
+        state.1.update(b);
+        if let Some(n) = hw_next_line {
+            for k in 1..=u64::from(n) {
+                let nb = rtpf_isa::MemBlockId(b.0 + k);
+                state.0.update(nb);
+                state.1.update(nb);
+            }
+        }
+    };
+    let transfer = |state: &mut (MustState, MayState), node_idx: usize| {
+        for &r in acfg.refs_of_node(crate::vivu::NodeId(node_idx as u32)) {
+            let reference = acfg.reference(r);
+            let own = layout.block_of(reference.instr, block_bytes);
+            touch(state, own);
+            if let InstrKind::Prefetch { target } = p.instr(reference.instr).kind {
+                let tb = layout.block_of(target, block_bytes);
+                state.0.update(tb);
+                state.1.update(tb);
+            }
+        }
+    };
+
+    // Fixpoint over out-states in topological order (back edges force
+    // iteration; loop nesting depth bounds the rounds).
+    //
+    // Must analysis is an intersection-join ("available blocks") problem:
+    // the sound *and precise* solution is the greatest fixpoint, reached
+    // by descending from an optimistic start. Predecessors whose out-state
+    // has not been computed yet are therefore *ignored* in the join
+    // (treated as ⊤), exactly like uninitialized nodes in available-
+    // expressions analysis; seeding them as "empty cache" would poison
+    // every loop with its own not-yet-analysed back edge. The may
+    // analysis (union join) is indifferent: skipping an uncomputed
+    // predecessor equals joining with its ∅ bottom.
+    let mut computed = vec![false; n];
+    loop {
+        iterations += 1;
+        let mut changed = false;
+        for &nid in vivu.topo() {
+            let i = nid.index();
+            let ready: Vec<usize> = all_preds[i]
+                .iter()
+                .copied()
+                .filter(|&pr| computed[pr])
+                .collect();
+            let mut st = if ready.is_empty() {
+                empty.clone()
+            } else {
+                let mut it = ready.iter();
+                let first = *it.next().expect("non-empty");
+                let mut acc = out[first].clone();
+                for &pr in it {
+                    acc.0 = acc.0.join(&out[pr].0);
+                    acc.1 = acc.1.join(&out[pr].1);
+                }
+                acc
+            };
+            transfer(&mut st, i);
+            if !computed[i] || st != out[i] {
+                out[i] = st;
+                computed[i] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        assert!(iterations < 1000, "classification fixpoint diverged");
+    }
+
+    // Final recording pass: classify each reference against the in-state.
+    let mut class = vec![Classification::Unclassified; acfg.len()];
+    let mut mem_block = vec![MemBlockId(0); acfg.len()];
+    for &nid in vivu.topo() {
+        let i = nid.index();
+        let mut st = if all_preds[i].is_empty() {
+            empty.clone()
+        } else {
+            let mut it = all_preds[i].iter();
+            let first = *it.next().expect("non-empty");
+            let mut acc = out[first].clone();
+            for &pr in it {
+                acc.0 = acc.0.join(&out[pr].0);
+                acc.1 = acc.1.join(&out[pr].1);
+            }
+            acc
+        };
+        debug_assert!(all_preds[i].iter().all(|&pr| computed[pr]));
+        for &r in acfg.refs_of_node(nid) {
+            let reference = acfg.reference(r);
+            let own = layout.block_of(reference.instr, block_bytes);
+            mem_block[r.index()] = own;
+            class[r.index()] = Classification::of(own, &st.0, &st.1);
+            touch(&mut st, own);
+            if let InstrKind::Prefetch { target } = p.instr(reference.instr).kind {
+                let tb = layout.block_of(target, block_bytes);
+                st.0.update(tb);
+                st.1.update(tb);
+            }
+        }
+    }
+
+    ClassifyResult {
+        class,
+        mem_block,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtpf_isa::shape::Shape;
+
+    fn run(shape: Shape, config: CacheConfig) -> (Program, Acfg, ClassifyResult) {
+        let p = shape.compile("t");
+        let layout = Layout::of(&p);
+        let v = VivuGraph::build(&p).unwrap();
+        let a = Acfg::build(&p, &v);
+        let c = classify(&p, &layout, &v, &a, &config);
+        (p, a, c)
+    }
+
+    #[test]
+    fn straight_line_first_item_misses_rest_hit() {
+        // 8 instructions = 32 bytes = two 16-byte blocks in a big cache.
+        let cfg = CacheConfig::new(2, 16, 256).unwrap();
+        let (_, a, c) = run(Shape::code(8), cfg);
+        let mut misses = 0;
+        for r in a.refs() {
+            if c.class[r.id.index()].counts_as_miss() {
+                misses += 1;
+            }
+        }
+        // One (cold) miss per distinct block.
+        assert_eq!(misses, 2);
+    }
+
+    #[test]
+    fn loop_rest_iterations_hit_when_cache_fits() {
+        let cfg = CacheConfig::new(2, 16, 256).unwrap();
+        // 5-instr body fits the cache: rest instance must be all hits.
+        let p = Shape::loop_(10, Shape::code(5)).compile("l");
+        let layout = Layout::of(&p);
+        let v = VivuGraph::build(&p).unwrap();
+        let a = Acfg::build(&p, &v);
+        let c = classify(&p, &layout, &v, &a, &cfg);
+        for r in a.refs() {
+            let node = v.node(r.node);
+            let is_rest = node
+                .ctx
+                .frames()
+                .iter()
+                .any(|&(_, it)| it == crate::context::Iter::Rest);
+            if is_rest {
+                assert_eq!(
+                    c.class[r.id.index()],
+                    Classification::AlwaysHit,
+                    "rest reference {} should hit",
+                    r.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thrashing_loop_misses_in_rest() {
+        // Direct-mapped 32-byte cache (two 16-byte lines); a 40-instr body
+        // (160 B) cannot fit, so rest iterations keep missing somewhere.
+        let cfg = CacheConfig::new(1, 16, 32).unwrap();
+        let p = Shape::loop_(10, Shape::code(40)).compile("t");
+        let layout = Layout::of(&p);
+        let v = VivuGraph::build(&p).unwrap();
+        let a = Acfg::build(&p, &v);
+        let c = classify(&p, &layout, &v, &a, &cfg);
+        let rest_misses = a
+            .refs()
+            .iter()
+            .filter(|r| {
+                v.node(r.node)
+                    .ctx
+                    .frames()
+                    .iter()
+                    .any(|&(_, it)| it == crate::context::Iter::Rest)
+                    && c.class[r.id.index()].counts_as_miss()
+            })
+            .count();
+        assert!(rest_misses > 0);
+    }
+
+    #[test]
+    fn prefetch_makes_downstream_reference_hit() {
+        // Straight line long enough to span blocks; insert a prefetch for a
+        // later block early, then the later block's first item must be
+        // always-hit.
+        let cfg = CacheConfig::new(4, 16, 256).unwrap();
+        let mut p = Shape::code(12).compile("pf");
+        let b0 = p.entry();
+        // Target: the instruction at position 8 (block 2 with 16-B lines).
+        let target = p.block(b0).instrs()[8];
+        p.insert_instr(b0, 1, InstrKind::Prefetch { target }).unwrap();
+        let layout = Layout::of(&p);
+        let v = VivuGraph::build(&p).unwrap();
+        let a = Acfg::build(&p, &v);
+        let c = classify(&p, &layout, &v, &a, &cfg);
+        // Find the reference fetching `target`.
+        let r = a.refs().iter().find(|r| r.instr == target).unwrap();
+        assert_eq!(c.class[r.id.index()], Classification::AlwaysHit);
+    }
+
+    #[test]
+    fn next_line_semantics_convert_sequential_misses_to_hits() {
+        // Reference [22]: with an always-on next-line prefetcher, the
+        // sequential cold misses of straight-line code collapse to the
+        // first block only (ideal timing).
+        let cfg = CacheConfig::new(2, 16, 256).unwrap();
+        let p = Shape::code(32).compile("seq");
+        let layout = Layout::of(&p);
+        let v = VivuGraph::build(&p).unwrap();
+        let a = Acfg::build(&p, &v);
+        let plain = classify(&p, &layout, &v, &a, &cfg);
+        let hw = classify_with_hw(&p, &layout, &v, &a, &cfg, Some(1));
+        let misses = |c: &ClassifyResult| {
+            c.class.iter().filter(|x| x.counts_as_miss()).count()
+        };
+        assert_eq!(misses(&plain), 8, "32 instrs = 8 cold blocks");
+        assert_eq!(misses(&hw), 1, "only the very first block misses");
+    }
+
+    #[test]
+    fn conditional_merge_is_conservative() {
+        // A tiny cache where then/else arms load conflicting blocks: after
+        // the merge neither arm's block is guaranteed.
+        let cfg = CacheConfig::new(1, 16, 16).unwrap(); // one line!
+        let (_, a, c) = run(
+            Shape::seq([
+                Shape::if_else(1, Shape::code(8), Shape::code(8)),
+                Shape::code(4),
+            ]),
+            cfg,
+        );
+        // At least one always-miss (cold code) and the merge code cannot be
+        // all hits.
+        let hits = c
+            .class
+            .iter()
+            .filter(|c| matches!(c, Classification::AlwaysHit))
+            .count();
+        assert!(hits < a.len());
+    }
+}

@@ -1,0 +1,173 @@
+//! VIVU calling/iteration contexts.
+
+use std::fmt;
+
+use rtpf_isa::BlockId;
+
+/// Which peeled instance of a loop a context refers to.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Iter {
+    /// The first iteration of the loop (cold-cache behaviour).
+    First,
+    /// Iterations 2..bound, collapsed into one instance (warm behaviour).
+    Rest,
+}
+
+impl fmt::Display for Iter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Iter::First => f.write_str("first"),
+            Iter::Rest => f.write_str("rest"),
+        }
+    }
+}
+
+/// A VIVU context: the stack of enclosing loops with, for each, the peeled
+/// instance the analysis is in. Outermost loop first.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Context(Vec<(BlockId, Iter)>);
+
+impl Context {
+    /// The empty (top-level) context.
+    pub fn root() -> Self {
+        Context(Vec::new())
+    }
+
+    /// The enclosing-loop stack, outermost first.
+    #[inline]
+    pub fn frames(&self) -> &[(BlockId, Iter)] {
+        &self.0
+    }
+
+    /// Nesting depth of the context.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns this context extended by entering loop `header`'s first
+    /// iteration.
+    pub fn push_first(&self, header: BlockId) -> Context {
+        let mut v = self.0.clone();
+        v.push((header, Iter::First));
+        Context(v)
+    }
+
+    /// Returns this context with the innermost frame switched to
+    /// [`Iter::Rest`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context is empty or its innermost frame is for a
+    /// different header.
+    pub fn to_rest(&self, header: BlockId) -> Context {
+        let mut v = self.0.clone();
+        let top = v.last_mut().expect("to_rest on empty context");
+        assert_eq!(top.0, header, "innermost frame is for a different loop");
+        top.1 = Iter::Rest;
+        Context(v)
+    }
+
+    /// Returns this context with frames popped until `keep` returns true
+    /// for the innermost remaining header (used on loop exits).
+    pub fn pop_while(&self, mut discard: impl FnMut(BlockId) -> bool) -> Context {
+        let mut v = self.0.clone();
+        while let Some(&(h, _)) = v.last() {
+            if discard(h) {
+                v.pop();
+            } else {
+                break;
+            }
+        }
+        Context(v)
+    }
+
+    /// Multiplicity of the context: how many times per program run a block
+    /// in this context executes at most, given `bound(header)` = maximum
+    /// body executions per loop entry.
+    ///
+    /// First iterations contribute a factor of the *enclosing* entry count
+    /// (1); rest instances contribute `bound − 1`.
+    pub fn multiplicity(&self, mut bound: impl FnMut(BlockId) -> u32) -> u64 {
+        let mut m: u64 = 1;
+        for &(h, it) in &self.0 {
+            match it {
+                Iter::First => {}
+                Iter::Rest => m = m.saturating_mul(u64::from(bound(h).saturating_sub(1))),
+            }
+        }
+        m
+    }
+}
+
+impl fmt::Display for Context {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return f.write_str("⟨⟩");
+        }
+        let parts: Vec<String> = self
+            .0
+            .iter()
+            .map(|(h, it)| format!("{h}:{it}"))
+            .collect();
+        write!(f, "⟨{}⟩", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_rest() {
+        let c = Context::root().push_first(BlockId(1));
+        assert_eq!(c.depth(), 1);
+        assert_eq!(c.frames()[0], (BlockId(1), Iter::First));
+        let r = c.to_rest(BlockId(1));
+        assert_eq!(r.frames()[0], (BlockId(1), Iter::Rest));
+        assert_ne!(c, r);
+    }
+
+    #[test]
+    fn pop_on_loop_exit() {
+        let c = Context::root()
+            .push_first(BlockId(1))
+            .push_first(BlockId(2));
+        // Exit the inner loop only.
+        let out = c.pop_while(|h| h == BlockId(2));
+        assert_eq!(out.depth(), 1);
+        // Exit everything.
+        let top = c.pop_while(|_| true);
+        assert_eq!(top, Context::root());
+    }
+
+    #[test]
+    fn multiplicity_products() {
+        let bounds = |h: BlockId| if h == BlockId(1) { 10 } else { 4 };
+        let ff = Context::root()
+            .push_first(BlockId(1))
+            .push_first(BlockId(2));
+        assert_eq!(ff.multiplicity(bounds), 1);
+        let fr = ff.to_rest(BlockId(2));
+        assert_eq!(fr.multiplicity(bounds), 3); // inner bound 4 → rest ×3
+        let rr = Context::root()
+            .push_first(BlockId(1))
+            .to_rest(BlockId(1))
+            .push_first(BlockId(2))
+            .to_rest(BlockId(2));
+        assert_eq!(rr.multiplicity(bounds), 9 * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different loop")]
+    fn to_rest_checks_header() {
+        let _ = Context::root().push_first(BlockId(1)).to_rest(BlockId(9));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let c = Context::root().push_first(BlockId(3)).to_rest(BlockId(3));
+        assert_eq!(c.to_string(), "⟨bb3:rest⟩");
+        assert_eq!(Context::root().to_string(), "⟨⟩");
+    }
+}

@@ -1,0 +1,63 @@
+//! Property test: the longest-path IPET fast path agrees with the
+//! general ILP encoding on random structured programs — the equivalence
+//! the whole analysis pipeline rests on.
+
+use proptest::prelude::*;
+
+use rtpf_isa::shape::Shape;
+use rtpf_wcet::{ipet, VivuGraph};
+
+fn shapes() -> impl Strategy<Value = Shape> {
+    let leaf = (1u32..12).prop_map(Shape::code);
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Shape::seq),
+            (0u32..2, inner.clone(), inner.clone())
+                .prop_map(|(c, a, b)| Shape::if_else(c, a, b)),
+            (1u32..6, inner).prop_map(|(n, b)| Shape::loop_(n, b)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn dag_and_ilp_ipet_agree(shape in shapes()) {
+        let p = shape.compile("prop");
+        let v = VivuGraph::build(&p).expect("builds");
+        let w: Vec<u64> = v
+            .nodes()
+            .iter()
+            .map(|n| p.block(n.block).len() as u64 * n.mult)
+            .collect();
+        let dag = ipet::solve_dag(&v, &w).expect("dag solves");
+        let ilp = ipet::solve_ilp(&v, &w).expect("ilp solves");
+        prop_assert_eq!(dag.tau_w, ilp);
+        // n_w is the multiplicity on-path and zero off-path.
+        for n in v.nodes() {
+            if dag.on_path[n.id.index()] {
+                prop_assert_eq!(dag.n_w[n.id.index()], n.mult);
+            } else {
+                prop_assert_eq!(dag.n_w[n.id.index()], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn vivu_multiset_preserves_instructions(shape in shapes()) {
+        // Every instruction appears in ≥ 1 context; contexts are bounded
+        // by 2^depth; the graph is acyclic over its forward edges.
+        let p = shape.compile("prop");
+        let v = VivuGraph::build(&p).expect("builds");
+        let mut seen = vec![0usize; p.block_count()];
+        for n in v.nodes() {
+            seen[n.block.index()] += 1;
+        }
+        for b in p.block_ids() {
+            prop_assert!(seen[b.index()] >= 1, "{b} lost by VIVU");
+        }
+        // Topological order covers every node exactly once.
+        prop_assert_eq!(v.topo().len(), v.len());
+    }
+}

@@ -1,0 +1,42 @@
+//! Facade crate for the `unlocked-prefetch` workspace.
+//!
+//! Re-exports every subsystem of the DAC 2013 reproduction ("Reconciling
+//! real-time guarantees and energy efficiency through unlocked-cache
+//! prefetching") under one roof so examples and downstream users need a
+//! single dependency:
+//!
+//! * [`isa`] — program model, CFG, loops, code layout and relocation
+//! * [`cache`] — concrete and abstract (must/may) LRU cache models
+//! * [`ilp`] — simplex / branch-and-bound / DAG-longest-path solvers
+//! * [`wcet`] — VIVU, ACFG, and IPET-based WCET analysis
+//! * [`energy`] — CACTI-style cache/DRAM energy and timing models
+//! * [`sim`] — trace-driven instruction-cache simulator
+//! * [`suite`] — the 37 Mälardalen-like benchmark skeletons
+//! * [`baselines`] — hardware prefetchers and static cache locking
+//! * [`core`] — the WCET-safe software prefetch optimizer (the paper)
+//!
+//! # Quickstart
+//!
+//! ```
+//! use unlocked_prefetch::cache::CacheConfig;
+//! use unlocked_prefetch::core::{Optimizer, OptimizeParams};
+//! use unlocked_prefetch::isa::shape::Shape;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = Shape::loop_(50, Shape::code(40)).compile("hot-loop");
+//! let config = CacheConfig::new(2, 16, 256)?;
+//! let result = Optimizer::new(config, OptimizeParams::default()).run(&program)?;
+//! assert!(result.report.wcet_after <= result.report.wcet_before);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use rtpf_baselines as baselines;
+pub use rtpf_cache as cache;
+pub use rtpf_core as core;
+pub use rtpf_energy as energy;
+pub use rtpf_ilp as ilp;
+pub use rtpf_isa as isa;
+pub use rtpf_sim as sim;
+pub use rtpf_suite as suite;
+pub use rtpf_wcet as wcet;
