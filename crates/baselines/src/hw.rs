@@ -79,7 +79,9 @@ impl HwPrefetcher for NextLine {
         if self.on_miss_only && !was_miss {
             return Vec::new();
         }
-        (1..=u64::from(self.n)).map(|k| MemBlockId(block.0 + k)).collect()
+        (1..=u64::from(self.n))
+            .map(|k| MemBlockId(block.0 + k))
+            .collect()
     }
 
     fn on_branch(&mut self, _b: u64, _t: MemBlockId, _taken: bool) -> Vec<MemBlockId> {
@@ -131,7 +133,12 @@ impl HwPrefetcher for Rpt {
         }
     }
 
-    fn on_branch(&mut self, branch_addr: u64, target_block: MemBlockId, taken: bool) -> Vec<MemBlockId> {
+    fn on_branch(
+        &mut self,
+        branch_addr: u64,
+        target_block: MemBlockId,
+        taken: bool,
+    ) -> Vec<MemBlockId> {
         let entry = self.table.entry(branch_addr).or_insert((None, None));
         if taken {
             entry.0 = Some(target_block);

@@ -234,7 +234,15 @@ mod tests {
         let config = CacheConfig::new(2, 16, 128).unwrap();
         let timing = MemTiming::default();
         let locked = select_locked_greedy(&p, &config, &timing).unwrap();
-        let sim = Simulator::new(config, timing, SimConfig { runs: 1, seed: 5, ..SimConfig::default() });
+        let sim = Simulator::new(
+            config,
+            timing,
+            SimConfig {
+                runs: 1,
+                seed: 5,
+                ..SimConfig::default()
+            },
+        );
         let locked_run = sim.run_locked(&p, &locked).unwrap();
         let free_run = sim.run(&p).unwrap();
         // The locked loop hits; everything else always misses.

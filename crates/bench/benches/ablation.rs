@@ -23,9 +23,10 @@ fn bench_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation");
     g.sample_size(10);
 
-    for (label, check_effectiveness) in
-        [("criterion/effectiveness_on", true), ("criterion/effectiveness_off", false)]
-    {
+    for (label, check_effectiveness) in [
+        ("criterion/effectiveness_on", true),
+        ("criterion/effectiveness_off", false),
+    ] {
         let params = OptimizeParams {
             timing,
             max_rounds: 3,
@@ -34,7 +35,11 @@ fn bench_ablation(c: &mut Criterion) {
             ..OptimizeParams::default()
         };
         g.bench_function(label, |bench| {
-            bench.iter(|| Optimizer::new(config, params).run(&b.program).expect("runs"))
+            bench.iter(|| {
+                Optimizer::new(config, params)
+                    .run(&b.program)
+                    .expect("runs")
+            })
         });
     }
 
@@ -55,7 +60,11 @@ fn bench_ablation(c: &mut Criterion) {
             ..OptimizeParams::default()
         };
         g.bench_function(label, |bench| {
-            bench.iter(|| Optimizer::new(config, params).run(&b.program).expect("runs"))
+            bench.iter(|| {
+                Optimizer::new(config, params)
+                    .run(&b.program)
+                    .expect("runs")
+            })
         });
     }
     g.finish();

@@ -1,9 +1,11 @@
 //! WCET-analysis scalability: VIVU + classification + IPET runtime across
-//! real suite programs of increasing size.
+//! real suite programs of increasing size, plus incremental re-analysis
+//! against a from-scratch pass after a single prefetch insertion.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use rtpf_cache::{CacheConfig, MemTiming};
+use rtpf_isa::{InstrKind, Layout, Program};
 use rtpf_wcet::WcetAnalysis;
 
 fn bench_analysis(c: &mut Criterion) {
@@ -17,14 +19,56 @@ fn bench_analysis(c: &mut Criterion) {
         g.bench_function(
             format!("{name}/{}_instrs", b.program.instr_count()),
             |bench| {
-                bench.iter(|| {
-                    WcetAnalysis::analyze(&b.program, &config, &timing).expect("analyzes")
-                })
+                bench
+                    .iter(|| WcetAnalysis::analyze(&b.program, &config, &timing).expect("analyzes"))
             },
         );
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_analysis);
+/// A program with one mid-program prefetch inserted, relocated the way the
+/// optimizer relocates: anchored at the insertion point's old address.
+fn with_one_prefetch(p: &Program, base: &WcetAnalysis) -> (Program, Layout) {
+    let instrs: Vec<_> = p
+        .block_ids()
+        .flat_map(|b| p.block(b).instrs().to_vec())
+        .collect();
+    let anchor = instrs[instrs.len() / 2];
+    let target = instrs[instrs.len() - 1];
+    let mut p2 = p.clone();
+    let bb = p2.block_of(anchor);
+    let pos = p2.pos_in_block(anchor);
+    p2.insert_instr(bb, pos, InstrKind::Prefetch { target })
+        .expect("valid insertion");
+    let layout = Layout::anchored(&p2, anchor, base.layout().addr(anchor));
+    (p2, layout)
+}
+
+fn bench_incremental_vs_full(c: &mut Criterion) {
+    let config = CacheConfig::new(2, 16, 512).expect("valid"); // k8
+    let timing = MemTiming::default();
+    let mut g = c.benchmark_group("incremental_vs_full");
+    g.sample_size(10);
+    for name in ["nsichneu", "statemate"] {
+        let b = rtpf_suite::by_name(name).expect("known");
+        let base = WcetAnalysis::analyze(&b.program, &config, &timing).expect("analyzes");
+        let (p2, layout) = with_one_prefetch(&b.program, &base);
+        g.bench_function(format!("{name}/full"), |bench| {
+            bench.iter(|| {
+                WcetAnalysis::analyze_with_layout(&p2, layout.clone(), &config, &timing)
+                    .expect("analyzes")
+            })
+        });
+        g.bench_function(format!("{name}/incremental"), |bench| {
+            bench.iter(|| {
+                base.reanalyze_after_insert(&p2, layout.clone())
+                    .expect("analyzes")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_analysis, bench_incremental_vs_full);
 criterion_main!(benches);

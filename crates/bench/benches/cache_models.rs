@@ -10,7 +10,9 @@ use rtpf_isa::MemBlockId;
 
 fn trace(len: usize, span: u64) -> Vec<MemBlockId> {
     let mut rng = StdRng::seed_from_u64(42);
-    (0..len).map(|_| MemBlockId(rng.gen_range(0..span))).collect()
+    (0..len)
+        .map(|_| MemBlockId(rng.gen_range(0..span)))
+        .collect()
 }
 
 fn bench_cache_models(c: &mut Criterion) {

@@ -33,7 +33,9 @@ fn bench_figures(c: &mut Criterion) {
         seed: 77,
         ..SimConfig::default()
     };
-    let opt = Optimizer::new(config, params).run(&b.program).expect("optimizes");
+    let opt = Optimizer::new(config, params)
+        .run(&b.program)
+        .expect("optimizes");
 
     let mut g = c.benchmark_group("figures");
     g.sample_size(10);
@@ -47,7 +49,11 @@ fn bench_figures(c: &mut Criterion) {
         })
     });
     g.bench_function("fig3_optimize_unit", |bench| {
-        bench.iter(|| Optimizer::new(config, params).run(&b.program).expect("optimizes"))
+        bench.iter(|| {
+            Optimizer::new(config, params)
+                .run(&b.program)
+                .expect("optimizes")
+        })
     });
     g.bench_function("fig4_missrate_simulation", |bench| {
         bench.iter(|| {

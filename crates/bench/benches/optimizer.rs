@@ -10,7 +10,12 @@ fn bench_optimizer(c: &mut Criterion) {
     let timing = MemTiming::default();
     let mut g = c.benchmark_group("optimizer");
     g.sample_size(10);
-    for (name, capacity) in [("crc", 512u32), ("fft1", 512), ("compress", 1024), ("ndes", 1024)] {
+    for (name, capacity) in [
+        ("crc", 512u32),
+        ("fft1", 512),
+        ("compress", 1024),
+        ("ndes", 1024),
+    ] {
         let b = rtpf_suite::by_name(name).expect("known");
         let config = CacheConfig::new(2, 16, capacity).expect("valid");
         let params = OptimizeParams {

@@ -64,7 +64,10 @@ mod tests {
         let b = MemBlockId(4);
 
         // Cold: not even possibly cached.
-        assert_eq!(Classification::of(b, &must, &may), Classification::AlwaysMiss);
+        assert_eq!(
+            Classification::of(b, &must, &may),
+            Classification::AlwaysMiss
+        );
 
         // Possibly cached on one path only.
         may.update(b);
@@ -75,7 +78,10 @@ mod tests {
 
         // Guaranteed cached.
         must.update(b);
-        assert_eq!(Classification::of(b, &must, &may), Classification::AlwaysHit);
+        assert_eq!(
+            Classification::of(b, &must, &may),
+            Classification::AlwaysHit
+        );
         assert!(!Classification::of(b, &must, &may).counts_as_miss());
     }
 

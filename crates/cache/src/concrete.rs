@@ -146,7 +146,10 @@ mod tests {
     #[test]
     fn miss_then_hit() {
         let mut c = one_set_two_way();
-        assert_eq!(c.access(MemBlockId(1)), AccessOutcome::Miss { evicted: None });
+        assert_eq!(
+            c.access(MemBlockId(1)),
+            AccessOutcome::Miss { evicted: None }
+        );
         assert_eq!(c.access(MemBlockId(1)), AccessOutcome::Hit);
         assert!(c.contains(MemBlockId(1)));
     }

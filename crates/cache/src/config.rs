@@ -24,7 +24,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "cache parameters must be powers of two")
             }
             ConfigError::TooSmall => {
-                write!(f, "capacity smaller than one set (associativity * block size)")
+                write!(
+                    f,
+                    "capacity smaller than one set (associativity * block size)"
+                )
             }
         }
     }
@@ -106,7 +109,11 @@ impl CacheConfig {
     /// Returns a [`ConfigError`] if the shrunken capacity is not a valid
     /// geometry (e.g. fewer than one set would remain).
     pub fn shrink(&self, divisor: u32) -> Result<Self, ConfigError> {
-        Self::new(self.assoc, self.block_bytes, self.capacity_bytes / divisor.max(1))
+        Self::new(
+            self.assoc,
+            self.block_bytes,
+            self.capacity_bytes / divisor.max(1),
+        )
     }
 
     /// The 36 configurations of the paper's Table 2 (`k1..k36`), in order:
@@ -153,7 +160,10 @@ mod tests {
     #[test]
     fn rejects_bad_geometry() {
         assert_eq!(CacheConfig::new(0, 16, 256), Err(ConfigError::Zero));
-        assert_eq!(CacheConfig::new(3, 16, 256), Err(ConfigError::NotPowerOfTwo));
+        assert_eq!(
+            CacheConfig::new(3, 16, 256),
+            Err(ConfigError::NotPowerOfTwo)
+        );
         assert_eq!(CacheConfig::new(4, 32, 64), Err(ConfigError::TooSmall));
     }
 

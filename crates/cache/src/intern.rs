@@ -1,0 +1,116 @@
+//! Hash-consing of abstract cache state pairs.
+//!
+//! The dataflow fixpoint in the WCET analysis materialises one
+//! (must, may) pair per VIVU context, and on real programs the vast
+//! majority of those pairs are identical — straight-line runs of
+//! references propagate the same state forward, and incremental
+//! re-analysis reuses entire regions verbatim. Interning keyed by content
+//! hash turns those duplicates into `Arc` clones, so equality checks
+//! short-circuit on pointer identity and the per-state allocation cost is
+//! paid once.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::{MayState, MustState};
+
+/// A must/may abstract state pair as propagated per VIVU context.
+pub type StatePair = (MustState, MayState);
+
+/// Content-addressed store of [`StatePair`]s.
+///
+/// Lookup is by 64-bit content hash with an explicit collision bucket, so
+/// two distinct states that happen to share a hash are still kept apart.
+#[derive(Default, Debug)]
+pub struct StateInterner {
+    buckets: HashMap<u64, Vec<Arc<StatePair>>>,
+    hits: u64,
+    fresh: u64,
+}
+
+impl StateInterner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key_of(pair: &StatePair) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        pair.hash(&mut h);
+        h.finish()
+    }
+
+    /// Registers an already-shared pair (e.g. carried over from a previous
+    /// analysis) as canonical without touching the hit/fresh counters, so
+    /// that recomputed states equal to it resolve to the same allocation.
+    pub fn seed(&mut self, arc: &Arc<StatePair>) {
+        let bucket = self.buckets.entry(Self::key_of(arc)).or_default();
+        if !bucket.iter().any(|p| Arc::ptr_eq(p, arc) || **p == **arc) {
+            bucket.push(Arc::clone(arc));
+        }
+    }
+
+    /// Returns the canonical `Arc` for `pair`, allocating only if no equal
+    /// pair has been interned before.
+    pub fn intern(&mut self, pair: StatePair) -> Arc<StatePair> {
+        let key = Self::key_of(&pair);
+        let bucket = self.buckets.entry(key).or_default();
+        if let Some(existing) = bucket.iter().find(|p| ***p == pair) {
+            self.hits += 1;
+            return Arc::clone(existing);
+        }
+        self.fresh += 1;
+        let arc = Arc::new(pair);
+        bucket.push(Arc::clone(&arc));
+        arc
+    }
+
+    /// Number of `intern` calls answered from the store.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of `intern` calls that allocated a new canonical pair.
+    pub fn fresh(&self) -> u64 {
+        self.fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CacheConfig;
+    use rtpf_isa::MemBlockId;
+
+    fn pair(blocks: &[u64]) -> StatePair {
+        let config = CacheConfig::new(2, 16, 64).unwrap();
+        let mut must = MustState::new(&config);
+        let mut may = MayState::new(&config);
+        for &b in blocks {
+            must.update(MemBlockId(b));
+            may.update(MemBlockId(b));
+        }
+        (must, may)
+    }
+
+    #[test]
+    fn equal_pairs_share_one_allocation() {
+        let mut it = StateInterner::new();
+        let a = it.intern(pair(&[1, 2, 3]));
+        let b = it.intern(pair(&[1, 2, 3]));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(it.hits(), 1);
+        assert_eq!(it.fresh(), 1);
+    }
+
+    #[test]
+    fn distinct_pairs_stay_distinct() {
+        let mut it = StateInterner::new();
+        let a = it.intern(pair(&[1]));
+        let b = it.intern(pair(&[2]));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(*a, pair(&[1]));
+        assert_eq!(*b, pair(&[2]));
+        assert_eq!(it.fresh(), 2);
+    }
+}

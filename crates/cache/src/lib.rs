@@ -30,6 +30,7 @@
 pub mod classify;
 pub mod concrete;
 pub mod config;
+pub mod intern;
 pub mod may;
 pub mod must;
 pub mod persistence;
@@ -38,6 +39,7 @@ pub mod timing;
 pub use classify::Classification;
 pub use concrete::{AccessOutcome, ConcreteState};
 pub use config::{CacheConfig, ConfigError};
+pub use intern::{StateInterner, StatePair};
 pub use may::MayState;
 pub use must::MustState;
 pub use persistence::PersistenceState;

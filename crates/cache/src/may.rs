@@ -12,10 +12,14 @@ use crate::config::CacheConfig;
 
 /// Abstract may cache state.
 ///
-/// Per set, `ages[h]` holds the blocks whose minimal LRU age is `h`.
-#[derive(Clone, PartialEq, Eq, Debug)]
+/// Stored as a single sorted vector of `(block, min-age)` entries — the
+/// same flat layout as [`crate::MustState`], chosen so each state costs
+/// one allocation instead of `n_sets × assoc` bucket vectors. Each block
+/// appears at most once and ages stay below the associativity.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct MayState {
-    sets: Vec<Vec<Vec<MemBlockId>>>,
+    /// Sorted by block id: possibly-cached blocks with their minimal age.
+    entries: Vec<(MemBlockId, u32)>,
     assoc: u32,
     n_sets: u32,
 }
@@ -25,7 +29,7 @@ impl MayState {
     /// state for a cold cache.
     pub fn new(config: &CacheConfig) -> Self {
         MayState {
-            sets: vec![vec![Vec::new(); config.assoc() as usize]; config.n_sets() as usize],
+            entries: Vec::new(),
             assoc: config.assoc(),
             n_sets: config.n_sets(),
         }
@@ -33,13 +37,10 @@ impl MayState {
 
     /// Minimal age of `block`, if it might be cached.
     pub fn age(&self, block: MemBlockId) -> Option<u32> {
-        let set = (block.0 % u64::from(self.n_sets)) as usize;
-        for (h, bucket) in self.sets[set].iter().enumerate() {
-            if bucket.binary_search(&block).is_ok() {
-                return Some(h as u32);
-            }
-        }
-        None
+        self.entries
+            .binary_search_by_key(&block, |e| e.0)
+            .ok()
+            .map(|i| self.entries[i].1)
     }
 
     /// Whether `block` might be cached. A `false` answer classifies a
@@ -53,113 +54,90 @@ impl MayState {
     /// whose minimal age was ≤ the referenced block's move one step older;
     /// blocks aging past the associativity are definitely evicted.
     pub fn update(&mut self, block: MemBlockId) {
-        let set = (block.0 % u64::from(self.n_sets)) as usize;
-        let a = self.assoc as usize;
-        let old_age = self.age_in_set(set, block);
-        let buckets = &mut self.sets[set];
-        match old_age {
-            Some(h) => {
-                let h = h as usize;
-                if let Ok(pos) = buckets[h].binary_search(&block) {
-                    buckets[h].remove(pos);
-                }
-                // Blocks of age ≤ h (except the referenced one) age by one.
-                let mut carry: Vec<MemBlockId> = Vec::new();
-                for bucket in buckets.iter_mut().take(h + 1) {
-                    std::mem::swap(bucket, &mut carry);
-                }
-                // `carry` now holds the old bucket[h] remnants destined for
-                // h+1 (or eviction if h+1 == assoc).
-                if h + 1 < a {
-                    merge_into(&mut buckets[h + 1], carry);
-                }
-                buckets[0] = vec![block];
+        let n_sets = u64::from(self.n_sets);
+        let set = block.0 % n_sets;
+        let assoc = self.assoc;
+        // On a hit at age h blocks with age ≤ h age by one; on a miss every
+        // same-set block does. Either way, reaching the associativity means
+        // definite eviction.
+        let bump_max = self.age(block).unwrap_or(assoc - 1);
+        self.entries.retain_mut(|e| {
+            if e.0 == block {
+                return false; // reinserted at age 0 below
             }
-            None => {
-                buckets.pop();
-                buckets.insert(0, vec![block]);
-                debug_assert_eq!(buckets.len(), a);
+            if e.0 .0 % n_sets == set && e.1 <= bump_max {
+                e.1 += 1;
+                return e.1 < assoc;
             }
-        }
+            true
+        });
+        let pos = self
+            .entries
+            .binary_search_by_key(&block, |e| e.0)
+            .unwrap_err();
+        self.entries.insert(pos, (block, 0));
     }
 
     /// May join: union of both sides, keeping the *minimal* age.
     pub fn join(&self, other: &MayState) -> MayState {
         debug_assert_eq!(self.n_sets, other.n_sets);
         debug_assert_eq!(self.assoc, other.assoc);
-        let mut out = MayState {
-            sets: vec![vec![Vec::new(); self.assoc as usize]; self.n_sets as usize],
-            assoc: self.assoc,
-            n_sets: self.n_sets,
-        };
-        for s in 0..self.n_sets as usize {
-            for (h, bucket) in self.sets[s].iter().enumerate() {
-                for &b in bucket {
-                    let age = match other.age_in_set(s, b) {
-                        Some(h2) => h.min(h2 as usize),
-                        None => h,
-                    };
-                    insert_sorted(&mut out.sets[s][age], b);
+        let mut entries = Vec::with_capacity(self.entries.len().max(other.entries.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (a, b) = (self.entries[i], other.entries[j]);
+            match a.0.cmp(&b.0) {
+                std::cmp::Ordering::Less => {
+                    entries.push(a);
+                    i += 1;
                 }
-            }
-            for (h, bucket) in other.sets[s].iter().enumerate() {
-                for &b in bucket {
-                    if self.age_in_set(s, b).is_none() {
-                        insert_sorted(&mut out.sets[s][h], b);
-                    }
+                std::cmp::Ordering::Greater => {
+                    entries.push(b);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    entries.push((a.0, a.1.min(b.1)));
+                    i += 1;
+                    j += 1;
                 }
             }
         }
-        out
+        entries.extend_from_slice(&self.entries[i..]);
+        entries.extend_from_slice(&other.entries[j..]);
+        MayState {
+            entries,
+            assoc: self.assoc,
+            n_sets: self.n_sets,
+        }
     }
 
     /// All possibly-cached blocks with their minimal ages.
     pub fn iter(&self) -> impl Iterator<Item = (MemBlockId, u32)> + '_ {
-        self.sets.iter().flat_map(|set| {
-            set.iter()
-                .enumerate()
-                .flat_map(|(h, bucket)| bucket.iter().map(move |&b| (b, h as u32)))
-        })
+        self.entries.iter().copied()
     }
 
     /// Number of possibly-cached blocks.
     pub fn len(&self) -> usize {
-        self.sets.iter().flatten().map(Vec::len).sum()
+        self.entries.len()
     }
 
     /// Whether no block might be cached.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    fn age_in_set(&self, set: usize, block: MemBlockId) -> Option<u32> {
-        for (h, bucket) in self.sets[set].iter().enumerate() {
-            if bucket.binary_search(&block).is_ok() {
-                return Some(h as u32);
-            }
-        }
-        None
-    }
-}
-
-fn insert_sorted(v: &mut Vec<MemBlockId>, b: MemBlockId) {
-    if let Err(pos) = v.binary_search(&b) {
-        v.insert(pos, b);
-    }
-}
-
-fn merge_into(dst: &mut Vec<MemBlockId>, src: Vec<MemBlockId>) {
-    for b in src {
-        insert_sorted(dst, b);
+        self.entries.is_empty()
     }
 }
 
 impl fmt::Display for MayState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (s, set) in self.sets.iter().enumerate() {
+        for s in 0..u64::from(self.n_sets) {
             write!(f, "set {s}:")?;
-            for (h, bucket) in set.iter().enumerate() {
-                let cells: Vec<String> = bucket.iter().map(|b| b.to_string()).collect();
+            for h in 0..self.assoc {
+                let cells: Vec<String> = self
+                    .entries
+                    .iter()
+                    .filter(|e| e.0 .0 % u64::from(self.n_sets) == s && e.1 == h)
+                    .map(|e| e.0.to_string())
+                    .collect();
                 write!(f, " age{h}={{{}}}", cells.join(","))?;
             }
             writeln!(f)?;
@@ -230,5 +208,21 @@ mod tests {
         m.update(MemBlockId(2)); // hit at age 0: nothing else younger
         assert_eq!(m.age(MemBlockId(2)), Some(0));
         assert_eq!(m.age(MemBlockId(1)), Some(1));
+    }
+
+    #[test]
+    fn hit_update_leaves_older_blocks_alone() {
+        // 4-way single set: a hit at age 1 must not disturb ages > 1.
+        let config = CacheConfig::new(4, 16, 64).unwrap();
+        let mut m = MayState::new(&config);
+        for b in [1u64, 2, 3, 4] {
+            m.update(MemBlockId(b));
+        }
+        // Ages now: 4→0, 3→1, 2→2, 1→3.
+        m.update(MemBlockId(3)); // hit at age 1: ages 0..=1 bump, rest stay
+        assert_eq!(m.age(MemBlockId(3)), Some(0));
+        assert_eq!(m.age(MemBlockId(4)), Some(1));
+        assert_eq!(m.age(MemBlockId(2)), Some(2)); // untouched
+        assert_eq!(m.age(MemBlockId(1)), Some(3)); // untouched
     }
 }

@@ -14,9 +14,13 @@ use crate::config::CacheConfig;
 
 /// Abstract must cache state.
 ///
-/// Per set, `ages[h]` holds the blocks whose maximal LRU age is `h`; each
-/// block appears in at most one bucket, and the total number of blocks per
-/// set never exceeds the associativity.
+/// Stored as a single sorted vector of `(block, max-age)` entries: the
+/// number of cached blocks is bounded by the cache size, so a flat vector
+/// beats the per-set-per-age bucket representation by orders of magnitude
+/// in allocation count — one allocation per state instead of
+/// `n_sets × assoc` — which dominates the analysis fixpoint's runtime.
+/// Each block appears at most once, ages stay below the associativity, and
+/// at most `assoc` blocks of any one set are present.
 ///
 /// # Example
 ///
@@ -35,10 +39,10 @@ use crate::config::CacheConfig;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct MustState {
-    /// `sets[s][h]` = sorted blocks of set `s` with max-age `h`.
-    sets: Vec<Vec<Vec<MemBlockId>>>,
+    /// Sorted by block id: guaranteed-cached blocks with their maximal age.
+    entries: Vec<(MemBlockId, u32)>,
     assoc: u32,
     n_sets: u32,
 }
@@ -48,21 +52,23 @@ impl MustState {
     /// top for joins and the correct entry state (`ĉ_I`).
     pub fn new(config: &CacheConfig) -> Self {
         MustState {
-            sets: vec![vec![Vec::new(); config.assoc() as usize]; config.n_sets() as usize],
+            entries: Vec::new(),
             assoc: config.assoc(),
             n_sets: config.n_sets(),
         }
     }
 
+    #[inline]
+    fn set_of(&self, block: MemBlockId) -> u64 {
+        block.0 % u64::from(self.n_sets)
+    }
+
     /// Maximal age of `block`, if it is guaranteed cached.
     pub fn age(&self, block: MemBlockId) -> Option<u32> {
-        let set = (block.0 % u64::from(self.n_sets)) as usize;
-        for (h, bucket) in self.sets[set].iter().enumerate() {
-            if bucket.binary_search(&block).is_ok() {
-                return Some(h as u32);
-            }
-        }
-        None
+        self.entries
+            .binary_search_by_key(&block, |e| e.0)
+            .ok()
+            .map(|i| self.entries[i].1)
     }
 
     /// Whether a reference to `block` is an always-hit in this state.
@@ -75,39 +81,28 @@ impl MustState {
     /// younger blocks age by one; blocks aging past the associativity are
     /// no longer guaranteed cached.
     pub fn update(&mut self, block: MemBlockId) {
-        let set = (block.0 % u64::from(self.n_sets)) as usize;
-        let a = self.assoc as usize;
-        let old_age = {
-            let mut found = None;
-            for (h, bucket) in self.sets[set].iter().enumerate() {
-                if bucket.binary_search(&block).is_ok() {
-                    found = Some(h);
-                    break;
-                }
+        let set = self.set_of(block);
+        let n_sets = u64::from(self.n_sets);
+        let assoc = self.assoc;
+        // On a hit at age h only blocks younger than h age (and stay below
+        // the associativity); on a miss every same-set block ages and may
+        // fall out of the guarantee.
+        let cutoff = self.age(block).unwrap_or(assoc);
+        self.entries.retain_mut(|e| {
+            if e.0 == block {
+                return false; // reinserted at age 0 below
             }
-            found
-        };
-        let buckets = &mut self.sets[set];
-        match old_age {
-            Some(h) => {
-                // Blocks with age < h grow one step older; the touched block
-                // moves to age 0; ages ≥ h are unchanged.
-                if let Ok(pos) = buckets[h].binary_search(&block) {
-                    buckets[h].remove(pos);
-                }
-                for i in (1..=h).rev() {
-                    let moved = std::mem::take(&mut buckets[i - 1]);
-                    merge_into(&mut buckets[i], moved);
-                }
-                buckets[0] = vec![block];
+            if e.0 .0 % n_sets == set && e.1 < cutoff {
+                e.1 += 1;
+                return e.1 < assoc;
             }
-            None => {
-                // Everything ages one step; the oldest bucket falls out.
-                buckets.pop();
-                buckets.insert(0, vec![block]);
-                debug_assert_eq!(buckets.len(), a);
-            }
-        }
+            true
+        });
+        let pos = self
+            .entries
+            .binary_search_by_key(&block, |e| e.0)
+            .unwrap_err();
+        self.entries.insert(pos, (block, 0));
     }
 
     /// Must join (Definition in [8]): keep only blocks present on **both**
@@ -115,75 +110,54 @@ impl MustState {
     pub fn join(&self, other: &MustState) -> MustState {
         debug_assert_eq!(self.n_sets, other.n_sets);
         debug_assert_eq!(self.assoc, other.assoc);
-        let mut out = MustState::new_raw(self.assoc, self.n_sets);
-        for s in 0..self.n_sets as usize {
-            for (h, bucket) in self.sets[s].iter().enumerate() {
-                for &b in bucket {
-                    if let Some(h2) = other.age_in_set(s, b) {
-                        let age = h.max(h2 as usize);
-                        insert_sorted(&mut out.sets[s][age], b);
-                    }
+        let mut entries = Vec::with_capacity(self.entries.len().min(other.entries.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (a, b) = (self.entries[i], other.entries[j]);
+            match a.0.cmp(&b.0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    entries.push((a.0, a.1.max(b.1)));
+                    i += 1;
+                    j += 1;
                 }
             }
         }
-        out
+        MustState {
+            entries,
+            assoc: self.assoc,
+            n_sets: self.n_sets,
+        }
     }
 
     /// All blocks guaranteed cached, with their maximal ages.
     pub fn iter(&self) -> impl Iterator<Item = (MemBlockId, u32)> + '_ {
-        self.sets.iter().flat_map(|set| {
-            set.iter()
-                .enumerate()
-                .flat_map(|(h, bucket)| bucket.iter().map(move |&b| (b, h as u32)))
-        })
+        self.entries.iter().copied()
     }
 
     /// Number of blocks guaranteed cached.
     pub fn len(&self) -> usize {
-        self.sets.iter().flatten().map(Vec::len).sum()
+        self.entries.len()
     }
 
     /// Whether nothing is guaranteed cached.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    fn new_raw(assoc: u32, n_sets: u32) -> Self {
-        MustState {
-            sets: vec![vec![Vec::new(); assoc as usize]; n_sets as usize],
-            assoc,
-            n_sets,
-        }
-    }
-
-    fn age_in_set(&self, set: usize, block: MemBlockId) -> Option<u32> {
-        for (h, bucket) in self.sets[set].iter().enumerate() {
-            if bucket.binary_search(&block).is_ok() {
-                return Some(h as u32);
-            }
-        }
-        None
-    }
-}
-
-fn insert_sorted(v: &mut Vec<MemBlockId>, b: MemBlockId) {
-    if let Err(pos) = v.binary_search(&b) {
-        v.insert(pos, b);
-    }
-}
-
-fn merge_into(dst: &mut Vec<MemBlockId>, src: Vec<MemBlockId>) {
-    for b in src {
-        insert_sorted(dst, b);
+        self.entries.is_empty()
     }
 }
 
 impl fmt::Display for MustState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (s, set) in self.sets.iter().enumerate() {
+        for s in 0..u64::from(self.n_sets) {
             write!(f, "set {s}:")?;
-            for (h, bucket) in set.iter().enumerate() {
-                let cells: Vec<String> = bucket.iter().map(|b| b.to_string()).collect();
+            for h in 0..self.assoc {
+                let cells: Vec<String> = self
+                    .entries
+                    .iter()
+                    .filter(|e| e.0 .0 % u64::from(self.n_sets) == s && e.1 == h)
+                    .map(|e| e.0.to_string())
+                    .collect();
                 write!(f, " age{h}={{{}}}", cells.join(","))?;
             }
             writeln!(f)?;
@@ -233,6 +207,22 @@ mod tests {
     }
 
     #[test]
+    fn hit_update_leaves_older_blocks_alone() {
+        // 4-way single set: a hit at age 1 must not disturb ages ≥ 1.
+        let config = CacheConfig::new(4, 16, 64).unwrap();
+        let mut m = MustState::new(&config);
+        for b in [1u64, 2, 3, 4] {
+            m.update(MemBlockId(b));
+        }
+        // Ages now: 4→0, 3→1, 2→2, 1→3.
+        m.update(MemBlockId(3)); // hit at age 1
+        assert_eq!(m.age(MemBlockId(3)), Some(0));
+        assert_eq!(m.age(MemBlockId(4)), Some(1));
+        assert_eq!(m.age(MemBlockId(2)), Some(2)); // untouched
+        assert_eq!(m.age(MemBlockId(1)), Some(3)); // untouched
+    }
+
+    #[test]
     fn join_keeps_intersection_at_max_age() {
         let mut a = MustState::new(&cfg());
         a.update(MemBlockId(1)); // age 0 in a
@@ -252,6 +242,21 @@ mod tests {
         let b = MustState::new(&cfg());
         let j = a.join(&b);
         assert!(j.is_empty());
+    }
+
+    #[test]
+    fn per_set_capacity_is_respected() {
+        // 2 sets × 2 ways: filling one set never evicts the other's blocks.
+        let config = CacheConfig::new(2, 16, 64).unwrap();
+        let mut m = MustState::new(&config);
+        m.update(MemBlockId(1)); // set 1
+        m.update(MemBlockId(2)); // set 0
+        m.update(MemBlockId(4)); // set 0
+        m.update(MemBlockId(6)); // set 0: evicts 2, not 1
+        assert!(m.contains(MemBlockId(1)));
+        assert!(!m.contains(MemBlockId(2)));
+        assert_eq!(m.len(), 3);
+        assert!(m.iter().all(|(_, age)| age < config.assoc()));
     }
 
     #[test]

@@ -32,10 +32,7 @@ impl PersistenceState {
     /// The empty persistence state (no block tracked yet).
     pub fn new(config: &CacheConfig) -> Self {
         PersistenceState {
-            sets: vec![
-                vec![Vec::new(); config.assoc() as usize + 1];
-                config.n_sets() as usize
-            ],
+            sets: vec![vec![Vec::new(); config.assoc() as usize + 1]; config.n_sets() as usize],
             assoc: config.assoc(),
             n_sets: config.n_sets(),
         }
@@ -129,7 +126,12 @@ impl PersistenceState {
     pub fn persistent_count(&self) -> usize {
         self.sets
             .iter()
-            .map(|set| set[..self.assoc as usize].iter().map(Vec::len).sum::<usize>())
+            .map(|set| {
+                set[..self.assoc as usize]
+                    .iter()
+                    .map(Vec::len)
+                    .sum::<usize>()
+            })
             .sum()
     }
 

@@ -62,6 +62,9 @@ pub struct Options {
     pub rounds: Option<u32>,
     /// `--verbose`.
     pub verbose: bool,
+    /// `--profile` (sweep): print the aggregated per-phase analysis
+    /// profile and throughput.
+    pub profile: bool,
 }
 
 impl Options {
@@ -72,10 +75,7 @@ impl Options {
     /// Returns usage-style errors for unknown flags or malformed values.
     pub fn parse(args: &[String]) -> Result<Options, CliError> {
         let mut it = args.iter().peekable();
-        let command = it
-            .next()
-            .ok_or_else(|| err(USAGE))?
-            .clone();
+        let command = it.next().ok_or_else(|| err(USAGE))?.clone();
         let mut o = Options {
             command,
             spec: None,
@@ -86,6 +86,7 @@ impl Options {
             behavior: None,
             rounds: None,
             verbose: false,
+            profile: false,
         };
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -93,7 +94,11 @@ impl Options {
                     let v = it.next().ok_or_else(|| err("--cache needs a,b,c"))?;
                     let parts: Vec<u32> = v
                         .split(',')
-                        .map(|p| p.trim().parse().map_err(|_| err(format!("bad --cache {v}"))))
+                        .map(|p| {
+                            p.trim()
+                                .parse()
+                                .map_err(|_| err(format!("bad --cache {v}")))
+                        })
                         .collect::<Result<_, _>>()?;
                     if parts.len() != 3 {
                         return Err(err(format!("--cache wants 3 numbers, got {v}")));
@@ -107,7 +112,9 @@ impl Options {
                 "--seed" => o.seed = Some(parse_num(it.next(), "--seed")?),
                 "--rounds" => o.rounds = Some(parse_num(it.next(), "--rounds")? as u32),
                 "--behavior" => {
-                    let v = it.next().ok_or_else(|| err("--behavior needs worst|random"))?;
+                    let v = it
+                        .next()
+                        .ok_or_else(|| err("--behavior needs worst|random"))?;
                     o.behavior = Some(match v.as_str() {
                         "worst" => BranchBehavior::WorstLike,
                         "random" => BranchBehavior::Random,
@@ -115,9 +122,8 @@ impl Options {
                     });
                 }
                 "--verbose" | "-v" => o.verbose = true,
-                flag if flag.starts_with("--") => {
-                    return Err(err(format!("unknown flag {flag}")))
-                }
+                "--profile" => o.profile = true,
+                flag if flag.starts_with("--") => return Err(err(format!("unknown flag {flag}"))),
                 spec => {
                     if o.spec.is_some() {
                         return Err(err(format!("unexpected argument {spec}")));
@@ -165,7 +171,7 @@ commands:
   analyze  <file|suite:NAME> --cache a,b,c [--penalty N]
   optimize <file|suite:NAME> --cache a,b,c [--penalty N] [--rounds N] [-v]
   simulate <file|suite:NAME> --cache a,b,c [--runs N] [--seed N] [--behavior worst|random]
-  sweep    <file|suite:NAME>                # all 36 paper configurations
+  sweep    <file|suite:NAME> [--profile]    # all 36 paper configurations
   fmt      <file>                           # parse + pretty-print
   suite                                     # list built-in benchmarks
 
@@ -183,10 +189,8 @@ pub fn load_program(spec: &str) -> Result<(String, Program), CliError> {
             .ok_or_else(|| err(format!("unknown suite program {name} (try `rtpf suite`)")))?;
         return Ok((b.name.to_string(), b.program));
     }
-    let src = std::fs::read_to_string(spec)
-        .map_err(|e| err(format!("cannot read {spec}: {e}")))?;
-    let (name, shape) =
-        rtpf_isa::text::parse(&src).map_err(|e| err(format!("{spec}: {e}")))?;
+    let src = std::fs::read_to_string(spec).map_err(|e| err(format!("cannot read {spec}: {e}")))?;
+    let (name, shape) = rtpf_isa::text::parse(&src).map_err(|e| err(format!("{spec}: {e}")))?;
     Ok((name.clone(), shape.compile(name)))
 }
 
@@ -222,12 +226,30 @@ fn cmd_analyze(o: &Options) -> Result<String, CliError> {
         .map_err(|e| err(format!("analysis failed: {e}")))?;
     let (hit, miss, unk) = a.classification_counts();
     let mut s = String::new();
-    let _ = writeln!(s, "program {name}: {} instrs ({} B)", p.instr_count(), p.code_bytes());
+    let _ = writeln!(
+        s,
+        "program {name}: {} instrs ({} B)",
+        p.instr_count(),
+        p.code_bytes()
+    );
     let _ = writeln!(s, "cache {config} ({} sets), {timing}", config.n_sets());
-    let _ = writeln!(s, "references: {} over {} contexts", a.acfg().len(), a.vivu().len());
-    let _ = writeln!(s, "classification: {hit} always-hit / {miss} always-miss / {unk} unclassified");
+    let _ = writeln!(
+        s,
+        "references: {} over {} contexts",
+        a.acfg().len(),
+        a.vivu().len()
+    );
+    let _ = writeln!(
+        s,
+        "classification: {hit} always-hit / {miss} always-miss / {unk} unclassified"
+    );
     let _ = writeln!(s, "WCET (memory): {} cycles", a.tau_w());
-    let _ = writeln!(s, "WCET-path accesses: {} ({} misses)", a.wcet_accesses(), a.wcet_misses());
+    let _ = writeln!(
+        s,
+        "WCET-path accesses: {} ({} misses)",
+        a.wcet_accesses(),
+        a.wcet_misses()
+    );
     let pr = rtpf_wcet::persistence_report(&p, &a);
     if pr.first_miss_refs > 0 {
         let _ = writeln!(
@@ -278,7 +300,11 @@ fn cmd_optimize(o: &Options) -> Result<String, CliError> {
         rep.wcet_after,
         100.0 * (rep.wcet_after as f64 / rep.wcet_before as f64 - 1.0)
     );
-    let _ = writeln!(s, "  WCET-path misses: {} -> {}", rep.misses_before, rep.misses_after);
+    let _ = writeln!(
+        s,
+        "  WCET-path misses: {} -> {}",
+        rep.misses_before, rep.misses_after
+    );
     let _ = writeln!(
         s,
         "  Theorem 1: equivalent={} wcet_preserved={}",
@@ -339,12 +365,18 @@ fn cmd_simulate(o: &Options) -> Result<String, CliError> {
 fn cmd_sweep(o: &Options) -> Result<String, CliError> {
     let (name, p) = load_program(spec_of(o)?)?;
     let mut s = String::new();
-    let _ = writeln!(s, "program {name}: WCET before/after per Table 2 configuration");
+    let _ = writeln!(
+        s,
+        "program {name}: WCET before/after per Table 2 configuration"
+    );
     let _ = writeln!(
         s,
         "{:<5} {:>2} {:>3} {:>6} {:>12} {:>12} {:>8} {:>4}",
         "k", "a", "b", "c", "wcet_orig", "wcet_opt", "delta", "pf"
     );
+    let t0 = std::time::Instant::now();
+    let mut profile = rtpf_wcet::AnalysisProfile::default();
+    let mut units = 0u32;
     for (k, config) in CacheConfig::paper_configs() {
         let timing = EnergyModel::new(&config, Technology::Nm45).timing();
         let params = OptimizeParams {
@@ -356,6 +388,8 @@ fn cmd_sweep(o: &Options) -> Result<String, CliError> {
         let r = Optimizer::new(config, params)
             .run(&p)
             .map_err(|e| err(format!("{k}: {e}")))?;
+        profile.add(&r.report.profile);
+        units += 1;
         let _ = writeln!(
             s,
             "{:<5} {:>2} {:>3} {:>6} {:>12} {:>12} {:>7.2}% {:>4}",
@@ -369,15 +403,24 @@ fn cmd_sweep(o: &Options) -> Result<String, CliError> {
             r.report.inserted
         );
     }
+    if o.profile {
+        let elapsed = t0.elapsed().as_secs_f64();
+        let _ = writeln!(s, "\nanalysis profile over {units} configurations:");
+        let _ = writeln!(s, "{profile}");
+        let _ = writeln!(
+            s,
+            "throughput: {:.2} units/s ({:.2} s wall clock)",
+            f64::from(units) / elapsed,
+            elapsed
+        );
+    }
     Ok(s)
 }
 
 fn cmd_fmt(o: &Options) -> Result<String, CliError> {
     let spec = spec_of(o)?;
-    let src = std::fs::read_to_string(spec)
-        .map_err(|e| err(format!("cannot read {spec}: {e}")))?;
-    let (name, shape) =
-        rtpf_isa::text::parse(&src).map_err(|e| err(format!("{spec}: {e}")))?;
+    let src = std::fs::read_to_string(spec).map_err(|e| err(format!("cannot read {spec}: {e}")))?;
+    let (name, shape) = rtpf_isa::text::parse(&src).map_err(|e| err(format!("{spec}: {e}")))?;
     Ok(rtpf_isa::text::write(&name, &shape))
 }
 
@@ -442,8 +485,8 @@ mod tests {
 
     #[test]
     fn analyze_on_a_suite_program() {
-        let o = Options::parse(&args(&["analyze", "suite:bs", "--cache", "2,16,512"]))
-            .expect("parses");
+        let o =
+            Options::parse(&args(&["analyze", "suite:bs", "--cache", "2,16,512"])).expect("parses");
         let out = run(&o).expect("runs");
         assert!(out.contains("WCET (memory):"));
         assert!(out.contains("classification:"));
@@ -467,16 +510,21 @@ mod tests {
     #[test]
     fn simulate_prints_energy() {
         let o = Options::parse(&args(&[
-            "simulate",
-            "suite:bs",
-            "--cache",
-            "2,16,512",
-            "--runs",
-            "1",
+            "simulate", "suite:bs", "--cache", "2,16,512", "--runs", "1",
         ]))
         .expect("parses");
         let out = run(&o).expect("runs");
         assert!(out.contains("nJ @45nm"));
+    }
+
+    #[test]
+    fn sweep_profile_prints_breakdown() {
+        let o = Options::parse(&args(&["sweep", "suite:bs", "--profile", "--rounds", "1"]))
+            .expect("parses");
+        let out = run(&o).expect("runs");
+        assert!(out.contains("analysis profile over 36 configurations"));
+        assert!(out.contains("fixpoint"));
+        assert!(out.contains("units/s"));
     }
 
     #[test]

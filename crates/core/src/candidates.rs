@@ -133,10 +133,7 @@ mod tests {
         // The reverse state only holds future-used blocks, so every
         // candidate's block must be referenced after r_i in the ACFG.
         let (_, a) = analyze(Shape::code(64), CacheConfig::new(1, 16, 32).unwrap());
-        let c = scan(
-            &Shape::code(64).compile("t"),
-            &a,
-        );
+        let c = scan(&Shape::code(64).compile("t"), &a);
         let pos: std::collections::HashMap<RefId, usize> = a
             .acfg()
             .topo()
@@ -150,7 +147,11 @@ mod tests {
                 .refs()
                 .iter()
                 .any(|r| pos[&r.id] > pos[&cand.r_i] && a.mem_block(r.id) == cand.evicted);
-            assert!(after_use, "candidate block {} has no future use", cand.evicted);
+            assert!(
+                after_use,
+                "candidate block {} has no future use",
+                cand.evicted
+            );
         }
     }
 

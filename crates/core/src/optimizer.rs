@@ -2,7 +2,7 @@
 
 use rtpf_cache::{CacheConfig, MemTiming};
 use rtpf_isa::{InstrId, InstrKind, Layout, Program};
-use rtpf_wcet::{AnalysisError, WcetAnalysis};
+use rtpf_wcet::{AnalysisError, AnalysisProfile, WcetAnalysis};
 
 use crate::candidates;
 use crate::path::WcetPath;
@@ -24,6 +24,16 @@ pub struct OptimizeParams {
     /// prefetch without checking that `Λ` fits before the use — the
     /// `ablation_criterion` benchmark measures what that costs.
     pub check_effectiveness: bool,
+    /// Re-analyse each verification candidate incrementally from the
+    /// current accepted analysis (identical results, much cheaper) instead
+    /// of from scratch. Disable to measure the speedup or to force the
+    /// legacy path.
+    pub incremental: bool,
+    /// Worker threads for speculative single-candidate verification after
+    /// a batch rejection: `0` = one per available core, `1` = sequential.
+    /// Any setting yields bit-identical results; see
+    /// [`Optimizer::run`].
+    pub verify_workers: usize,
 }
 
 impl Default for OptimizeParams {
@@ -34,6 +44,8 @@ impl Default for OptimizeParams {
             max_prefetches: 512,
             max_singles_per_round: 48,
             check_effectiveness: true,
+            incremental: true,
+            verify_workers: 0,
         }
     }
 }
@@ -57,6 +69,26 @@ pub struct OptimizeReport {
     pub candidates_seen: u64,
     /// Insertions rejected by the end-to-end verifier.
     pub rejected_by_verifier: u64,
+    /// Aggregated per-phase analysis timings and work counters over every
+    /// analysis the run performed (wall-clock; varies between runs).
+    pub profile: AnalysisProfile,
+}
+
+impl OptimizeReport {
+    /// Equality of everything the optimizer *decided* — all fields except
+    /// the timing-dependent [`profile`](OptimizeReport::profile). Two runs
+    /// with different `verify_workers` / `incremental` settings must agree
+    /// under this comparison.
+    pub fn decisions_eq(&self, other: &OptimizeReport) -> bool {
+        self.rounds == other.rounds
+            && self.inserted == other.inserted
+            && self.wcet_before == other.wcet_before
+            && self.wcet_after == other.wcet_after
+            && self.misses_before == other.misses_before
+            && self.misses_after == other.misses_after
+            && self.candidates_seen == other.candidates_seen
+            && self.rejected_by_verifier == other.rejected_by_verifier
+    }
 }
 
 /// An optimized program plus the analyses proving the transformation safe.
@@ -98,6 +130,21 @@ impl Optimizer {
     /// `report.wcet_after ≤ report.wcet_before` **by construction**: every
     /// accepted insertion batch was re-verified by a full WCET analysis.
     ///
+    /// Two hot-loop optimizations keep the verification cost down, and
+    /// neither changes any decision:
+    ///
+    /// * with [`OptimizeParams::incremental`], candidate verification
+    ///   re-analyses through
+    ///   [`WcetAnalysis::reanalyze_after_insert`], which provably equals
+    ///   the from-scratch analysis (debug builds cross-check);
+    /// * with [`OptimizeParams::verify_workers`] ≠ 1, the post-batch
+    ///   single-candidate loop verifies the next wave of plan entries
+    ///   speculatively in parallel, then consumes the results **in plan
+    ///   order**, discarding everything after the first acceptance (those
+    ///   entries are re-verified against the updated program). The
+    ///   accept/reject sequence, all caps, and error propagation are
+    ///   exactly those of the sequential loop.
+    ///
     /// # Errors
     ///
     /// Fails if the program is invalid or the analysis context budget is
@@ -116,6 +163,7 @@ impl Optimizer {
             misses_after: before.wcet_misses(),
             ..OptimizeReport::default()
         };
+        report.profile.add(before.profile());
 
         for _ in 0..self.params.max_rounds {
             if report.inserted >= self.params.max_prefetches {
@@ -133,14 +181,15 @@ impl Optimizer {
             let mut l2 = layout.clone();
             let mut applied = 0u32;
             for e in plan.iter().take(budget) {
-                if self.apply(&mut p2, &mut l2, *e) {
+                if self.apply(&mut p2, &mut l2, *e, &mut report.profile.relocation_ns) {
                     applied += 1;
                 }
             }
             if applied == 0 {
                 break;
             }
-            let a2 = WcetAnalysis::analyze_with_layout(&p2, l2.clone(), &self.config, &timing)?;
+            let a2 = self.verify_analysis(&cur, &p2, l2.clone())?;
+            report.profile.add(a2.profile());
             if accepts(&cur, &a2) {
                 prog = p2;
                 layout = l2;
@@ -151,33 +200,9 @@ impl Optimizer {
             report.rejected_by_verifier += u64::from(applied);
 
             // Batch failed: verify insertions one at a time (the paper's
-            // per-prefetch criterion, enforced exactly).
-            let mut any = false;
-            let mut tried = 0u32;
-            for e in &plan {
-                if report.inserted >= self.params.max_prefetches
-                    || tried >= self.params.max_singles_per_round
-                {
-                    break;
-                }
-                tried += 1;
-                let mut p3 = prog.clone();
-                let mut l3 = layout.clone();
-                if !self.apply(&mut p3, &mut l3, *e) {
-                    continue;
-                }
-                let a3 =
-                    WcetAnalysis::analyze_with_layout(&p3, l3.clone(), &self.config, &timing)?;
-                if accepts(&cur, &a3) {
-                    prog = p3;
-                    layout = l3;
-                    cur = a3;
-                    report.inserted += 1;
-                    any = true;
-                } else {
-                    report.rejected_by_verifier += 1;
-                }
-            }
+            // per-prefetch criterion, enforced exactly), speculating waves
+            // of candidates across worker threads.
+            let any = self.verify_singles(&plan, &mut prog, &mut layout, &mut cur, &mut report)?;
             if !any {
                 break;
             }
@@ -192,6 +217,165 @@ impl Optimizer {
             analysis_before: before,
             analysis_after: cur,
         })
+    }
+
+    /// Analysis of a candidate program during verification: incremental
+    /// from the current accepted analysis when enabled, from scratch
+    /// otherwise.
+    fn verify_analysis(
+        &self,
+        cur: &WcetAnalysis,
+        p: &Program,
+        layout: Layout,
+    ) -> Result<WcetAnalysis, AnalysisError> {
+        if self.params.incremental {
+            cur.reanalyze_after_insert(p, layout)
+        } else {
+            WcetAnalysis::analyze_with_layout(p, layout, &self.config, &self.params.timing)
+        }
+    }
+
+    /// The one-at-a-time verification loop, parallelised by speculation.
+    ///
+    /// Waves of up to `verify_workers` plan entries are applied and
+    /// analysed concurrently against the *current* program; the results
+    /// are then consumed strictly in plan order. The first acceptance
+    /// invalidates the remaining speculative results (they were analysed
+    /// against a now-stale program), so they are discarded unconsumed —
+    /// their entries re-enter the next wave. Consumed results update the
+    /// counters exactly as the sequential loop would, so any worker count
+    /// produces the same program, decisions, and error behaviour.
+    fn verify_singles(
+        &self,
+        plan: &[PlanEntry],
+        prog: &mut Program,
+        layout: &mut Layout,
+        cur: &mut WcetAnalysis,
+        report: &mut OptimizeReport,
+    ) -> Result<bool, AnalysisError> {
+        let workers = match self.params.verify_workers {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        };
+        let mut any = false;
+        let mut tried = 0u32;
+        let mut idx = 0usize;
+        'waves: while idx < plan.len()
+            && report.inserted < self.params.max_prefetches
+            && tried < self.params.max_singles_per_round
+        {
+            let k = workers
+                .min(plan.len() - idx)
+                .min((self.params.max_singles_per_round - tried) as usize)
+                .max(1);
+            let wave = &plan[idx..idx + k];
+            if k == 1 {
+                // Single-candidate fast path: apply on the live program and
+                // revert on rejection instead of cloning it. Decisions,
+                // counters, and error behaviour are identical to the
+                // speculative path (and to the original sequential loop).
+                let e = wave[0];
+                tried += 1;
+                let mut reloc_ns = 0u64;
+                let saved_layout = layout.clone();
+                let applied = self.apply(prog, layout, e, &mut reloc_ns);
+                report.profile.relocation_ns += reloc_ns;
+                if !applied {
+                    idx += 1;
+                    continue;
+                }
+                let revert = |prog: &mut Program, layout: &mut Layout| {
+                    let newest = InstrId(prog.instr_count() as u32 - 1);
+                    prog.remove_newest_instr(newest)
+                        .expect("reverting the insertion just applied");
+                    *layout = saved_layout;
+                };
+                match self.verify_analysis(cur, prog, layout.clone()) {
+                    Ok(a3) => {
+                        report.profile.add(a3.profile());
+                        if accepts(cur, &a3) {
+                            *cur = a3;
+                            report.inserted += 1;
+                            any = true;
+                        } else {
+                            report.rejected_by_verifier += 1;
+                            revert(prog, layout);
+                        }
+                    }
+                    Err(err) => {
+                        revert(prog, layout);
+                        return Err(err);
+                    }
+                }
+                idx += 1;
+                continue;
+            }
+            let specs: Vec<(Spec, u64)> = {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = wave
+                        .iter()
+                        .map(|e| {
+                            let (prog, layout, cur) = (&*prog, &*layout, &*cur);
+                            s.spawn(move || self.speculate(prog, layout, cur, *e))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("verification worker panicked"))
+                        .collect()
+                })
+            };
+            for (j, (spec, reloc_ns)) in specs.into_iter().enumerate() {
+                if report.inserted >= self.params.max_prefetches
+                    || tried >= self.params.max_singles_per_round
+                {
+                    break 'waves;
+                }
+                tried += 1;
+                report.profile.relocation_ns += reloc_ns;
+                match spec {
+                    Spec::Skipped => {}
+                    Spec::Failed(err) => return Err(err),
+                    Spec::Analyzed(boxed) => {
+                        let (p3, l3, a3) = *boxed;
+                        report.profile.add(a3.profile());
+                        if accepts(cur, &a3) {
+                            *prog = p3;
+                            *layout = l3;
+                            *cur = a3;
+                            report.inserted += 1;
+                            any = true;
+                            idx += j + 1;
+                            continue 'waves;
+                        }
+                        report.rejected_by_verifier += 1;
+                    }
+                }
+            }
+            idx += k;
+        }
+        Ok(any)
+    }
+
+    /// Applies and analyses one plan entry against a snapshot of the
+    /// current program, without committing anything.
+    fn speculate(
+        &self,
+        prog: &Program,
+        layout: &Layout,
+        cur: &WcetAnalysis,
+        e: PlanEntry,
+    ) -> (Spec, u64) {
+        let mut reloc_ns = 0u64;
+        let mut p3 = prog.clone();
+        let mut l3 = layout.clone();
+        if !self.apply(&mut p3, &mut l3, e, &mut reloc_ns) {
+            return (Spec::Skipped, reloc_ns);
+        }
+        match self.verify_analysis(cur, &p3, l3.clone()) {
+            Ok(a3) => (Spec::Analyzed(Box::new((p3, l3, a3))), reloc_ns),
+            Err(err) => (Spec::Failed(err), reloc_ns),
+        }
     }
 
     /// Evaluates the joint improvement criterion over the current
@@ -212,7 +396,9 @@ impl Optimizer {
 
         for c in cands.iter().rev() {
             // `r_i` must lie on the WCET path (Eq. 9 weighs by n^w).
-            let Some(pi) = path.position(c.r_i) else { continue };
+            let Some(pi) = path.position(c.r_i) else {
+                continue;
+            };
             // `r_{i+1}`: the insertion anchor.
             let Some(&r_next) = path.refs().get(pi + 1) else {
                 continue;
@@ -244,8 +430,7 @@ impl Optimizer {
             // being fetched anyway); the end-to-end verifier catches the
             // rare cases where the estimate is optimistic.
             let mcost = cur.t_w(r_j) * cur.n_w(r_j);
-            let pcost =
-                timing.hit_cycles * cur.n_w(r_next) + timing.hit_cycles * cur.n_w(r_j);
+            let pcost = timing.hit_cycles * cur.n_w(r_next) + timing.hit_cycles * cur.n_w(r_j);
             if mcost <= pcost {
                 continue;
             }
@@ -262,10 +447,17 @@ impl Optimizer {
     }
 
     /// Inserts a prefetch immediately before `anchor`, relocating with the
-    /// suffix anchored (paper `relocate_upwards`). Returns false for
-    /// redundant insertions (an equivalent prefetch already sits there, or
-    /// the target block is the anchor's own).
-    fn apply(&self, prog: &mut Program, layout: &mut Layout, e: PlanEntry) -> bool {
+    /// suffix anchored (paper `relocate_upwards`) and charging the
+    /// relocation time to `reloc_ns`. Returns false for redundant
+    /// insertions (an equivalent prefetch already sits there, or the
+    /// target block is the anchor's own).
+    fn apply(
+        &self,
+        prog: &mut Program,
+        layout: &mut Layout,
+        e: PlanEntry,
+        reloc_ns: &mut u64,
+    ) -> bool {
         let bytes = self.config.block_bytes();
         let tb = layout.block_of(e.target, bytes);
         if tb == layout.block_of(e.anchor, bytes) {
@@ -275,19 +467,32 @@ impl Optimizer {
         let pos = prog.pos_in_block(e.anchor);
         // Redundancy window: the two instructions preceding the anchor.
         let instrs = prog.block(bb).instrs();
-        for k in pos.saturating_sub(2)..pos {
-            if let InstrKind::Prefetch { target } = prog.instr(instrs[k]).kind {
+        for &before in &instrs[pos.saturating_sub(2)..pos] {
+            if let InstrKind::Prefetch { target } = prog.instr(before).kind {
                 if layout.block_of(target, bytes) == tb {
                     return false;
                 }
             }
         }
         let anchor_addr = layout.addr(e.anchor);
+        let t0 = std::time::Instant::now();
         prog.insert_instr(bb, pos, InstrKind::Prefetch { target: e.target })
             .expect("anchor block exists");
         *layout = Layout::anchored(prog, e.anchor, anchor_addr);
+        *reloc_ns += t0.elapsed().as_nanos() as u64;
         true
     }
+}
+
+/// Outcome of one speculative single-candidate verification.
+enum Spec {
+    /// The insertion was redundant (`apply` returned false).
+    Skipped,
+    /// Applied and analysed; acceptance is decided by the consumer.
+    /// Boxed: a candidate program + analysis dwarfs the other variants.
+    Analyzed(Box<(Program, Layout, WcetAnalysis)>),
+    /// The analysis errored; propagated only if consumed in plan order.
+    Failed(AnalysisError),
 }
 
 /// Acceptance: `τ_w` must not grow and the WCET-path misses must shrink
@@ -350,7 +555,11 @@ mod tests {
     fn wcet_never_increases_on_any_suite_like_shape() {
         let shapes = [
             Shape::loop_(10, Shape::if_else(2, Shape::code(30), Shape::code(10))),
-            Shape::seq([Shape::code(20), Shape::loop_(8, Shape::code(50)), Shape::code(10)]),
+            Shape::seq([
+                Shape::code(20),
+                Shape::loop_(8, Shape::code(50)),
+                Shape::code(10),
+            ]),
             Shape::loop_(5, Shape::loop_(6, Shape::code(25))),
         ];
         for (i, s) in shapes.into_iter().enumerate() {
@@ -391,5 +600,61 @@ mod tests {
         assert_eq!(r.report.misses_after, r.analysis_after.wcet_misses());
         assert_eq!(r.report.wcet_before, r.analysis_before.tau_w());
         assert_eq!(r.report.wcet_after, r.analysis_after.tau_w());
+    }
+
+    fn run_with(shape: &Shape, incremental: bool, verify_workers: usize) -> OptimizeResult {
+        let p = shape.clone().compile("det");
+        let params = OptimizeParams {
+            incremental,
+            verify_workers,
+            ..OptimizeParams::default()
+        };
+        Optimizer::new(CacheConfig::new(2, 16, 128).unwrap(), params)
+            .run(&p)
+            .unwrap()
+    }
+
+    #[test]
+    fn parallel_verification_is_byte_identical_to_sequential() {
+        for shape in [
+            compress_mini(),
+            Shape::loop_(10, Shape::if_else(2, Shape::code(30), Shape::code(10))),
+        ] {
+            let seq = run_with(&shape, true, 1);
+            for workers in [0, 2, 4, 7] {
+                let par = run_with(&shape, true, workers);
+                assert_eq!(
+                    par.program, seq.program,
+                    "workers={workers} produced a different program"
+                );
+                assert!(
+                    par.report.decisions_eq(&seq.report),
+                    "workers={workers}: {:?} vs {:?}",
+                    par.report,
+                    seq.report
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_analysis_changes_no_decision() {
+        let shape = compress_mini();
+        let inc = run_with(&shape, true, 1);
+        let full = run_with(&shape, false, 1);
+        assert_eq!(inc.program, full.program);
+        assert!(inc.report.decisions_eq(&full.report));
+        assert!(inc.report.profile.incremental_analyses > 0);
+        assert_eq!(full.report.profile.incremental_analyses, 0);
+    }
+
+    #[test]
+    fn profile_accounts_for_every_analysis() {
+        let r = optimize(compress_mini(), CacheConfig::new(2, 16, 128).unwrap());
+        let prof = r.report.profile;
+        // The initial analysis plus at least one per round.
+        assert!(prof.full_analyses + prof.incremental_analyses > u64::from(r.report.rounds));
+        assert!(prof.nodes_reanalyzed <= prof.nodes_total);
+        assert!(prof.fixpoint_evals > 0);
     }
 }

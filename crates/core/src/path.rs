@@ -64,12 +64,7 @@ impl WcetPath {
 
     /// The first path reference after `from` (exclusive) whose fetched
     /// block is `block` — the paper's `r_j` for a replacement of `block`.
-    pub fn next_use(
-        &self,
-        a: &WcetAnalysis,
-        from: RefId,
-        block: MemBlockId,
-    ) -> Option<RefId> {
+    pub fn next_use(&self, a: &WcetAnalysis, from: RefId, block: MemBlockId) -> Option<RefId> {
         let p = self.position(from)?;
         self.refs[p + 1..]
             .iter()
@@ -111,8 +106,12 @@ mod tests {
 
     fn analyze(shape: Shape) -> WcetAnalysis {
         let p = shape.compile("t");
-        WcetAnalysis::analyze(&p, &CacheConfig::new(2, 16, 256).unwrap(), &MemTiming::default())
-            .unwrap()
+        WcetAnalysis::analyze(
+            &p,
+            &CacheConfig::new(2, 16, 256).unwrap(),
+            &MemTiming::default(),
+        )
+        .unwrap()
     }
 
     #[test]

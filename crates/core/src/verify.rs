@@ -146,7 +146,10 @@ mod tests {
             &MemTiming::default(),
         )
         .unwrap();
-        assert!(r.report.inserted > 0, "the scenario must exercise insertion");
+        assert!(
+            r.report.inserted > 0,
+            "the scenario must exercise insertion"
+        );
         assert!(report.holds(), "{report:?}");
         assert!(report.tau_after <= report.tau_before);
     }

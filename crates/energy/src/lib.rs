@@ -168,7 +168,10 @@ impl EnergyModel {
         let cap = f64::from(self.config.capacity_bytes()) / BASE_CAPACITY;
         let assoc = f64::from(self.config.assoc());
         let block = f64::from(self.config.block_bytes()) / BASE_BLOCK;
-        READ_BASE_NJ * cap.powf(0.45) * assoc.powf(0.25) * block.powf(0.15)
+        READ_BASE_NJ
+            * cap.powf(0.45)
+            * assoc.powf(0.25)
+            * block.powf(0.15)
             * self.tech.dynamic_scale()
     }
 
@@ -254,8 +257,20 @@ mod tests {
     #[test]
     fn energy_attribution_is_additive() {
         let m = EnergyModel::new(&cfg(2, 16, 1024), Technology::Nm32);
-        let s1 = MemStats { accesses: 100, hits: 90, misses: 10, fills: 10, cycles: 500 };
-        let s2 = MemStats { accesses: 200, hits: 180, misses: 20, fills: 20, cycles: 1000 };
+        let s1 = MemStats {
+            accesses: 100,
+            hits: 90,
+            misses: 10,
+            fills: 10,
+            cycles: 500,
+        };
+        let s2 = MemStats {
+            accesses: 200,
+            hits: 180,
+            misses: 20,
+            fills: 20,
+            cycles: 1000,
+        };
         let e1 = m.energy_of(&s1).total_nj();
         let e2 = m.energy_of(&s2).total_nj();
         assert!((e2 - 2.0 * e1).abs() < 1e-9);

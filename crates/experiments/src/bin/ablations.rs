@@ -51,7 +51,10 @@ fn main() {
     );
 
     println!("\n== ablation 2: reverse-analysis join (J_SE vs first-successor) ==");
-    println!("{:<10} {:>12} {:>12} {:>16}", "program", "cands_jse", "cands_first", "on-path (jse)");
+    println!(
+        "{:<10} {:>12} {:>12} {:>16}",
+        "program", "cands_jse", "cands_first", "on-path (jse)"
+    );
     for name in programs {
         let b = rtpf_suite::by_name(name).expect("known");
         let a = WcetAnalysis::analyze(&b.program, &config, &timing).expect("analyzes");

@@ -15,10 +15,8 @@ fn main() {
     for c in CAPACITIES {
         let acet = 1.0 - mean_by_capacity(&rows, c, |r| r.acet_ratio());
         // Pool the two technologies, as the paper's Inequation 10 does.
-        let energy = 1.0
-            - mean_by_capacity(&rows, c, |r| {
-                (r.energy_ratio(0) + r.energy_ratio(1)) / 2.0
-            });
+        let energy =
+            1.0 - mean_by_capacity(&rows, c, |r| (r.energy_ratio(0) + r.energy_ratio(1)) / 2.0);
         let wcet = 1.0 - mean_by_capacity(&rows, c, |r| r.wcet_ratio());
         println!(
             "{:>8}B {:>9.1}% {:>12.1}% {:>9.1}%",

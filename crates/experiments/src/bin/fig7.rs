@@ -12,10 +12,20 @@ fn main() {
     let n = ratios.len();
     let pct = |p: f64| ratios[((n as f64 - 1.0) * p) as usize];
     println!("use cases: {n}");
-    println!("min {:.3}  p10 {:.3}  p25 {:.3}  median {:.3}  p75 {:.3}  max {:.3}",
-        ratios[0], pct(0.10), pct(0.25), pct(0.50), pct(0.75), ratios[n - 1]);
+    println!(
+        "min {:.3}  p10 {:.3}  p25 {:.3}  median {:.3}  p75 {:.3}  max {:.3}",
+        ratios[0],
+        pct(0.10),
+        pct(0.25),
+        pct(0.50),
+        pct(0.75),
+        ratios[n - 1]
+    );
     let improved = ratios.iter().filter(|&&x| x < 1.0).count();
-    println!("improved cases: {improved} ({:.1}%)", 100.0 * improved as f64 / n as f64);
+    println!(
+        "improved cases: {improved} ({:.1}%)",
+        100.0 * improved as f64 / n as f64
+    );
     let violations = rows.iter().filter(|r| r.wcet_opt > r.wcet_orig).count();
     println!("Theorem 1 violations (ratio > 1): {violations}");
     assert_eq!(violations, 0, "Theorem 1 must hold on every use case");
@@ -26,7 +36,10 @@ fn main() {
     let mut lo = 0.0;
     for &hi in &buckets {
         let count = ratios.iter().filter(|&&x| x >= lo && x < hi).count();
-        println!("  [{lo:.2}, {hi:.2}): {count:>5} {}", "#".repeat(count * 60 / n.max(1)));
+        println!(
+            "  [{lo:.2}, {hi:.2}): {count:>5} {}",
+            "#".repeat(count * 60 / n.max(1))
+        );
         lo = hi;
     }
 }

@@ -4,7 +4,11 @@
 fn main() {
     let t0 = std::time::Instant::now();
     let rows = rtpf_experiments::sweep();
-    println!("sweep complete: {} units in {:.1}s", rows.len(), t0.elapsed().as_secs_f64());
+    println!(
+        "sweep complete: {} units in {:.1}s",
+        rows.len(),
+        t0.elapsed().as_secs_f64()
+    );
     let violations = rows.iter().filter(|r| r.wcet_opt > r.wcet_orig).count();
     println!("Theorem 1 violations: {violations} (must be 0)");
     let total_inserted: u64 = rows.iter().map(|r| u64::from(r.inserted)).sum();

@@ -2,7 +2,10 @@
 
 fn main() {
     println!("Table 1: Program identification (Mälardalen WCET benchmark)");
-    println!("{:<6} {:<14} {:>8} {:>7}  description", "ID", "program", "instrs", "bytes");
+    println!(
+        "{:<6} {:<14} {:>8} {:>7}  description",
+        "ID", "program", "instrs", "bytes"
+    );
     for b in rtpf_suite::catalog() {
         println!(
             "{:<6} {:<14} {:>8} {:>7}  {}",

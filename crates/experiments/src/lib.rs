@@ -20,7 +20,6 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use rtpf_cache::CacheConfig;
 use rtpf_core::{OptimizeParams, Optimizer};
@@ -214,7 +213,9 @@ pub fn run_unit(name: &str, program: &Program, k: &str, config: CacheConfig) -> 
         )
         .ok()?
         .tau_w();
-        let sim = Simulator::new(small, t, sim_config()).run(&opt.program).ok()?;
+        let sim = Simulator::new(small, t, sim_config())
+            .run(&opt.program)
+            .ok()?;
         Some([
             wcet as f64,
             sim.acet_cycles(),
@@ -247,36 +248,43 @@ pub fn run_unit(name: &str, program: &Program, k: &str, config: CacheConfig) -> 
 
 /// Location of the sweep cache.
 pub fn cache_path() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../../results/sweep.csv")
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/sweep.csv")
 }
 
 /// Runs (or loads) the full 37 × 36 sweep.
 ///
-/// # Panics
-///
-/// Panics if the cache file exists but cannot be parsed, or a worker
-/// thread panics.
+/// A cache file that fails to parse (or has the wrong row count) is
+/// discarded and the sweep recomputed; debug builds additionally assert,
+/// since a corrupt cache usually means a writer bug.
 pub fn sweep() -> Vec<UnitResult> {
     if let Ok(text) = fs::read_to_string(cache_path()) {
-        let rows = parse_csv(&text);
-        if rows.len() == 37 * 36 {
-            return rows;
+        match parse_csv(&text) {
+            Ok(rows) if rows.len() == 37 * 36 => return rows,
+            Ok(rows) => eprintln!(
+                "cache has {} rows (expected {}), recomputing",
+                rows.len(),
+                37 * 36
+            ),
+            Err(e) => {
+                debug_assert!(false, "corrupt sweep cache: {e}");
+                eprintln!("corrupt sweep cache ({e}), recomputing");
+            }
         }
-        eprintln!(
-            "cache has {} rows (expected {}), recomputing",
-            rows.len(),
-            37 * 36
-        );
     }
     let results = run_sweep();
     let _ = fs::create_dir_all(cache_path().parent().expect("has parent"));
     let mut f = fs::File::create(cache_path()).expect("create cache");
-    f.write_all(to_csv(&results).as_bytes()).expect("write cache");
+    f.write_all(to_csv(&results).as_bytes())
+        .expect("write cache");
     results
 }
 
 /// Computes the sweep from scratch, in parallel.
+///
+/// Workers steal unit indices from a shared atomic counter and accumulate
+/// results in per-worker buffers, which are scattered into index-addressed
+/// slots after the join — there is no shared lock anywhere on the hot
+/// path.
 pub fn run_sweep() -> Vec<UnitResult> {
     let suite = rtpf_suite::catalog();
     let configs = CacheConfig::paper_configs();
@@ -285,30 +293,48 @@ pub fn run_sweep() -> Vec<UnitResult> {
         .collect();
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
-    let results: Mutex<Vec<UnitResult>> = Mutex::new(Vec::with_capacity(units.len()));
+    let started = std::time::Instant::now();
     let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= units.len() {
-                    break;
-                }
-                let (pi, ci) = units[i];
-                let b = &suite[pi];
-                let (k, config) = &configs[ci];
-                let r = run_unit(b.name, &b.program, k, *config);
-                results.lock().expect("no poisoned worker").push(r);
-                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-                if d % 100 == 0 {
-                    eprintln!("sweep: {d}/{} units", units.len());
-                }
-            });
-        }
+    let buffers: Vec<Vec<(usize, UnitResult)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, UnitResult)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= units.len() {
+                            break;
+                        }
+                        let (pi, ci) = units[i];
+                        let b = &suite[pi];
+                        let (k, config) = &configs[ci];
+                        local.push((i, run_unit(b.name, &b.program, k, *config)));
+                        let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        if d.is_multiple_of(100) {
+                            let rate = d as f64 / started.elapsed().as_secs_f64();
+                            eprintln!("sweep: {d}/{} units ({rate:.2} units/s)", units.len());
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
     });
 
-    let mut out = results.into_inner().expect("workers joined");
+    let mut slots: Vec<Option<UnitResult>> = Vec::new();
+    slots.resize_with(units.len(), || None);
+    for (i, r) in buffers.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    let mut out: Vec<UnitResult> = slots
+        .into_iter()
+        .map(|s| s.expect("every unit computed exactly once"))
+        .collect();
     out.sort_by(|a, b| (&a.program, &a.k).cmp(&(&b.program, &b.k)));
     out
 }
@@ -360,47 +386,54 @@ pub fn to_csv(rows: &[UnitResult]) -> String {
 
 /// Parses the CSV cache back.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on malformed rows (delete `results/sweep.csv` to recompute).
-pub fn parse_csv(text: &str) -> Vec<UnitResult> {
+/// Returns a description of the first malformed row instead of panicking;
+/// callers treat that as a missing cache and recompute.
+pub fn parse_csv(text: &str) -> Result<Vec<UnitResult>, String> {
+    fn num<T: std::str::FromStr>(f: &[&str], i: usize, ln: usize) -> Result<T, String> {
+        f[i].parse()
+            .map_err(|_| format!("line {ln}: field {} ({:?}) is not a number", i + 1, f[i]))
+    }
     let mut rows = Vec::new();
-    for line in text.lines().skip(1) {
+    for (idx, line) in text.lines().enumerate().skip(1) {
         if line.trim().is_empty() {
             continue;
         }
+        let ln = idx + 1;
         let f: Vec<&str> = line.split(',').collect();
-        assert_eq!(f.len(), 26, "malformed cache row: {line}");
-        let opt4 = |i: usize| -> Option<[f64; 4]> {
-            let v: Vec<f64> = (i..i + 4).map(|j| f[j].parse().expect("float")).collect();
-            if v[0].is_nan() {
-                None
-            } else {
-                Some([v[0], v[1], v[2], v[3]])
+        if f.len() != 26 {
+            return Err(format!("line {ln}: expected 26 fields, got {}", f.len()));
+        }
+        let opt4 = |i: usize| -> Result<Option<[f64; 4]>, String> {
+            let mut v = [0.0f64; 4];
+            for (j, slot) in v.iter_mut().enumerate() {
+                *slot = num(&f, i + j, ln)?;
             }
+            Ok(if v[0].is_nan() { None } else { Some(v) })
         };
         rows.push(UnitResult {
             program: f[0].to_string(),
             k: f[1].to_string(),
-            assoc: f[2].parse().expect("assoc"),
-            block: f[3].parse().expect("block"),
-            capacity: f[4].parse().expect("capacity"),
-            inserted: f[5].parse().expect("inserted"),
-            wcet_orig: f[6].parse().expect("wcet"),
-            wcet_opt: f[7].parse().expect("wcet"),
-            acet_orig: f[8].parse().expect("acet"),
-            acet_opt: f[9].parse().expect("acet"),
-            missrate_orig: f[10].parse().expect("missrate"),
-            missrate_opt: f[11].parse().expect("missrate"),
-            instr_orig: f[12].parse().expect("instr"),
-            instr_opt: f[13].parse().expect("instr"),
-            energy_orig: [f[14].parse().expect("e"), f[16].parse().expect("e")],
-            energy_opt: [f[15].parse().expect("e"), f[17].parse().expect("e")],
-            half: opt4(18),
-            quarter: opt4(22),
+            assoc: num(&f, 2, ln)?,
+            block: num(&f, 3, ln)?,
+            capacity: num(&f, 4, ln)?,
+            inserted: num(&f, 5, ln)?,
+            wcet_orig: num(&f, 6, ln)?,
+            wcet_opt: num(&f, 7, ln)?,
+            acet_orig: num(&f, 8, ln)?,
+            acet_opt: num(&f, 9, ln)?,
+            missrate_orig: num(&f, 10, ln)?,
+            missrate_opt: num(&f, 11, ln)?,
+            instr_orig: num(&f, 12, ln)?,
+            instr_opt: num(&f, 13, ln)?,
+            energy_orig: [num(&f, 14, ln)?, num(&f, 16, ln)?],
+            energy_opt: [num(&f, 15, ln)?, num(&f, 17, ln)?],
+            half: opt4(18)?,
+            quarter: opt4(22)?,
         });
     }
-    rows
+    Ok(rows)
 }
 
 /// Paper Table 2 capacities, used as Figure 3/4/5 x-axes.
@@ -431,13 +464,30 @@ mod tests {
         let cfg = CacheConfig::new(2, 16, 256).unwrap();
         let r = run_unit("bs", &b.program, "k2", cfg);
         let text = to_csv(std::slice::from_ref(&r));
-        let back = parse_csv(&text);
+        let back = parse_csv(&text).expect("roundtrip parses");
         assert_eq!(back.len(), 1);
         assert_eq!(back[0].program, r.program);
         assert_eq!(back[0].wcet_orig, r.wcet_orig);
         assert_eq!(back[0].inserted, r.inserted);
         assert!((back[0].acet_orig - r.acet_orig).abs() < 1e-9);
         assert_eq!(back[0].half.is_some(), r.half.is_some());
+    }
+
+    #[test]
+    fn parse_csv_reports_malformed_rows_instead_of_panicking() {
+        // Wrong field count.
+        let short = format!("{COLUMNS}\nbs,k1,2,16\n");
+        let err = parse_csv(&short).unwrap_err();
+        assert!(err.contains("expected 26 fields"), "{err}");
+        // Right count, non-numeric field.
+        let bad = format!(
+            "{COLUMNS}\nbs,k1,2,16,256,oops,1,1,1,1,0,0,1,1,1,1,1,1,\
+             nan,nan,nan,nan,nan,nan,nan,nan\n"
+        );
+        let err = parse_csv(&bad).unwrap_err();
+        assert!(err.contains("not a number"), "{err}");
+        // Empty input (header only) is fine.
+        assert!(parse_csv(&format!("{COLUMNS}\n")).unwrap().is_empty());
     }
 
     #[test]
@@ -452,7 +502,12 @@ mod tests {
     #[test]
     fn mean_by_capacity_filters() {
         let b = rtpf_suite::by_name("bs").unwrap();
-        let r1 = run_unit("bs", &b.program, "k1", CacheConfig::new(1, 16, 256).unwrap());
+        let r1 = run_unit(
+            "bs",
+            &b.program,
+            "k1",
+            CacheConfig::new(1, 16, 256).unwrap(),
+        );
         let rows = vec![r1];
         assert!(mean_by_capacity(&rows, 256, |r| r.wcet_ratio()).is_finite());
         assert!(mean_by_capacity(&rows, 512, |r| r.wcet_ratio()).is_nan());

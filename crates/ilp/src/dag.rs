@@ -161,7 +161,7 @@ impl Dag {
             let Some(bu) = best[u] else { continue };
             for &v in &self.succs[u] {
                 let cand = bu + self.weights[v];
-                if best[v].map_or(true, |bv| cand > bv) {
+                if best[v].is_none_or(|bv| cand > bv) {
                     best[v] = Some(cand);
                     from[v] = u;
                 }

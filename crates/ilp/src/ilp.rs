@@ -53,7 +53,7 @@ pub fn solve(lp: &LinearProgram) -> LpOutcome {
                 // Integral: round off numerical fuzz and keep if better.
                 let x: Vec<f64> = sol.x.iter().map(|v| v.round()).collect();
                 let value = lp.objective_value(&x);
-                if best.as_ref().map_or(true, |inc| value > inc.value) {
+                if best.as_ref().is_none_or(|inc| value > inc.value) {
                     best = Some(Solution { x, value });
                 }
             }
@@ -90,7 +90,7 @@ fn most_fractional(x: &[f64]) -> Option<(usize, f64)> {
         let frac = v - v.floor();
         if frac > INT_TOL && frac < 1.0 - INT_TOL {
             let dist = (frac - 0.5).abs();
-            if best.map_or(true, |(_, _, d)| dist < d) {
+            if best.is_none_or(|(_, _, d)| dist < d) {
                 best = Some((i, v, dist));
             }
         }

@@ -13,6 +13,9 @@ pub enum Cmp {
     Ge,
 }
 
+/// One constraint row: sparse coefficients, comparison, right-hand side.
+pub type Row = (Vec<(usize, f64)>, Cmp, f64);
+
 /// A maximization linear program over non-negative variables.
 ///
 /// `maximize c·x  subject to  A x (≤ | = | ≥) b,  x ≥ 0`.
@@ -20,7 +23,7 @@ pub enum Cmp {
 pub struct LinearProgram {
     n_vars: usize,
     objective: Vec<f64>,
-    rows: Vec<(Vec<(usize, f64)>, Cmp, f64)>,
+    rows: Vec<Row>,
 }
 
 impl LinearProgram {
@@ -90,7 +93,7 @@ impl LinearProgram {
 
     /// Constraint rows.
     #[inline]
-    pub fn rows(&self) -> &[(Vec<(usize, f64)>, Cmp, f64)] {
+    pub fn rows(&self) -> &[Row] {
         &self.rows
     }
 

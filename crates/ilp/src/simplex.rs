@@ -123,8 +123,9 @@ impl Tableau {
                     let pivot_col = (0..self.n_structural)
                         .find(|&j| self.t[i][j].abs() > TOL)
                         .or_else(|| {
-                            (self.n_structural..self.n_cols)
-                                .find(|j| !self.artificials.contains(j) && self.t[i][*j].abs() > TOL)
+                            (self.n_structural..self.n_cols).find(|j| {
+                                !self.artificials.contains(j) && self.t[i][*j].abs() > TOL
+                            })
                         });
                     if let Some(j) = pivot_col {
                         self.pivot(i, j);
@@ -165,10 +166,10 @@ impl Tableau {
             // Reduced costs: z_j - c_j = Σ_i c[basis_i] * t[i][j] - c[j].
             let cb: Vec<f64> = self.basis.iter().map(|&b| c[b]).collect();
             let mut entering = None;
-            for j in 0..self.n_cols {
+            for (j, &cj) in c.iter().enumerate().take(self.n_cols) {
                 let zj: f64 = (0..m).map(|i| cb[i] * self.t[i][j]).sum();
                 // Bland's rule: first improving column.
-                if zj - c[j] < -TOL {
+                if zj - cj < -TOL {
                     entering = Some(j);
                     break;
                 }

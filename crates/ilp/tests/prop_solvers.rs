@@ -22,7 +22,8 @@ fn layered_dag() -> impl Strategy<Value = (Dag, usize, usize)> {
                 let sink = n - 1;
                 for j in 0..width {
                     dag.add_edge(source, j).expect("in range");
-                    dag.add_edge((layers - 1) * width + j, sink).expect("in range");
+                    dag.add_edge((layers - 1) * width + j, sink)
+                        .expect("in range");
                 }
                 let mut m = 0;
                 for l in 0..layers - 1 {

@@ -129,7 +129,7 @@ impl LoopForest {
                 }
                 if loops[j].body.contains(&h) && loops[j].header != h {
                     let sz = loops[j].body.len();
-                    if best.map_or(true, |(bs, _)| sz < bs) {
+                    if best.is_none_or(|(bs, _)| sz < bs) {
                         best = Some((sz, j));
                     }
                 }

@@ -258,6 +258,39 @@ impl Program {
         Ok(id)
     }
 
+    /// Removes instruction `id`, which must be the newest in the arena —
+    /// the exact inverse of the latest [`insert_instr`](Program::insert_instr).
+    /// This lets a caller speculate an insertion in place and revert it
+    /// without cloning the program. No other instruction may reference
+    /// `id` as a prefetch target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::UnknownInstr`] if `id` is not the newest
+    /// instruction.
+    pub fn remove_newest_instr(&mut self, id: InstrId) -> Result<(), ProgramError> {
+        if id.index() + 1 != self.instr_kinds.len() {
+            return Err(ProgramError::UnknownInstr(id));
+        }
+        debug_assert!(
+            !self
+                .instr_kinds
+                .iter()
+                .any(|k| matches!(k, InstrKind::Prefetch { target } if *target == id)),
+            "removing a prefetch target would dangle"
+        );
+        let block = self.instr_block[id.index()];
+        self.instr_kinds.pop();
+        self.instr_block.pop();
+        let instrs = &mut self.blocks[block.index()].instrs;
+        let pos = instrs
+            .iter()
+            .position(|&i| i == id)
+            .expect("instruction listed in its block");
+        instrs.remove(pos);
+        Ok(())
+    }
+
     /// Adds a CFG edge `from -> to`.
     ///
     /// Duplicate edges are ignored (the CFG is a simple graph).
@@ -375,8 +408,8 @@ impl Program {
         }
         // Loops: every back edge must target a dominating header with bound.
         let dom = crate::dom::Dominators::compute(self);
-        let loops = crate::loops::LoopForest::compute(self, &dom)
-            .map_err(|b| ValidateError::Irreducible(b))?;
+        let loops =
+            crate::loops::LoopForest::compute(self, &dom).map_err(ValidateError::Irreducible)?;
         for l in loops.loops() {
             match self.loop_bound(l.header) {
                 None => return Err(ValidateError::MissingLoopBound { header: l.header }),

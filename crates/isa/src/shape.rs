@@ -215,9 +215,7 @@ impl Compiler {
                     }
                     None => {
                         let join = self.p.add_block();
-                        self.p
-                            .add_edge(cur, join, EdgeKind::Taken)
-                            .expect("edge");
+                        self.p.add_edge(cur, join, EdgeKind::Taken).expect("edge");
                         self.p
                             .add_edge(then_exit, join, EdgeKind::Fallthrough)
                             .expect("edge");

@@ -20,8 +20,12 @@ pub trait HwPrefetcher {
     /// a target in `target_block`; `taken` distinguishes taken branches
     /// from fall-through. Returns blocks to prefetch (e.g. the predicted
     /// target from an RPT).
-    fn on_branch(&mut self, branch_addr: u64, target_block: MemBlockId, taken: bool)
-        -> Vec<MemBlockId>;
+    fn on_branch(
+        &mut self,
+        branch_addr: u64,
+        target_block: MemBlockId,
+        taken: bool,
+    ) -> Vec<MemBlockId>;
 }
 
 /// Statically locked cache contents: a set of blocks that always hit and

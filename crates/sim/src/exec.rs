@@ -87,7 +87,11 @@ pub struct Simulator {
 impl Simulator {
     /// A simulator for the given geometry, timing, and policy.
     pub fn new(config: CacheConfig, timing: MemTiming, sim: SimConfig) -> Self {
-        Simulator { config, timing, sim }
+        Simulator {
+            config,
+            timing,
+            sim,
+        }
     }
 
     /// Runs `p` with a plain cache (no hardware prefetcher, no locking),
@@ -105,7 +109,11 @@ impl Simulator {
     /// # Errors
     ///
     /// Fails if `p` is invalid or a run exceeds the fetch cap.
-    pub fn run_locked(&self, p: &Program, contents: &LockedContents) -> Result<SimResult, SimError> {
+    pub fn run_locked(
+        &self,
+        p: &Program,
+        contents: &LockedContents,
+    ) -> Result<SimResult, SimError> {
         self.run_with(p, |e| e.lock(contents.clone()))
     }
 
@@ -182,7 +190,7 @@ impl Simulator {
         let mut fetched: u64 = 0;
 
         let in_body = |header: BlockId, b: BlockId| {
-            forest.loop_of(header).map_or(false, |l| l.body.contains(&b))
+            forest.loop_of(header).is_some_and(|l| l.body.contains(&b))
         };
 
         let choose_iters = |rng: &mut StdRng, bound: u32| -> u64 {

@@ -11,43 +11,148 @@ use rtpf_isa::shape::Shape;
 
 /// `(name, description)` for `p1`..`p37`, in Table 1 order.
 pub const NAMES: [(&str, &str); 37] = [
-    ("adpcm", "ADPCM encoder/decoder: long chain of filter loops and quantizer conditionals"),
-    ("bs", "binary search over 15 entries: short loop with an if/else chain"),
-    ("bsort100", "bubble sort of 100 integers: 2-level nest with a swap conditional"),
-    ("cnt", "counts non-negative numbers in a 10x10 matrix: 2-level nest with a conditional"),
-    ("compress", "data compression kernel: buffer loop with ratio conditionals"),
-    ("cover", "coverage torture test: loops over huge switch statements"),
-    ("crc", "CRC over a 40-byte message: table setup loop plus bitwise loop with conditionals"),
-    ("duff", "Duff's device: switched entry into an unrolled copy loop"),
-    ("edn", "EDN DSP kernel collection: sequence of FIR/latsynth/iir loop nests"),
-    ("expint", "exponential integral: nested loop with an early-out conditional"),
-    ("fac", "factorial via recursion, bounded depth 5 (modelled as a bounded loop)"),
-    ("fdct", "forward DCT: two sequential loops with large straight-line bodies"),
-    ("fft1", "1024-point FFT: butterfly loop nest with twiddle conditionals"),
+    (
+        "adpcm",
+        "ADPCM encoder/decoder: long chain of filter loops and quantizer conditionals",
+    ),
+    (
+        "bs",
+        "binary search over 15 entries: short loop with an if/else chain",
+    ),
+    (
+        "bsort100",
+        "bubble sort of 100 integers: 2-level nest with a swap conditional",
+    ),
+    (
+        "cnt",
+        "counts non-negative numbers in a 10x10 matrix: 2-level nest with a conditional",
+    ),
+    (
+        "compress",
+        "data compression kernel: buffer loop with ratio conditionals",
+    ),
+    (
+        "cover",
+        "coverage torture test: loops over huge switch statements",
+    ),
+    (
+        "crc",
+        "CRC over a 40-byte message: table setup loop plus bitwise loop with conditionals",
+    ),
+    (
+        "duff",
+        "Duff's device: switched entry into an unrolled copy loop",
+    ),
+    (
+        "edn",
+        "EDN DSP kernel collection: sequence of FIR/latsynth/iir loop nests",
+    ),
+    (
+        "expint",
+        "exponential integral: nested loop with an early-out conditional",
+    ),
+    (
+        "fac",
+        "factorial via recursion, bounded depth 5 (modelled as a bounded loop)",
+    ),
+    (
+        "fdct",
+        "forward DCT: two sequential loops with large straight-line bodies",
+    ),
+    (
+        "fft1",
+        "1024-point FFT: butterfly loop nest with twiddle conditionals",
+    ),
     ("fibcall", "iterative Fibonacci of 30: a single tiny loop"),
-    ("fir", "FIR filter over 700 samples with a 35-tap inner loop"),
-    ("icall", "indirect-call dispatch: loop over a switch of handler bodies"),
-    ("insertsort", "insertion sort of 10 elements: triangular 2-level nest"),
-    ("janne_complex", "two nested loops with mode-dependent conditional flow"),
-    ("jfdctint", "JPEG integer DCT: row and column passes with big basic blocks"),
-    ("lcdnum", "LCD digit driver: short loop over a 10-arm switch"),
-    ("lms", "LMS adaptive filter: sample loop with coefficient-update inner loop"),
-    ("ludcmp", "LU decomposition of a 6x6 system: triple nest with pivot conditionals"),
+    (
+        "fir",
+        "FIR filter over 700 samples with a 35-tap inner loop",
+    ),
+    (
+        "icall",
+        "indirect-call dispatch: loop over a switch of handler bodies",
+    ),
+    (
+        "insertsort",
+        "insertion sort of 10 elements: triangular 2-level nest",
+    ),
+    (
+        "janne_complex",
+        "two nested loops with mode-dependent conditional flow",
+    ),
+    (
+        "jfdctint",
+        "JPEG integer DCT: row and column passes with big basic blocks",
+    ),
+    (
+        "lcdnum",
+        "LCD digit driver: short loop over a 10-arm switch",
+    ),
+    (
+        "lms",
+        "LMS adaptive filter: sample loop with coefficient-update inner loop",
+    ),
+    (
+        "ludcmp",
+        "LU decomposition of a 6x6 system: triple nest with pivot conditionals",
+    ),
     ("matmult", "20x20 matrix multiply: the classic triple nest"),
-    ("minver", "3x3 matrix inversion: several small nests with singularity checks"),
-    ("ndes", "DES-like block cipher: 16 rounds of permutation-heavy code"),
-    ("ns", "search in a 4-dimensional 5^4 array: 4-level nest with a hit conditional"),
-    ("nsichneu", "Petri-net simulation: enormous generated if-chain, two passes"),
-    ("prime", "primality test: trial-division loop with remainder conditionals"),
-    ("qsort-exam", "non-recursive quicksort of 20 floats: partition loops with branches"),
-    ("qurt", "quadratic-root computation: Newton loops with discriminant branches"),
-    ("recursion", "recursive Fibonacci of 10, bounded (modelled as a bounded loop)"),
-    ("select", "select the k-th smallest of 20: partition nest with early exit"),
-    ("sqrt", "integer square root by Newton iteration: one small loop"),
-    ("st", "statistics over 100-element arrays: sum/variance/correlation loops"),
-    ("statemate", "generated statechart code: deep chains of mode conditionals"),
-    ("ud", "LU-based linear-system solve on integers: triple nest"),
-    ("whet", "Whetstone-like synthetic mix: math-kernel loops and conditionals"),
+    (
+        "minver",
+        "3x3 matrix inversion: several small nests with singularity checks",
+    ),
+    (
+        "ndes",
+        "DES-like block cipher: 16 rounds of permutation-heavy code",
+    ),
+    (
+        "ns",
+        "search in a 4-dimensional 5^4 array: 4-level nest with a hit conditional",
+    ),
+    (
+        "nsichneu",
+        "Petri-net simulation: enormous generated if-chain, two passes",
+    ),
+    (
+        "prime",
+        "primality test: trial-division loop with remainder conditionals",
+    ),
+    (
+        "qsort-exam",
+        "non-recursive quicksort of 20 floats: partition loops with branches",
+    ),
+    (
+        "qurt",
+        "quadratic-root computation: Newton loops with discriminant branches",
+    ),
+    (
+        "recursion",
+        "recursive Fibonacci of 10, bounded (modelled as a bounded loop)",
+    ),
+    (
+        "select",
+        "select the k-th smallest of 20: partition nest with early exit",
+    ),
+    (
+        "sqrt",
+        "integer square root by Newton iteration: one small loop",
+    ),
+    (
+        "st",
+        "statistics over 100-element arrays: sum/variance/correlation loops",
+    ),
+    (
+        "statemate",
+        "generated statechart code: deep chains of mode conditionals",
+    ),
+    (
+        "ud",
+        "LU-based linear-system solve on integers: triple nest",
+    ),
+    (
+        "whet",
+        "Whetstone-like synthetic mix: math-kernel loops and conditionals",
+    ),
 ];
 
 /// A chain of `n` if/else diamonds with bodies of the given sizes — the
@@ -68,7 +173,7 @@ pub fn shape_of(name: &str) -> Option<Shape> {
                     Shape::code(90),
                     Shape::loop_(11, Shape::code(67)), // predictor filter taps
                     Shape::if_else(3, Shape::code(105), Shape::code(75)), // quantize sign
-                    if_chain(4, 2, 15, 10), // quantizer range cascade
+                    if_chain(4, 2, 15, 10),            // quantizer range cascade
                 ]),
             ),
             Shape::loop_(
@@ -87,7 +192,11 @@ pub fn shape_of(name: &str) -> Option<Shape> {
                 4, // log2(15) probes
                 Shape::seq([
                     Shape::code(30),
-                    Shape::if_else(2, Shape::code(22), Shape::if_else(1, Shape::code(22), Shape::code(15))),
+                    Shape::if_else(
+                        2,
+                        Shape::code(22),
+                        Shape::if_else(1, Shape::code(22), Shape::code(15)),
+                    ),
                 ]),
             ),
             Shape::code(22),
@@ -115,7 +224,10 @@ pub fn shape_of(name: &str) -> Option<Shape> {
                 10,
                 Shape::loop_(
                     10,
-                    Shape::seq([Shape::code(30), Shape::if_else(2, Shape::code(30), Shape::code(22))]),
+                    Shape::seq([
+                        Shape::code(30),
+                        Shape::if_else(2, Shape::code(30), Shape::code(22)),
+                    ]),
                 ),
             ),
             Shape::code(37),
@@ -127,25 +239,43 @@ pub fn shape_of(name: &str) -> Option<Shape> {
                 Shape::seq([
                     Shape::code(75),
                     Shape::if_else(2, Shape::code(120), Shape::code(60)), // in table?
-                    Shape::if_then(2, Shape::code(90)),                 // emit code
-                    Shape::if_then(3, Shape::code(135)),                 // table reset
+                    Shape::if_then(2, Shape::code(90)),                   // emit code
+                    Shape::if_then(3, Shape::code(135)),                  // table reset
                 ]),
             ),
             Shape::code(105),
         ]),
         "cover" => Shape::seq([
             Shape::code(30),
-            Shape::loop_(10, Shape::switch(2, (0..12).map(|k| Shape::code(3 + (k % 4))))),
-            Shape::loop_(10, Shape::switch(2, (0..8).map(|k| Shape::code(4 + (k % 3))))),
-            Shape::loop_(10, Shape::switch(2, (0..6).map(|k| Shape::code(3 + (k % 5))))),
+            Shape::loop_(
+                10,
+                Shape::switch(2, (0..12).map(|k| Shape::code(3 + (k % 4)))),
+            ),
+            Shape::loop_(
+                10,
+                Shape::switch(2, (0..8).map(|k| Shape::code(4 + (k % 3)))),
+            ),
+            Shape::loop_(
+                10,
+                Shape::switch(2, (0..6).map(|k| Shape::code(3 + (k % 5)))),
+            ),
             Shape::code(30),
         ]),
         "crc" => Shape::seq([
             Shape::code(45),
-            Shape::loop_(256, Shape::seq([Shape::code(22), Shape::loop_(8, Shape::if_else(1, Shape::code(22), Shape::code(15)))])),
+            Shape::loop_(
+                256,
+                Shape::seq([
+                    Shape::code(22),
+                    Shape::loop_(8, Shape::if_else(1, Shape::code(22), Shape::code(15))),
+                ]),
+            ),
             Shape::loop_(
                 40,
-                Shape::seq([Shape::code(37), Shape::if_else(2, Shape::code(30), Shape::code(22))]),
+                Shape::seq([
+                    Shape::code(37),
+                    Shape::if_else(2, Shape::code(30), Shape::code(22)),
+                ]),
             ),
             Shape::code(37),
         ]),
@@ -157,21 +287,30 @@ pub fn shape_of(name: &str) -> Option<Shape> {
         ]),
         "edn" => Shape::seq([
             Shape::code(75),
-            Shape::loop_(50, Shape::code(60)),                       // vec_mpy
-            Shape::loop_(25, Shape::loop_(8, Shape::code(45))),      // mac
-            Shape::loop_(50, Shape::seq([Shape::code(37), Shape::if_then(1, Shape::code(30))])), // latsynth
-            Shape::loop_(16, Shape::loop_(16, Shape::code(37))),     // fir
-            Shape::loop_(100, Shape::code(30)),                      // iir
+            Shape::loop_(50, Shape::code(60)), // vec_mpy
+            Shape::loop_(25, Shape::loop_(8, Shape::code(45))), // mac
+            Shape::loop_(
+                50,
+                Shape::seq([Shape::code(37), Shape::if_then(1, Shape::code(30))]),
+            ), // latsynth
+            Shape::loop_(16, Shape::loop_(16, Shape::code(37))), // fir
+            Shape::loop_(100, Shape::code(30)), // iir
             Shape::code(60),
         ]),
         "expint" => Shape::seq([
             Shape::code(60),
             Shape::if_else(
                 2,
-                Shape::loop_(50, Shape::seq([Shape::code(45), Shape::if_then(2, Shape::code(37))])),
+                Shape::loop_(
+                    50,
+                    Shape::seq([Shape::code(45), Shape::if_then(2, Shape::code(37))]),
+                ),
                 Shape::loop_(
                     47,
-                    Shape::seq([Shape::code(37), Shape::if_else(1, Shape::code(30), Shape::code(22))]),
+                    Shape::seq([
+                        Shape::code(37),
+                        Shape::if_else(1, Shape::code(30), Shape::code(22)),
+                    ]),
                 ),
             ),
             Shape::code(45),
@@ -189,11 +328,27 @@ pub fn shape_of(name: &str) -> Option<Shape> {
         ]),
         "fft1" => Shape::seq([
             Shape::code(105),
-            Shape::loop_(10, Shape::seq([Shape::code(45), Shape::loop_(32, Shape::seq([Shape::code(67), Shape::if_else(2, Shape::code(52), Shape::code(37))]))])),
+            Shape::loop_(
+                10,
+                Shape::seq([
+                    Shape::code(45),
+                    Shape::loop_(
+                        32,
+                        Shape::seq([
+                            Shape::code(67),
+                            Shape::if_else(2, Shape::code(52), Shape::code(37)),
+                        ]),
+                    ),
+                ]),
+            ),
             Shape::loop_(64, Shape::if_then(2, Shape::code(45))), // bit reversal
             Shape::code(75),
         ]),
-        "fibcall" => Shape::seq([Shape::code(22), Shape::loop_(30, Shape::code(30)), Shape::code(15)]),
+        "fibcall" => Shape::seq([
+            Shape::code(22),
+            Shape::loop_(30, Shape::code(30)),
+            Shape::code(15),
+        ]),
         "fir" => Shape::seq([
             Shape::code(60),
             Shape::loop_(
@@ -213,7 +368,10 @@ pub fn shape_of(name: &str) -> Option<Shape> {
                 9,
                 Shape::seq([
                     Shape::code(22),
-                    Shape::loop_(9, Shape::seq([Shape::code(22), Shape::if_then(1, Shape::code(30))])),
+                    Shape::loop_(
+                        9,
+                        Shape::seq([Shape::code(22), Shape::if_then(1, Shape::code(30))]),
+                    ),
                 ]),
             ),
             Shape::code(22),
@@ -265,7 +423,10 @@ pub fn shape_of(name: &str) -> Option<Shape> {
             Shape::loop_(
                 6,
                 Shape::seq([
-                    Shape::loop_(6, Shape::seq([Shape::code(30), Shape::loop_(6, Shape::code(22))])),
+                    Shape::loop_(
+                        6,
+                        Shape::seq([Shape::code(30), Shape::loop_(6, Shape::code(22))]),
+                    ),
                     Shape::if_then(2, Shape::code(37)),
                 ]),
             ),
@@ -275,13 +436,35 @@ pub fn shape_of(name: &str) -> Option<Shape> {
         "matmult" => Shape::seq([
             Shape::code(45),
             Shape::loop_(20, Shape::loop_(20, Shape::code(22))), // init
-            Shape::loop_(20, Shape::loop_(20, Shape::seq([Shape::code(15), Shape::loop_(20, Shape::code(30))]))),
+            Shape::loop_(
+                20,
+                Shape::loop_(
+                    20,
+                    Shape::seq([Shape::code(15), Shape::loop_(20, Shape::code(30))]),
+                ),
+            ),
             Shape::code(22),
         ]),
         "minver" => Shape::seq([
             Shape::code(75),
-            Shape::loop_(3, Shape::seq([Shape::code(30), Shape::if_then(2, Shape::code(45)), Shape::loop_(3, Shape::code(37))])),
-            Shape::loop_(3, Shape::loop_(3, Shape::seq([Shape::code(22), Shape::if_else(1, Shape::code(30), Shape::code(15))]))),
+            Shape::loop_(
+                3,
+                Shape::seq([
+                    Shape::code(30),
+                    Shape::if_then(2, Shape::code(45)),
+                    Shape::loop_(3, Shape::code(37)),
+                ]),
+            ),
+            Shape::loop_(
+                3,
+                Shape::loop_(
+                    3,
+                    Shape::seq([
+                        Shape::code(22),
+                        Shape::if_else(1, Shape::code(30), Shape::code(15)),
+                    ]),
+                ),
+            ),
             Shape::loop_(3, Shape::loop_(3, Shape::loop_(3, Shape::code(30)))),
             Shape::code(60),
         ]),
@@ -291,7 +474,7 @@ pub fn shape_of(name: &str) -> Option<Shape> {
                 16, // DES rounds
                 Shape::seq([
                     Shape::code(165),
-                    Shape::loop_(8, Shape::code(67)),  // S-box lookups
+                    Shape::loop_(8, Shape::code(67)), // S-box lookups
                     Shape::loop_(32, Shape::code(22)), // permutation
                     Shape::if_else(2, Shape::code(75), Shape::code(60)),
                 ]),
@@ -307,7 +490,10 @@ pub fn shape_of(name: &str) -> Option<Shape> {
                     5,
                     Shape::loop_(
                         5,
-                        Shape::loop_(5, Shape::seq([Shape::code(22), Shape::if_then(1, Shape::code(22))])),
+                        Shape::loop_(
+                            5,
+                            Shape::seq([Shape::code(22), Shape::if_then(1, Shape::code(22))]),
+                        ),
                     ),
                 ),
             ),
@@ -316,10 +502,10 @@ pub fn shape_of(name: &str) -> Option<Shape> {
         // p27: the giant generated Petri-net simulator (~4000 C lines).
         "nsichneu" => Shape::seq([
             Shape::code(75),
-            Shape::loop_(2, Shape::seq([
-                if_chain(60, 2, 22, 18),
-                if_chain(60, 2, 20, 20),
-            ])),
+            Shape::loop_(
+                2,
+                Shape::seq([if_chain(60, 2, 22, 18), if_chain(60, 2, 20, 20)]),
+            ),
             Shape::code(45),
         ]),
         "prime" => Shape::seq([
@@ -372,7 +558,10 @@ pub fn shape_of(name: &str) -> Option<Shape> {
         ]),
         "sqrt" => Shape::seq([
             Shape::code(30),
-            Shape::loop_(19, Shape::seq([Shape::code(30), Shape::if_then(1, Shape::code(15))])),
+            Shape::loop_(
+                19,
+                Shape::seq([Shape::code(30), Shape::if_then(1, Shape::code(15))]),
+            ),
             Shape::code(15),
         ]),
         "st" => Shape::seq([
@@ -387,11 +576,14 @@ pub fn shape_of(name: &str) -> Option<Shape> {
         // p35: generated statechart code (~1200 lines of mode tests).
         "statemate" => Shape::seq([
             Shape::code(90),
-            Shape::loop_(4, Shape::seq([
-                if_chain(40, 2, 15, 13),
-                Shape::switch(2, (0..8).map(|k| Shape::code(5 + (k % 3)))),
-                if_chain(30, 2, 13, 15),
-            ])),
+            Shape::loop_(
+                4,
+                Shape::seq([
+                    if_chain(40, 2, 15, 13),
+                    Shape::switch(2, (0..8).map(|k| Shape::code(5 + (k % 3)))),
+                    if_chain(30, 2, 13, 15),
+                ]),
+            ),
             Shape::code(60),
         ]),
         "ud" => Shape::seq([
@@ -400,7 +592,10 @@ pub fn shape_of(name: &str) -> Option<Shape> {
                 6,
                 Shape::seq([
                     Shape::code(22),
-                    Shape::loop_(6, Shape::seq([Shape::code(22), Shape::loop_(6, Shape::code(22))])),
+                    Shape::loop_(
+                        6,
+                        Shape::seq([Shape::code(22), Shape::loop_(6, Shape::code(22))]),
+                    ),
                 ]),
             ),
             Shape::loop_(6, Shape::loop_(6, Shape::code(22))),
@@ -408,10 +603,16 @@ pub fn shape_of(name: &str) -> Option<Shape> {
         ]),
         "whet" => Shape::seq([
             Shape::code(75),
-            Shape::loop_(10, Shape::code(165)),                      // module 1: simple ids
-            Shape::loop_(12, Shape::seq([Shape::code(60), Shape::if_else(2, Shape::code(45), Shape::code(37))])),
-            Shape::loop_(10, Shape::loop_(6, Shape::code(37))),      // array refs
-            Shape::loop_(14, Shape::code(75)),                      // trig approximations
+            Shape::loop_(10, Shape::code(165)), // module 1: simple ids
+            Shape::loop_(
+                12,
+                Shape::seq([
+                    Shape::code(60),
+                    Shape::if_else(2, Shape::code(45), Shape::code(37)),
+                ]),
+            ),
+            Shape::loop_(10, Shape::loop_(6, Shape::code(37))), // array refs
+            Shape::loop_(14, Shape::code(75)),                  // trig approximations
             Shape::code(60),
         ]),
         _ => return None,

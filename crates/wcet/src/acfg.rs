@@ -42,94 +42,148 @@ pub struct Reference {
 }
 
 /// The acyclic reference graph.
+///
+/// References are allocated node by node in topological order, so ids are
+/// contiguous per VIVU node and the id sequence is itself a topological
+/// order. Adjacency is stored in compressed (offset + flat data) form —
+/// the graph is rebuilt for every candidate program the optimizer
+/// verifies, and one flat allocation beats thousands of per-reference
+/// vectors.
 #[derive(Clone, Debug)]
 pub struct Acfg {
     refs: Vec<Reference>,
-    succs: Vec<Vec<RefId>>,
-    preds: Vec<Vec<RefId>>,
+    /// Identity sequence `r0, r1, …`; backs [`topo`](Acfg::topo) and the
+    /// per-node slices of [`refs_of_node`](Acfg::refs_of_node).
+    ids: Vec<RefId>,
+    succ_off: Vec<u32>,
+    succ_dat: Vec<RefId>,
+    pred_off: Vec<u32>,
+    pred_dat: Vec<RefId>,
     entry_refs: Vec<RefId>,
-    topo: Vec<RefId>,
-    node_refs: Vec<Vec<RefId>>,
+    /// Per VIVU node: the id range `[node_start[n], node_end[n])`.
+    node_start: Vec<u32>,
+    node_end: Vec<u32>,
 }
 
 impl Acfg {
     /// Builds the reference graph of `p` over its VIVU expansion.
     pub fn build(p: &Program, vivu: &VivuGraph) -> Acfg {
+        let n = vivu.len();
         let mut refs: Vec<Reference> = Vec::new();
-        let mut node_refs: Vec<Vec<RefId>> = vec![Vec::new(); vivu.len()];
+        let mut node_start = vec![0u32; n];
+        let mut node_end = vec![0u32; n];
 
         // Allocate references node by node in topological order so that the
         // flattened order is itself topological.
-        for &n in vivu.topo() {
-            let block = vivu.node(n).block;
+        for &nd in vivu.topo() {
+            let block = vivu.node(nd).block;
+            node_start[nd.index()] = refs.len() as u32;
             for &i in p.block(block).instrs() {
                 let id = RefId(refs.len() as u32);
-                refs.push(Reference { id, instr: i, node: n });
-                node_refs[n.index()].push(id);
+                refs.push(Reference {
+                    id,
+                    instr: i,
+                    node: nd,
+                });
             }
+            node_end[nd.index()] = refs.len() as u32;
         }
-
-        let mut succs: Vec<Vec<RefId>> = vec![Vec::new(); refs.len()];
-        let mut preds: Vec<Vec<RefId>> = vec![Vec::new(); refs.len()];
-
-        // Intra-node chains.
-        for chain in &node_refs {
-            for w in chain.windows(2) {
-                succs[w[0].index()].push(w[1]);
-                preds[w[1].index()].push(w[0]);
-            }
-        }
+        let m = refs.len();
+        let ids: Vec<RefId> = (0..m as u32).map(RefId).collect();
 
         // `first_of[n]`: the references where execution continues when it
         // reaches node `n`; resolves through empty nodes. Computed in
         // reverse topological order so successors are ready.
-        let mut first_of: Vec<Vec<RefId>> = vec![Vec::new(); vivu.len()];
-        for &n in vivu.topo().iter().rev() {
-            if let Some(&f) = node_refs[n.index()].first() {
-                first_of[n.index()] = vec![f];
+        let mut first_of: Vec<Vec<RefId>> = vec![Vec::new(); n];
+        for &nd in vivu.topo().iter().rev() {
+            let i = nd.index();
+            if node_start[i] != node_end[i] {
+                first_of[i] = vec![RefId(node_start[i])];
             } else {
                 let mut firsts: Vec<RefId> = Vec::new();
-                for &s in vivu.succs(n) {
+                for &s in vivu.succs(nd) {
                     for &f in &first_of[s.index()] {
                         if !firsts.contains(&f) {
                             firsts.push(f);
                         }
                     }
                 }
-                first_of[n.index()] = firsts;
+                first_of[i] = firsts;
             }
         }
 
         // Inter-node edges: last reference of a node to the first
-        // reference(s) of each successor.
-        for n in 0..vivu.len() {
-            let Some(&last) = node_refs[n].last() else {
+        // reference(s) of each successor (deduplicated).
+        let mut inter: Vec<(RefId, RefId)> = Vec::new();
+        for nd in 0..n {
+            if node_start[nd] == node_end[nd] {
                 continue;
-            };
-            for &s in vivu.succs(NodeId(n as u32)) {
+            }
+            let last = RefId(node_end[nd] - 1);
+            let before = inter.len();
+            for &s in vivu.succs(NodeId(nd as u32)) {
                 for &f in &first_of[s.index()] {
-                    if !succs[last.index()].contains(&f) {
-                        succs[last.index()].push(f);
-                        preds[f.index()].push(last);
+                    if !inter[before..].iter().any(|&(_, t)| t == f) {
+                        inter.push((last, f));
                     }
                 }
             }
         }
 
+        // Degree counts → offsets → fill, preserving the edge order of the
+        // nested-vector representation (intra-node chains first, then
+        // inter-node edges in node-index order).
+        let mut succ_off = vec![0u32; m + 1];
+        let mut pred_off = vec![0u32; m + 1];
+        for nd in 0..n {
+            if node_end[nd] > node_start[nd] {
+                for k in node_start[nd]..node_end[nd] - 1 {
+                    succ_off[k as usize + 1] += 1;
+                    pred_off[k as usize + 2] += 1;
+                }
+            }
+        }
+        for &(from, to) in &inter {
+            succ_off[from.index() + 1] += 1;
+            pred_off[to.index() + 1] += 1;
+        }
+        for i in 0..m {
+            succ_off[i + 1] += succ_off[i];
+            pred_off[i + 1] += pred_off[i];
+        }
+        let mut succ_cur: Vec<u32> = succ_off[..m].to_vec();
+        let mut pred_cur: Vec<u32> = pred_off[..m].to_vec();
+        let mut succ_dat = vec![RefId(0); succ_off[m] as usize];
+        let mut pred_dat = vec![RefId(0); pred_off[m] as usize];
+        for nd in 0..n {
+            if node_end[nd] > node_start[nd] {
+                for k in node_start[nd]..node_end[nd] - 1 {
+                    succ_dat[succ_cur[k as usize] as usize] = RefId(k + 1);
+                    succ_cur[k as usize] += 1;
+                    pred_dat[pred_cur[k as usize + 1] as usize] = RefId(k);
+                    pred_cur[k as usize + 1] += 1;
+                }
+            }
+        }
+        for &(from, to) in &inter {
+            succ_dat[succ_cur[from.index()] as usize] = to;
+            succ_cur[from.index()] += 1;
+            pred_dat[pred_cur[to.index()] as usize] = from;
+            pred_cur[to.index()] += 1;
+        }
+
         let entry_refs = first_of[vivu.entry().index()].clone();
-        let topo: Vec<RefId> = vivu
-            .topo()
-            .iter()
-            .flat_map(|&n| node_refs[n.index()].iter().copied())
-            .collect();
 
         Acfg {
             refs,
-            succs,
-            preds,
+            ids,
+            succ_off,
+            succ_dat,
+            pred_off,
+            pred_dat,
             entry_refs,
-            topo,
-            node_refs,
+            node_start,
+            node_end,
         }
     }
 
@@ -152,14 +206,16 @@ impl Acfg {
     /// Execution-order successors of `id`.
     #[inline]
     pub fn succs(&self, id: RefId) -> &[RefId] {
-        &self.succs[id.index()]
+        let i = id.index();
+        &self.succ_dat[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
     }
 
     /// Execution-order predecessors of `id` (the successors in the paper's
     /// reversed `ACFG*`).
     #[inline]
     pub fn preds(&self, id: RefId) -> &[RefId] {
-        &self.preds[id.index()]
+        let i = id.index();
+        &self.pred_dat[self.pred_off[i] as usize..self.pred_off[i + 1] as usize]
     }
 
     /// References where execution starts (targets of the virtual source).
@@ -170,22 +226,23 @@ impl Acfg {
 
     /// References with no successors (sources of the virtual sink).
     pub fn exit_refs(&self) -> Vec<RefId> {
-        (0..self.refs.len() as u32)
-            .map(RefId)
-            .filter(|r| self.succs[r.index()].is_empty())
+        (0..self.refs.len())
+            .filter(|&i| self.succ_off[i] == self.succ_off[i + 1])
+            .map(|i| RefId(i as u32))
             .collect()
     }
 
     /// A topological order of the references (execution order).
     #[inline]
     pub fn topo(&self) -> &[RefId] {
-        &self.topo
+        &self.ids
     }
 
     /// References of a VIVU node, in instruction order.
     #[inline]
     pub fn refs_of_node(&self, n: NodeId) -> &[RefId] {
-        &self.node_refs[n.index()]
+        let i = n.index();
+        &self.ids[self.node_start[i] as usize..self.node_end[i] as usize]
     }
 
     /// Number of references.
@@ -258,11 +315,7 @@ mod tests {
     #[test]
     fn merge_points_have_multiple_preds() {
         let (_, _, a) = build(Shape::if_else(1, Shape::code(3), Shape::code(2)));
-        let merges = a
-            .refs()
-            .iter()
-            .filter(|r| a.preds(r.id).len() >= 2)
-            .count();
+        let merges = a.refs().iter().filter(|r| a.preds(r.id).len() >= 2).count();
         assert_eq!(merges, 1, "exactly the join after the diamond");
     }
 

@@ -1,12 +1,19 @@
 //! End-to-end WCET analysis: VIVU → classification → IPET.
 
-use rtpf_cache::{CacheConfig, Classification, MemTiming};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::time::Instant;
+
+use rtpf_cache::{CacheConfig, Classification, MemTiming, StatePair};
 use rtpf_isa::{Layout, MemBlockId, Program};
 
 use crate::acfg::{Acfg, RefId};
-use crate::classify;
+use crate::classify::{self, ClassifyResult, PrevPass};
 use crate::error::AnalysisError;
 use crate::ipet;
+use crate::memo::{AnalysisCache, NodeSig};
+use crate::profile::AnalysisProfile;
 use crate::vivu::{NodeId, VivuGraph};
 
 /// Result of analysing one program under one cache configuration.
@@ -15,19 +22,53 @@ use crate::vivu::{NodeId, VivuGraph};
 /// per-reference classification and worst-case access time `t_w(r)`, the
 /// WCET-scenario execution counts `n^w`, and the total memory contribution
 /// `τ_w` to the WCET.
+///
+/// The analysis also retains its per-context abstract cache states, so a
+/// follow-up analysis of the *same CFG* (e.g. after the optimizer inserts
+/// a prefetch instruction) can run incrementally via
+/// [`reanalyze_after_insert`](WcetAnalysis::reanalyze_after_insert).
 #[derive(Clone, Debug)]
 pub struct WcetAnalysis {
     layout: Layout,
-    vivu: VivuGraph,
+    vivu: Arc<VivuGraph>,
     acfg: Acfg,
     config: CacheConfig,
     timing: MemTiming,
+    hw_next_line: Option<u32>,
+    /// Fingerprint of the analysed program's CFG (blocks, edges, loop
+    /// bounds); incremental re-analysis requires it to be unchanged.
+    cfg_sig: u64,
     class: Vec<Classification>,
     mem_block: Vec<MemBlockId>,
+    pf_block: Vec<Option<MemBlockId>>,
+    out_states: Vec<Arc<StatePair>>,
+    /// Per-node touched-block signatures, kept for change detection in the
+    /// next incremental step.
+    sigs: Vec<NodeSig>,
+    /// Evaluation memo shared across the whole analysis lineage (this
+    /// analysis and everything derived from it via
+    /// [`reanalyze_after_insert`](WcetAnalysis::reanalyze_after_insert)).
+    cache: Arc<AnalysisCache>,
     t_w: Vec<u64>,
     n_w: Vec<u64>,
     on_path: Vec<bool>,
     tau_w: u64,
+    profile: AnalysisProfile,
+}
+
+/// Hash of everything the VIVU construction depends on: entry, block set,
+/// edges (with kinds), and loop bounds. Instruction edits that keep this
+/// stable keep the context graph valid.
+fn cfg_signature(p: &Program) -> u64 {
+    let mut h = DefaultHasher::new();
+    p.entry().hash(&mut h);
+    p.block_count().hash(&mut h);
+    for b in p.block_ids() {
+        b.hash(&mut h);
+        p.succs(b).hash(&mut h);
+        p.loop_bound(b).hash(&mut h);
+    }
+    h.finish()
 }
 
 impl WcetAnalysis {
@@ -87,10 +128,50 @@ impl WcetAnalysis {
         timing: &MemTiming,
         hw_next_line: Option<u32>,
     ) -> Result<Self, AnalysisError> {
-        let vivu = VivuGraph::build(p)?;
+        let t0 = Instant::now();
+        let vivu = Arc::new(VivuGraph::build(p)?);
         let acfg = Acfg::build(p, &vivu);
-        let cls = classify::classify_with_hw(p, &layout, &vivu, &acfg, config, hw_next_line);
+        let vivu_ns = t0.elapsed().as_nanos() as u64;
 
+        let t1 = Instant::now();
+        let cache = Arc::new(AnalysisCache::new());
+        let cls =
+            classify::classify_full_cached(p, &layout, &vivu, &acfg, config, hw_next_line, &cache);
+        let fixpoint_ns = t1.elapsed().as_nanos() as u64;
+
+        Self::finish(
+            p,
+            layout,
+            vivu,
+            acfg,
+            config,
+            timing,
+            hw_next_line,
+            cls,
+            cache,
+            vivu_ns,
+            fixpoint_ns,
+            false,
+        )
+    }
+
+    /// Shared tail of full and incremental analysis: timing vector, node
+    /// weights, IPET, and profile assembly.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        p: &Program,
+        layout: Layout,
+        vivu: Arc<VivuGraph>,
+        acfg: Acfg,
+        config: &CacheConfig,
+        timing: &MemTiming,
+        hw_next_line: Option<u32>,
+        cls: ClassifyResult,
+        cache: Arc<AnalysisCache>,
+        vivu_ns: u64,
+        fixpoint_ns: u64,
+        incremental: bool,
+    ) -> Result<Self, AnalysisError> {
         // Per-reference worst-case access time.
         let t_w: Vec<u64> = cls
             .class
@@ -98,15 +179,12 @@ impl WcetAnalysis {
             .map(|c| timing.access_cycles(!c.counts_as_miss()))
             .collect();
 
+        let t2 = Instant::now();
         // Node weights: Σ t_w over the node's references × multiplicity.
         let node_weight: Vec<u64> = (0..vivu.len())
             .map(|i| {
                 let n = NodeId(i as u32);
-                let sum: u64 = acfg
-                    .refs_of_node(n)
-                    .iter()
-                    .map(|r| t_w[r.index()])
-                    .sum();
+                let sum: u64 = acfg.refs_of_node(n).iter().map(|r| t_w[r.index()]).sum();
                 sum.saturating_mul(vivu.node(n).mult)
             })
             .collect();
@@ -117,6 +195,22 @@ impl WcetAnalysis {
             .iter()
             .map(|r| ipet.n_w[r.node.index()])
             .collect();
+        let ipet_ns = t2.elapsed().as_nanos() as u64;
+
+        let profile = AnalysisProfile {
+            vivu_ns,
+            fixpoint_ns,
+            ipet_ns,
+            relocation_ns: 0,
+            fixpoint_evals: cls.evals,
+            memo_hits: cls.memo_hits,
+            states_interned: cls.states_interned,
+            states_fresh: cls.states_fresh,
+            full_analyses: u64::from(!incremental),
+            incremental_analyses: u64::from(incremental),
+            nodes_total: vivu.len() as u64,
+            nodes_reanalyzed: cls.nodes_reanalyzed as u64,
+        };
 
         Ok(WcetAnalysis {
             layout,
@@ -124,13 +218,111 @@ impl WcetAnalysis {
             acfg,
             config: *config,
             timing: *timing,
+            hw_next_line,
+            cfg_sig: cfg_signature(p),
             class: cls.class,
             mem_block: cls.mem_block,
+            pf_block: cls.pf_block,
+            out_states: cls.out_states,
+            sigs: cls.sigs,
+            cache,
             t_w,
             n_w,
             on_path: ipet.on_path,
             tau_w: ipet.tau_w,
+            profile,
         })
+    }
+
+    /// Re-analyses `p2` (the analysed program after one or more
+    /// instruction insertions that preserve the CFG — blocks, edges, and
+    /// loop bounds) by reusing this analysis's VIVU context graph and
+    /// abstract cache states. Only condensation components holding a
+    /// context whose touched-block signature changed — or receiving a
+    /// changed input — are pushed through the must/may fixpoint, and
+    /// recomputed node evaluations resolve from the lineage's shared memo
+    /// whenever the same transfer was already applied to the same inputs;
+    /// IPET re-runs in full (it is a cheap DAG longest-path).
+    ///
+    /// The result is *identical* to a from-scratch
+    /// [`analyze_with_layout`](WcetAnalysis::analyze_with_layout) of
+    /// `(p2, layout2)` — see the `classify` module docs for the fixpoint
+    /// uniqueness argument; debug builds cross-check this. If the CFG
+    /// *did* change, the call transparently falls back to a full
+    /// analysis.
+    ///
+    /// # Errors
+    ///
+    /// Fails under the same conditions as a full analysis.
+    pub fn reanalyze_after_insert(
+        &self,
+        p2: &Program,
+        layout2: Layout,
+    ) -> Result<Self, AnalysisError> {
+        if cfg_signature(p2) != self.cfg_sig {
+            return Self::analyze_full(p2, layout2, &self.config, &self.timing, self.hw_next_line);
+        }
+
+        let t0 = Instant::now();
+        let vivu = Arc::clone(&self.vivu);
+        let acfg = Acfg::build(p2, &vivu);
+        let vivu_ns = t0.elapsed().as_nanos() as u64;
+
+        let t1 = Instant::now();
+        let cls = classify::classify_incremental(
+            p2,
+            &layout2,
+            &vivu,
+            &acfg,
+            &self.config,
+            self.hw_next_line,
+            PrevPass {
+                acfg: &self.acfg,
+                class: &self.class,
+                mem_block: &self.mem_block,
+                pf_block: &self.pf_block,
+                out_states: &self.out_states,
+                sigs: &self.sigs,
+            },
+            &self.cache,
+        );
+        let fixpoint_ns = t1.elapsed().as_nanos() as u64;
+
+        let result = Self::finish(
+            p2,
+            layout2,
+            vivu,
+            acfg,
+            &self.config,
+            &self.timing,
+            self.hw_next_line,
+            cls,
+            Arc::clone(&self.cache),
+            vivu_ns,
+            fixpoint_ns,
+            true,
+        )?;
+
+        #[cfg(debug_assertions)]
+        {
+            let full = Self::analyze_full(
+                p2,
+                result.layout.clone(),
+                &self.config,
+                &self.timing,
+                self.hw_next_line,
+            )?;
+            debug_assert_eq!(
+                result.tau_w, full.tau_w,
+                "incremental re-analysis diverged from from-scratch τ_w"
+            );
+            debug_assert_eq!(
+                result.class, full.class,
+                "incremental re-analysis diverged from from-scratch classification"
+            );
+        }
+
+        Ok(result)
     }
 
     /// The memory system's contribution to the WCET (`τ_w`, Eq. 3).
@@ -167,6 +359,12 @@ impl WcetAnalysis {
     #[inline]
     pub fn timing(&self) -> &MemTiming {
         &self.timing
+    }
+
+    /// Per-phase timings and work counters for this analysis run.
+    #[inline]
+    pub fn profile(&self) -> &AnalysisProfile {
+        &self.profile
     }
 
     /// Classification of reference `r`.
@@ -226,7 +424,11 @@ impl WcetAnalysis {
 
     /// Total accesses on the WCET path.
     pub fn wcet_accesses(&self) -> u64 {
-        self.acfg.refs().iter().map(|r| self.n_w[r.id.index()]).sum()
+        self.acfg
+            .refs()
+            .iter()
+            .map(|r| self.n_w[r.id.index()])
+            .sum()
     }
 
     /// Static counts of always-hit / always-miss / unclassified references.
@@ -308,6 +510,10 @@ mod tests {
         }
         let (h, m, u) = a.classification_counts();
         assert_eq!(h + m + u, a.acfg().len());
+        let prof = a.profile();
+        assert_eq!(prof.full_analyses, 1);
+        assert_eq!(prof.incremental_analyses, 0);
+        assert_eq!(prof.nodes_total, a.vivu().len() as u64);
     }
 
     #[test]
@@ -316,5 +522,51 @@ mod tests {
         let t = MemTiming::default();
         let a = analyze(Shape::code(8), CacheConfig::new(2, 16, 256).unwrap());
         assert_eq!(a.tau_w(), 2 * t.miss_cycles + 6 * t.hit_cycles);
+    }
+
+    #[test]
+    fn reanalyze_after_insert_matches_full() {
+        use rtpf_isa::{InstrKind, Layout};
+        let cfg = CacheConfig::new(2, 16, 128).unwrap();
+        let timing = MemTiming::default();
+        let p1 = Shape::seq([Shape::code(6), Shape::loop_(8, Shape::code(12))]).compile("ra");
+        let a1 = WcetAnalysis::analyze(&p1, &cfg, &timing).unwrap();
+
+        let mut p2 = p1.clone();
+        let b0 = p2.entry();
+        let target = p2.block(b0).instrs()[4];
+        p2.insert_instr(b0, 1, InstrKind::Prefetch { target })
+            .unwrap();
+        let anchor = p2.block(b0).instrs()[0];
+        let layout2 = Layout::anchored(&p2, anchor, a1.layout().addr(anchor));
+
+        let inc = a1.reanalyze_after_insert(&p2, layout2.clone()).unwrap();
+        let full = WcetAnalysis::analyze_with_layout(&p2, layout2, &cfg, &timing).unwrap();
+        assert_eq!(inc.tau_w(), full.tau_w());
+        assert_eq!(inc.wcet_misses(), full.wcet_misses());
+        assert_eq!(inc.classification_counts(), full.classification_counts());
+        assert_eq!(inc.profile().incremental_analyses, 1);
+        assert!(inc.profile().nodes_reanalyzed <= inc.profile().nodes_total);
+    }
+
+    #[test]
+    fn reanalyze_falls_back_when_cfg_changes() {
+        let cfg = CacheConfig::new(2, 16, 256).unwrap();
+        let timing = MemTiming::default();
+        let p1 = Shape::code(8).compile("fb");
+        let a1 = WcetAnalysis::analyze(&p1, &cfg, &timing).unwrap();
+        // A structurally different program: the fallback path must produce
+        // a correct full analysis rather than touching stale state.
+        let p2 = Shape::seq([
+            Shape::code(4),
+            Shape::if_else(1, Shape::code(4), Shape::code(4)),
+        ])
+        .compile("fb2");
+        let inc = a1
+            .reanalyze_after_insert(&p2, rtpf_isa::Layout::of(&p2))
+            .unwrap();
+        let full = WcetAnalysis::analyze(&p2, &cfg, &timing).unwrap();
+        assert_eq!(inc.tau_w(), full.tau_w());
+        assert_eq!(inc.profile().full_analyses, 1);
     }
 }

@@ -13,12 +13,41 @@
 //! extension (reference [22] of the paper), the prefetched block is folded
 //! into the abstract states at the prefetch point; the insertion criterion
 //! of `rtpf-core` guarantees the latency is hidden on the WCET path.
+//!
+//! # Incremental re-analysis
+//!
+//! [`classify_incremental`] re-runs the fixpoint after a program edit that
+//! preserves the CFG (prefetch insertion never adds blocks or edges). The
+//! must fixpoint is the *greatest* fixpoint of a monotone system and the
+//! may fixpoint the least one, so both are unique; the solver evaluates
+//! the strongly connected components of the dataflow graph (VIVU edges
+//! plus the broken back edges) in condensation order, which makes an
+//! exact change-driven cutoff possible:
+//!
+//! * an SCC is **recomputed** (from the same ⊤/⊥ start a from-scratch run
+//!   uses) iff one of its nodes' touched-block signature changed or one of
+//!   its external inputs' out-states changed *in content*;
+//! * otherwise it is **skipped** and keeps its previous out-states.
+//!
+//! By induction over the condensation order this reproduces the
+//! from-scratch solution exactly: a recomputed SCC given exact inputs is
+//! solved to its local extremal fixpoint, which is the restriction of the
+//! global one; a skipped SCC has the same transfer functions *and* the
+//! same inputs as in the previous pass, so its previous local fixpoint is
+//! still the restriction of the global one. Because abstract cache states
+//! forget a block after `assoc` conflicting accesses to its set, edits
+//! decay with dataflow distance and most SCCs are skipped in practice —
+//! the whole-closure alternative would mark nearly everything affected
+//! whenever relocation shifts addresses near the entry.
 
-use rtpf_cache::{CacheConfig, Classification, MayState, MustState};
+use std::sync::Arc;
+
+use rtpf_cache::{CacheConfig, Classification, MayState, MustState, StatePair};
 use rtpf_isa::{InstrKind, Layout, MemBlockId, Program};
 
 use crate::acfg::Acfg;
-use crate::vivu::VivuGraph;
+use crate::memo::{AnalysisCache, NodeEval, NodeSig, Topology};
+use crate::vivu::{NodeId, VivuGraph};
 
 /// Per-reference classification results.
 #[derive(Clone, Debug)]
@@ -27,8 +56,41 @@ pub struct ClassifyResult {
     pub class: Vec<Classification>,
     /// Memory block fetched by each reference.
     pub mem_block: Vec<MemBlockId>,
+    /// Block targeted by each reference's prefetch, if it is one.
+    pub pf_block: Vec<Option<MemBlockId>>,
+    /// Interned out-state (must, may) per VIVU node.
+    pub out_states: Vec<Arc<StatePair>>,
+    /// Touched-block signature per VIVU node (drives the incremental
+    /// dirty check and the evaluation memo of the next pass).
+    pub sigs: Vec<NodeSig>,
     /// Number of fixpoint iterations performed (diagnostics).
     pub iterations: usize,
+    /// Node evaluations actually executed (memo misses).
+    pub evals: u64,
+    /// Node evaluations answered by the shared memo.
+    pub memo_hits: u64,
+    /// States answered from the interner.
+    pub states_interned: u64,
+    /// States allocated fresh.
+    pub states_fresh: u64,
+    /// Nodes whose states were recomputed (equals the node count for a
+    /// from-scratch run).
+    pub nodes_reanalyzed: usize,
+}
+
+/// The parts of a previous classification that seed an incremental run.
+///
+/// `acfg` must be the reference graph the previous results were computed
+/// on; reference ids are matched positionally per node, which is valid
+/// because prefetch insertion preserves the VIVU node set.
+#[derive(Clone, Copy)]
+pub struct PrevPass<'a> {
+    pub acfg: &'a Acfg,
+    pub class: &'a [Classification],
+    pub mem_block: &'a [MemBlockId],
+    pub pf_block: &'a [Option<MemBlockId>],
+    pub out_states: &'a [Arc<StatePair>],
+    pub sigs: &'a [NodeSig],
 }
 
 /// Runs the must/may fixpoint and classifies every reference.
@@ -61,55 +123,265 @@ pub fn classify_with_hw(
     config: &CacheConfig,
     hw_next_line: Option<u32>,
 ) -> ClassifyResult {
-    let n = vivu.len();
-    let empty = (MustState::new(config), MayState::new(config));
-    // Out-states per node.
-    let mut out: Vec<(MustState, MayState)> = vec![empty.clone(); n];
-    let mut iterations = 0usize;
+    let cache = AnalysisCache::new();
+    run_classify(p, layout, vivu, acfg, config, hw_next_line, None, &cache)
+}
 
-    // Predecessor lists including broken back edges.
-    let mut all_preds: Vec<Vec<usize>> = (0..n)
+/// [`classify_with_hw`] recording its evaluations into a caller-provided
+/// lineage cache, so later incremental passes can reuse them.
+pub(crate) fn classify_full_cached(
+    p: &Program,
+    layout: &Layout,
+    vivu: &VivuGraph,
+    acfg: &Acfg,
+    config: &CacheConfig,
+    hw_next_line: Option<u32>,
+    cache: &AnalysisCache,
+) -> ClassifyResult {
+    run_classify(p, layout, vivu, acfg, config, hw_next_line, None, cache)
+}
+
+/// Re-classifies after a CFG-preserving program edit, recomputing only the
+/// SCCs whose touched-block signature or inputs changed (see the module
+/// docs) and answering repeated node evaluations from `cache`, which is
+/// shared across every analysis of the lineage. Produces results
+/// identical to [`classify_with_hw`] on the new program.
+#[allow(clippy::too_many_arguments)]
+pub fn classify_incremental(
+    p: &Program,
+    layout: &Layout,
+    vivu: &VivuGraph,
+    acfg: &Acfg,
+    config: &CacheConfig,
+    hw_next_line: Option<u32>,
+    prev: PrevPass<'_>,
+    cache: &AnalysisCache,
+) -> ClassifyResult {
+    run_classify(
+        p,
+        layout,
+        vivu,
+        acfg,
+        config,
+        hw_next_line,
+        Some(prev),
+        cache,
+    )
+}
+
+/// The touched-block signature of every node: the per-reference sequence
+/// of `(own block, prefetch target block)` pairs, which determines the
+/// node's transfer function entirely (hardware next-line folds depend
+/// only on the fetched block).
+fn node_sigs(
+    p: &Program,
+    layout: &Layout,
+    vivu: &VivuGraph,
+    acfg: &Acfg,
+    block_bytes: u32,
+) -> Vec<Vec<(MemBlockId, Option<MemBlockId>)>> {
+    (0..vivu.len())
         .map(|i| {
-            vivu.preds(crate::vivu::NodeId(i as u32))
+            let nid = NodeId(i as u32);
+            acfg.refs_of_node(nid)
+                .iter()
+                .map(|&r| {
+                    let reference = acfg.reference(r);
+                    let own = layout.block_of(reference.instr, block_bytes);
+                    let pf = match p.instr(reference.instr).kind {
+                        InstrKind::Prefetch { target } => {
+                            Some(layout.block_of(target, block_bytes))
+                        }
+                        _ => None,
+                    };
+                    (own, pf)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Strongly connected components of the dataflow graph, in condensation
+/// (topological) order. Iterative Tarjan; the algorithm emits SCCs in
+/// reverse topological order, so the result is reversed before returning.
+fn condensation(n: usize, succs: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    let mut next = 0usize;
+    let mut call: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        index[root] = next;
+        low[root] = next;
+        next += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        call.push((root, 0));
+        while let Some(frame) = call.last_mut() {
+            let v = frame.0;
+            if frame.1 < succs[v].len() {
+                let w = succs[v][frame.1];
+                frame.1 += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next;
+                    low[w] = next;
+                    next += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(parent) = call.last() {
+                    low[parent.0] = low[parent.0].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comps.push(comp);
+                }
+            }
+        }
+    }
+    comps.reverse();
+    comps
+}
+
+/// Builds the fixpoint topology of a VIVU graph: adjacency with the
+/// broken back edges restored, and its SCC condensation with members
+/// sorted by topological position. Shared across a lineage via
+/// [`AnalysisCache::topology`].
+fn build_topology(vivu: &VivuGraph) -> Topology {
+    let n = vivu.len();
+    let mut preds: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            vivu.preds(NodeId(i as u32))
                 .iter()
                 .map(|p| p.index())
                 .collect::<Vec<_>>()
         })
         .collect();
+    let mut succs: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            vivu.succs(NodeId(i as u32))
+                .iter()
+                .map(|s| s.index())
+                .collect::<Vec<_>>()
+        })
+        .collect();
     for &(latch, header) in vivu.back_edges() {
-        let hp = &mut all_preds[header.index()];
+        let hp = &mut preds[header.index()];
         if !hp.contains(&latch.index()) {
             hp.push(latch.index());
         }
+        let ls = &mut succs[latch.index()];
+        if !ls.contains(&header.index()) {
+            ls.push(header.index());
+        }
     }
 
+    let mut comps = condensation(n, &succs);
+    let mut comp_id = vec![0usize; n];
+    for (cid, comp) in comps.iter().enumerate() {
+        for &i in comp {
+            comp_id[i] = cid;
+        }
+    }
+    let mut pos = vec![0usize; n];
+    for (k, nid) in vivu.topo().iter().enumerate() {
+        pos[nid.index()] = k;
+    }
+    for comp in &mut comps {
+        comp.sort_unstable_by_key(|&i| pos[i]);
+    }
+
+    Topology {
+        preds,
+        succs,
+        comps,
+        comp_id,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_classify(
+    p: &Program,
+    layout: &Layout,
+    vivu: &VivuGraph,
+    acfg: &Acfg,
+    config: &CacheConfig,
+    hw_next_line: Option<u32>,
+    prev: Option<PrevPass<'_>>,
+    cache: &AnalysisCache,
+) -> ClassifyResult {
+    let n = vivu.len();
+    let empty: StatePair = (MustState::new(config), MayState::new(config));
+
+    // Adjacency (with back edges) and SCC condensation are identical for
+    // every analysis of the lineage — fetched from the shared cache,
+    // built on the first pass.
+    let top = cache.topology(|| build_topology(vivu));
+    let all_preds = &top.preds;
+    let all_succs = &top.succs;
+    let comp_id = &top.comp_id;
+
     let block_bytes = config.block_bytes();
-    let touch = |state: &mut (MustState, MayState), b: rtpf_isa::MemBlockId| {
+    // Canonicalize signatures through the lineage cache: a node whose
+    // signature content is unchanged keeps the previous pass's `Arc`
+    // (no hashing), everything else is interned so content-equal
+    // signatures across candidate analyses share one pointer. The memo
+    // key is then a pure pointer tuple. `dirty[i]` falls out for free.
+    let raw_sigs = node_sigs(p, layout, vivu, acfg, block_bytes);
+    let mut sigs: Vec<NodeSig> = Vec::with_capacity(n);
+    let dirty: Option<Vec<bool>> = match prev {
+        Some(pv) => {
+            let mut d = Vec::with_capacity(n);
+            for (i, s) in raw_sigs.into_iter().enumerate() {
+                if *pv.sigs[i] == s {
+                    sigs.push(Arc::clone(&pv.sigs[i]));
+                    d.push(false);
+                } else {
+                    sigs.push(cache.intern_sig(s));
+                    d.push(true);
+                }
+            }
+            Some(d)
+        }
+        None => {
+            sigs.extend(raw_sigs.into_iter().map(|s| cache.intern_sig(s)));
+            None
+        }
+    };
+    let touch = |state: &mut StatePair, b: MemBlockId| {
         state.0.update(b);
         state.1.update(b);
         if let Some(n) = hw_next_line {
             for k in 1..=u64::from(n) {
-                let nb = rtpf_isa::MemBlockId(b.0 + k);
+                let nb = MemBlockId(b.0 + k);
                 state.0.update(nb);
                 state.1.update(nb);
             }
         }
     };
-    let transfer = |state: &mut (MustState, MayState), node_idx: usize| {
-        for &r in acfg.refs_of_node(crate::vivu::NodeId(node_idx as u32)) {
-            let reference = acfg.reference(r);
-            let own = layout.block_of(reference.instr, block_bytes);
-            touch(state, own);
-            if let InstrKind::Prefetch { target } = p.instr(reference.instr).kind {
-                let tb = layout.block_of(target, block_bytes);
-                state.0.update(tb);
-                state.1.update(tb);
-            }
-        }
-    };
 
-    // Fixpoint over out-states in topological order (back edges force
-    // iteration; loop nesting depth bounds the rounds).
+    // Fixpoint, solved per strongly connected component in condensation
+    // order (back edges force iteration inside an SCC; its nesting depth
+    // bounds the rounds).
     //
     // Must analysis is an intersection-join ("available blocks") problem:
     // the sound *and precise* solution is the greatest fixpoint, reached
@@ -120,78 +392,192 @@ pub fn classify_with_hw(
     // every loop with its own not-yet-analysed back edge. The may
     // analysis (union join) is indifferent: skipping an uncomputed
     // predecessor equals joining with its ∅ bottom.
-    let mut computed = vec![false; n];
-    loop {
-        iterations += 1;
-        let mut changed = false;
-        for &nid in vivu.topo() {
-            let i = nid.index();
-            let ready: Vec<usize> = all_preds[i]
-                .iter()
-                .copied()
-                .filter(|&pr| computed[pr])
-                .collect();
-            let mut st = if ready.is_empty() {
-                empty.clone()
-            } else {
-                let mut it = ready.iter();
-                let first = *it.next().expect("non-empty");
-                let mut acc = out[first].clone();
-                for &pr in it {
-                    acc.0 = acc.0.join(&out[pr].0);
-                    acc.1 = acc.1.join(&out[pr].1);
+    //
+    // In incremental mode (`prev` set), an SCC whose members' signatures
+    // and external inputs are all unchanged is skipped wholesale — see the
+    // module docs for the exactness argument. Individual evaluations
+    // resolve through the lineage's shared memo, so even a recomputed SCC
+    // costs real state work only where it genuinely diverges from every
+    // analysis seen before.
+    let mut out: Vec<Option<Arc<StatePair>>> = vec![None; n];
+    let mut node_evals: Vec<Option<Arc<NodeEval>>> = vec![None; n];
+    let mut pend = vec![false; n];
+    let mut ins_buf: Vec<Arc<StatePair>> = Vec::new();
+    // `changed[i]`: out-state content differs from the previous pass
+    // (trivially true in a from-scratch run).
+    let mut changed = vec![true; n];
+    let mut recomputed = vec![false; n];
+    let mut iterations = 0usize;
+    let mut evals = 0u64;
+    let mut memo_hits = 0u64;
+    let mut states_interned = 0u64;
+    let mut states_fresh = 0u64;
+    for (cid, comp) in top.comps.iter().enumerate() {
+        let recompute = match (prev, &dirty) {
+            (Some(_), Some(dirty)) => comp.iter().any(|&i| {
+                dirty[i]
+                    || all_preds[i]
+                        .iter()
+                        .any(|&pr| comp_id[pr] != cid && changed[pr])
+            }),
+            _ => true,
+        };
+        if !recompute {
+            let pv = prev.expect("skipping requires a previous pass");
+            for &i in comp {
+                out[i] = Some(Arc::clone(&pv.out_states[i]));
+                changed[i] = false;
+            }
+            continue;
+        }
+        // Evaluate node `i` against its current inputs: memo hit, or a
+        // real join + per-reference classify/fold.
+        let mut eval = |i: usize, out: &[Option<Arc<StatePair>>]| -> Arc<NodeEval> {
+            ins_buf.clear();
+            ins_buf.extend(all_preds[i].iter().filter_map(|&pr| out[pr].clone()));
+            if let Some(hit) = cache.lookup(&sigs[i], &ins_buf) {
+                memo_hits += 1;
+                return hit;
+            }
+            evals += 1;
+            let mut st = match ins_buf.split_first() {
+                None => empty.clone(),
+                Some((first, rest)) => {
+                    let mut acc = (**first).clone();
+                    for pr in rest {
+                        acc.0 = acc.0.join(&pr.0);
+                        acc.1 = acc.1.join(&pr.1);
+                    }
+                    acc
                 }
-                acc
             };
-            transfer(&mut st, i);
-            if !computed[i] || st != out[i] {
-                out[i] = st;
-                computed[i] = true;
-                changed = true;
+            let mut class = Vec::with_capacity(sigs[i].len());
+            for &(own, pf) in sigs[i].iter() {
+                class.push(Classification::of(own, &st.0, &st.1));
+                touch(&mut st, own);
+                if let Some(tb) = pf {
+                    st.0.update(tb);
+                    st.1.update(tb);
+                }
+            }
+            let (stored, fresh) = cache.store(&sigs[i], &ins_buf, st, class);
+            if fresh {
+                states_fresh += 1;
+            } else {
+                states_interned += 1;
+            }
+            stored
+        };
+        if comp.len() == 1 && !all_preds[comp[0]].contains(&comp[0]) {
+            // Acyclic singleton: one evaluation is the exact solution.
+            let i = comp[0];
+            iterations += 1;
+            let ev = eval(i, &out);
+            out[i] = Some(Arc::clone(&ev.out));
+            node_evals[i] = Some(ev);
+        } else {
+            // Chaotic iteration with change-driven re-evaluation: a member
+            // is (re-)evaluated only while one of its inputs may have
+            // changed since its last evaluation. Skipping is exact —
+            // re-applying a transfer to unchanged inputs reproduces the
+            // same output — and chaotic iteration from the extremal start
+            // reaches the unique extremal fixpoint in any order.
+            for &i in comp {
+                pend[i] = true;
+            }
+            loop {
+                iterations += 1;
+                for &i in comp {
+                    if !pend[i] {
+                        continue;
+                    }
+                    pend[i] = false;
+                    let ev = eval(i, &out);
+                    let same = out[i]
+                        .as_ref()
+                        .is_some_and(|old| Arc::ptr_eq(old, &ev.out) || **old == *ev.out);
+                    if !same {
+                        out[i] = Some(Arc::clone(&ev.out));
+                        for &s in &all_succs[i] {
+                            if comp_id[s] == cid {
+                                pend[s] = true;
+                            }
+                        }
+                    }
+                    node_evals[i] = Some(ev);
+                }
+                if !comp.iter().any(|&i| pend[i]) {
+                    break;
+                }
+                assert!(iterations < 1_000_000, "classification fixpoint diverged");
             }
         }
-        if !changed {
-            break;
+        for &i in comp {
+            recomputed[i] = true;
+            changed[i] = match prev {
+                Some(pv) => {
+                    let new = out[i].as_ref().expect("fixpoint computed every member");
+                    !Arc::ptr_eq(new, &pv.out_states[i]) && **new != *pv.out_states[i]
+                }
+                None => true,
+            };
         }
-        assert!(iterations < 1000, "classification fixpoint diverged");
     }
 
-    // Final recording pass: classify each reference against the in-state.
-    let mut class = vec![Classification::Unclassified; acfg.len()];
-    let mut mem_block = vec![MemBlockId(0); acfg.len()];
+    // Final recording pass: recomputed nodes publish the classifications
+    // of their converged evaluation; skipped nodes copy the previous
+    // results positionally.
+    let m = acfg.len();
+    let mut class = vec![Classification::Unclassified; m];
+    let mut mem_block = vec![MemBlockId(0); m];
+    let mut pf_block: Vec<Option<MemBlockId>> = vec![None; m];
+    let mut nodes_reanalyzed = 0usize;
     for &nid in vivu.topo() {
         let i = nid.index();
-        let mut st = if all_preds[i].is_empty() {
-            empty.clone()
-        } else {
-            let mut it = all_preds[i].iter();
-            let first = *it.next().expect("non-empty");
-            let mut acc = out[first].clone();
-            for &pr in it {
-                acc.0 = acc.0.join(&out[pr].0);
-                acc.1 = acc.1.join(&out[pr].1);
+        if !recomputed[i] {
+            let prev = prev.expect("skipped nodes exist only in incremental mode");
+            for (o, r) in prev
+                .acfg
+                .refs_of_node(nid)
+                .iter()
+                .zip(acfg.refs_of_node(nid))
+            {
+                class[r.index()] = prev.class[o.index()];
+                mem_block[r.index()] = prev.mem_block[o.index()];
+                pf_block[r.index()] = prev.pf_block[o.index()];
             }
-            acc
-        };
-        debug_assert!(all_preds[i].iter().all(|&pr| computed[pr]));
-        for &r in acfg.refs_of_node(nid) {
-            let reference = acfg.reference(r);
-            let own = layout.block_of(reference.instr, block_bytes);
+            continue;
+        }
+        nodes_reanalyzed += 1;
+        let ev = node_evals[i]
+            .as_ref()
+            .expect("recomputed nodes were evaluated");
+        let refs = acfg.refs_of_node(nid);
+        debug_assert_eq!(refs.len(), ev.class.len());
+        for ((&r, &cl), &(own, pf)) in refs.iter().zip(&ev.class).zip(sigs[i].iter()) {
+            class[r.index()] = cl;
             mem_block[r.index()] = own;
-            class[r.index()] = Classification::of(own, &st.0, &st.1);
-            touch(&mut st, own);
-            if let InstrKind::Prefetch { target } = p.instr(reference.instr).kind {
-                let tb = layout.block_of(target, block_bytes);
-                st.0.update(tb);
-                st.1.update(tb);
-            }
+            pf_block[r.index()] = pf;
         }
     }
+
+    let out_states: Vec<Arc<StatePair>> = out
+        .into_iter()
+        .map(|o| o.expect("fixpoint computed every node"))
+        .collect();
 
     ClassifyResult {
         class,
         mem_block,
+        pf_block,
+        out_states,
+        sigs,
         iterations,
+        evals,
+        memo_hits,
+        states_interned,
+        states_fresh,
+        nodes_reanalyzed,
     }
 }
 
@@ -286,7 +672,8 @@ mod tests {
         let b0 = p.entry();
         // Target: the instruction at position 8 (block 2 with 16-B lines).
         let target = p.block(b0).instrs()[8];
-        p.insert_instr(b0, 1, InstrKind::Prefetch { target }).unwrap();
+        p.insert_instr(b0, 1, InstrKind::Prefetch { target })
+            .unwrap();
         let layout = Layout::of(&p);
         let v = VivuGraph::build(&p).unwrap();
         let a = Acfg::build(&p, &v);
@@ -294,6 +681,7 @@ mod tests {
         // Find the reference fetching `target`.
         let r = a.refs().iter().find(|r| r.instr == target).unwrap();
         assert_eq!(c.class[r.id.index()], Classification::AlwaysHit);
+        assert!(c.pf_block.iter().filter(|b| b.is_some()).count() == 1);
     }
 
     #[test]
@@ -308,9 +696,7 @@ mod tests {
         let a = Acfg::build(&p, &v);
         let plain = classify(&p, &layout, &v, &a, &cfg);
         let hw = classify_with_hw(&p, &layout, &v, &a, &cfg, Some(1));
-        let misses = |c: &ClassifyResult| {
-            c.class.iter().filter(|x| x.counts_as_miss()).count()
-        };
+        let misses = |c: &ClassifyResult| c.class.iter().filter(|x| x.counts_as_miss()).count();
         assert_eq!(misses(&plain), 8, "32 instrs = 8 cold blocks");
         assert_eq!(misses(&hw), 1, "only the very first block misses");
     }
@@ -335,5 +721,91 @@ mod tests {
             .filter(|c| matches!(c, Classification::AlwaysHit))
             .count();
         assert!(hits < a.len());
+    }
+
+    #[test]
+    fn incremental_after_insert_matches_from_scratch() {
+        // Insert a prefetch mid-program and check the incremental pass
+        // reproduces the from-scratch classification exactly while
+        // recomputing only part of the graph.
+        let cfg = CacheConfig::new(2, 16, 128).unwrap();
+        let p1 = Shape::seq([
+            Shape::code(6),
+            Shape::loop_(8, Shape::code(10)),
+            Shape::code(12),
+        ])
+        .compile("inc");
+        let layout1 = Layout::of(&p1);
+        let v = VivuGraph::build(&p1).unwrap();
+        let a1 = Acfg::build(&p1, &v);
+        let c1 = classify(&p1, &layout1, &v, &a1, &cfg);
+
+        let mut p2 = p1.clone();
+        let b0 = p2.entry();
+        let target = p2.block(b0).instrs()[4];
+        p2.insert_instr(b0, 1, InstrKind::Prefetch { target })
+            .unwrap();
+        let anchor = p2.block(b0).instrs()[0];
+        let layout2 = Layout::anchored(&p2, anchor, layout1.addr(anchor));
+
+        let a2 = Acfg::build(&p2, &v);
+        let full = classify(&p2, &layout2, &v, &a2, &cfg);
+        let inc = classify_incremental(
+            &p2,
+            &layout2,
+            &v,
+            &a2,
+            &cfg,
+            None,
+            PrevPass {
+                acfg: &a1,
+                class: &c1.class,
+                mem_block: &c1.mem_block,
+                pf_block: &c1.pf_block,
+                out_states: &c1.out_states,
+                sigs: &c1.sigs,
+            },
+            &AnalysisCache::new(),
+        );
+        assert_eq!(inc.class, full.class);
+        assert_eq!(inc.mem_block, full.mem_block);
+        assert_eq!(inc.pf_block, full.pf_block);
+        assert!(
+            inc.nodes_reanalyzed <= full.nodes_reanalyzed,
+            "incremental should not redo more nodes than from-scratch"
+        );
+        for (i, o) in inc.out_states.iter().zip(&full.out_states) {
+            assert_eq!(**i, **o);
+        }
+    }
+
+    #[test]
+    fn incremental_with_no_change_reuses_everything() {
+        let cfg = CacheConfig::new(2, 16, 256).unwrap();
+        let p = Shape::loop_(10, Shape::code(8)).compile("same");
+        let layout = Layout::of(&p);
+        let v = VivuGraph::build(&p).unwrap();
+        let a = Acfg::build(&p, &v);
+        let c1 = classify(&p, &layout, &v, &a, &cfg);
+        let inc = classify_incremental(
+            &p,
+            &layout,
+            &v,
+            &a,
+            &cfg,
+            None,
+            PrevPass {
+                acfg: &a,
+                class: &c1.class,
+                mem_block: &c1.mem_block,
+                pf_block: &c1.pf_block,
+                out_states: &c1.out_states,
+                sigs: &c1.sigs,
+            },
+            &AnalysisCache::new(),
+        );
+        assert_eq!(inc.nodes_reanalyzed, 0);
+        assert_eq!(inc.evals, 0);
+        assert_eq!(inc.class, c1.class);
     }
 }

@@ -105,11 +105,7 @@ impl fmt::Display for Context {
         if self.0.is_empty() {
             return f.write_str("⟨⟩");
         }
-        let parts: Vec<String> = self
-            .0
-            .iter()
-            .map(|(h, it)| format!("{h}:{it}"))
-            .collect();
+        let parts: Vec<String> = self.0.iter().map(|(h, it)| format!("{h}:{it}")).collect();
         write!(f, "⟨{}⟩", parts.join(","))
     }
 }

@@ -63,7 +63,13 @@ pub fn solve_dag(vivu: &VivuGraph, node_weight: &[u64]) -> Result<IpetResult, An
         }
     }
     let n_w: Vec<u64> = (0..n)
-        .map(|i| if on_path[i] { vivu.node(NodeId(i as u32)).mult } else { 0 })
+        .map(|i| {
+            if on_path[i] {
+                vivu.node(NodeId(i as u32)).mult
+            } else {
+                0
+            }
+        })
         .collect();
     Ok(IpetResult {
         tau_w: lp.value,

@@ -43,12 +43,16 @@ pub mod classify;
 pub mod context;
 pub mod error;
 pub mod ipet;
+pub mod memo;
 pub mod persistence;
+pub mod profile;
 pub mod vivu;
 
 pub use acfg::{Acfg, RefId, Reference};
 pub use analysis::WcetAnalysis;
 pub use context::{Context, Iter};
 pub use error::AnalysisError;
+pub use memo::AnalysisCache;
 pub use persistence::{persistence_report, tau_w_first_miss, PersistenceReport};
+pub use profile::AnalysisProfile;
 pub use vivu::{NodeId, VivuGraph, VivuNode};

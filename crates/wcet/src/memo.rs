@@ -1,0 +1,272 @@
+//! Shared evaluation cache for an analysis lineage.
+//!
+//! The optimizer re-analyses near-identical programs dozens of times per
+//! round (one per verification candidate). A node evaluation — join the
+//! predecessors' out-states, walk the node's references classifying and
+//! folding each — is a pure function of the node's *touched-block
+//! signature* and the tuple of input state pairs, so its result can be
+//! memoized and shared across every analysis derived from the same root
+//! ([`WcetAnalysis::reanalyze_after_insert`](crate::WcetAnalysis::reanalyze_after_insert)
+//! passes the cache along). Two candidates that insert at different
+//! anchors diverge only between the two insertion points and for the
+//! short stretch until the cache states forget the difference; everything
+//! else resolves from the memo without touching a state.
+//!
+//! The hot path is the *hit*: a warmed verification pass answers every
+//! node from the memo. Both signatures and out-states are therefore
+//! interned to canonical `Arc`s ([`AnalysisCache::intern_sig`] /
+//! `StateInterner`), which makes the memo key a tuple of pointers —
+//! lookups hash a handful of `usize`s with a multiply-rotate mixer and
+//! allocate nothing.
+//!
+//! Exactness: a hit returns the result of an earlier evaluation of the
+//! *same* pure function on the *same* inputs — identity is by interned
+//! pointer, and the interners map content-equal values to one allocation,
+//! so the fixpoint iterates are bit-identical to an uncached run.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::{Arc, Mutex};
+
+use rtpf_cache::{Classification, StateInterner, StatePair};
+use rtpf_isa::MemBlockId;
+
+/// A node's touched-block signature: for every reference in program
+/// order, the block it fetches and the block its prefetch targets (if it
+/// is one). This determines the node's transfer function entirely
+/// (including hardware next-line folds, which depend only on the fetched
+/// block).
+pub(crate) type NodeSig = Arc<Vec<(MemBlockId, Option<MemBlockId>)>>;
+
+/// The complete result of evaluating one node against one input state.
+pub(crate) struct NodeEval {
+    /// Out-state after all references of the node.
+    pub out: Arc<StatePair>,
+    /// Classification per reference, in node-local order.
+    pub class: Vec<Classification>,
+}
+
+/// One memoized evaluation. The stored `Arc`s keep the keyed allocations
+/// alive, so a pointer can never be reused while the entry exists.
+struct Entry {
+    sig: NodeSig,
+    ins: Vec<Arc<StatePair>>,
+    eval: Arc<NodeEval>,
+}
+
+/// Pass-through hasher for keys that are already well-mixed `u64`s.
+#[derive(Default)]
+struct PreHashed(u64);
+
+impl Hasher for PreHashed {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("memo keys are pre-hashed u64s");
+    }
+    fn write_u64(&mut self, x: u64) {
+        self.0 = x;
+    }
+}
+
+/// Multiply-rotate mixer (FxHash-style); good enough for pointers and
+/// block ids, and an order of magnitude cheaper than SipHash.
+fn mix(h: u64, x: u64) -> u64 {
+    (h.rotate_left(5) ^ x).wrapping_mul(0x517c_c1b7_2722_0a95)
+}
+
+fn key_hash(sig: &NodeSig, ins: &[Arc<StatePair>]) -> u64 {
+    let mut h = mix(ins.len() as u64, Arc::as_ptr(sig) as u64);
+    for a in ins {
+        h = mix(h, Arc::as_ptr(a) as u64);
+    }
+    h
+}
+
+fn sig_hash(sig: &[(MemBlockId, Option<MemBlockId>)]) -> u64 {
+    let mut h = mix(0x9e37_79b9_7f4a_7c15, sig.len() as u64);
+    for &(own, pf) in sig {
+        h = mix(h, own.0);
+        // `u64::MAX` never occurs as a real block id (addresses are u32).
+        h = mix(h, pf.map_or(u64::MAX, |b| b.0));
+    }
+    h
+}
+
+type PreMap<V> = HashMap<u64, Vec<V>, BuildHasherDefault<PreHashed>>;
+
+/// Dataflow topology of the classification fixpoint: VIVU adjacency with
+/// the broken back edges restored, plus its SCC condensation. Every
+/// analysis of a lineage shares one VIVU graph, so this is computed once
+/// per cache and reused by every (re-)classification pass.
+pub(crate) struct Topology {
+    /// Predecessors per node, including loop latches.
+    pub preds: Vec<Vec<usize>>,
+    /// Successors per node, including loop headers.
+    pub succs: Vec<Vec<usize>>,
+    /// SCCs in condensation (topological) order; members sorted by
+    /// topological position of the underlying VIVU order.
+    pub comps: Vec<Vec<usize>>,
+    /// Component index per node.
+    pub comp_id: Vec<usize>,
+}
+
+struct Inner {
+    interner: StateInterner,
+    sigs: PreMap<NodeSig>,
+    memo: PreMap<Entry>,
+    topo: Option<Arc<Topology>>,
+}
+
+/// Interner + evaluation memo shared by every analysis of one lineage
+/// (same cache configuration, timing, and hardware-prefetch setting).
+pub struct AnalysisCache {
+    inner: Mutex<Inner>,
+}
+
+impl AnalysisCache {
+    pub fn new() -> Self {
+        AnalysisCache {
+            inner: Mutex::new(Inner {
+                interner: StateInterner::new(),
+                sigs: PreMap::default(),
+                memo: PreMap::default(),
+                topo: None,
+            }),
+        }
+    }
+
+    /// Returns the lineage's fixpoint topology, building it on first use.
+    pub(crate) fn topology(&self, build: impl FnOnce() -> Topology) -> Arc<Topology> {
+        let mut inner = self.inner.lock().expect("analysis cache poisoned");
+        if let Some(t) = &inner.topo {
+            return Arc::clone(t);
+        }
+        let t = Arc::new(build());
+        inner.topo = Some(Arc::clone(&t));
+        t
+    }
+
+    /// Returns the canonical `Arc` for a signature, so content-equal
+    /// signatures from different analyses of the lineage compare (and
+    /// hash) by pointer.
+    pub(crate) fn intern_sig(&self, sig: Vec<(MemBlockId, Option<MemBlockId>)>) -> NodeSig {
+        let h = sig_hash(&sig);
+        let mut inner = self.inner.lock().expect("analysis cache poisoned");
+        let bucket = inner.sigs.entry(h).or_default();
+        if let Some(found) = bucket.iter().find(|s| ***s == sig) {
+            return Arc::clone(found);
+        }
+        let arc: NodeSig = Arc::new(sig);
+        bucket.push(Arc::clone(&arc));
+        arc
+    }
+
+    /// Looks up a prior evaluation of `sig` against `ins`. Allocation-free;
+    /// both must be interned (lineage-canonical) pointers.
+    pub(crate) fn lookup(&self, sig: &NodeSig, ins: &[Arc<StatePair>]) -> Option<Arc<NodeEval>> {
+        let h = key_hash(sig, ins);
+        let inner = self.inner.lock().expect("analysis cache poisoned");
+        inner.memo.get(&h)?.iter().find_map(|e| {
+            let matches = Arc::ptr_eq(&e.sig, sig)
+                && e.ins.len() == ins.len()
+                && e.ins.iter().zip(ins).all(|(a, b)| Arc::ptr_eq(a, b));
+            matches.then(|| Arc::clone(&e.eval))
+        })
+    }
+
+    /// Interns `out`, registers the evaluation, and returns the shared
+    /// record plus whether the out-state was a fresh allocation. On a
+    /// concurrent duplicate insert both records are content-identical.
+    pub(crate) fn store(
+        &self,
+        sig: &NodeSig,
+        ins: &[Arc<StatePair>],
+        out: StatePair,
+        class: Vec<Classification>,
+    ) -> (Arc<NodeEval>, bool) {
+        let h = key_hash(sig, ins);
+        let mut inner = self.inner.lock().expect("analysis cache poisoned");
+        let fresh_before = inner.interner.fresh();
+        let out = inner.interner.intern(out);
+        let fresh = inner.interner.fresh() != fresh_before;
+        let eval = Arc::new(NodeEval { out, class });
+        inner.memo.entry(h).or_default().push(Entry {
+            sig: Arc::clone(sig),
+            ins: ins.to_vec(),
+            eval: Arc::clone(&eval),
+        });
+        (eval, fresh)
+    }
+
+    /// Number of memoized node evaluations.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("analysis cache poisoned")
+            .memo
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Whether the cache holds no evaluations yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for AnalysisCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisCache")
+            .field("evals", &self.len())
+            .finish()
+    }
+}
+
+impl Default for AnalysisCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtpf_cache::{CacheConfig, MayState, MustState};
+
+    #[test]
+    fn memo_roundtrip_and_ptr_identity() {
+        let cfg = CacheConfig::new(2, 16, 256).unwrap();
+        let cache = AnalysisCache::new();
+        let sig = cache.intern_sig(vec![(MemBlockId(3), None)]);
+        let base = Arc::new((MustState::new(&cfg), MayState::new(&cfg)));
+        assert!(cache.lookup(&sig, std::slice::from_ref(&base)).is_none());
+
+        let mut out = (MustState::new(&cfg), MayState::new(&cfg));
+        out.0.update(MemBlockId(3));
+        out.1.update(MemBlockId(3));
+        let (stored, fresh) = cache.store(
+            &sig,
+            std::slice::from_ref(&base),
+            out,
+            vec![Classification::AlwaysMiss],
+        );
+        assert!(fresh);
+        let hit = cache
+            .lookup(&sig, std::slice::from_ref(&base))
+            .expect("memo hit");
+        assert!(Arc::ptr_eq(&hit, &stored));
+        assert_eq!(hit.class, vec![Classification::AlwaysMiss]);
+        assert_eq!(cache.len(), 1);
+
+        // Content-equal signatures intern to the same canonical pointer.
+        let sig2 = cache.intern_sig(vec![(MemBlockId(3), None)]);
+        assert!(Arc::ptr_eq(&sig, &sig2));
+        assert!(cache.lookup(&sig2, std::slice::from_ref(&base)).is_some());
+        // A different input misses.
+        let other = Arc::clone(&hit.out);
+        assert!(cache.lookup(&sig, std::slice::from_ref(&other)).is_none());
+    }
+}

@@ -1,0 +1,147 @@
+//! Per-phase timing and work counters for the WCET analysis.
+//!
+//! Collected by [`WcetAnalysis`](crate::WcetAnalysis) on every run (full or
+//! incremental), aggregated by the optimizer across all analyses of an
+//! optimization run, and surfaced by `rtpf sweep --profile` and the
+//! criterion benches. All counters are plain `u64`s so profiles are `Copy`
+//! and can be summed field-wise with [`AnalysisProfile::add`].
+
+use std::fmt;
+
+/// Cumulative per-phase breakdown of one or more WCET analyses.
+///
+/// Timings are wall-clock nanoseconds; counters are exact. Equality
+/// compares every field, so two profiles from timed runs will practically
+/// never be equal — comparisons of optimizer reports must exclude the
+/// profile (see `OptimizeReport::decisions_eq` in `rtpf-core`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AnalysisProfile {
+    /// Building the VIVU context graph and the reference graph (ACFG).
+    pub vivu_ns: u64,
+    /// Must/may dataflow fixpoint (including classification recording).
+    pub fixpoint_ns: u64,
+    /// IPET longest-path solve and per-reference count extraction.
+    pub ipet_ns: u64,
+    /// Relocation / layout re-anchoring performed by the optimizer between
+    /// analyses (always 0 on a standalone analysis).
+    pub relocation_ns: u64,
+    /// Node transfer-function evaluations across all fixpoint sweeps.
+    pub fixpoint_evals: u64,
+    /// Node evaluations answered from the lineage's shared memo instead of
+    /// being recomputed.
+    pub memo_hits: u64,
+    /// Abstract state pairs answered from the interner (shared allocations).
+    pub states_interned: u64,
+    /// Abstract state pairs allocated fresh by the interner.
+    pub states_fresh: u64,
+    /// From-scratch analyses performed.
+    pub full_analyses: u64,
+    /// Incremental re-analyses performed.
+    pub incremental_analyses: u64,
+    /// VIVU nodes summed over all analyses.
+    pub nodes_total: u64,
+    /// VIVU nodes whose states were actually recomputed.
+    pub nodes_reanalyzed: u64,
+}
+
+impl AnalysisProfile {
+    /// Field-wise accumulation.
+    pub fn add(&mut self, other: &AnalysisProfile) {
+        self.vivu_ns += other.vivu_ns;
+        self.fixpoint_ns += other.fixpoint_ns;
+        self.ipet_ns += other.ipet_ns;
+        self.relocation_ns += other.relocation_ns;
+        self.fixpoint_evals += other.fixpoint_evals;
+        self.memo_hits += other.memo_hits;
+        self.states_interned += other.states_interned;
+        self.states_fresh += other.states_fresh;
+        self.full_analyses += other.full_analyses;
+        self.incremental_analyses += other.incremental_analyses;
+        self.nodes_total += other.nodes_total;
+        self.nodes_reanalyzed += other.nodes_reanalyzed;
+    }
+
+    /// Total analysis time across the recorded phases.
+    pub fn total_ns(&self) -> u64 {
+        self.vivu_ns + self.fixpoint_ns + self.ipet_ns + self.relocation_ns
+    }
+
+    /// Fraction of summed nodes that incremental re-analysis skipped.
+    pub fn reuse_fraction(&self) -> f64 {
+        if self.nodes_total == 0 {
+            return 0.0;
+        }
+        1.0 - self.nodes_reanalyzed as f64 / self.nodes_total as f64
+    }
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1.0e6
+}
+
+impl fmt::Display for AnalysisProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "analyses: {} full + {} incremental ({:.1}% nodes reused)",
+            self.full_analyses,
+            self.incremental_analyses,
+            100.0 * self.reuse_fraction()
+        )?;
+        writeln!(
+            f,
+            "phases:   vivu {:.2} ms | fixpoint {:.2} ms | ipet {:.2} ms | relocation {:.2} ms",
+            ms(self.vivu_ns),
+            ms(self.fixpoint_ns),
+            ms(self.ipet_ns),
+            ms(self.relocation_ns)
+        )?;
+        write!(
+            f,
+            "work:     {} transfer evals + {} memo hits | states: {} interned / {} fresh",
+            self.fixpoint_evals, self.memo_hits, self.states_interned, self.states_fresh
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_fieldwise() {
+        let mut a = AnalysisProfile {
+            vivu_ns: 1,
+            fixpoint_ns: 2,
+            ipet_ns: 3,
+            relocation_ns: 4,
+            fixpoint_evals: 5,
+            memo_hits: 0,
+            states_interned: 6,
+            states_fresh: 7,
+            full_analyses: 1,
+            incremental_analyses: 0,
+            nodes_total: 10,
+            nodes_reanalyzed: 10,
+        };
+        let b = AnalysisProfile {
+            incremental_analyses: 1,
+            nodes_total: 10,
+            nodes_reanalyzed: 2,
+            ..Default::default()
+        };
+        a.add(&b);
+        assert_eq!(a.total_ns(), 10);
+        assert_eq!(a.nodes_total, 20);
+        assert_eq!(a.nodes_reanalyzed, 12);
+        assert!((a.reuse_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_phases() {
+        let p = AnalysisProfile::default();
+        let s = p.to_string();
+        assert!(s.contains("fixpoint"));
+        assert!(s.contains("interned"));
+    }
+}

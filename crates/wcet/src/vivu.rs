@@ -85,9 +85,8 @@ impl VivuGraph {
     pub fn build(p: &Program) -> Result<Self, AnalysisError> {
         p.validate()?;
         let dom = Dominators::compute(p);
-        let forest = LoopForest::compute(p, &dom).map_err(|b| {
-            AnalysisError::InvalidProgram(rtpf_isa::ValidateError::Irreducible(b))
-        })?;
+        let forest = LoopForest::compute(p, &dom)
+            .map_err(|b| AnalysisError::InvalidProgram(rtpf_isa::ValidateError::Irreducible(b)))?;
         let bound = |h: BlockId| p.loop_bound(h).unwrap_or(1);
 
         let mut nodes: Vec<VivuNode> = Vec::new();
@@ -96,9 +95,8 @@ impl VivuGraph {
         let mut back_edges: Vec<(NodeId, NodeId)> = Vec::new();
         let mut index: HashMap<(BlockId, Context), NodeId> = HashMap::new();
 
-        let in_loop = |h: BlockId, b: BlockId| {
-            forest.loop_of(h).map_or(false, |l| l.body.contains(&b))
-        };
+        let in_loop =
+            |h: BlockId, b: BlockId| forest.loop_of(h).is_some_and(|l| l.body.contains(&b));
 
         let mut intern = |b: BlockId,
                           ctx: Context,
@@ -151,10 +149,7 @@ impl VivuGraph {
             let popped = ctx.pop_while(|h| !in_loop(h, v));
             if forest.loop_of(v).is_some() {
                 // An edge to a header from outside its loop enters iteration 1.
-                let already_in = popped
-                    .frames()
-                    .last()
-                    .map_or(false, |&(h, _)| h == v);
+                let already_in = popped.frames().last().is_some_and(|&(h, _)| h == v);
                 if already_in {
                     popped
                 } else {
@@ -194,9 +189,8 @@ impl VivuGraph {
                         for &(w, _) in p.succs(v) {
                             if !in_loop(v, w) {
                                 let wctx = forward_ctx(&popped, w);
-                                let wn = intern(
-                                    w, wctx, &mut nodes, &mut succs, &mut preds, &mut work,
-                                )?;
+                                let wn =
+                                    intern(w, wctx, &mut nodes, &mut succs, &mut preds, &mut work)?;
                                 add_edge(&mut succs, &mut preds, u, wn);
                             }
                         }
@@ -206,9 +200,8 @@ impl VivuGraph {
                         for &(w, _) in p.succs(v) {
                             if !in_loop(v, w) {
                                 let wctx = forward_ctx(&popped, w);
-                                let wn = intern(
-                                    w, wctx, &mut nodes, &mut succs, &mut preds, &mut work,
-                                )?;
+                                let wn =
+                                    intern(w, wctx, &mut nodes, &mut succs, &mut preds, &mut work)?;
                                 add_edge(&mut succs, &mut preds, u, wn);
                             }
                         }
@@ -222,9 +215,10 @@ impl VivuGraph {
                     // "zero iterations" path and loses all guarantees the
                     // loop established.
                     if forest.loop_of(ub).is_some()
-                        && uctx.frames().last().map_or(false, |&(h, it)| {
-                            h == ub && it == Iter::First
-                        })
+                        && uctx
+                            .frames()
+                            .last()
+                            .is_some_and(|&(h, it)| h == ub && it == Iter::First)
                         && !in_loop(ub, v)
                     {
                         continue;
@@ -367,8 +361,11 @@ mod tests {
 
     #[test]
     fn straight_line_is_isomorphic() {
-        let p = Shape::seq([Shape::code(4), Shape::if_else(1, Shape::code(2), Shape::code(3))])
-            .compile("s");
+        let p = Shape::seq([
+            Shape::code(4),
+            Shape::if_else(1, Shape::code(2), Shape::code(3)),
+        ])
+        .compile("s");
         let g = VivuGraph::build(&p).unwrap();
         assert_eq!(g.len(), p.block_count());
         assert!(g.back_edges().is_empty());
@@ -440,8 +437,12 @@ mod tests {
     /// with the loop effect encoded in the conditional flow.
     #[test]
     fn figure6_loop() {
-        let p = Shape::seq([Shape::code(1), Shape::loop_(5, Shape::code(3)), Shape::code(1)])
-            .compile("fig6");
+        let p = Shape::seq([
+            Shape::code(1),
+            Shape::loop_(5, Shape::code(3)),
+            Shape::code(1),
+        ])
+        .compile("fig6");
         let g = VivuGraph::build(&p).unwrap();
         // The body block exists in exactly two instances: first and rest.
         let body_instances: Vec<&VivuNode> = g

@@ -12,8 +12,7 @@ fn shapes() -> impl Strategy<Value = Shape> {
     leaf.prop_recursive(3, 16, 3, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 1..3).prop_map(Shape::seq),
-            (0u32..2, inner.clone(), inner.clone())
-                .prop_map(|(c, a, b)| Shape::if_else(c, a, b)),
+            (0u32..2, inner.clone(), inner.clone()).prop_map(|(c, a, b)| Shape::if_else(c, a, b)),
             (1u32..6, inner).prop_map(|(n, b)| Shape::loop_(n, b)),
         ]
     })

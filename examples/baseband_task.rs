@@ -28,10 +28,10 @@ fn baseband() -> unlocked_prefetch::isa::Program {
         Shape::loop_(
             32, // symbols per frame
             Shape::seq([
-                Shape::loop_(8, Shape::code(14)),                    // channel filter taps
+                Shape::loop_(8, Shape::code(14)), // channel filter taps
                 Shape::switch(3, (0..4).map(|k| Shape::code(10 + k))), // demod per modulation
-                Shape::if_else(2, Shape::code(18), Shape::code(9)),  // soft-bit path
-                Shape::loop_(4, Shape::code(8)),                     // CRC update
+                Shape::if_else(2, Shape::code(18), Shape::code(9)), // soft-bit path
+                Shape::loop_(4, Shape::code(8)),  // CRC update
             ]),
         ),
         Shape::code(16), // frame teardown
@@ -96,8 +96,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             e32
         );
     };
-    row("on-demand (baseline)", base.tau_w(), base_run.acet_cycles(), base_run.miss_rate(), b45, b32);
-    row("static locking", locked_tau, locked_run.acet_cycles(), locked_run.miss_rate(), l45, l32);
+    row(
+        "on-demand (baseline)",
+        base.tau_w(),
+        base_run.acet_cycles(),
+        base_run.miss_rate(),
+        b45,
+        b32,
+    );
+    row(
+        "static locking",
+        locked_tau,
+        locked_run.acet_cycles(),
+        locked_run.miss_rate(),
+        l45,
+        l32,
+    );
     row(
         &format!("prefetching (+{} pf)", opt.report.inserted),
         opt.report.wcet_after,
@@ -110,7 +124,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nthe reconciliation:");
     println!(
         "  prefetching keeps the WCET guarantee ({} <= {})",
-        opt.report.wcet_after, base.tau_w()
+        opt.report.wcet_after,
+        base.tau_w()
     );
     println!(
         "  and reduces energy at 32nm by {:.1}% vs locking's {:+.1}%",

@@ -57,7 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (r.acet_cycles(), m.energy_of(&r.mean_stats()).total_nj())
     };
     let (ref_acet, ref_energy) = sim(full, &program);
-    let ref_wcet = unlocked_prefetch::wcet::WcetAnalysis::analyze(&program, &full, &timing)?.tau_w();
+    let ref_wcet =
+        unlocked_prefetch::wcet::WcetAnalysis::analyze(&program, &full, &timing)?.tau_w();
     println!("reference: original program on {full}:");
     println!("  WCET {ref_wcet} cycles, ACET {ref_acet:.0} cycles, energy {ref_energy:.0} nJ\n");
 

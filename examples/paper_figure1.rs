@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Figure 1b: the reverse analysis' raw detections (Algorithm 1 line 2,
     // with the J_SE join of Figure 2 at merges).
     let cands = candidates::scan(&program, &before);
-    println!("\nreverse analysis found {} replacement points, e.g.:", cands.len());
+    println!(
+        "\nreverse analysis found {} replacement points, e.g.:",
+        cands.len()
+    );
     for c in cands.iter().take(6) {
         let node = before.acfg().reference(c.r_i).node;
         println!(

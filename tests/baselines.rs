@@ -81,10 +81,16 @@ fn wrong_path_pollutes_more_than_target() {
     let b = unlocked_prefetch::suite::by_name("statemate").expect("statemate");
     let config = CacheConfig::new(1, 16, 256).expect("valid");
     let timing = EnergyModel::new(&config, Technology::Nm45).timing();
-    let target = simulate_hw(&b.program, config, timing, sim_config(), HwScheme::Target)
-        .expect("simulates");
-    let wrong = simulate_hw(&b.program, config, timing, sim_config(), HwScheme::WrongPath)
-        .expect("simulates");
+    let target =
+        simulate_hw(&b.program, config, timing, sim_config(), HwScheme::Target).expect("simulates");
+    let wrong = simulate_hw(
+        &b.program,
+        config,
+        timing,
+        sim_config(),
+        HwScheme::WrongPath,
+    )
+    .expect("simulates");
     assert!(wrong.prefetches_issued >= target.prefetches_issued);
     assert!(wrong.stats.fills >= target.stats.fills);
 }

@@ -47,8 +47,12 @@ fn analysis_equals_simulation_on_straight_line_code() {
 #[test]
 fn bound_dominates_single_path_loops() {
     for bound in [1u32, 2, 7, 25] {
-        let p = Shape::seq([Shape::code(5), Shape::loop_(bound, Shape::code(12)), Shape::code(3)])
-            .compile("loop");
+        let p = Shape::seq([
+            Shape::code(5),
+            Shape::loop_(bound, Shape::code(12)),
+            Shape::code(3),
+        ])
+        .compile("loop");
         let config = CacheConfig::new(2, 16, 128).expect("valid");
         let timing = MemTiming::default();
         let analysis = WcetAnalysis::analyze(&p, &config, &timing).expect("analyzes");
@@ -85,8 +89,8 @@ fn text_format_roundtrips_the_entire_suite() {
     for (name, _) in unlocked_prefetch::suite::programs::NAMES {
         let shape = unlocked_prefetch::suite::programs::shape_of(name).expect("known");
         let rendered = text::write(name, &shape);
-        let (name2, shape2) = text::parse(&rendered)
-            .unwrap_or_else(|e| panic!("{name} failed to re-parse: {e}"));
+        let (name2, shape2) =
+            text::parse(&rendered).unwrap_or_else(|e| panic!("{name} failed to re-parse: {e}"));
         assert_eq!(name, name2);
         // Nested `Seq`s flatten on re-parse, so compare by the printed
         // normal form (idempotence) and by the compiled program.

@@ -17,8 +17,7 @@ fn shapes() -> impl Strategy<Value = Shape> {
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 1..4).prop_map(Shape::seq),
-            (0u32..3, inner.clone(), inner.clone())
-                .prop_map(|(c, a, b)| Shape::if_else(c, a, b)),
+            (0u32..3, inner.clone(), inner.clone()).prop_map(|(c, a, b)| Shape::if_else(c, a, b)),
             (0u32..3, inner.clone()).prop_map(|(c, a)| Shape::if_then(c, a)),
             (1u32..8, inner.clone()).prop_map(|(n, b)| Shape::loop_(n, b)),
             (0u32..2, prop::collection::vec(inner, 2..4))
@@ -121,7 +120,19 @@ proptest! {
         let mut may = MayState::new(&config);
         for &b in &accesses {
             let block = MemBlockId(b);
-            c.access(block);
+            // Classification from the pre-access states must predict the
+            // concrete outcome: always-hit ⇒ hit, always-miss ⇒ miss.
+            let cls = Classification::of(block, &must, &may);
+            let outcome = c.access(block);
+            match cls {
+                Classification::AlwaysHit => {
+                    prop_assert!(outcome.is_hit(), "always-hit {block} missed")
+                }
+                Classification::AlwaysMiss => {
+                    prop_assert!(!outcome.is_hit(), "always-miss {block} hit")
+                }
+                _ => {}
+            }
             must.update(block);
             may.update(block);
             for (mb, _) in must.iter() {
@@ -130,9 +141,6 @@ proptest! {
             for cb in c.blocks() {
                 prop_assert!(may.contains(cb), "concrete holds {cb} not in may");
             }
-            // Classification must agree with the concrete outcome's side.
-            let cls = Classification::of(block, &must, &may);
-            prop_assert!(cls != Classification::AlwaysMiss || true);
         }
     }
 

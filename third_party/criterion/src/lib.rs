@@ -1,0 +1,194 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the subset of criterion's API the workspace benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter` /
+//! `iter_batched`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros) on top of plain `std::time::Instant`
+//! wall-clock measurement. There is no statistical analysis — each
+//! benchmark reports the mean over an adaptive number of iterations.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Time budget per benchmark once the first iteration has completed.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(300);
+/// Hard cap on measured iterations per benchmark.
+const MAX_ITERS: u32 = 1000;
+
+/// How batched inputs are grouped (accepted for API compatibility; the
+/// stand-in always sets up one input per measured iteration).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Measures one benchmark body.
+#[derive(Default)]
+pub struct Bencher {
+    total: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, measuring wall-clock time per call.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let _ = black_box(routine()); // warm-up, unmeasured
+        loop {
+            let start = Instant::now();
+            let _ = black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+            if self.total >= SAMPLE_BUDGET || self.iters >= MAX_ITERS {
+                break;
+            }
+        }
+    }
+
+    /// Runs `routine` on fresh inputs from `setup`; only `routine` is
+    /// measured.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let _ = black_box(routine(setup())); // warm-up, unmeasured
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            let _ = black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+            if self.total >= SAMPLE_BUDGET || self.iters >= MAX_ITERS {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<50} (no measurement)");
+            return;
+        }
+        let mean = self.total / self.iters;
+        println!("{name:<50} {mean:>12.2?}/iter ({} iters)", self.iters);
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes adaptively.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{id}"));
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_iterations() {
+        let mut b = Bencher::default();
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            n
+        });
+        assert!(b.iters >= 1);
+    }
+
+    #[test]
+    fn batched_setup_is_unmeasured() {
+        let mut b = Bencher::default();
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.iters >= 1);
+    }
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_runs() {
+        benches();
+    }
+}
