@@ -1,0 +1,434 @@
+//! IR lints: structural checks on a [`Program`] and its layout.
+//!
+//! Unlike [`Program::validate`], which stops at the first defect, the lint
+//! pass sweeps the whole program and reports every finding through the
+//! [`DiagnosticSink`], so a corrupted input yields its complete defect
+//! list in one run.
+
+use std::collections::HashSet;
+
+use rtpf_isa::dom::Dominators;
+use rtpf_isa::loops::LoopForest;
+use rtpf_isa::{BlockId, InstrId, InstrKind, IsaError, Layout, Program, INSTR_BYTES};
+
+use crate::diag::{Code, DiagnosticSink, Span};
+
+/// Runs every IR lint on `p`, reporting findings into `sink`.
+///
+/// The pass is total: it works on programs that `validate` would reject,
+/// so it can describe *all* the ways a corrupted program is broken.
+pub fn audit_ir(p: &Program, sink: &mut DiagnosticSink) {
+    let name = p.name().to_string();
+    let reachable = reachable_blocks(p);
+
+    // RTPF001: unreachable blocks.
+    for b in p.block_ids() {
+        if !reachable.contains(&b) {
+            sink.report(
+                Code::UnreachableBlock,
+                Span::block(&name, b),
+                format!("block {b} is not reachable from the entry {}", p.entry()),
+                Some("remove the block or add an edge reaching it".into()),
+            );
+        }
+    }
+
+    // RTPF002: empty blocks. Join and loop-exit blocks produced by the
+    // structured builder are legitimately empty, hence note level.
+    for b in p.block_ids() {
+        if p.block(b).is_empty() {
+            sink.report(
+                Code::EmptyBlock,
+                Span::block(&name, b),
+                format!("block {b} holds no instructions"),
+                None,
+            );
+        }
+    }
+
+    // RTPF006: the entry block should have no predecessors; a CFG whose
+    // entry is re-entered is an implicit loop header.
+    if !p.preds(p.entry()).is_empty() {
+        sink.report(
+            Code::EntryHasPreds,
+            Span::block(&name, p.entry()),
+            format!("entry block {} has predecessors", p.entry()),
+            Some("introduce a dedicated preheader block".into()),
+        );
+    }
+
+    // RTPF007: at least one exit block must exist.
+    if p.exits().is_empty() {
+        sink.report(
+            Code::NoExit,
+            Span::program(&name),
+            "program has no exit block (every block has successors)".to_string(),
+            None,
+        );
+    }
+
+    // RTPF005 / RTPF003 / RTPF004: loop structure and bounds.
+    let dom = Dominators::compute(p);
+    match LoopForest::compute(p, &dom) {
+        Err(IsaError::IrreducibleLoop { header }) => {
+            sink.report(
+                Code::IrreducibleLoop,
+                Span::block(&name, header),
+                format!("irreducible cycle through {header}: entered other than through a dominating header"),
+                Some("restructure the CFG so every cycle has a single dominating header".into()),
+            );
+        }
+        Ok(forest) => {
+            for l in forest.loops() {
+                match p.loop_bound(l.header) {
+                    None => sink.report(
+                        Code::MissingLoopBound,
+                        Span::block(&name, l.header),
+                        format!("loop headed by {} has no iteration bound", l.header),
+                        Some("record the bound with set_loop_bound".into()),
+                    ),
+                    Some(0) => sink.report(
+                        Code::ZeroLoopBound,
+                        Span::block(&name, l.header),
+                        format!("loop headed by {} has a zero iteration bound", l.header),
+                        Some("bounds count total body entries and must be at least 1".into()),
+                    ),
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+
+    // RTPF008: the canonical layout must place blocks contiguously and
+    // without overlap, following the layout order.
+    audit_layout(p, &Layout::of(p), sink);
+
+    // RTPF009 / RTPF010: prefetch targets.
+    audit_prefetches(p, &reachable, sink);
+}
+
+/// Checks that `layout` assigns each block in [`Program::layout_order`] a
+/// contiguous, non-overlapping address range (RTPF008). Exposed separately
+/// so callers can audit hand-built or anchored layouts.
+pub fn audit_layout(p: &Program, layout: &Layout, sink: &mut DiagnosticSink) {
+    let name = p.name().to_string();
+    let mut prev: Option<(BlockId, u64)> = None; // (block, end address)
+    for &b in p.layout_order() {
+        let instrs = p.block(b).instrs();
+        let Some(&first) = instrs.first() else {
+            continue;
+        };
+        let start = layout.addr(first);
+        // Instructions within a block must sit in consecutive slots.
+        for (k, &i) in instrs.iter().enumerate() {
+            let want = start + INSTR_BYTES * k as u64;
+            if layout.addr(i) != want {
+                sink.report(
+                    Code::LayoutAnomaly,
+                    Span::instr(&name, b, i),
+                    format!(
+                        "instruction {i} of {b} sits at {:#x}, expected {want:#x}",
+                        layout.addr(i)
+                    ),
+                    None,
+                );
+            }
+        }
+        let end = start + INSTR_BYTES * instrs.len() as u64;
+        if let Some((pb, pend)) = prev {
+            if start < pend {
+                sink.report(
+                    Code::LayoutAnomaly,
+                    Span::block(&name, b),
+                    format!(
+                        "address range of {b} (from {start:#x}) overlaps {pb} (ends {pend:#x})"
+                    ),
+                    None,
+                );
+            } else if start > pend {
+                sink.report(
+                    Code::LayoutAnomaly,
+                    Span::block(&name, b),
+                    format!("gap of {} bytes between {pb} and {b}", start - pend),
+                    Some("non-contiguous text inflates the cache footprint".into()),
+                );
+            }
+        }
+        prev = Some((b, end));
+    }
+}
+
+fn audit_prefetches(p: &Program, reachable: &HashSet<BlockId>, sink: &mut DiagnosticSink) {
+    let name = p.name().to_string();
+    for b in p.block_ids() {
+        for (pos, &i) in p.block(b).instrs().iter().enumerate() {
+            let InstrKind::Prefetch { target } = p.instr(i).kind else {
+                continue;
+            };
+            // RTPF009: the target must be a non-prefetch instruction of
+            // the program (an unknown id is reachable in release builds
+            // via `remove_newest_instr`; a prefetch-for-a-prefetch is
+            // senseless per Eq. 9).
+            if target.index() >= p.instr_count() {
+                sink.report(
+                    Code::DanglingPrefetch,
+                    Span::instr(&name, b, i),
+                    format!("prefetch at {b}[{pos}] targets unknown instruction {target}"),
+                    None,
+                );
+                continue;
+            }
+            if p.instr(target).kind.is_prefetch() {
+                sink.report(
+                    Code::DanglingPrefetch,
+                    Span::instr(&name, b, i),
+                    format!("prefetch at {b}[{pos}] targets another prefetch {target}"),
+                    Some("prefetching for a prefetch is forbidden (Eq. 9)".into()),
+                );
+                continue;
+            }
+            // RTPF010: the target must be executable downstream of the
+            // prefetch, else the fetched line is dead weight. A larger
+            // cache block can still make the line useful for neighbouring
+            // code, hence warn rather than deny.
+            if !target_used_downstream(p, b, pos, target)
+                || !reachable.contains(&p.block_of(target))
+            {
+                sink.report(
+                    Code::UselessPrefetch,
+                    Span::instr(&name, b, i),
+                    format!(
+                        "prefetch at {b}[{pos}] targets {target} in {}, which never executes after the prefetch",
+                        p.block_of(target)
+                    ),
+                    Some("move the prefetch onto a path that reaches its target".into()),
+                );
+            }
+        }
+    }
+}
+
+/// Whether `target` can execute after position `pos` of block `b`: either
+/// later in `b` itself, or in any block reachable from `b`'s successors
+/// (following the full cyclic CFG).
+fn target_used_downstream(p: &Program, b: BlockId, pos: usize, target: InstrId) -> bool {
+    let tb = p.block_of(target);
+    if tb == b && p.pos_in_block(target) > pos {
+        return true;
+    }
+    let mut seen: HashSet<BlockId> = HashSet::new();
+    let mut stack: Vec<BlockId> = p.succs(b).iter().map(|&(s, _)| s).collect();
+    while let Some(x) = stack.pop() {
+        if !seen.insert(x) {
+            continue;
+        }
+        if x == tb {
+            return true;
+        }
+        stack.extend(p.succs(x).iter().map(|&(s, _)| s));
+    }
+    false
+}
+
+fn reachable_blocks(p: &Program) -> HashSet<BlockId> {
+    let mut seen = HashSet::new();
+    let mut stack = vec![p.entry()];
+    while let Some(b) = stack.pop() {
+        if !seen.insert(b) {
+            continue;
+        }
+        stack.extend(p.succs(b).iter().map(|&(s, _)| s));
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Severity, SeverityConfig};
+    use rtpf_isa::shape::Shape;
+    use rtpf_isa::EdgeKind;
+
+    fn lint(p: &Program) -> DiagnosticSink {
+        let mut sink = DiagnosticSink::new(SeverityConfig::new());
+        audit_ir(p, &mut sink);
+        sink
+    }
+
+    fn codes(sink: &DiagnosticSink) -> Vec<Code> {
+        sink.diagnostics().iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn structured_programs_are_clean_at_deny() {
+        let p = Shape::seq([
+            Shape::code(4),
+            Shape::loop_(10, Shape::if_else(2, Shape::code(3), Shape::code(5))),
+            Shape::code(2),
+        ])
+        .compile("clean");
+        let sink = lint(&p);
+        assert!(!sink.has_denials(), "{}", sink.render_text());
+    }
+
+    #[test]
+    fn unreachable_block_fires_rtpf001() {
+        let mut p = Shape::code(3).compile("u");
+        let orphan = p.add_block();
+        p.push_instr(orphan, InstrKind::Compute(0)).unwrap();
+        let sink = lint(&p);
+        assert!(codes(&sink).contains(&Code::UnreachableBlock));
+        assert!(sink.has_denials());
+    }
+
+    #[test]
+    fn empty_block_fires_rtpf002_as_note() {
+        let mut p = Shape::code(3).compile("e");
+        let tail = p.add_block();
+        p.add_edge(p.entry(), tail, EdgeKind::Fallthrough).unwrap();
+        let sink = lint(&p);
+        let d = sink
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == Code::EmptyBlock)
+            .expect("lint fires");
+        assert_eq!(d.severity, Severity::Note);
+    }
+
+    #[test]
+    fn missing_and_zero_bounds_fire_rtpf003_and_rtpf004() {
+        // A hand-built self-loop with no bound.
+        let mut p = Program::new("nb");
+        let b0 = p.entry();
+        let b1 = p.add_block();
+        let b2 = p.add_block();
+        p.push_instr(b0, InstrKind::Compute(0)).unwrap();
+        p.push_instr(b1, InstrKind::Compute(0)).unwrap();
+        p.push_instr(b2, InstrKind::Return).unwrap();
+        p.add_edge(b0, b1, EdgeKind::Fallthrough).unwrap();
+        p.add_edge(b1, b1, EdgeKind::Taken).unwrap();
+        p.add_edge(b1, b2, EdgeKind::Fallthrough).unwrap();
+        assert!(codes(&lint(&p)).contains(&Code::MissingLoopBound));
+        p.set_loop_bound(b1, 0).unwrap();
+        assert!(codes(&lint(&p)).contains(&Code::ZeroLoopBound));
+    }
+
+    #[test]
+    fn irreducible_cycle_fires_rtpf005() {
+        let mut p = Program::new("irr");
+        let b0 = p.entry();
+        let b1 = p.add_block();
+        let b2 = p.add_block();
+        let b3 = p.add_block();
+        for b in [b0, b1, b2] {
+            p.push_instr(b, InstrKind::Compute(0)).unwrap();
+        }
+        p.push_instr(b3, InstrKind::Return).unwrap();
+        p.add_edge(b0, b1, EdgeKind::Fallthrough).unwrap();
+        p.add_edge(b0, b2, EdgeKind::Taken).unwrap();
+        p.add_edge(b1, b2, EdgeKind::Fallthrough).unwrap();
+        p.add_edge(b2, b1, EdgeKind::Taken).unwrap();
+        p.add_edge(b2, b3, EdgeKind::Fallthrough).unwrap();
+        assert!(codes(&lint(&p)).contains(&Code::IrreducibleLoop));
+    }
+
+    #[test]
+    fn entry_preds_and_no_exit_fire_rtpf006_and_rtpf007() {
+        let mut p = Program::new("cyc");
+        let b0 = p.entry();
+        let b1 = p.add_block();
+        p.push_instr(b0, InstrKind::Compute(0)).unwrap();
+        p.push_instr(b1, InstrKind::Branch).unwrap();
+        p.add_edge(b0, b1, EdgeKind::Fallthrough).unwrap();
+        p.add_edge(b1, b0, EdgeKind::Taken).unwrap();
+        p.set_loop_bound(b0, 3).unwrap();
+        let got = codes(&lint(&p));
+        assert!(got.contains(&Code::EntryHasPreds));
+        assert!(got.contains(&Code::NoExit));
+    }
+
+    #[test]
+    fn corrupt_layouts_fire_rtpf008() {
+        let mut p = Program::new("lay");
+        let b0 = p.entry();
+        let b1 = p.add_block();
+        for _ in 0..2 {
+            p.push_instr(b0, InstrKind::Compute(0)).unwrap();
+        }
+        p.push_instr(b1, InstrKind::Compute(0)).unwrap();
+        p.push_instr(b1, InstrKind::Return).unwrap();
+        p.add_edge(b0, b1, EdgeKind::Fallthrough).unwrap();
+
+        let check = |addrs: Vec<u64>| {
+            let mut sink = DiagnosticSink::new(SeverityConfig::new());
+            audit_layout(&p, &Layout::from_addrs(addrs, 0x100), &mut sink);
+            sink
+        };
+        // The canonical assignment is clean.
+        assert!(check(vec![0x100, 0x104, 0x108, 0x10c])
+            .diagnostics()
+            .is_empty());
+        // A gap between the two blocks.
+        let gap = check(vec![0x100, 0x104, 0x110, 0x114]);
+        assert!(
+            codes(&gap).contains(&Code::LayoutAnomaly),
+            "{}",
+            gap.render_text()
+        );
+        // Overlapping block ranges.
+        let overlap = check(vec![0x100, 0x104, 0x104, 0x108]);
+        assert!(codes(&overlap).contains(&Code::LayoutAnomaly));
+        // Non-consecutive instructions within one block.
+        let skewed = check(vec![0x100, 0x10c, 0x110, 0x114]);
+        assert!(codes(&skewed).contains(&Code::LayoutAnomaly));
+        // The shape-compiled canonical layout audits clean.
+        let mut sink = DiagnosticSink::new(SeverityConfig::new());
+        audit_layout(&p, &Layout::of(&p), &mut sink);
+        assert!(sink.diagnostics().is_empty());
+    }
+
+    #[test]
+    fn prefetch_for_a_prefetch_fires_rtpf009() {
+        let mut p = Shape::code(3).compile("d");
+        let entry = p.entry();
+        let first = p.block(entry).instrs()[0];
+        let pf1 = p
+            .push_instr(entry, InstrKind::Prefetch { target: first })
+            .unwrap();
+        p.push_instr(entry, InstrKind::Prefetch { target: pf1 })
+            .unwrap();
+        let sink = lint(&p);
+        assert!(codes(&sink).contains(&Code::DanglingPrefetch));
+        assert!(sink.has_denials());
+    }
+
+    #[test]
+    fn useless_prefetch_fires_rtpf010() {
+        // The prefetch targets an instruction *before* it in the same
+        // block, with no cycle back: the line can never be used.
+        let p0 = Shape::code(3).compile("useless");
+        let first = p0.block(p0.entry()).instrs()[0];
+        let mut p = p0;
+        p.push_instr(p.entry(), InstrKind::Prefetch { target: first })
+            .unwrap();
+        let sink = lint(&p);
+        assert!(codes(&sink).contains(&Code::UselessPrefetch));
+    }
+
+    #[test]
+    fn forward_prefetch_is_not_useless() {
+        let mut p = Shape::seq([Shape::code(2), Shape::loop_(5, Shape::code(6))]).compile("fwd");
+        let entry = p.entry();
+        // Target an instruction in the loop body (downstream).
+        let target = p
+            .block_ids()
+            .filter(|&b| b != entry)
+            .flat_map(|b| p.block(b).instrs().to_vec())
+            .last()
+            .unwrap();
+        p.push_instr(entry, InstrKind::Prefetch { target }).unwrap();
+        let sink = lint(&p);
+        assert!(!codes(&sink).contains(&Code::UselessPrefetch));
+        assert!(!codes(&sink).contains(&Code::DanglingPrefetch));
+    }
+}

@@ -1,0 +1,428 @@
+//! Abstract-vs-concrete soundness audit.
+//!
+//! The must/may classification promises: an *always-hit* reference hits in
+//! **every** execution, an *always-miss* reference never hits. Following
+//! Touzeau et al.'s cross-checking methodology, this pass drives the
+//! concrete LRU cache ([`ConcreteState`]) down feasible paths of the VIVU
+//! context graph — the exact graph the abstract fixpoint ran on — and
+//! compares per-reference outcomes:
+//!
+//! * an always-hit reference that concretely misses is a genuine
+//!   soundness bug (RTPF020, deny);
+//! * an always-miss reference that concretely hits likewise (RTPF022);
+//! * an unclassified reference that hit on every observed execution is a
+//!   precision gap (RTPF021, note) and feeds the per-program precision
+//!   score.
+//!
+//! Because the abstract join covers *every* path through the context
+//! graph (including arbitrary flow around the broken back edges), any
+//! walk that respects loop bounds observes a subset of the abstracted
+//! behaviours — a disagreement is always a true positive, never noise
+//! from an infeasible path.
+
+use std::collections::HashMap;
+
+use rtpf_cache::{CacheConfig, Classification, ConcreteState, MemTiming};
+use rtpf_isa::{BlockId, Program};
+use rtpf_wcet::{AnalysisError, NodeId, RefId, WcetAnalysis};
+
+use crate::diag::{Code, DiagnosticSink, Span};
+
+/// Tuning knobs for the concrete walks.
+#[derive(Clone, Copy, Debug)]
+pub struct SoundnessOptions {
+    /// Number of concrete executions per program/configuration. Walk 0 is
+    /// iteration-greedy (runs every loop to its bound, for maximum warm
+    /// coverage); the rest randomize loop exits and branch arms.
+    pub walks: u32,
+    /// Seed for the walk-policy generator (walks are deterministic given
+    /// the seed).
+    pub seed: u64,
+    /// Instruction-fetch budget per walk, bounding audit time on large
+    /// bound products.
+    pub max_fetches: u64,
+}
+
+impl Default for SoundnessOptions {
+    fn default() -> Self {
+        SoundnessOptions {
+            walks: 8,
+            seed: 0x5eed_f00d,
+            max_fetches: 2_000_000,
+        }
+    }
+}
+
+/// Aggregate outcome of one soundness audit.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SoundnessSummary {
+    /// References in the ACFG.
+    pub refs_total: usize,
+    /// References executed by at least one walk.
+    pub refs_observed: usize,
+    /// RTPF020/RTPF022 findings (genuine unsoundness).
+    pub unsound: usize,
+    /// RTPF021 findings (unclassified yet concretely always-hit).
+    pub precision_gaps: usize,
+    /// Fraction of observed references whose classification matched the
+    /// concrete behaviour exactly (1.0 = perfectly precise on the
+    /// observed paths).
+    pub precision_score: f64,
+}
+
+/// Runs the soundness audit of `p` under `config`/`timing`.
+///
+/// # Errors
+///
+/// Fails when the program cannot be analysed at all.
+pub fn audit_soundness(
+    p: &Program,
+    config: &CacheConfig,
+    timing: &MemTiming,
+    sink: &mut DiagnosticSink,
+    opts: &SoundnessOptions,
+) -> Result<SoundnessSummary, AnalysisError> {
+    audit_soundness_with(p, config, timing, sink, opts, |_, c| c)
+}
+
+/// [`audit_soundness`] with a classification override, the seam that lets
+/// tests prove the audit catches a broken classifier: `reclass` sees each
+/// reference's analysed classification and returns the one to audit.
+///
+/// # Errors
+///
+/// Fails when the program cannot be analysed at all.
+pub fn audit_soundness_with(
+    p: &Program,
+    config: &CacheConfig,
+    timing: &MemTiming,
+    sink: &mut DiagnosticSink,
+    opts: &SoundnessOptions,
+    reclass: impl Fn(RefId, Classification) -> Classification,
+) -> Result<SoundnessSummary, AnalysisError> {
+    let a = WcetAnalysis::analyze(p, config, timing)?;
+    let obs = observe(p, &a, config, opts);
+    Ok(compare(p, &a, &obs, sink, reclass))
+}
+
+/// Per-reference concrete observations across all walks.
+struct Observations {
+    hits: Vec<u64>,
+    misses: Vec<u64>,
+}
+
+/// Walks the VIVU graph concretely, accumulating per-reference outcomes.
+fn observe(
+    p: &Program,
+    a: &WcetAnalysis,
+    config: &CacheConfig,
+    opts: &SoundnessOptions,
+) -> Observations {
+    let g = a.vivu();
+    let acfg = a.acfg();
+    let mut hits = vec![0u64; acfg.len()];
+    let mut misses = vec![0u64; acfg.len()];
+    // Back edges grouped by source latch node.
+    let mut back_of: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    for &(l, h) in g.back_edges() {
+        back_of.entry(l).or_default().push(h);
+    }
+    let bound = |h: BlockId| p.loop_bound(h).unwrap_or(1);
+
+    for w in 0..opts.walks {
+        let mut rng = SplitMix64(opts.seed ^ u64::from(w).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let greedy = w == 0;
+        let mut state = ConcreteState::new(config);
+        let mut cur = g.entry();
+        let mut fetches = 0u64;
+        let mut steps = 0u64;
+        // Activation stack mirroring the current node's context frames:
+        // `(header block, body entries so far this activation)`.
+        let mut stack: Vec<(BlockId, u32)> = Vec::new();
+        loop {
+            let node = g.node(cur);
+            let frames = node.ctx.frames();
+            // Loops we have exited disappear from the frame stack.
+            let keep = stack
+                .iter()
+                .zip(frames)
+                .take_while(|(s, f)| s.0 == f.0)
+                .count();
+            stack.truncate(keep);
+            // Frame growth only ever happens by arriving at a header.
+            if let Some(&(h, it)) = frames.last() {
+                if node.block == h {
+                    match (stack.len() == frames.len(), it) {
+                        (true, rtpf_wcet::Iter::First) => {
+                            stack.last_mut().expect("depth > 0").1 = 1
+                        }
+                        (true, rtpf_wcet::Iter::Rest) => {
+                            stack.last_mut().expect("depth > 0").1 += 1;
+                        }
+                        (false, rtpf_wcet::Iter::First) => stack.push((h, 1)),
+                        (false, rtpf_wcet::Iter::Rest) => stack.push((h, 2)),
+                    }
+                }
+            }
+            // Intermediate frames can only be missing on the very first
+            // node of the walk (an entry inside a loop).
+            while stack.len() < frames.len() {
+                stack.push((frames[stack.len()].0, 1));
+            }
+
+            // Execute the node's references, mirroring the abstract
+            // transfer: access the own block, then the prefetch target.
+            for &r in acfg.refs_of_node(cur) {
+                if state.access(a.mem_block(r)).is_hit() {
+                    hits[r.index()] += 1;
+                } else {
+                    misses[r.index()] += 1;
+                }
+                fetches += 1;
+                if let Some(tb) = a.pf_block(r) {
+                    state.access(tb);
+                    fetches += 1;
+                }
+            }
+            steps += 1;
+            if fetches >= opts.max_fetches || steps >= opts.max_fetches {
+                break;
+            }
+
+            // Candidate moves: acyclic successors, plus back edges whose
+            // loop still has iterations left under its bound.
+            let forward = g.succs(cur);
+            let mut back: Vec<NodeId> = Vec::new();
+            if let Some(hs) = back_of.get(&cur) {
+                for &hn in hs {
+                    let hb = g.node(hn).block;
+                    let iters = stack
+                        .iter()
+                        .rev()
+                        .find(|&&(sh, _)| sh == hb)
+                        .map_or(0, |&(_, n)| n);
+                    if iters < bound(hb) {
+                        back.push(hn);
+                    }
+                }
+            }
+            let take_back =
+                !back.is_empty() && (greedy || forward.is_empty() || !rng.next().is_multiple_of(4));
+            cur = if take_back {
+                back[(rng.next() as usize) % back.len()]
+            } else if !forward.is_empty() {
+                forward[(rng.next() as usize) % forward.len()]
+            } else {
+                break;
+            };
+        }
+    }
+    Observations { hits, misses }
+}
+
+/// Compares observations against (possibly overridden) classifications.
+fn compare(
+    p: &Program,
+    a: &WcetAnalysis,
+    obs: &Observations,
+    sink: &mut DiagnosticSink,
+    reclass: impl Fn(RefId, Classification) -> Classification,
+) -> SoundnessSummary {
+    let acfg = a.acfg();
+    let name = p.name().to_string();
+    let mut s = SoundnessSummary {
+        refs_total: acfg.len(),
+        ..SoundnessSummary::default()
+    };
+    let mut exact = 0usize;
+    for rf in acfg.refs() {
+        let r = rf.id;
+        let (h, m) = (obs.hits[r.index()], obs.misses[r.index()]);
+        if h + m == 0 {
+            continue; // never reached by any walk: no evidence either way
+        }
+        s.refs_observed += 1;
+        let node = a.vivu().node(rf.node);
+        let span = Span::instr(&name, node.block, rf.instr);
+        match reclass(r, a.classification(r)) {
+            Classification::AlwaysHit => {
+                if m > 0 {
+                    s.unsound += 1;
+                    sink.report(
+                        Code::UnsoundAlwaysHit,
+                        span,
+                        format!(
+                            "reference {} in {} (context {}) is classified always-hit but \
+                             concretely missed {m} of {} executions",
+                            rf.instr,
+                            node.block,
+                            node.ctx,
+                            h + m
+                        ),
+                        Some("the must analysis over-approximates: this is a soundness bug".into()),
+                    );
+                } else {
+                    exact += 1;
+                }
+            }
+            Classification::AlwaysMiss => {
+                if h > 0 {
+                    s.unsound += 1;
+                    sink.report(
+                        Code::UnsoundAlwaysMiss,
+                        span,
+                        format!(
+                            "reference {} in {} (context {}) is classified always-miss but \
+                             concretely hit {h} of {} executions",
+                            rf.instr,
+                            node.block,
+                            node.ctx,
+                            h + m
+                        ),
+                        Some("the may analysis under-approximates: this is a soundness bug".into()),
+                    );
+                } else {
+                    exact += 1;
+                }
+            }
+            Classification::Unclassified => {
+                if m == 0 {
+                    s.precision_gaps += 1;
+                    sink.report(
+                        Code::PrecisionGap,
+                        span,
+                        format!(
+                            "unclassified reference {} in {} (context {}) hit on all {h} \
+                             observed executions",
+                            rf.instr, node.block, node.ctx
+                        ),
+                        Some("a persistence or first-miss analysis could classify this".into()),
+                    );
+                } else if h > 0 {
+                    exact += 1; // genuinely variable: unclassified is tight
+                }
+            }
+        }
+    }
+    s.precision_score = if s.refs_observed == 0 {
+        1.0
+    } else {
+        exact as f64 / s.refs_observed as f64
+    };
+    s
+}
+
+/// SplitMix64: tiny deterministic generator for walk policies.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::SeverityConfig;
+    use rtpf_isa::shape::Shape;
+
+    fn demo() -> Program {
+        Shape::seq([
+            Shape::code(6),
+            Shape::loop_(12, Shape::if_else(2, Shape::code(8), Shape::code(4))),
+            Shape::code(3),
+        ])
+        .compile("demo")
+    }
+
+    #[test]
+    fn honest_classifier_has_no_unsound_findings() {
+        let p = demo();
+        let config = CacheConfig::new(2, 16, 256).unwrap();
+        let mut sink = DiagnosticSink::new(SeverityConfig::new());
+        let s = audit_soundness(
+            &p,
+            &config,
+            &MemTiming::default(),
+            &mut sink,
+            &SoundnessOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(s.unsound, 0, "{}", sink.render_text());
+        assert!(!sink.has_denials(), "{}", sink.render_text());
+        assert!(s.refs_observed > 0);
+        assert!(s.refs_observed <= s.refs_total);
+        assert!((0.0..=1.0).contains(&s.precision_score));
+    }
+
+    #[test]
+    fn broken_classifier_fires_rtpf020() {
+        // Force every reference to always-hit: the cold entry access must
+        // concretely miss, so no always-hit-that-misses can escape.
+        let p = demo();
+        let config = CacheConfig::new(2, 16, 256).unwrap();
+        let mut sink = DiagnosticSink::new(SeverityConfig::new());
+        let s = audit_soundness_with(
+            &p,
+            &config,
+            &MemTiming::default(),
+            &mut sink,
+            &SoundnessOptions::default(),
+            |_, _| Classification::AlwaysHit,
+        )
+        .unwrap();
+        assert!(s.unsound > 0);
+        assert!(sink
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == Code::UnsoundAlwaysHit));
+        assert!(sink.has_denials());
+    }
+
+    #[test]
+    fn broken_may_analysis_fires_rtpf022() {
+        // A loop small enough to stay resident: rest-context accesses hit
+        // concretely, so classifying everything always-miss must be caught.
+        let p = Shape::loop_(16, Shape::code(4)).compile("tight");
+        let config = CacheConfig::new(4, 16, 1024).unwrap();
+        let mut sink = DiagnosticSink::new(SeverityConfig::new());
+        let s = audit_soundness_with(
+            &p,
+            &config,
+            &MemTiming::default(),
+            &mut sink,
+            &SoundnessOptions::default(),
+            |_, _| Classification::AlwaysMiss,
+        )
+        .unwrap();
+        assert!(s.unsound > 0);
+        assert!(sink
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == Code::UnsoundAlwaysMiss));
+    }
+
+    #[test]
+    fn walks_are_deterministic_given_the_seed() {
+        let p = demo();
+        let config = CacheConfig::new(1, 16, 128).unwrap();
+        let run = || {
+            let mut sink = DiagnosticSink::new(SeverityConfig::new());
+            let s = audit_soundness(
+                &p,
+                &config,
+                &MemTiming::default(),
+                &mut sink,
+                &SoundnessOptions::default(),
+            )
+            .unwrap();
+            (s.refs_observed, s.precision_gaps, sink.diagnostics().len())
+        };
+        assert_eq!(run(), run());
+    }
+}

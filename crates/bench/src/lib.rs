@@ -3,3 +3,4 @@
 //! Run with `cargo bench -p rtpf-bench`. Each bench file covers one
 //! artefact group: cache-model throughput, IPET solver comparison,
 //! analysis/optimizer scalability, per-figure paths, and ablations.
+#![forbid(unsafe_code)]

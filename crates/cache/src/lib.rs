@@ -27,6 +27,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod classify;
 pub mod concrete;
 pub mod config;

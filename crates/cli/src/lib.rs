@@ -16,8 +16,14 @@
 //! All command logic lives in this library (returning strings) so it is
 //! unit-testable; `main.rs` only does I/O.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 
+use rtpf_audit::{
+    audit_ir, audit_soundness, audit_transform, Code, DiagnosticSink, Level, Severity,
+    SeverityConfig, SoundnessOptions, Span,
+};
 use rtpf_cache::{CacheConfig, MemTiming};
 use rtpf_core::{check, OptimizeParams, Optimizer};
 use rtpf_energy::{EnergyModel, Technology};
@@ -65,6 +71,15 @@ pub struct Options {
     /// `--profile` (sweep): print the aggregated per-phase analysis
     /// profile and throughput.
     pub profile: bool,
+    /// `--json` (audit): emit diagnostics as JSON lines.
+    pub json: bool,
+    /// `--optimize` (audit): additionally optimize each program and audit
+    /// the transform.
+    pub optimize: bool,
+    /// `--deny warnings|RTPF0xx` occurrences, in order.
+    pub deny: Vec<String>,
+    /// `--allow RTPF0xx` occurrences, in order.
+    pub allow: Vec<String>,
 }
 
 impl Options {
@@ -87,6 +102,10 @@ impl Options {
             rounds: None,
             verbose: false,
             profile: false,
+            json: false,
+            optimize: false,
+            deny: Vec::new(),
+            allow: Vec::new(),
         };
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -123,6 +142,20 @@ impl Options {
                 }
                 "--verbose" | "-v" => o.verbose = true,
                 "--profile" => o.profile = true,
+                "--json" => o.json = true,
+                "--optimize" => o.optimize = true,
+                "--deny" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| err("--deny needs `warnings` or an RTPF0xx code"))?;
+                    o.deny.push(v.clone());
+                }
+                "--allow" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| err("--allow needs an RTPF0xx code"))?;
+                    o.allow.push(v.clone());
+                }
                 flag if flag.starts_with("--") => return Err(err(format!("unknown flag {flag}"))),
                 spec => {
                     if o.spec.is_some() {
@@ -172,11 +205,16 @@ commands:
   optimize <file|suite:NAME> --cache a,b,c [--penalty N] [--rounds N] [-v]
   simulate <file|suite:NAME> --cache a,b,c [--runs N] [--seed N] [--behavior worst|random]
   sweep    <file|suite:NAME> [--profile]    # all 36 paper configurations
+  audit    <file|suite:NAME|suite:all> [--cache a,b,c] [--json] [--optimize]
+           [--deny warnings|RTPF0xx] [--allow RTPF0xx] [-v]
   fmt      <file>                           # parse + pretty-print
   suite                                     # list built-in benchmarks
 
 the program format is documented in `rtpf_isa::text`; `suite:NAME` loads a
-built-in Mälardalen skeleton (see `rtpf suite`).";
+built-in Mälardalen skeleton (see `rtpf suite`). `audit` runs the IR lints
+and the abstract-vs-concrete soundness audit (plus the transform audit
+with --optimize) over every Table 2 configuration unless --cache narrows
+it; deny-level findings make the command fail.";
 
 /// Loads a program from `path` or `suite:NAME`.
 ///
@@ -205,6 +243,7 @@ pub fn run(o: &Options) -> Result<String, CliError> {
         "optimize" => cmd_optimize(o),
         "simulate" => cmd_simulate(o),
         "sweep" => cmd_sweep(o),
+        "audit" => cmd_audit(o),
         "fmt" => cmd_fmt(o),
         "suite" => Ok(cmd_suite()),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
@@ -387,7 +426,7 @@ fn cmd_sweep(o: &Options) -> Result<String, CliError> {
         };
         let r = Optimizer::new(config, params)
             .run(&p)
-            .map_err(|e| err(format!("{k}: {e}")))?;
+            .map_err(|e| tool_error(&name, Some(&k), "optimization", &e))?;
         profile.add(&r.report.profile);
         units += 1;
         let _ = writeln!(
@@ -413,6 +452,158 @@ fn cmd_sweep(o: &Options) -> Result<String, CliError> {
             f64::from(units) / elapsed,
             elapsed
         );
+    }
+    Ok(s)
+}
+
+/// Renders a tool-level failure through the shared diagnostic renderer so
+/// `sweep` and `audit` fail uniformly (RTPF090).
+fn tool_error(
+    program: &str,
+    config: Option<&str>,
+    stage: &str,
+    e: &dyn std::fmt::Display,
+) -> CliError {
+    let mut sink = DiagnosticSink::new(SeverityConfig::new());
+    let mut span = Span::program(program);
+    span.config = config.map(str::to_string);
+    sink.report(Code::ToolError, span, format!("{stage} failed: {e}"), None);
+    CliError(sink.render_text().trim_end().to_string())
+}
+
+/// Builds the audit severity policy from `--deny`/`--allow` flags.
+fn severity_config(o: &Options) -> Result<SeverityConfig, CliError> {
+    let mut cfg = SeverityConfig::new();
+    for d in &o.deny {
+        if d == "warnings" {
+            cfg.deny_warnings = true;
+        } else {
+            let code = Code::parse(d).ok_or_else(|| err(format!("unknown lint code {d}")))?;
+            cfg.set(code, Level::Deny);
+        }
+    }
+    for a in &o.allow {
+        let code = Code::parse(a).ok_or_else(|| err(format!("unknown lint code {a}")))?;
+        cfg.set(code, Level::Allow);
+    }
+    Ok(cfg)
+}
+
+fn cmd_audit(o: &Options) -> Result<String, CliError> {
+    let spec = spec_of(o)?;
+    let programs: Vec<(String, Program)> = if spec == "suite:all" {
+        rtpf_suite::catalog()
+            .into_iter()
+            .map(|b| (b.name.to_string(), b.program))
+            .collect()
+    } else {
+        vec![load_program(spec)?]
+    };
+    let configs: Vec<(String, CacheConfig)> = match o.cache {
+        Some(_) => vec![("cli".to_string(), o.cache_config()?)],
+        None => CacheConfig::paper_configs(),
+    };
+    let sev = severity_config(o)?;
+    let sopts = SoundnessOptions {
+        seed: o.seed.unwrap_or(SoundnessOptions::default().seed),
+        ..SoundnessOptions::default()
+    };
+
+    let mut sink = DiagnosticSink::new(sev.clone());
+    let mut s = String::new();
+    let mut score_sum = 0.0;
+    let mut score_n = 0u32;
+    for (name, p) in &programs {
+        let mut psink = DiagnosticSink::new(sev.clone());
+        audit_ir(p, &mut psink);
+        sink.absorb(psink, None);
+        for (k, config) in &configs {
+            let timing = o.timing(config);
+            let mut csink = DiagnosticSink::new(sev.clone());
+            match audit_soundness(p, config, &timing, &mut csink, &sopts) {
+                Ok(sum) => {
+                    score_sum += sum.precision_score;
+                    score_n += 1;
+                }
+                Err(e) => {
+                    let mut span = Span::program(name);
+                    span.config = Some(k.clone());
+                    csink.report(Code::ToolError, span, format!("analysis failed: {e}"), None);
+                }
+            }
+            if o.optimize {
+                let timing2 = o.timing(config);
+                let params = OptimizeParams {
+                    timing: timing2,
+                    max_rounds: o.rounds.unwrap_or(4),
+                    max_singles_per_round: 8,
+                    ..OptimizeParams::default()
+                };
+                match Optimizer::new(*config, params).run(p) {
+                    Ok(r) => {
+                        if let Err(e) =
+                            audit_transform(p, &r.program, &r.analysis_after, &mut csink)
+                        {
+                            let mut span = Span::program(name);
+                            span.config = Some(k.clone());
+                            csink.report(
+                                Code::ToolError,
+                                span,
+                                format!("transform audit failed: {e}"),
+                                None,
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        let mut span = Span::program(name);
+                        span.config = Some(k.clone());
+                        csink.report(
+                            Code::ToolError,
+                            span,
+                            format!("optimization failed: {e}"),
+                            None,
+                        );
+                    }
+                }
+            }
+            sink.absorb(csink, Some(k));
+        }
+    }
+
+    let (deny, warn, note) = sink.counts();
+    if o.json {
+        s.push_str(&sink.render_json());
+    } else {
+        for d in sink.diagnostics() {
+            if d.severity == Severity::Note && !o.verbose {
+                continue;
+            }
+            let _ = writeln!(s, "{}[{}]: {} ({})", d.severity, d.code, d.message, d.span);
+            if let Some(h) = &d.help {
+                let _ = writeln!(s, "  help: {h}");
+            }
+        }
+        let _ = writeln!(
+            s,
+            "audit: {} program(s) x {} configuration(s): {deny} deny, {warn} warn, {note} note",
+            programs.len(),
+            configs.len()
+        );
+        if score_n > 0 {
+            let _ = writeln!(
+                s,
+                "soundness: mean precision score {:.3} over {score_n} analyses",
+                score_sum / f64::from(score_n)
+            );
+        }
+        if note > 0 && !o.verbose {
+            let _ = writeln!(s, "({note} note-level findings hidden; pass -v to show)");
+        }
+    }
+    if sink.has_denials() {
+        return Err(CliError(format!(
+            "{s}audit failed: {deny} deny-level finding(s)"
+        )));
     }
     Ok(s)
 }

@@ -1,5 +1,7 @@
 //! `rtpf` binary: thin I/O shell over [`rtpf_cli`].
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let options = match rtpf_cli::Options::parse(&args) {

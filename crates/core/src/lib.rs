@@ -63,6 +63,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod candidates;
 pub mod optimizer;
 pub mod path;

@@ -33,6 +33,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 
 use rtpf_cache::{CacheConfig, MemTiming};

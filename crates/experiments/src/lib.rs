@@ -16,6 +16,8 @@
 //! Reported numbers are ratios (optimized / original), matching the
 //! paper's Inequations 10–12.
 
+#![forbid(unsafe_code)]
+
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};

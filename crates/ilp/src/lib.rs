@@ -27,6 +27,8 @@
 //! assert!((sol.value - 10.0).abs() < 1e-6); // x=2, y=2
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dag;
 pub mod ilp;
 pub mod problem;

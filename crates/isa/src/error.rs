@@ -42,6 +42,47 @@ impl fmt::Display for ProgramError {
 
 impl Error for ProgramError {}
 
+/// Structural error raised by CFG analyses in this crate (dominators,
+/// loop detection) when a program violates their preconditions.
+///
+/// Unlike [`ValidateError`] — which reports defects found by the full
+/// [`Program::validate`](crate::Program::validate) sweep — an `IsaError`
+/// carries enough context for diagnostic rendering at the point the
+/// offending analysis runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IsaError {
+    /// The CFG contains an irreducible cycle: a cycle that can be entered
+    /// other than through its dominating header. `header` is a block on
+    /// the offending cycle (the first one the detector reached).
+    IrreducibleLoop {
+        /// A block on the irreducible cycle.
+        header: BlockId,
+    },
+}
+
+impl IsaError {
+    /// The block the error is anchored to, for diagnostic spans.
+    pub fn block(&self) -> BlockId {
+        match *self {
+            IsaError::IrreducibleLoop { header } => header,
+        }
+    }
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::IrreducibleLoop { header } => write!(
+                f,
+                "irreducible loop: cycle through {header} is entered other \
+                 than through a dominating header"
+            ),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
 /// Structural defect reported by [`Program::validate`](crate::Program::validate).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ValidateError {

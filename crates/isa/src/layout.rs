@@ -78,6 +78,17 @@ impl Layout {
         Self::with_base(p, base)
     }
 
+    /// Builds a layout from an explicit address assignment, one address
+    /// per instruction indexed by [`InstrId`](crate::InstrId).
+    ///
+    /// Intended for tools that audit or replay externally produced
+    /// layouts (e.g. from a linker map); nothing is checked here —
+    /// [`Layout::of`] remains the canonical contiguous constructor, and
+    /// `rtpf-audit` lints arbitrary assignments for overlap and gaps.
+    pub fn from_addrs(addrs: Vec<u64>, base: u64) -> Self {
+        Layout { addrs, base }
+    }
+
     /// Base address of the text segment.
     #[inline]
     pub fn base(&self) -> u64 {

@@ -28,6 +28,8 @@
 //! assert!(program.validate().is_ok());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cfg;
 pub mod dom;
 pub mod error;
@@ -38,7 +40,7 @@ pub mod program;
 pub mod shape;
 pub mod text;
 
-pub use error::{ProgramError, ValidateError};
+pub use error::{IsaError, ProgramError, ValidateError};
 pub use instr::{Instr, InstrId, InstrKind, INSTR_BYTES};
 pub use layout::{Layout, MemBlockId};
 pub use program::{BasicBlock, BlockId, EdgeKind, Program};

@@ -8,6 +8,7 @@
 use std::collections::BTreeSet;
 
 use crate::dom::Dominators;
+use crate::error::IsaError;
 use crate::program::{BlockId, Program};
 
 /// One natural loop.
@@ -50,12 +51,13 @@ impl LoopForest {
     ///
     /// # Errors
     ///
-    /// Returns the offending block if the CFG contains an irreducible cycle
-    /// (a cycle entered other than through a dominating header). Such CFGs
-    /// never arise from the structured [`Shape`](crate::shape::Shape)
-    /// builder; rejecting them keeps VIVU simple, matching the paper's
-    /// implicit assumption of compiler-generated reducible code.
-    pub fn compute(p: &Program, dom: &Dominators) -> Result<Self, BlockId> {
+    /// Returns [`IsaError::IrreducibleLoop`] naming a block on the cycle if
+    /// the CFG contains an irreducible cycle (a cycle entered other than
+    /// through a dominating header). Such CFGs never arise from the
+    /// structured [`Shape`](crate::shape::Shape) builder; rejecting them
+    /// keeps VIVU simple, matching the paper's implicit assumption of
+    /// compiler-generated reducible code.
+    pub fn compute(p: &Program, dom: &Dominators) -> Result<Self, IsaError> {
         // Collect back edges.
         let mut back: Vec<(BlockId, BlockId)> = Vec::new(); // (latch, header)
         for b in p.block_ids() {
@@ -110,7 +112,7 @@ impl LoopForest {
         // covered by a natural loop. Detect by checking that removing all
         // back edges leaves an acyclic graph.
         if let Some(bad) = find_cycle_without_back_edges(p, &back) {
-            return Err(bad);
+            return Err(IsaError::IrreducibleLoop { header: bad });
         }
 
         // Nesting: parent of loop L = smallest loop strictly containing L's
@@ -288,7 +290,10 @@ mod tests {
         p.add_edge(b1, b2, e).unwrap();
         p.add_edge(b2, b1, EdgeKind::Taken).unwrap();
         let dom = Dominators::compute(&p);
-        assert!(LoopForest::compute(&p, &dom).is_err());
+        let err = LoopForest::compute(&p, &dom).unwrap_err();
+        let IsaError::IrreducibleLoop { header } = err;
+        assert!(header == b1 || header == b2);
+        assert!(err.to_string().contains("irreducible"));
     }
 
     #[test]

@@ -408,8 +408,8 @@ impl Program {
         }
         // Loops: every back edge must target a dominating header with bound.
         let dom = crate::dom::Dominators::compute(self);
-        let loops =
-            crate::loops::LoopForest::compute(self, &dom).map_err(ValidateError::Irreducible)?;
+        let loops = crate::loops::LoopForest::compute(self, &dom)
+            .map_err(|e| ValidateError::Irreducible(e.block()))?;
         for l in loops.loops() {
             match self.loop_bound(l.header) {
                 None => return Err(ValidateError::MissingLoopBound { header: l.header }),

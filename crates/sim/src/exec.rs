@@ -152,8 +152,8 @@ impl Simulator {
         p.validate()
             .map_err(|e| SimError::InvalidProgram(e.to_string()))?;
         let dom = Dominators::compute(p);
-        let forest = LoopForest::compute(p, &dom)
-            .map_err(|b| SimError::InvalidProgram(format!("irreducible cycle at {b}")))?;
+        let forest =
+            LoopForest::compute(p, &dom).map_err(|e| SimError::InvalidProgram(e.to_string()))?;
         let layout = Layout::of(p);
 
         let mut result = SimResult::default();

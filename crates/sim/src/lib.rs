@@ -35,6 +35,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod exec;
 pub mod result;

@@ -19,6 +19,8 @@
 //! assert!(matmult.program.validate().is_ok());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod programs;
 
 use rtpf_isa::Program;

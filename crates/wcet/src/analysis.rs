@@ -404,6 +404,12 @@ impl WcetAnalysis {
         self.mem_block[r.index()]
     }
 
+    /// Memory block loaded by reference `r`'s prefetch, if `r` is one.
+    #[inline]
+    pub fn pf_block(&self, r: RefId) -> Option<MemBlockId> {
+        self.pf_block[r.index()]
+    }
+
     /// Overall contribution of reference `r` to the WCET
     /// (`τ_w(r) = t_w(r) × n^w`, Eq. 2).
     #[inline]

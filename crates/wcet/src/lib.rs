@@ -37,6 +37,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod acfg;
 pub mod analysis;
 pub mod classify;

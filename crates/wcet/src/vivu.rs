@@ -85,8 +85,9 @@ impl VivuGraph {
     pub fn build(p: &Program) -> Result<Self, AnalysisError> {
         p.validate()?;
         let dom = Dominators::compute(p);
-        let forest = LoopForest::compute(p, &dom)
-            .map_err(|b| AnalysisError::InvalidProgram(rtpf_isa::ValidateError::Irreducible(b)))?;
+        let forest = LoopForest::compute(p, &dom).map_err(|e| {
+            AnalysisError::InvalidProgram(rtpf_isa::ValidateError::Irreducible(e.block()))
+        })?;
         let bound = |h: BlockId| p.loop_bound(h).unwrap_or(1);
 
         let mut nodes: Vec<VivuNode> = Vec::new();

@@ -31,6 +31,9 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub use rtpf_audit as audit;
 pub use rtpf_baselines as baselines;
 pub use rtpf_cache as cache;
 pub use rtpf_core as core;
