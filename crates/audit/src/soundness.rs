@@ -105,6 +105,20 @@ pub fn audit_soundness_with(
     Ok(compare(p, &a, &obs, sink, reclass))
 }
 
+/// Runs the soundness audit over an already-computed analysis artifact
+/// (cache geometry and timing come from the artifact itself). This is the
+/// seam the engine uses: the caller decides whether `a` came from the
+/// artifact store or from an independent cache-bypassing recomputation.
+pub fn audit_soundness_artifact(
+    p: &Program,
+    a: &WcetAnalysis,
+    sink: &mut DiagnosticSink,
+    opts: &SoundnessOptions,
+) -> SoundnessSummary {
+    let obs = observe(p, a, a.config(), opts);
+    compare(p, a, &obs, sink, |_, c| c)
+}
+
 /// Per-reference concrete observations across all walks.
 struct Observations {
     hits: Vec<u64>,

@@ -10,14 +10,18 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use rtpf_cache::{CacheConfig, MemTiming};
-use rtpf_core::{candidates, JoinPolicy, OptimizeParams, Optimizer};
+use rtpf_core::{candidates, JoinPolicy, Optimizer};
+use rtpf_engine::EngineConfig;
 use rtpf_wcet::WcetAnalysis;
 
 fn bench_ablation(c: &mut Criterion) {
     let b = rtpf_suite::by_name("compress").expect("compress");
-    let config = CacheConfig::new(2, 16, 1024).expect("valid");
-    let timing = MemTiming::default();
+    let config = EngineConfig::geometry(2, 16, 1024).expect("valid");
+    let base = EngineConfig::interactive(config)
+        .with_penalty(20)
+        .with_rounds(3)
+        .with_singles(6);
+    let timing = base.timing();
     let analysis = WcetAnalysis::analyze(&b.program, &config, &timing).expect("analyzes");
 
     let mut g = c.benchmark_group("ablation");
@@ -27,13 +31,10 @@ fn bench_ablation(c: &mut Criterion) {
         ("criterion/effectiveness_on", true),
         ("criterion/effectiveness_off", false),
     ] {
-        let params = OptimizeParams {
-            timing,
-            max_rounds: 3,
-            max_singles_per_round: 6,
-            check_effectiveness,
-            ..OptimizeParams::default()
-        };
+        let params = base
+            .clone()
+            .with_check_effectiveness(check_effectiveness)
+            .optimize_params(b.program.instr_count());
         g.bench_function(label, |bench| {
             bench.iter(|| {
                 Optimizer::new(config, params)
@@ -53,12 +54,10 @@ fn bench_ablation(c: &mut Criterion) {
     }
 
     for (label, rounds) in [("iterate/single_round", 1u32), ("iterate/to_fixpoint", 6)] {
-        let params = OptimizeParams {
-            timing,
-            max_rounds: rounds,
-            max_singles_per_round: 6,
-            ..OptimizeParams::default()
-        };
+        let params = base
+            .clone()
+            .with_rounds(rounds)
+            .optimize_params(b.program.instr_count());
         g.bench_function(label, |bench| {
             bench.iter(|| {
                 Optimizer::new(config, params)

@@ -4,13 +4,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use rtpf_cache::{CacheConfig, MemTiming};
+use rtpf_engine::EngineConfig;
 use rtpf_isa::{InstrKind, Layout, Program};
 use rtpf_wcet::WcetAnalysis;
 
 fn bench_analysis(c: &mut Criterion) {
-    let config = CacheConfig::new(2, 16, 1024).expect("valid");
-    let timing = MemTiming::default();
+    let config = EngineConfig::geometry(2, 16, 1024).expect("valid");
+    let timing = EngineConfig::interactive(config).with_penalty(20).timing();
     let mut g = c.benchmark_group("wcet_analysis");
     g.sample_size(10);
     // Small, medium, large, giant.
@@ -46,8 +46,8 @@ fn with_one_prefetch(p: &Program, base: &WcetAnalysis) -> (Program, Layout) {
 }
 
 fn bench_incremental_vs_full(c: &mut Criterion) {
-    let config = CacheConfig::new(2, 16, 512).expect("valid"); // k8
-    let timing = MemTiming::default();
+    let config = EngineConfig::geometry(2, 16, 512).expect("valid"); // k8
+    let timing = EngineConfig::interactive(config).with_penalty(20).timing();
     let mut g = c.benchmark_group("incremental_vs_full");
     g.sample_size(10);
     for name in ["nsichneu", "statemate"] {

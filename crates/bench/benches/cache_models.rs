@@ -5,7 +5,8 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use rtpf_cache::{CacheConfig, ConcreteState, MayState, MustState};
+use rtpf_cache::{ConcreteState, MayState, MustState};
+use rtpf_engine::EngineConfig;
 use rtpf_isa::MemBlockId;
 
 fn trace(len: usize, span: u64) -> Vec<MemBlockId> {
@@ -16,7 +17,7 @@ fn trace(len: usize, span: u64) -> Vec<MemBlockId> {
 }
 
 fn bench_cache_models(c: &mut Criterion) {
-    let config = CacheConfig::new(4, 16, 4096).expect("valid");
+    let config = EngineConfig::geometry(4, 16, 4096).expect("valid");
     let t = trace(10_000, 512);
 
     let mut g = c.benchmark_group("cache_models");

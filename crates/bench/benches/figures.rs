@@ -12,27 +12,22 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use rtpf_cache::CacheConfig;
-use rtpf_core::{check, OptimizeParams, Optimizer};
+use rtpf_core::{check, Optimizer};
 use rtpf_energy::{EnergyModel, Technology};
-use rtpf_sim::{SimConfig, Simulator};
+use rtpf_engine::EngineConfig;
+use rtpf_sim::Simulator;
 
 fn bench_figures(c: &mut Criterion) {
     let b = rtpf_suite::by_name("fft1").expect("fft1");
-    let config = CacheConfig::new(2, 16, 512).expect("valid");
-    let model = EnergyModel::new(&config, Technology::Nm45);
-    let timing = model.timing();
-    let params = OptimizeParams {
-        timing,
-        max_rounds: 3,
-        max_singles_per_round: 6,
-        ..OptimizeParams::default()
-    };
-    let sim_cfg = SimConfig {
-        runs: 1,
-        seed: 77,
-        ..SimConfig::default()
-    };
+    let config = EngineConfig::geometry(2, 16, 512).expect("valid");
+    let cfg = EngineConfig::interactive(config)
+        .with_rounds(3)
+        .with_singles(6)
+        .with_runs(1)
+        .with_seed(77);
+    let timing = cfg.timing();
+    let params = cfg.optimize_params(b.program.instr_count());
+    let sim_cfg = cfg.sim_config();
     let opt = Optimizer::new(config, params)
         .run(&b.program)
         .expect("optimizes");
@@ -42,7 +37,7 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("table1_catalog", |bench| bench.iter(rtpf_suite::catalog));
     g.bench_function("table2_configs", |bench| {
         bench.iter(|| {
-            CacheConfig::paper_configs()
+            rtpf_cache::CacheConfig::paper_configs()
                 .into_iter()
                 .map(|(_, cfg)| EnergyModel::new(&cfg, Technology::Nm32).timing())
                 .collect::<Vec<_>>()

@@ -3,11 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use rtpf_cache::{CacheConfig, MemTiming};
-use rtpf_core::{OptimizeParams, Optimizer};
+use rtpf_core::Optimizer;
+use rtpf_engine::EngineConfig;
 
 fn bench_optimizer(c: &mut Criterion) {
-    let timing = MemTiming::default();
     let mut g = c.benchmark_group("optimizer");
     g.sample_size(10);
     for (name, capacity) in [
@@ -17,13 +16,12 @@ fn bench_optimizer(c: &mut Criterion) {
         ("ndes", 1024),
     ] {
         let b = rtpf_suite::by_name(name).expect("known");
-        let config = CacheConfig::new(2, 16, capacity).expect("valid");
-        let params = OptimizeParams {
-            timing,
-            max_rounds: 4,
-            max_singles_per_round: 8,
-            ..OptimizeParams::default()
-        };
+        let config = EngineConfig::geometry(2, 16, capacity).expect("valid");
+        // The CLI sweep profile (4 rounds, 8 singles) with the classic
+        // 20-cycle miss penalty.
+        let params = EngineConfig::cli_sweep(config)
+            .with_penalty(20)
+            .optimize_params(b.program.instr_count());
         g.bench_function(
             format!("{name}/{}_instrs", b.program.instr_count()),
             |bench| {

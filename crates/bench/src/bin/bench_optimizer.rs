@@ -14,8 +14,9 @@ use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Instant;
 
-use rtpf_cache::{CacheConfig, MemTiming};
+use rtpf_cache::CacheConfig;
 use rtpf_core::{OptimizeParams, OptimizeResult, Optimizer};
+use rtpf_engine::EngineConfig;
 
 const REPS: u32 = 3;
 
@@ -47,22 +48,21 @@ fn best_of(
 }
 
 fn main() {
-    let config = CacheConfig::new(2, 16, 512).expect("valid k8 geometry");
-    let timing = MemTiming::default();
+    let config = EngineConfig::geometry(2, 16, 512).expect("valid k8 geometry");
+    // The interactive profile's optimizer budget with the classic 20-cycle
+    // miss penalty; the "legacy" variant only flips the result-invariant
+    // execution-strategy knobs.
+    let base = EngineConfig::interactive(config).with_penalty(20);
     let mut rows = Vec::new();
 
     for name in ["nsichneu", "statemate"] {
         let b = rtpf_suite::by_name(name).expect("known program");
-        let legacy = OptimizeParams {
-            timing,
-            incremental: false,
-            verify_workers: 1,
-            ..OptimizeParams::default()
-        };
-        let tuned = OptimizeParams {
-            timing,
-            ..OptimizeParams::default()
-        };
+        let legacy = base
+            .clone()
+            .with_incremental(false)
+            .with_verify_workers(1)
+            .optimize_params(b.program.instr_count());
+        let tuned = base.optimize_params(b.program.instr_count());
         let (t_legacy, r_legacy) = best_of(config, legacy, &b.program);
         let (t_tuned, r_tuned) = best_of(config, tuned, &b.program);
         assert!(

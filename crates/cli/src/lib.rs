@@ -13,38 +13,61 @@
 //! rtpf suite
 //! ```
 //!
-//! All command logic lives in this library (returning strings) so it is
-//! unit-testable; `main.rs` only does I/O.
+//! Every command drives the shared [`rtpf_engine`] pipeline: flags are
+//! folded into an [`EngineConfig`] profile and the command pulls the
+//! stage artifacts it needs. All command logic lives in this library
+//! (returning strings) so it is unit-testable; `main.rs` only does I/O.
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Write as _;
 
-use rtpf_audit::{
-    audit_ir, audit_soundness, audit_transform, Code, DiagnosticSink, Level, Severity,
-    SeverityConfig, SoundnessOptions, Span,
-};
-use rtpf_cache::{CacheConfig, MemTiming};
-use rtpf_core::{check, OptimizeParams, Optimizer};
-use rtpf_energy::{EnergyModel, Technology};
+use rtpf_audit::{Code, DiagnosticSink, Level, Severity, SeverityConfig, SoundnessOptions, Span};
+use rtpf_cache::CacheConfig;
+use rtpf_engine::{Engine, EngineConfig, EngineError};
 use rtpf_isa::{InstrKind, Program};
-use rtpf_sim::{BranchBehavior, SimConfig, Simulator};
-use rtpf_wcet::WcetAnalysis;
+use rtpf_sim::BranchBehavior;
 
-/// A user-facing failure: bad arguments, unreadable file, analysis error.
+/// A user-facing failure, separated by layer: argument/usage problems,
+/// typed pipeline failures (wrapping the ISA/analysis/simulation error
+/// they came from), and audit verdicts.
 #[derive(Debug)]
-pub struct CliError(pub String);
+pub enum CliError {
+    /// Bad arguments or a malformed flag value.
+    Usage(String),
+    /// A pipeline stage failed; carries the typed source error.
+    Engine(EngineError),
+    /// An audit rendered findings and failed (deny-level verdict), or a
+    /// tool error was rendered through the diagnostic sink.
+    Audit(String),
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        match self {
+            CliError::Usage(s) | CliError::Audit(s) => f.write_str(s),
+            CliError::Engine(e) => write!(f, "{e}"),
+        }
     }
 }
 
-impl std::error::Error for CliError {}
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for CliError {
+    fn from(e: EngineError) -> Self {
+        CliError::Engine(e)
+    }
+}
 
 fn err(msg: impl Into<String>) -> CliError {
-    CliError(msg.into())
+    CliError::Usage(msg.into())
 }
 
 /// Parsed command line.
@@ -68,7 +91,7 @@ pub struct Options {
     pub rounds: Option<u32>,
     /// `--verbose`.
     pub verbose: bool,
-    /// `--profile` (sweep): print the aggregated per-phase analysis
+    /// `--profile` (sweep): print the aggregated per-stage pipeline
     /// profile and throughput.
     pub profile: bool,
     /// `--json` (audit): emit diagnostics as JSON lines.
@@ -172,23 +195,42 @@ impl Options {
         let (a, b, c) = self.cache.ok_or_else(|| {
             err("this command needs --cache ASSOC,BLOCK,CAPACITY (e.g. --cache 2,16,512)")
         })?;
-        CacheConfig::new(a, b, c).map_err(|e| err(format!("invalid cache geometry: {e}")))
+        EngineConfig::geometry(a, b, c).map_err(|e| CliError::Engine(EngineError::Geometry(e)))
     }
 
-    fn timing(&self, config: &CacheConfig) -> MemTiming {
-        match self.penalty {
-            Some(p) => MemTiming::with_miss_penalty(p),
-            None => EnergyModel::new(config, Technology::Nm45).timing(),
+    /// Folds the interactive flags into the engine profile this command
+    /// runs under.
+    fn engine_config(&self, cache: CacheConfig) -> EngineConfig {
+        let mut cfg = EngineConfig::interactive(cache);
+        if let Some(p) = self.penalty {
+            cfg = cfg.with_penalty(p);
         }
+        if let Some(b) = self.behavior {
+            cfg = cfg.with_behavior(b);
+        }
+        if let Some(s) = self.seed {
+            cfg = cfg.with_seed(s);
+        }
+        if let Some(r) = self.runs {
+            cfg = cfg.with_runs(r);
+        }
+        if let Some(r) = self.rounds {
+            cfg = cfg.with_rounds(r);
+        }
+        cfg
     }
 
-    fn sim_config(&self) -> SimConfig {
-        SimConfig {
-            behavior: self.behavior.unwrap_or_default(),
-            seed: self.seed.unwrap_or(0xC0FF_EE00),
-            runs: self.runs.unwrap_or(3),
-            max_fetches: 8_000_000,
+    /// The batch profile `sweep` and `audit --optimize` share: a small
+    /// fixed optimizer budget so all 36 configurations stay interactive.
+    fn batch_config(&self, cache: CacheConfig) -> EngineConfig {
+        let mut cfg = EngineConfig::cli_sweep(cache);
+        if let Some(p) = self.penalty {
+            cfg = cfg.with_penalty(p);
         }
+        if let Some(r) = self.rounds {
+            cfg = cfg.with_rounds(r);
+        }
+        cfg
     }
 }
 
@@ -222,14 +264,7 @@ it; deny-level findings make the command fail.";
 ///
 /// Fails when the file is unreadable/malformed or the suite name unknown.
 pub fn load_program(spec: &str) -> Result<(String, Program), CliError> {
-    if let Some(name) = spec.strip_prefix("suite:") {
-        let b = rtpf_suite::by_name(name)
-            .ok_or_else(|| err(format!("unknown suite program {name} (try `rtpf suite`)")))?;
-        return Ok((b.name.to_string(), b.program));
-    }
-    let src = std::fs::read_to_string(spec).map_err(|e| err(format!("cannot read {spec}: {e}")))?;
-    let (name, shape) = rtpf_isa::text::parse(&src).map_err(|e| err(format!("{spec}: {e}")))?;
-    Ok((name.clone(), shape.compile(name)))
+    Ok(rtpf_engine::load_program(spec)?)
 }
 
 /// Executes a parsed command, returning the output to print.
@@ -259,10 +294,10 @@ fn spec_of(o: &Options) -> Result<&str, CliError> {
 
 fn cmd_analyze(o: &Options) -> Result<String, CliError> {
     let (name, p) = load_program(spec_of(o)?)?;
-    let config = o.cache_config()?;
-    let timing = o.timing(&config);
-    let a = WcetAnalysis::analyze(&p, &config, &timing)
-        .map_err(|e| err(format!("analysis failed: {e}")))?;
+    let engine = Engine::new(o.engine_config(o.cache_config()?));
+    let config = *engine.config().cache();
+    let timing = engine.config().timing();
+    let a = engine.analysis(&p)?;
     let (hit, miss, unk) = a.classification_counts();
     let mut s = String::new();
     let _ = writeln!(
@@ -305,24 +340,9 @@ fn cmd_analyze(o: &Options) -> Result<String, CliError> {
 
 fn cmd_optimize(o: &Options) -> Result<String, CliError> {
     let (name, p) = load_program(spec_of(o)?)?;
-    let config = o.cache_config()?;
-    let timing = o.timing(&config);
-    let params = OptimizeParams {
-        timing,
-        max_rounds: o.rounds.unwrap_or(OptimizeParams::default().max_rounds),
-        ..OptimizeParams::default()
-    };
-    let r = Optimizer::new(config, params)
-        .run(&p)
-        .map_err(|e| err(format!("optimization failed: {e}")))?;
-    let theorem = check(
-        &p,
-        &r.program,
-        r.analysis_after.layout().clone(),
-        &config,
-        &timing,
-    )
-    .map_err(|e| err(format!("verification failed: {e}")))?;
+    let engine = Engine::new(o.engine_config(o.cache_config()?));
+    let config = *engine.config().cache();
+    let (r, theorem) = engine.verified(&p)?;
 
     let mut s = String::new();
     let rep = &r.report;
@@ -369,13 +389,10 @@ fn cmd_optimize(o: &Options) -> Result<String, CliError> {
 
 fn cmd_simulate(o: &Options) -> Result<String, CliError> {
     let (name, p) = load_program(spec_of(o)?)?;
-    let config = o.cache_config()?;
-    let timing = o.timing(&config);
-    let run = Simulator::new(config, timing, o.sim_config())
-        .run(&p)
-        .map_err(|e| err(format!("simulation failed: {e}")))?;
-    let m45 = EnergyModel::new(&config, Technology::Nm45);
-    let m32 = EnergyModel::new(&config, Technology::Nm32);
+    let engine = Engine::new(o.engine_config(o.cache_config()?));
+    let config = *engine.config().cache();
+    let run = engine.simulated(&p)?;
+    let [e45, e32] = engine.energies(&run);
     let mut s = String::new();
     let _ = writeln!(s, "program {name} on {config} ({} runs):", run.runs);
     let _ = writeln!(s, "  ACET (memory): {:.0} cycles", run.acet_cycles());
@@ -395,8 +412,8 @@ fn cmd_simulate(o: &Options) -> Result<String, CliError> {
     let _ = writeln!(
         s,
         "  energy: {:.1} nJ @45nm, {:.1} nJ @32nm",
-        m45.energy_of(&run.mean_stats()).total_nj(),
-        m32.energy_of(&run.mean_stats()).total_nj()
+        e45.total_nj(),
+        e32.total_nj()
     );
     Ok(s)
 }
@@ -417,17 +434,11 @@ fn cmd_sweep(o: &Options) -> Result<String, CliError> {
     let mut profile = rtpf_wcet::AnalysisProfile::default();
     let mut units = 0u32;
     for (k, config) in CacheConfig::paper_configs() {
-        let timing = EnergyModel::new(&config, Technology::Nm45).timing();
-        let params = OptimizeParams {
-            timing,
-            max_rounds: o.rounds.unwrap_or(4),
-            max_singles_per_round: 8,
-            ..OptimizeParams::default()
-        };
-        let r = Optimizer::new(config, params)
-            .run(&p)
-            .map_err(|e| tool_error(&name, Some(&k), "optimization", &e))?;
-        profile.add(&r.report.profile);
+        let engine = Engine::new(o.batch_config(config));
+        let r = engine
+            .optimized(&p)
+            .map_err(|e| tool_error(&name, Some(&k), &e))?;
+        profile.add(&engine.profile());
         units += 1;
         let _ = writeln!(
             s,
@@ -457,18 +468,14 @@ fn cmd_sweep(o: &Options) -> Result<String, CliError> {
 }
 
 /// Renders a tool-level failure through the shared diagnostic renderer so
-/// `sweep` and `audit` fail uniformly (RTPF090).
-fn tool_error(
-    program: &str,
-    config: Option<&str>,
-    stage: &str,
-    e: &dyn std::fmt::Display,
-) -> CliError {
+/// `sweep` and `audit` fail uniformly (RTPF090). The engine error's
+/// rendering already names the failed stage.
+fn tool_error(program: &str, config: Option<&str>, e: &EngineError) -> CliError {
     let mut sink = DiagnosticSink::new(SeverityConfig::new());
     let mut span = Span::program(program);
     span.config = config.map(str::to_string);
-    sink.report(Code::ToolError, span, format!("{stage} failed: {e}"), None);
-    CliError(sink.render_text().trim_end().to_string())
+    sink.report(Code::ToolError, span, e.to_string(), None);
+    CliError::Audit(sink.render_text().trim_end().to_string())
 }
 
 /// Builds the audit severity policy from `--deny`/`--allow` flags.
@@ -515,12 +522,17 @@ fn cmd_audit(o: &Options) -> Result<String, CliError> {
     let mut score_n = 0u32;
     for (name, p) in &programs {
         let mut psink = DiagnosticSink::new(sev.clone());
-        audit_ir(p, &mut psink);
+        rtpf_audit::audit_ir(p, &mut psink);
         sink.absorb(psink, None);
         for (k, config) in &configs {
-            let timing = o.timing(config);
-            let mut csink = DiagnosticSink::new(sev.clone());
-            match audit_soundness(p, config, &timing, &mut csink, &sopts) {
+            // One engine per (program, configuration) unit: the transform
+            // audit pulls the engine's optimize artifact, while the
+            // soundness audit force-recomputes its analysis with cache
+            // bypass so its verdict cannot be influenced by a poisoned
+            // artifact (see DESIGN.md §9).
+            let engine = Engine::new(o.batch_config(*config).with_severity(sev.clone()));
+            let mut csink = DiagnosticSink::new(engine.config().severity().clone());
+            match engine.audit_soundness(p, &mut csink, &sopts, true) {
                 Ok(sum) => {
                     score_sum += sum.precision_score;
                     score_n += 1;
@@ -528,42 +540,21 @@ fn cmd_audit(o: &Options) -> Result<String, CliError> {
                 Err(e) => {
                     let mut span = Span::program(name);
                     span.config = Some(k.clone());
-                    csink.report(Code::ToolError, span, format!("analysis failed: {e}"), None);
+                    csink.report(Code::ToolError, span, e.to_string(), None);
                 }
             }
             if o.optimize {
-                let timing2 = o.timing(config);
-                let params = OptimizeParams {
-                    timing: timing2,
-                    max_rounds: o.rounds.unwrap_or(4),
-                    max_singles_per_round: 8,
-                    ..OptimizeParams::default()
-                };
-                match Optimizer::new(*config, params).run(p) {
-                    Ok(r) => {
-                        if let Err(e) =
-                            audit_transform(p, &r.program, &r.analysis_after, &mut csink)
-                        {
-                            let mut span = Span::program(name);
-                            span.config = Some(k.clone());
-                            csink.report(
-                                Code::ToolError,
-                                span,
-                                format!("transform audit failed: {e}"),
-                                None,
-                            );
+                if let Err(e) = engine.audit_transform(p, &mut csink) {
+                    let mut span = Span::program(name);
+                    span.config = Some(k.clone());
+                    let msg = match &e {
+                        EngineError::Optimize(_) => e.to_string(),
+                        EngineError::Analysis(inner) => {
+                            format!("transform audit failed: {inner}")
                         }
-                    }
-                    Err(e) => {
-                        let mut span = Span::program(name);
-                        span.config = Some(k.clone());
-                        csink.report(
-                            Code::ToolError,
-                            span,
-                            format!("optimization failed: {e}"),
-                            None,
-                        );
-                    }
+                        other => format!("transform audit failed: {other}"),
+                    };
+                    csink.report(Code::ToolError, span, msg, None);
                 }
             }
             sink.absorb(csink, Some(k));
@@ -601,7 +592,7 @@ fn cmd_audit(o: &Options) -> Result<String, CliError> {
         }
     }
     if sink.has_denials() {
-        return Err(CliError(format!(
+        return Err(CliError::Audit(format!(
             "{s}audit failed: {deny} deny-level finding(s)"
         )));
     }
@@ -610,8 +601,18 @@ fn cmd_audit(o: &Options) -> Result<String, CliError> {
 
 fn cmd_fmt(o: &Options) -> Result<String, CliError> {
     let spec = spec_of(o)?;
-    let src = std::fs::read_to_string(spec).map_err(|e| err(format!("cannot read {spec}: {e}")))?;
-    let (name, shape) = rtpf_isa::text::parse(&src).map_err(|e| err(format!("{spec}: {e}")))?;
+    let src = std::fs::read_to_string(spec).map_err(|e| {
+        CliError::Engine(EngineError::Read {
+            path: spec.to_string(),
+            error: e.to_string(),
+        })
+    })?;
+    let (name, shape) = rtpf_isa::text::parse(&src).map_err(|e| {
+        CliError::Engine(EngineError::Parse {
+            path: spec.to_string(),
+            error: e.to_string(),
+        })
+    })?;
     Ok(rtpf_isa::text::write(&name, &shape))
 }
 
@@ -716,24 +717,56 @@ mod tests {
         assert!(out.contains("analysis profile over 36 configurations"));
         assert!(out.contains("fixpoint"));
         assert!(out.contains("units/s"));
+        // The engine wires stage-level wall clock and store counters into
+        // the profile: the sweep runs the Optimize stage, so the stage
+        // breakdown line must be present.
+        assert!(out.contains("stages:"), "{out}");
+        assert!(out.contains("optimize"), "{out}");
+        assert!(out.contains("misses"), "{out}");
     }
 
     #[test]
     fn unknown_command_shows_usage() {
         let o = Options::parse(&args(&["frobnicate"])).expect("parses");
         let e = run(&o).unwrap_err();
-        assert!(e.0.contains("usage:"));
+        assert!(e.to_string().contains("usage:"));
     }
 
     #[test]
     fn missing_cache_is_a_clear_error() {
         let o = Options::parse(&args(&["analyze", "suite:bs"])).expect("parses");
         let e = run(&o).unwrap_err();
-        assert!(e.0.contains("--cache"));
+        assert!(e.to_string().contains("--cache"));
     }
 
     #[test]
     fn load_program_rejects_unknown_suite() {
         assert!(load_program("suite:doom").is_err());
+    }
+
+    #[test]
+    fn errors_are_typed_and_preserve_legacy_messages() {
+        // Pipeline failures carry their typed source error; the rendered
+        // message is exactly what the string-typed CLI printed before.
+        let e = load_program("suite:doom").unwrap_err();
+        assert!(matches!(e, CliError::Engine(EngineError::UnknownSuite(_))));
+        assert_eq!(
+            e.to_string(),
+            "unknown suite program doom (try `rtpf suite`)"
+        );
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = load_program("/no/such/file.rtpf").unwrap_err();
+        assert!(matches!(e, CliError::Engine(EngineError::Read { .. })));
+        assert!(e.to_string().starts_with("cannot read /no/such/file.rtpf:"));
+
+        let o =
+            Options::parse(&args(&["analyze", "suite:bs", "--cache", "3,16,512"])).expect("parses");
+        let e = run(&o).unwrap_err();
+        assert!(matches!(e, CliError::Engine(EngineError::Geometry(_))));
+        assert!(e.to_string().starts_with("invalid cache geometry:"));
+
+        let o = Options::parse(&args(&["analyze", "suite:bs"])).expect("parses");
+        assert!(matches!(run(&o).unwrap_err(), CliError::Usage(_)));
     }
 }

@@ -1,0 +1,59 @@
+//! Engine smoke check (run by CI): push a small suite × configuration
+//! grid through the full pipeline twice — a cold pass that computes every
+//! artifact, then a warm pass that must be served entirely from the
+//! content-addressed store.
+//!
+//! ```text
+//! cargo run --release -p rtpf-engine --example smoke
+//! ```
+//!
+//! Exits nonzero (via assert) if the warm pass misses the cache, which
+//! would mean artifact keys are unstable within a process — the cheapest
+//! possible canary for fingerprint regressions.
+
+use rtpf_engine::{Engine, EngineConfig};
+
+fn main() {
+    let programs = ["bs", "fibcall", "sqrt", "crc"];
+    let geometries = [(1u32, 16u32, 256u32), (2, 16, 512), (4, 32, 8192)];
+
+    let mut units = 0u64;
+    for (a, b, c) in geometries {
+        let cache = EngineConfig::geometry(a, b, c).expect("valid geometry");
+        let engine = Engine::new(EngineConfig::evaluation(cache));
+
+        let cold = std::time::Instant::now();
+        for name in programs {
+            let p = rtpf_suite::by_name(name).expect("known suite program");
+            let r = engine.unit(name, "smoke", &p.program).expect("evaluates");
+            assert!(r.wcet_opt <= r.wcet_orig, "{name}: Theorem 1 violated");
+            units += 1;
+        }
+        let cold_ms = cold.elapsed().as_secs_f64() * 1e3;
+        let misses_after_cold = engine.store().misses();
+        let hits_after_cold = engine.store().hits();
+
+        let warm = std::time::Instant::now();
+        for name in programs {
+            let p = rtpf_suite::by_name(name).expect("known suite program");
+            engine.unit(name, "smoke", &p.program).expect("evaluates");
+        }
+        let warm_ms = warm.elapsed().as_secs_f64() * 1e3;
+
+        let warm_hits = engine.store().hits() - hits_after_cold;
+        let warm_misses = engine.store().misses() - misses_after_cold;
+        println!(
+            "{cache}: cold {cold_ms:.1} ms ({misses_after_cold} computes), \
+             warm {warm_ms:.1} ms ({warm_hits} hits, {warm_misses} misses)"
+        );
+        assert_eq!(
+            warm_misses, 0,
+            "warm pass recomputed artifacts on {cache}: unstable keys"
+        );
+        assert!(
+            warm_hits >= programs.len() as u64,
+            "warm pass did not hit the store on {cache}"
+        );
+    }
+    println!("engine smoke OK: {units} units, warm passes fully cached");
+}

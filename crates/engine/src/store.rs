@@ -1,0 +1,280 @@
+//! The content-addressed artifact store.
+//!
+//! Every pipeline product — a parsed program, a WCET analysis, an
+//! optimization, a simulation, an evaluation row — is an *artifact*
+//! addressed by [`ArtifactKey`]: the producing [`Stage`] (with its
+//! version) plus a [`Fingerprint`] of everything the stage's output
+//! depends on (program content and the relevant
+//! [`EngineConfig`](crate::EngineConfig) knobs). Identical keys mean
+//! identical values, so a lookup can replace a recomputation anywhere.
+//!
+//! Two layers:
+//!
+//! * **in-memory** — a concurrent map of `Arc`ed values shared by every
+//!   [`Engine`](crate::Engine) attached to the store (the grid scheduler's
+//!   workers all hit the same map);
+//! * **on-disk** — text artifacts stored as `<name>` plus a `<name>.hash`
+//!   sidecar holding the key's hex fingerprint. An artifact whose sidecar
+//!   is missing or names a different key is *stale* and treated as absent
+//!   — this replaces the old row-count-only acceptance of
+//!   `results/sweep.csv`, which silently reused caches written by older
+//!   code versions.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::error::EngineError;
+use crate::fingerprint::{Fingerprint, FpHasher};
+
+/// The typed stages of the pipeline.
+///
+/// `Parse → Analyze → Optimize → Verify → Simulate → Energy → Unit →
+/// Sweep`. The structure/VIVU/classify/IPET phases live *inside* the
+/// `Analyze` artifact (a [`WcetAnalysis`](rtpf_wcet::WcetAnalysis) carries
+/// all four products and its own per-phase profile); they version together
+/// because each is consumed exactly once by the next.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Stage {
+    /// Program text → validated [`Program`](rtpf_isa::Program).
+    Parse,
+    /// CFG/loops/layout + VIVU + classify + IPET → `WcetAnalysis`.
+    Analyze,
+    /// Prefetch insertion → `OptimizeResult`.
+    Optimize,
+    /// Independent Theorem 1 re-proof → `TheoremReport`.
+    Verify,
+    /// Trace simulation → `SimResult`.
+    Simulate,
+    /// Energy accounting → `EnergyBreakdown` per technology.
+    Energy,
+    /// One `(program, configuration)` evaluation row → `UnitResult`.
+    Unit,
+    /// The full evaluation grid → CSV text (on-disk layer).
+    Sweep,
+}
+
+impl Stage {
+    /// Stage version, part of every key. **Bump when the stage's
+    /// algorithm changes observably** so stale on-disk artifacts are
+    /// discarded instead of silently reused.
+    pub fn version(self) -> u32 {
+        match self {
+            Stage::Parse => 1,
+            Stage::Analyze => 1,
+            Stage::Optimize => 1,
+            Stage::Verify => 1,
+            Stage::Simulate => 1,
+            Stage::Energy => 1,
+            Stage::Unit => 1,
+            Stage::Sweep => 1,
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            Stage::Parse => 0,
+            Stage::Analyze => 1,
+            Stage::Optimize => 2,
+            Stage::Verify => 3,
+            Stage::Simulate => 4,
+            Stage::Energy => 5,
+            Stage::Unit => 6,
+            Stage::Sweep => 7,
+        }
+    }
+}
+
+/// Content address of one artifact.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ArtifactKey {
+    /// Producing stage.
+    pub stage: Stage,
+    /// Hash over the stage version and every input fingerprint.
+    pub content: Fingerprint,
+}
+
+impl ArtifactKey {
+    /// Builds a key from the stage and its input fingerprints.
+    pub fn new(stage: Stage, inputs: &[Fingerprint]) -> ArtifactKey {
+        let mut h = FpHasher::new();
+        h.write_u8(stage.tag());
+        h.write_u32(stage.version());
+        for &fp in inputs {
+            h.write_fp(fp);
+        }
+        ArtifactKey {
+            stage,
+            content: h.finish(),
+        }
+    }
+}
+
+/// The shared artifact store (see the module docs for the two layers).
+#[derive(Debug, Default)]
+pub struct ArtifactStore {
+    mem: Mutex<HashMap<ArtifactKey, Arc<dyn Any + Send + Sync>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    disk_root: Option<PathBuf>,
+}
+
+impl ArtifactStore {
+    /// A store with only the in-memory layer.
+    pub fn in_memory() -> ArtifactStore {
+        ArtifactStore::default()
+    }
+
+    /// A store whose on-disk layer lives under `root`.
+    pub fn with_disk(root: impl Into<PathBuf>) -> ArtifactStore {
+        ArtifactStore {
+            disk_root: Some(root.into()),
+            ..ArtifactStore::default()
+        }
+    }
+
+    /// In-memory lookups answered from the map.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// In-memory lookups that had to compute.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Typed in-memory lookup.
+    pub fn get<T: Send + Sync + 'static>(&self, key: ArtifactKey) -> Option<Arc<T>> {
+        let map = self.mem.lock().expect("store lock");
+        map.get(&key)
+            .and_then(|v| Arc::clone(v).downcast::<T>().ok())
+    }
+
+    /// Inserts a value, returning its shared handle.
+    pub fn put<T: Send + Sync + 'static>(&self, key: ArtifactKey, value: T) -> Arc<T> {
+        let v = Arc::new(value);
+        let mut map = self.mem.lock().expect("store lock");
+        map.insert(key, Arc::clone(&v) as Arc<dyn Any + Send + Sync>);
+        v
+    }
+
+    /// The memoizing fetch every stage goes through: returns the cached
+    /// artifact when the key is present, otherwise computes, stores, and
+    /// returns it. `compute` runs outside the map lock, so long stages do
+    /// not serialize unrelated lookups (two threads may race to compute
+    /// the same key; both produce the identical value, and one insert
+    /// wins).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s error; nothing is stored on failure.
+    pub fn get_or_compute<T: Send + Sync + 'static>(
+        &self,
+        key: ArtifactKey,
+        compute: impl FnOnce() -> Result<T, EngineError>,
+    ) -> Result<Arc<T>, EngineError> {
+        if let Some(v) = self.get::<T>(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(v);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = compute()?;
+        Ok(self.put(key, v))
+    }
+
+    /// Path of an on-disk artifact, when the disk layer is configured.
+    pub fn disk_path(&self, name: &str) -> Option<PathBuf> {
+        self.disk_root.as_ref().map(|r| r.join(name))
+    }
+
+    /// Reads the on-disk artifact `name` **iff** its `.hash` sidecar names
+    /// exactly `key`. A missing, unreadable, or mismatching sidecar means
+    /// the artifact is stale (produced by other inputs or an older stage
+    /// version) and yields `None`.
+    pub fn disk_get(&self, name: &str, key: ArtifactKey) -> Option<String> {
+        let path = self.disk_path(name)?;
+        let sidecar = sidecar_path(&path);
+        let recorded = Fingerprint::from_hex(&fs::read_to_string(sidecar).ok()?)?;
+        if recorded != key.content {
+            return None;
+        }
+        fs::read_to_string(path).ok()
+    }
+
+    /// Writes the on-disk artifact `name` and its `.hash` sidecar.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the disk layer is absent or the filesystem write fails.
+    pub fn disk_put(&self, name: &str, key: ArtifactKey, text: &str) -> Result<(), EngineError> {
+        let path = self.disk_path(name).ok_or_else(|| EngineError::Store {
+            path: name.to_string(),
+            error: "store has no on-disk layer".to_string(),
+        })?;
+        let io = |e: std::io::Error| EngineError::Store {
+            path: path.display().to_string(),
+            error: e.to_string(),
+        };
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).map_err(io)?;
+        }
+        fs::write(&path, text).map_err(io)?;
+        fs::write(sidecar_path(&path), key.content.hex()).map_err(io)?;
+        Ok(())
+    }
+}
+
+fn sidecar_path(path: &Path) -> PathBuf {
+    let mut s = path.as_os_str().to_os_string();
+    s.push(".hash");
+    PathBuf::from(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> ArtifactKey {
+        ArtifactKey::new(Stage::Unit, &[Fingerprint(n, n ^ 1)])
+    }
+
+    #[test]
+    fn memory_layer_hits_after_put() {
+        let store = ArtifactStore::in_memory();
+        let k = key(1);
+        assert!(store.get::<u64>(k).is_none());
+        let v = store.get_or_compute(k, || Ok(42u64)).expect("computes");
+        assert_eq!(*v, 42);
+        let again = store.get_or_compute(k, || Ok(7u64)).expect("cached");
+        assert_eq!(*again, 42, "cached value served, compute not re-run");
+        assert_eq!(store.hits(), 1);
+        assert_eq!(store.misses(), 1);
+        // A different key (or the same content under another stage) misses.
+        assert!(store.get::<u64>(key(2)).is_none());
+        let other = ArtifactKey::new(Stage::Simulate, &[Fingerprint(1, 0)]);
+        assert!(store.get::<u64>(other).is_none());
+    }
+
+    #[test]
+    fn disk_layer_rejects_stale_or_missing_hash() {
+        let dir = std::env::temp_dir().join(format!("rtpf-store-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = ArtifactStore::with_disk(&dir);
+        let k = key(3);
+        assert!(store.disk_get("a.csv", k).is_none());
+        store.disk_put("a.csv", k, "payload").expect("writes");
+        assert_eq!(store.disk_get("a.csv", k).as_deref(), Some("payload"));
+        // Another key — stale artifact must be treated as absent.
+        assert!(store.disk_get("a.csv", key(4)).is_none());
+        // Corrupt the sidecar: artifact becomes stale.
+        fs::write(dir.join("a.csv.hash"), "not-a-hash").expect("writes");
+        assert!(store.disk_get("a.csv", k).is_none());
+        // Remove the sidecar entirely: same.
+        fs::remove_file(dir.join("a.csv.hash")).expect("removes");
+        assert!(store.disk_get("a.csv", k).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

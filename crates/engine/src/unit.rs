@@ -1,0 +1,233 @@
+//! The evaluation *unit* artifact and its CSV serialization.
+//!
+//! One unit is the paper's `(program, cache configuration)` evaluation
+//! cell: optimize under the three conditions, simulate original and
+//! optimized binaries, derive both technologies' energies, and probe the
+//! optimized binary on half/quarter capacity (Figure 5). The CSV schema is
+//! the on-disk serialization of the sweep artifact; its column order is
+//! stable because figure binaries and checked-in results depend on it.
+
+use rtpf_cache::CacheConfig;
+
+/// Metrics of one `(program, configuration)` unit (both technologies).
+#[derive(Clone, Debug, PartialEq)]
+pub struct UnitResult {
+    /// Benchmark name (Table 1).
+    pub program: String,
+    /// Configuration id (`k1`..`k36`, Table 2).
+    pub k: String,
+    /// Cache geometry.
+    pub assoc: u32,
+    /// Block size in bytes.
+    pub block: u32,
+    /// Capacity in bytes.
+    pub capacity: u32,
+    /// Inserted prefetches.
+    pub inserted: u32,
+    /// `τ_w` of the original / optimized program.
+    pub wcet_orig: u64,
+    /// `τ_w` of the optimized program.
+    pub wcet_opt: u64,
+    /// Simulated ACET cycles (memory contribution), original / optimized.
+    pub acet_orig: f64,
+    /// Simulated ACET cycles of the optimized program.
+    pub acet_opt: f64,
+    /// Simulated miss rate of the original program.
+    pub missrate_orig: f64,
+    /// Simulated miss rate of the optimized program (prefetch-satisfied
+    /// fetches count as hits, as in the paper's Figure 4).
+    pub missrate_opt: f64,
+    /// Executed instructions per run, original / optimized (Figure 8).
+    pub instr_orig: f64,
+    /// Executed instructions per run of the optimized program.
+    pub instr_opt: f64,
+    /// Memory-system energy (nJ), per technology, original then optimized.
+    pub energy_orig: [f64; 2],
+    /// Energy of the optimized program per technology.
+    pub energy_opt: [f64; 2],
+    /// Figure 5: optimized program run on capacity/2 — `(wcet, acet,
+    /// energy45, energy32)`; `None` when the shrunken geometry is invalid.
+    pub half: Option<[f64; 4]>,
+    /// Figure 5: optimized program run on capacity/4.
+    pub quarter: Option<[f64; 4]>,
+}
+
+impl UnitResult {
+    /// Energy ratio optimized/original for a technology index
+    /// (0 = 45 nm, 1 = 32 nm).
+    pub fn energy_ratio(&self, tech: usize) -> f64 {
+        self.energy_opt[tech] / self.energy_orig[tech]
+    }
+
+    /// ACET ratio optimized/original.
+    pub fn acet_ratio(&self) -> f64 {
+        self.acet_opt / self.acet_orig
+    }
+
+    /// WCET ratio optimized/original (Inequation 12).
+    pub fn wcet_ratio(&self) -> f64 {
+        self.wcet_opt as f64 / self.wcet_orig as f64
+    }
+
+    /// Executed-instruction ratio (Figure 8).
+    pub fn instr_ratio(&self) -> f64 {
+        self.instr_opt / self.instr_orig
+    }
+
+    /// Reconstructs the cache geometry of this row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`rtpf_cache::ConfigError`] for rows holding an invalid
+    /// geometry (possible only for hand-edited CSVs).
+    pub fn config(&self) -> Result<CacheConfig, rtpf_cache::ConfigError> {
+        CacheConfig::new(self.assoc, self.block, self.capacity)
+    }
+}
+
+/// Column order of the CSV serialization.
+pub const COLUMNS: &str = "program,k,assoc,block,capacity,inserted,wcet_orig,wcet_opt,\
+acet_orig,acet_opt,missrate_orig,missrate_opt,instr_orig,instr_opt,\
+e45_orig,e45_opt,e32_orig,e32_opt,\
+half_wcet,half_acet,half_e45,half_e32,quarter_wcet,quarter_acet,quarter_e45,quarter_e32";
+
+/// Serializes results (stable column order, `nan` for absent Figure-5
+/// entries).
+pub fn to_csv(rows: &[UnitResult]) -> String {
+    let mut s = String::from(COLUMNS);
+    s.push('\n');
+    for r in rows {
+        let opt4 = |o: &Option<[f64; 4]>| -> String {
+            match o {
+                Some(v) => format!("{},{},{},{}", v[0], v[1], v[2], v[3]),
+                None => "nan,nan,nan,nan".to_string(),
+            }
+        };
+        s.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            r.program,
+            r.k,
+            r.assoc,
+            r.block,
+            r.capacity,
+            r.inserted,
+            r.wcet_orig,
+            r.wcet_opt,
+            r.acet_orig,
+            r.acet_opt,
+            r.missrate_orig,
+            r.missrate_opt,
+            r.instr_orig,
+            r.instr_opt,
+            r.energy_orig[0],
+            r.energy_opt[0],
+            r.energy_orig[1],
+            r.energy_opt[1],
+            opt4(&r.half),
+            opt4(&r.quarter),
+        ));
+    }
+    s
+}
+
+/// Parses the CSV serialization back.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed row instead of panicking;
+/// callers treat that as a missing artifact and recompute.
+pub fn parse_csv(text: &str) -> Result<Vec<UnitResult>, String> {
+    fn num<T: std::str::FromStr>(f: &[&str], i: usize, ln: usize) -> Result<T, String> {
+        f[i].parse()
+            .map_err(|_| format!("line {ln}: field {} ({:?}) is not a number", i + 1, f[i]))
+    }
+    let mut rows = Vec::new();
+    for (idx, line) in text.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ln = idx + 1;
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 26 {
+            return Err(format!("line {ln}: expected 26 fields, got {}", f.len()));
+        }
+        let opt4 = |i: usize| -> Result<Option<[f64; 4]>, String> {
+            let mut v = [0.0f64; 4];
+            for (j, slot) in v.iter_mut().enumerate() {
+                *slot = num(&f, i + j, ln)?;
+            }
+            Ok(if v[0].is_nan() { None } else { Some(v) })
+        };
+        rows.push(UnitResult {
+            program: f[0].to_string(),
+            k: f[1].to_string(),
+            assoc: num(&f, 2, ln)?,
+            block: num(&f, 3, ln)?,
+            capacity: num(&f, 4, ln)?,
+            inserted: num(&f, 5, ln)?,
+            wcet_orig: num(&f, 6, ln)?,
+            wcet_opt: num(&f, 7, ln)?,
+            acet_orig: num(&f, 8, ln)?,
+            acet_opt: num(&f, 9, ln)?,
+            missrate_orig: num(&f, 10, ln)?,
+            missrate_opt: num(&f, 11, ln)?,
+            instr_orig: num(&f, 12, ln)?,
+            instr_opt: num(&f, 13, ln)?,
+            energy_orig: [num(&f, 14, ln)?, num(&f, 16, ln)?],
+            energy_opt: [num(&f, 15, ln)?, num(&f, 17, ln)?],
+            half: opt4(18)?,
+            quarter: opt4(22)?,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> UnitResult {
+        UnitResult {
+            program: "bs".into(),
+            k: "k1".into(),
+            assoc: 1,
+            block: 16,
+            capacity: 256,
+            inserted: 2,
+            wcet_orig: 100,
+            wcet_opt: 90,
+            acet_orig: 50.5,
+            acet_opt: 48.25,
+            missrate_orig: 0.25,
+            missrate_opt: 0.125,
+            instr_orig: 300.0,
+            instr_opt: 302.0,
+            energy_orig: [10.0, 9.0],
+            energy_opt: [8.0, 7.5],
+            half: Some([1.0, 2.0, 3.0, 4.0]),
+            quarter: None,
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_rows() {
+        let r = row();
+        let text = to_csv(std::slice::from_ref(&r));
+        let back = parse_csv(&text).expect("roundtrip parses");
+        assert_eq!(back, vec![r]);
+    }
+
+    #[test]
+    fn parse_csv_reports_malformed_rows_instead_of_panicking() {
+        let short = format!("{COLUMNS}\nbs,k1,2,16\n");
+        assert!(parse_csv(&short)
+            .unwrap_err()
+            .contains("expected 26 fields"));
+        let bad = format!(
+            "{COLUMNS}\nbs,k1,2,16,256,oops,1,1,1,1,0,0,1,1,1,1,1,1,\
+             nan,nan,nan,nan,nan,nan,nan,nan\n"
+        );
+        assert!(parse_csv(&bad).unwrap_err().contains("not a number"));
+        assert!(parse_csv(&format!("{COLUMNS}\n")).unwrap().is_empty());
+    }
+}

@@ -1,4 +1,4 @@
-use rtpf_cache::CacheConfig;
+use rtpf_engine::EngineConfig;
 fn main() {
     for name in [
         "nsichneu",
@@ -12,8 +12,8 @@ fn main() {
     ] {
         let b = rtpf_suite::by_name(name).unwrap();
         for (k, cfg) in [
-            ("k7", CacheConfig::new(1, 16, 512).unwrap()),
-            ("k25", CacheConfig::new(1, 16, 4096).unwrap()),
+            ("k7", EngineConfig::geometry(1, 16, 512).unwrap()),
+            ("k25", EngineConfig::geometry(1, 16, 4096).unwrap()),
         ] {
             let t0 = std::time::Instant::now();
             let r = rtpf_experiments::run_unit(name, &b.program, k, cfg);

@@ -6,39 +6,34 @@
 //! 2. `J_SE` WCET-path join vs. a conventional first-successor join in
 //!    the reverse analysis — how many useful candidates does each see?
 //! 3. single optimization round vs. iterating to a fixpoint.
+//!
+//! Each knob setting is its own [`Engine`]; all engines share one
+//! artifact store, so e.g. the analysis ablation 2 pulls is computed once
+//! no matter how many engines ask for it.
 
-use rtpf_cache::CacheConfig;
-use rtpf_core::{candidates, JoinPolicy, OptimizeParams, Optimizer};
-use rtpf_energy::{EnergyModel, Technology};
-use rtpf_wcet::WcetAnalysis;
+use std::sync::Arc;
+
+use rtpf_core::{candidates, JoinPolicy};
+use rtpf_engine::{ArtifactStore, Engine, EngineConfig};
 
 fn main() {
     let programs = ["crc", "fft1", "compress", "ndes", "whet"];
-    let config = CacheConfig::new(2, 16, 512).expect("valid");
-    let timing = EnergyModel::new(&config, Technology::Nm45).timing();
+    let config = EngineConfig::geometry(2, 16, 512).expect("valid");
+    let base = EngineConfig::interactive(config);
+    let store = Arc::new(ArtifactStore::in_memory());
+    let engine = |cfg: EngineConfig| Engine::with_store(cfg, Arc::clone(&store));
 
     println!("== ablation 1: effectiveness condition (Definition 10) ==");
     println!(
         "{:<10} {:>14} {:>14} {:>9} {:>9}",
         "program", "wcet_on", "wcet_off", "ins_on", "ins_off"
     );
+    let eng_on = engine(base.clone());
+    let eng_off = engine(base.clone().with_check_effectiveness(false));
     for name in programs {
         let b = rtpf_suite::by_name(name).expect("known");
-        let run = |check_effectiveness| {
-            Optimizer::new(
-                config,
-                OptimizeParams {
-                    timing,
-                    check_effectiveness,
-                    ..OptimizeParams::default()
-                },
-            )
-            .run(&b.program)
-            .expect("optimizes")
-            .report
-        };
-        let on = run(true);
-        let off = run(false);
+        let on = eng_on.optimized(&b.program).expect("optimizes").report;
+        let off = eng_off.optimized(&b.program).expect("optimizes").report;
         println!(
             "{:<10} {:>14} {:>14} {:>9} {:>9}",
             name, on.wcet_after, off.wcet_after, on.inserted, off.inserted
@@ -57,7 +52,7 @@ fn main() {
     );
     for name in programs {
         let b = rtpf_suite::by_name(name).expect("known");
-        let a = WcetAnalysis::analyze(&b.program, &config, &timing).expect("analyzes");
+        let a = eng_on.analysis(&b.program).expect("analyzes");
         let jse = candidates::scan_with_join(&b.program, &a, JoinPolicy::WcetPath);
         let first = candidates::scan_with_join(&b.program, &a, JoinPolicy::FirstSucc);
         let on_path = jse.iter().filter(|c| a.on_wcet_path(c.r_i)).count();
@@ -75,23 +70,12 @@ fn main() {
         "{:<10} {:>14} {:>14} {:>14}",
         "program", "wcet_orig", "wcet_1round", "wcet_fixpoint"
     );
+    let eng_one = engine(base.clone().with_rounds(1));
+    let eng_fix = engine(base.clone().with_rounds(12));
     for name in programs {
         let b = rtpf_suite::by_name(name).expect("known");
-        let run = |max_rounds| {
-            Optimizer::new(
-                config,
-                OptimizeParams {
-                    timing,
-                    max_rounds,
-                    ..OptimizeParams::default()
-                },
-            )
-            .run(&b.program)
-            .expect("optimizes")
-            .report
-        };
-        let one = run(1);
-        let fixed = run(12);
+        let one = eng_one.optimized(&b.program).expect("optimizes").report;
+        let fixed = eng_fix.optimized(&b.program).expect("optimizes").report;
         println!(
             "{:<10} {:>14} {:>14} {:>14}",
             name, one.wcet_before, one.wcet_after, fixed.wcet_after

@@ -11,16 +11,17 @@
 //!   (Theorem 1) and needs no timing leap of faith.
 
 use rtpf_baselines::hw::{simulate_hw, HwScheme};
-use rtpf_cache::CacheConfig;
 use rtpf_energy::{EnergyModel, Technology};
-use rtpf_experiments::{optimize_with_condition3, sim_config};
+use rtpf_engine::EngineConfig;
+use rtpf_experiments::optimize_with_condition3;
 use rtpf_sim::Simulator;
 use rtpf_wcet::WcetAnalysis;
 
 fn main() {
     let programs = ["fft1", "compress", "ndes", "jfdctint", "edn", "adpcm"];
-    let config = CacheConfig::new(2, 16, 512).expect("valid");
+    let config = EngineConfig::geometry(2, 16, 512).expect("valid");
     let timing = EnergyModel::new(&config, Technology::Nm45).timing();
+    let sim_config = || EngineConfig::evaluation(config).sim_config();
     println!("Hardware next-line vs software prefetch insertion on {config}\n");
     println!(
         "{:<10} {:>11} {:>11} {:>11} | {:>10} {:>12} {:>10}",

@@ -9,14 +9,14 @@
 //! on the reproduction stack.
 
 use rtpf_baselines::locking::{locked_tau_w, select_locked_greedy};
-use rtpf_cache::CacheConfig;
 use rtpf_energy::{EnergyModel, Technology};
-use rtpf_experiments::sim_config;
+use rtpf_engine::EngineConfig;
 use rtpf_sim::Simulator;
 
 fn main() {
     let programs = ["fft1", "compress", "ndes", "adpcm", "whet", "statemate"];
-    let config = CacheConfig::new(2, 16, 1024).expect("valid");
+    let config = EngineConfig::geometry(2, 16, 1024).expect("valid");
+    let sim_config = || EngineConfig::evaluation(config).sim_config();
     println!("Locking vs unlocked prefetching on {config} (ratios vs on-demand baseline)\n");
     println!(
         "{:<11} {:>10} {:>10} | {:>9} {:>9} | {:>9} {:>9}",

@@ -8,434 +8,160 @@
 //! simulation — runs once per `(program, configuration)` pair (1332
 //! units) and both technologies' energies are derived from it.
 //!
-//! [`sweep`] runs everything in parallel and caches the per-unit metrics
-//! as CSV under `results/sweep.csv`; the per-figure binaries (`fig3`,
-//! `fig4`, `fig5`, `fig7`, `fig8`, `table1`, `table2`) reuse the cache so
-//! each figure regenerates instantly once the sweep has run.
+//! All the actual analysis now lives in the shared [`rtpf_engine`]
+//! pipeline; this crate is the harness layer — it picks the
+//! [`EngineConfig::evaluation`] profile, drives the 37 × 36 grid, and
+//! persists the result as the on-disk **sweep artifact**:
+//! `results/sweep.csv` plus a `results/sweep.csv.hash` sidecar naming the
+//! content address of its inputs (every program and configuration
+//! fingerprint and the unit-stage version). A CSV whose sidecar is
+//! missing or names a different address is stale and recomputed — the old
+//! row-count-only acceptance silently reused caches written by older code.
 //!
-//! Reported numbers are ratios (optimized / original), matching the
-//! paper's Inequations 10–12.
+//! The per-figure binaries (`fig3`, `fig4`, `fig5`, `fig7`, `fig8`,
+//! `table1`, `table2`) reuse the artifact so each figure regenerates
+//! instantly once the sweep has run. Reported numbers are ratios
+//! (optimized / original), matching the paper's Inequations 10–12.
 
 #![forbid(unsafe_code)]
 
-use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use rtpf_cache::CacheConfig;
-use rtpf_core::{OptimizeParams, Optimizer};
-use rtpf_energy::{EnergyModel, MemStats, Technology};
+use rtpf_engine::{ArtifactKey, ArtifactStore, Engine, EngineConfig, Grid};
 use rtpf_isa::Program;
-use rtpf_sim::{BranchBehavior, SimConfig, SimResult, Simulator};
 
-/// Metrics of one `(program, configuration)` unit (both technologies).
-#[derive(Clone, Debug, PartialEq)]
-pub struct UnitResult {
-    /// Benchmark name (Table 1).
-    pub program: String,
-    /// Configuration id (`k1`..`k36`, Table 2).
-    pub k: String,
-    /// Cache geometry.
-    pub assoc: u32,
-    /// Block size in bytes.
-    pub block: u32,
-    /// Capacity in bytes.
-    pub capacity: u32,
-    /// Inserted prefetches.
-    pub inserted: u32,
-    /// `τ_w` of the original / optimized program.
-    pub wcet_orig: u64,
-    /// `τ_w` of the optimized program.
-    pub wcet_opt: u64,
-    /// Simulated ACET cycles (memory contribution), original / optimized.
-    pub acet_orig: f64,
-    /// Simulated ACET cycles of the optimized program.
-    pub acet_opt: f64,
-    /// Simulated miss rate of the original program.
-    pub missrate_orig: f64,
-    /// Simulated miss rate of the optimized program (prefetch-satisfied
-    /// fetches count as hits, as in the paper's Figure 4).
-    pub missrate_opt: f64,
-    /// Executed instructions per run, original / optimized (Figure 8).
-    pub instr_orig: f64,
-    /// Executed instructions per run of the optimized program.
-    pub instr_opt: f64,
-    /// Memory-system energy (nJ), per technology, original then optimized.
-    pub energy_orig: [f64; 2],
-    /// Energy of the optimized program per technology.
-    pub energy_opt: [f64; 2],
-    /// Figure 5: optimized program run on capacity/2 — `(wcet, acet,
-    /// energy45, energy32)`; `None` when the shrunken geometry is invalid.
-    pub half: Option<[f64; 4]>,
-    /// Figure 5: optimized program run on capacity/4.
-    pub quarter: Option<[f64; 4]>,
-}
+pub use rtpf_engine::{parse_csv, to_csv, Gated, UnitResult, COLUMNS};
 
-impl UnitResult {
-    /// Energy ratio optimized/original for a technology index
-    /// (0 = 45 nm, 1 = 32 nm).
-    pub fn energy_ratio(&self, tech: usize) -> f64 {
-        self.energy_opt[tech] / self.energy_orig[tech]
-    }
-
-    /// ACET ratio optimized/original.
-    pub fn acet_ratio(&self) -> f64 {
-        self.acet_opt / self.acet_orig
-    }
-
-    /// WCET ratio optimized/original (Inequation 12).
-    pub fn wcet_ratio(&self) -> f64 {
-        self.wcet_opt as f64 / self.wcet_orig as f64
-    }
-
-    /// Executed-instruction ratio (Figure 8).
-    pub fn instr_ratio(&self) -> f64 {
-        self.instr_opt / self.instr_orig
-    }
-}
-
-/// Simulation policy used throughout the evaluation.
+/// The engine profile every evaluation unit runs under.
 ///
 /// The Mälardalen programs are single-path by design (fixed loop counts,
 /// data-independent control flow), so the ACET traces run every loop to
-/// its bound — [`BranchBehavior::WorstLike`] — with conditionals drawn
-/// from the seeded RNG. This mirrors the paper's gem5 traces far better
-/// than uniformly random loop trip counts would.
-pub fn sim_config() -> SimConfig {
-    SimConfig {
-        behavior: BranchBehavior::WorstLike,
-        seed: 0x5EED_2013,
-        runs: 2,
-        max_fetches: 4_000_000,
-    }
+/// its bound — `BranchBehavior::WorstLike` — with conditionals drawn from
+/// the seeded RNG. This mirrors the paper's gem5 traces far better than
+/// uniformly random loop trip counts would.
+pub fn engine_for(config: CacheConfig) -> Engine {
+    Engine::new(EngineConfig::evaluation(config))
 }
 
-/// Optimizer knobs used throughout the evaluation. The verification
-/// budget adapts to program size: each one-at-a-time verification costs a
-/// full WCET analysis, which is what dominates on the two giant generated
-/// programs (`nsichneu`, `statemate`).
-pub fn optimize_params(timing: rtpf_cache::MemTiming, instr_count: usize) -> OptimizeParams {
-    let big = instr_count >= 1000;
-    OptimizeParams {
-        timing,
-        max_rounds: if big { 8 } else { 20 },
-        max_prefetches: 256,
-        max_singles_per_round: if big { 12 } else { 48 },
-        ..OptimizeParams::default()
-    }
-}
-
-fn energy_of(model: &EnergyModel, stats: MemStats) -> f64 {
-    model.energy_of(&stats).total_nj()
-}
-
-fn simulate(p: &Program, config: CacheConfig, timing: rtpf_cache::MemTiming) -> SimResult {
-    Simulator::new(config, timing, sim_config())
-        .run(p)
-        .expect("suite programs simulate")
-}
-
-/// An optimization that passed the paper's Condition 3 gate (or the
-/// original program if it did not).
-pub struct Gated {
-    /// The optimization result actually shipped.
-    pub opt: rtpf_core::OptimizeResult,
-    /// Simulation of the original program.
-    pub sim_orig: SimResult,
-    /// Simulation of the shipped program.
-    pub sim_opt: SimResult,
-}
-
-/// Optimizes under the paper's three conditions: the optimizer enforces
-/// Condition 1 (WCET non-increase) and Condition 2 (miss reduction on the
-/// WCET path); this wrapper enforces **Condition 3** (the measured ACET —
-/// and with it the static-dominated energy — must not increase), exactly
-/// like the paper's outer iterative-improvement loop: when no improvement
-/// is observed, the original (prefetch-equivalent) binary ships unchanged.
+/// Optimizes under the paper's three conditions (Condition 3 — no ACET or
+/// energy regression — enforced by the engine's gate; see
+/// [`Engine::gated_optimize`]).
 pub fn optimize_with_condition3(program: &Program, config: CacheConfig) -> Gated {
-    let e45 = EnergyModel::new(&config, Technology::Nm45);
-    let timing = e45.timing();
-    let mut opt = Optimizer::new(config, optimize_params(timing, program.instr_count()))
-        .run(program)
-        .expect("suite programs optimize");
-    let sim_orig = simulate(program, config, timing);
-    let mut sim_opt = simulate(&opt.program, config, timing);
-    let regressed = sim_opt.acet_cycles() > sim_orig.acet_cycles() * 1.001
-        || energy_of(&e45, sim_opt.mean_stats()) > energy_of(&e45, sim_orig.mean_stats()) * 1.0005;
-    if regressed {
-        opt = Optimizer::new(
-            config,
-            OptimizeParams {
-                max_rounds: 0,
-                ..optimize_params(timing, program.instr_count())
-            },
-        )
-        .run(program)
-        .expect("no-op optimization succeeds");
-        sim_opt = sim_orig;
-    }
-    Gated {
-        opt,
-        sim_orig,
-        sim_opt,
-    }
+    engine_for(config)
+        .gated_optimize(program)
+        .expect("suite programs optimize")
 }
 
-/// Runs one `(program, configuration)` unit.
+/// Runs one `(program, configuration)` unit through the engine.
 pub fn run_unit(name: &str, program: &Program, k: &str, config: CacheConfig) -> UnitResult {
-    let model45 = EnergyModel::new(&config, Technology::Nm45);
-    let model32 = EnergyModel::new(&config, Technology::Nm32);
-    let Gated {
-        opt,
-        sim_orig,
-        sim_opt,
-    } = optimize_with_condition3(program, config);
-
-    let e_orig = [
-        energy_of(&model45, sim_orig.mean_stats()),
-        energy_of(&model32, sim_orig.mean_stats()),
-    ];
-    let e_opt = [
-        energy_of(&model45, sim_opt.mean_stats()),
-        energy_of(&model32, sim_opt.mean_stats()),
-    ];
-
-    // Figure 5: the optimized binary on half / quarter capacity.
-    let shrunk = |divisor: u32| -> Option<[f64; 4]> {
-        let small = config.shrink(divisor).ok()?;
-        let m45 = EnergyModel::new(&small, Technology::Nm45);
-        let m32 = EnergyModel::new(&small, Technology::Nm32);
-        let t = m45.timing();
-        let wcet = rtpf_wcet::WcetAnalysis::analyze_with_layout(
-            &opt.program,
-            opt.analysis_after.layout().clone(),
-            &small,
-            &t,
-        )
-        .ok()?
-        .tau_w();
-        let sim = Simulator::new(small, t, sim_config())
-            .run(&opt.program)
-            .ok()?;
-        Some([
-            wcet as f64,
-            sim.acet_cycles(),
-            energy_of(&m45, sim.mean_stats()),
-            energy_of(&m32, sim.mean_stats()),
-        ])
-    };
-
-    UnitResult {
-        program: name.to_string(),
-        k: k.to_string(),
-        assoc: config.assoc(),
-        block: config.block_bytes(),
-        capacity: config.capacity_bytes(),
-        inserted: opt.report.inserted,
-        wcet_orig: opt.report.wcet_before,
-        wcet_opt: opt.report.wcet_after,
-        acet_orig: sim_orig.acet_cycles(),
-        acet_opt: sim_opt.acet_cycles(),
-        missrate_orig: sim_orig.miss_rate(),
-        missrate_opt: sim_opt.miss_rate(),
-        instr_orig: sim_orig.mean_instr_executed(),
-        instr_opt: sim_opt.mean_instr_executed(),
-        energy_orig: e_orig,
-        energy_opt: e_opt,
-        half: shrunk(2),
-        quarter: shrunk(4),
-    }
+    let unit = engine_for(config)
+        .unit(name, k, program)
+        .expect("suite programs evaluate");
+    (*unit).clone()
 }
 
-/// Location of the sweep cache.
+/// Location of the on-disk sweep artifact (`<name>.hash` sidecar beside
+/// it).
 pub fn cache_path() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/sweep.csv")
+    results_store()
+        .disk_path("sweep.csv")
+        .expect("store has a disk layer")
+}
+
+/// The artifact store rooted at the repository's `results/` directory.
+pub fn results_store() -> ArtifactStore {
+    ArtifactStore::with_disk(Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results"))
+}
+
+/// Content address of the full 37 × 36 sweep: every program fingerprint ×
+/// every evaluation-profile configuration fingerprint, plus the unit-stage
+/// version. Any change to a benchmark, a Table 2 geometry, an
+/// analysis/optimizer/simulation knob, or the unit algorithm itself moves
+/// this key and invalidates the cached CSV.
+pub fn sweep_artifact_key() -> ArtifactKey {
+    let suite = rtpf_suite::catalog();
+    let econfigs: Vec<EngineConfig> = CacheConfig::paper_configs()
+        .iter()
+        .map(|(_, c)| EngineConfig::evaluation(*c))
+        .collect();
+    rtpf_engine::sweep_key(
+        suite
+            .iter()
+            .flat_map(|b| econfigs.iter().map(move |e| (&b.program, e))),
+    )
+}
+
+/// Loads the sweep artifact from `store` iff it is fresh under `key` and
+/// parses to the expected row count.
+fn load_sweep(
+    store: &ArtifactStore,
+    key: ArtifactKey,
+    expected_rows: usize,
+) -> Option<Vec<UnitResult>> {
+    let text = store.disk_get("sweep.csv", key)?;
+    match parse_csv(&text) {
+        Ok(rows) if rows.len() == expected_rows => Some(rows),
+        Ok(rows) => {
+            eprintln!(
+                "sweep artifact has {} rows (expected {expected_rows}), recomputing",
+                rows.len()
+            );
+            None
+        }
+        Err(e) => {
+            debug_assert!(false, "corrupt sweep artifact: {e}");
+            eprintln!("corrupt sweep artifact ({e}), recomputing");
+            None
+        }
+    }
 }
 
 /// Runs (or loads) the full 37 × 36 sweep.
 ///
-/// A cache file that fails to parse (or has the wrong row count) is
-/// discarded and the sweep recomputed; debug builds additionally assert,
-/// since a corrupt cache usually means a writer bug.
+/// The cached CSV is accepted only when its `.hash` sidecar names the
+/// current [`sweep_artifact_key`]; anything else — stale hash, missing
+/// sidecar, parse failure, wrong row count — is discarded and the sweep
+/// recomputed (and re-persisted under the current key).
 pub fn sweep() -> Vec<UnitResult> {
-    if let Ok(text) = fs::read_to_string(cache_path()) {
-        match parse_csv(&text) {
-            Ok(rows) if rows.len() == 37 * 36 => return rows,
-            Ok(rows) => eprintln!(
-                "cache has {} rows (expected {}), recomputing",
-                rows.len(),
-                37 * 36
-            ),
-            Err(e) => {
-                debug_assert!(false, "corrupt sweep cache: {e}");
-                eprintln!("corrupt sweep cache ({e}), recomputing");
-            }
-        }
+    let store = results_store();
+    let key = sweep_artifact_key();
+    if let Some(rows) = load_sweep(&store, key, 37 * 36) {
+        return rows;
     }
     let results = run_sweep();
-    let _ = fs::create_dir_all(cache_path().parent().expect("has parent"));
-    let mut f = fs::File::create(cache_path()).expect("create cache");
-    f.write_all(to_csv(&results).as_bytes())
-        .expect("write cache");
+    store
+        .disk_put("sweep.csv", key, &to_csv(&results))
+        .expect("persist sweep artifact");
     results
 }
 
-/// Computes the sweep from scratch, in parallel.
+/// Computes the sweep from scratch on the engine's work-stealing grid.
 ///
-/// Workers steal unit indices from a shared atomic counter and accumulate
-/// results in per-worker buffers, which are scattered into index-addressed
-/// slots after the join — there is no shared lock anywhere on the hot
-/// path.
+/// Each unit runs in an ephemeral engine with a private store: no two
+/// units share a `(program, configuration)` pair, so there is nothing to
+/// reuse across them, and dropping each unit's intermediate artifacts
+/// (analyses, optimize results, simulations) immediately keeps the
+/// sweep's memory footprint flat.
 pub fn run_sweep() -> Vec<UnitResult> {
     let suite = rtpf_suite::catalog();
     let configs = CacheConfig::paper_configs();
     let units: Vec<(usize, usize)> = (0..suite.len())
         .flat_map(|p| (0..configs.len()).map(move |c| (p, c)))
         .collect();
-    let next = AtomicUsize::new(0);
-    let done = AtomicUsize::new(0);
-    let started = std::time::Instant::now();
-    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
 
-    let buffers: Vec<Vec<(usize, UnitResult)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local: Vec<(usize, UnitResult)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= units.len() {
-                            break;
-                        }
-                        let (pi, ci) = units[i];
-                        let b = &suite[pi];
-                        let (k, config) = &configs[ci];
-                        local.push((i, run_unit(b.name, &b.program, k, *config)));
-                        let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-                        if d.is_multiple_of(100) {
-                            let rate = d as f64 / started.elapsed().as_secs_f64();
-                            eprintln!("sweep: {d}/{} units ({rate:.2} units/s)", units.len());
-                        }
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
+    let grid = Grid {
+        workers: 0,
+        progress_every: 100,
+        label: "sweep",
+    };
+    let mut out: Vec<UnitResult> = grid.run(&units, |_, &(pi, ci)| {
+        let b = &suite[pi];
+        let (k, config) = &configs[ci];
+        run_unit(b.name, &b.program, k, *config)
     });
-
-    let mut slots: Vec<Option<UnitResult>> = Vec::new();
-    slots.resize_with(units.len(), || None);
-    for (i, r) in buffers.into_iter().flatten() {
-        slots[i] = Some(r);
-    }
-    let mut out: Vec<UnitResult> = slots
-        .into_iter()
-        .map(|s| s.expect("every unit computed exactly once"))
-        .collect();
     out.sort_by(|a, b| (&a.program, &a.k).cmp(&(&b.program, &b.k)));
     out
-}
-
-/// Column order of the CSV cache.
-const COLUMNS: &str = "program,k,assoc,block,capacity,inserted,wcet_orig,wcet_opt,\
-acet_orig,acet_opt,missrate_orig,missrate_opt,instr_orig,instr_opt,\
-e45_orig,e45_opt,e32_orig,e32_opt,\
-half_wcet,half_acet,half_e45,half_e32,quarter_wcet,quarter_acet,quarter_e45,quarter_e32";
-
-/// Serializes results (stable column order, `nan` for absent Figure-5
-/// entries).
-pub fn to_csv(rows: &[UnitResult]) -> String {
-    let mut s = String::from(COLUMNS);
-    s.push('\n');
-    for r in rows {
-        let opt4 = |o: &Option<[f64; 4]>| -> String {
-            match o {
-                Some(v) => format!("{},{},{},{}", v[0], v[1], v[2], v[3]),
-                None => "nan,nan,nan,nan".to_string(),
-            }
-        };
-        s.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
-            r.program,
-            r.k,
-            r.assoc,
-            r.block,
-            r.capacity,
-            r.inserted,
-            r.wcet_orig,
-            r.wcet_opt,
-            r.acet_orig,
-            r.acet_opt,
-            r.missrate_orig,
-            r.missrate_opt,
-            r.instr_orig,
-            r.instr_opt,
-            r.energy_orig[0],
-            r.energy_opt[0],
-            r.energy_orig[1],
-            r.energy_opt[1],
-            opt4(&r.half),
-            opt4(&r.quarter),
-        ));
-    }
-    s
-}
-
-/// Parses the CSV cache back.
-///
-/// # Errors
-///
-/// Returns a description of the first malformed row instead of panicking;
-/// callers treat that as a missing cache and recompute.
-pub fn parse_csv(text: &str) -> Result<Vec<UnitResult>, String> {
-    fn num<T: std::str::FromStr>(f: &[&str], i: usize, ln: usize) -> Result<T, String> {
-        f[i].parse()
-            .map_err(|_| format!("line {ln}: field {} ({:?}) is not a number", i + 1, f[i]))
-    }
-    let mut rows = Vec::new();
-    for (idx, line) in text.lines().enumerate().skip(1) {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let ln = idx + 1;
-        let f: Vec<&str> = line.split(',').collect();
-        if f.len() != 26 {
-            return Err(format!("line {ln}: expected 26 fields, got {}", f.len()));
-        }
-        let opt4 = |i: usize| -> Result<Option<[f64; 4]>, String> {
-            let mut v = [0.0f64; 4];
-            for (j, slot) in v.iter_mut().enumerate() {
-                *slot = num(&f, i + j, ln)?;
-            }
-            Ok(if v[0].is_nan() { None } else { Some(v) })
-        };
-        rows.push(UnitResult {
-            program: f[0].to_string(),
-            k: f[1].to_string(),
-            assoc: num(&f, 2, ln)?,
-            block: num(&f, 3, ln)?,
-            capacity: num(&f, 4, ln)?,
-            inserted: num(&f, 5, ln)?,
-            wcet_orig: num(&f, 6, ln)?,
-            wcet_opt: num(&f, 7, ln)?,
-            acet_orig: num(&f, 8, ln)?,
-            acet_opt: num(&f, 9, ln)?,
-            missrate_orig: num(&f, 10, ln)?,
-            missrate_opt: num(&f, 11, ln)?,
-            instr_orig: num(&f, 12, ln)?,
-            instr_opt: num(&f, 13, ln)?,
-            energy_orig: [num(&f, 14, ln)?, num(&f, 16, ln)?],
-            energy_opt: [num(&f, 15, ln)?, num(&f, 17, ln)?],
-            half: opt4(18)?,
-            quarter: opt4(22)?,
-        });
-    }
-    Ok(rows)
 }
 
 /// Paper Table 2 capacities, used as Figure 3/4/5 x-axes.
@@ -461,9 +187,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn csv_roundtrip_preserves_rows() {
+    fn unit_roundtrips_through_csv() {
         let b = rtpf_suite::by_name("bs").unwrap();
-        let cfg = CacheConfig::new(2, 16, 256).unwrap();
+        let cfg = EngineConfig::geometry(2, 16, 256).unwrap();
         let r = run_unit("bs", &b.program, "k2", cfg);
         let text = to_csv(std::slice::from_ref(&r));
         let back = parse_csv(&text).expect("roundtrip parses");
@@ -476,26 +202,9 @@ mod tests {
     }
 
     #[test]
-    fn parse_csv_reports_malformed_rows_instead_of_panicking() {
-        // Wrong field count.
-        let short = format!("{COLUMNS}\nbs,k1,2,16\n");
-        let err = parse_csv(&short).unwrap_err();
-        assert!(err.contains("expected 26 fields"), "{err}");
-        // Right count, non-numeric field.
-        let bad = format!(
-            "{COLUMNS}\nbs,k1,2,16,256,oops,1,1,1,1,0,0,1,1,1,1,1,1,\
-             nan,nan,nan,nan,nan,nan,nan,nan\n"
-        );
-        let err = parse_csv(&bad).unwrap_err();
-        assert!(err.contains("not a number"), "{err}");
-        // Empty input (header only) is fine.
-        assert!(parse_csv(&format!("{COLUMNS}\n")).unwrap().is_empty());
-    }
-
-    #[test]
     fn unit_satisfies_theorem_one() {
         let b = rtpf_suite::by_name("fft1").unwrap();
-        let cfg = CacheConfig::new(1, 16, 512).unwrap();
+        let cfg = EngineConfig::geometry(1, 16, 512).unwrap();
         let r = run_unit("fft1", &b.program, "k7", cfg);
         assert!(r.wcet_opt <= r.wcet_orig);
         assert!(r.wcet_ratio() <= 1.0);
@@ -508,10 +217,45 @@ mod tests {
             "bs",
             &b.program,
             "k1",
-            CacheConfig::new(1, 16, 256).unwrap(),
+            EngineConfig::geometry(1, 16, 256).unwrap(),
         );
         let rows = vec![r1];
         assert!(mean_by_capacity(&rows, 256, |r| r.wcet_ratio()).is_finite());
         assert!(mean_by_capacity(&rows, 512, |r| r.wcet_ratio()).is_nan());
+    }
+
+    #[test]
+    fn stale_sweep_artifact_is_discarded() {
+        // A payload persisted under a *different* key (e.g. written by an
+        // older stage version or other configuration fingerprints) must be
+        // treated as absent — this is the invalidation the old
+        // row-count-only check missed.
+        let dir = std::env::temp_dir().join(format!("rtpf-sweep-stale-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::with_disk(&dir);
+        let key = sweep_artifact_key();
+        let stale = ArtifactKey::new(
+            rtpf_engine::Stage::Sweep,
+            &[rtpf_engine::Fingerprint(0xdead, 0xbeef)],
+        );
+        let b = rtpf_suite::by_name("bs").unwrap();
+        let row = run_unit(
+            "bs",
+            &b.program,
+            "k2",
+            EngineConfig::geometry(2, 16, 256).unwrap(),
+        );
+        let payload = to_csv(std::slice::from_ref(&row));
+        store
+            .disk_put("sweep.csv", stale, &payload)
+            .expect("writes");
+        assert!(
+            load_sweep(&store, key, 1).is_none(),
+            "stale-hash artifact must be discarded"
+        );
+        // Re-persisted under the current key, the same payload is served.
+        store.disk_put("sweep.csv", key, &payload).expect("writes");
+        assert_eq!(load_sweep(&store, key, 1), Some(vec![row]));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

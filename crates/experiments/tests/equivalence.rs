@@ -1,0 +1,67 @@
+//! Engine-vs-legacy equivalence: the refactored sweep must reproduce the
+//! pre-refactor `results/sweep.csv` byte-for-byte.
+//!
+//! Two layers of defense:
+//!
+//! * `golden_sweep_slice.csv` is a **frozen** slice of the CSV produced by
+//!   the pre-engine harness (direct `Optimizer`/`Simulator` plumbing) —
+//!   two cheap programs × all 36 Table 2 configurations. It is never
+//!   regenerated, so engine drift cannot hide by updating the cache.
+//! * A sampled set of units is compared against the checked-in
+//!   `results/sweep.csv`, covering bigger programs across geometry
+//!   extremes without paying for the full 37 × 36 grid (the full grid was
+//!   diffed once at refactor time: identical).
+
+use rtpf_cache::CacheConfig;
+
+const GOLDEN: &str = include_str!("golden_sweep_slice.csv");
+
+#[test]
+fn engine_sweep_slice_matches_pre_refactor_csv_byte_for_byte() {
+    let mut rows = Vec::new();
+    for name in ["fibcall", "sqrt"] {
+        let b = rtpf_suite::by_name(name).expect("known");
+        for (k, config) in CacheConfig::paper_configs() {
+            rows.push(rtpf_experiments::run_unit(name, &b.program, &k, config));
+        }
+    }
+    rows.sort_by(|x, y| (&x.program, &x.k).cmp(&(&y.program, &y.k)));
+    assert_eq!(
+        rtpf_experiments::to_csv(&rows),
+        GOLDEN,
+        "engine sweep diverged from the pre-refactor CSV"
+    );
+}
+
+/// Cheap-but-diverse sample: small programs across geometry extremes.
+const SAMPLE: &[(&str, &str)] = &[
+    ("bs", "k1"),
+    ("bs", "k36"),
+    ("crc", "k8"),
+    ("fft1", "k7"),
+    ("insertsort", "k20"),
+    ("matmult", "k25"),
+];
+
+#[test]
+fn sampled_units_match_checked_in_sweep_rows() {
+    let cache = std::fs::read_to_string(rtpf_experiments::cache_path())
+        .expect("checked-in results/sweep.csv present");
+    let configs = CacheConfig::paper_configs();
+    for &(name, k) in SAMPLE {
+        let b = rtpf_suite::by_name(name).expect("suite program");
+        let (_, config) = configs
+            .iter()
+            .find(|(id, _)| id == k)
+            .expect("paper config");
+        let row = rtpf_experiments::run_unit(name, &b.program, k, *config);
+        let line = rtpf_experiments::to_csv(std::slice::from_ref(&row));
+        let line = line.lines().nth(1).expect("one data row");
+        let want_prefix = format!("{name},{k},");
+        let want = cache
+            .lines()
+            .find(|l| l.starts_with(&want_prefix))
+            .unwrap_or_else(|| panic!("no cached row for {name} {k}"));
+        assert_eq!(line, want, "unit {name} {k} diverged from cached sweep row");
+    }
+}

@@ -210,6 +210,7 @@ impl WcetAnalysis {
             incremental_analyses: u64::from(incremental),
             nodes_total: vivu.len() as u64,
             nodes_reanalyzed: cls.nodes_reanalyzed as u64,
+            ..AnalysisProfile::default()
         };
 
         Ok(WcetAnalysis {

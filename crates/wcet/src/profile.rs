@@ -42,6 +42,18 @@ pub struct AnalysisProfile {
     pub nodes_total: u64,
     /// VIVU nodes whose states were actually recomputed.
     pub nodes_reanalyzed: u64,
+    /// Engine Optimize stage wall-clock (prefetch insertion, end to end).
+    pub optimize_ns: u64,
+    /// Engine Verify stage wall-clock (independent Theorem 1 re-proof).
+    pub verify_ns: u64,
+    /// Engine Simulate stage wall-clock (seeded trace simulation).
+    pub simulate_ns: u64,
+    /// Engine Energy stage wall-clock (per-technology accounting).
+    pub energy_ns: u64,
+    /// Artifact-store lookups answered from the store.
+    pub store_hits: u64,
+    /// Artifact-store lookups that had to compute.
+    pub store_misses: u64,
 }
 
 impl AnalysisProfile {
@@ -59,6 +71,12 @@ impl AnalysisProfile {
         self.incremental_analyses += other.incremental_analyses;
         self.nodes_total += other.nodes_total;
         self.nodes_reanalyzed += other.nodes_reanalyzed;
+        self.optimize_ns += other.optimize_ns;
+        self.verify_ns += other.verify_ns;
+        self.simulate_ns += other.simulate_ns;
+        self.energy_ns += other.energy_ns;
+        self.store_hits += other.store_hits;
+        self.store_misses += other.store_misses;
     }
 
     /// Total analysis time across the recorded phases.
@@ -100,7 +118,22 @@ impl fmt::Display for AnalysisProfile {
             f,
             "work:     {} transfer evals + {} memo hits | states: {} interned / {} fresh",
             self.fixpoint_evals, self.memo_hits, self.states_interned, self.states_fresh
-        )
+        )?;
+        let staged = self.optimize_ns + self.verify_ns + self.simulate_ns + self.energy_ns;
+        if staged > 0 || self.store_hits + self.store_misses > 0 {
+            write!(
+                f,
+                "\nstages:   optimize {:.2} ms | verify {:.2} ms | simulate {:.2} ms | \
+                 energy {:.2} ms | store {} hits / {} misses",
+                ms(self.optimize_ns),
+                ms(self.verify_ns),
+                ms(self.simulate_ns),
+                ms(self.energy_ns),
+                self.store_hits,
+                self.store_misses
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -123,6 +156,7 @@ mod tests {
             incremental_analyses: 0,
             nodes_total: 10,
             nodes_reanalyzed: 10,
+            ..Default::default()
         };
         let b = AnalysisProfile {
             incremental_analyses: 1,

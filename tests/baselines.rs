@@ -7,7 +7,7 @@ use unlocked_prefetch::core::{OptimizeParams, Optimizer};
 use unlocked_prefetch::energy::{EnergyModel, Technology};
 use unlocked_prefetch::sim::{SimConfig, Simulator};
 
-fn sim_config() -> SimConfig {
+fn test_sim() -> SimConfig {
     SimConfig {
         runs: 1,
         seed: 4242,
@@ -28,7 +28,7 @@ fn hw_schemes_all_run_on_a_suite_program() {
         HwScheme::Target,
         HwScheme::WrongPath,
     ] {
-        let r = simulate_hw(&b.program, config, timing, sim_config(), scheme)
+        let r = simulate_hw(&b.program, config, timing, test_sim(), scheme)
             .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
         assert!(r.stats.accesses > 0);
         assert_eq!(r.stats.hits + r.stats.misses, r.stats.accesses);
@@ -43,14 +43,14 @@ fn next_line_helps_streaming_but_software_prefetch_keeps_the_wcet_bound() {
     let b = unlocked_prefetch::suite::by_name("jfdctint").expect("jfdctint");
     let config = CacheConfig::new(2, 16, 1024).expect("valid");
     let timing = EnergyModel::new(&config, Technology::Nm45).timing();
-    let base = Simulator::new(config, timing, sim_config())
+    let base = Simulator::new(config, timing, test_sim())
         .run(&b.program)
         .expect("simulates");
     let hw = simulate_hw(
         &b.program,
         config,
         timing,
-        sim_config(),
+        test_sim(),
         HwScheme::NextLine { n: 2 },
     )
     .expect("simulates");
@@ -82,15 +82,9 @@ fn wrong_path_pollutes_more_than_target() {
     let config = CacheConfig::new(1, 16, 256).expect("valid");
     let timing = EnergyModel::new(&config, Technology::Nm45).timing();
     let target =
-        simulate_hw(&b.program, config, timing, sim_config(), HwScheme::Target).expect("simulates");
-    let wrong = simulate_hw(
-        &b.program,
-        config,
-        timing,
-        sim_config(),
-        HwScheme::WrongPath,
-    )
-    .expect("simulates");
+        simulate_hw(&b.program, config, timing, test_sim(), HwScheme::Target).expect("simulates");
+    let wrong = simulate_hw(&b.program, config, timing, test_sim(), HwScheme::WrongPath)
+        .expect("simulates");
     assert!(wrong.prefetches_issued >= target.prefetches_issued);
     assert!(wrong.stats.fills >= target.stats.fills);
 }

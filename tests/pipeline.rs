@@ -9,7 +9,7 @@ use unlocked_prefetch::energy::{EnergyModel, Technology};
 use unlocked_prefetch::sim::{SimConfig, Simulator};
 use unlocked_prefetch::wcet::WcetAnalysis;
 
-fn sim_config() -> SimConfig {
+fn test_sim() -> SimConfig {
     SimConfig {
         runs: 1,
         seed: 99,
@@ -48,7 +48,7 @@ fn full_pipeline_on_a_conflicting_benchmark() {
     assert!(theorem.holds(), "{theorem:?}");
 
     // Simulate both and compare energies.
-    let sim = Simulator::new(config, timing, sim_config());
+    let sim = Simulator::new(config, timing, test_sim());
     let orig = sim.run(&b.program).expect("simulates");
     let optr = sim.run(&opt.program).expect("simulates");
     let e_orig = model.energy_of(&orig.mean_stats()).total_nj();
@@ -132,7 +132,7 @@ fn locking_tradeoff_matches_the_papers_argument() {
     let model = EnergyModel::new(&config, Technology::Nm32);
     let timing = model.timing();
     let locked = select_locked_greedy(&b.program, &config, &timing).expect("selects");
-    let sim = Simulator::new(config, timing, sim_config());
+    let sim = Simulator::new(config, timing, test_sim());
     let free = sim.run(&b.program).expect("simulates");
     let lock = sim.run_locked(&b.program, &locked).expect("simulates");
     assert!(lock.acet_cycles() > free.acet_cycles());
