@@ -5,6 +5,8 @@ use std::fmt;
 
 use rtpf_isa::MemBlockId;
 
+use crate::policy::ReplacementPolicy;
+
 /// Error returned for an inconsistent cache geometry.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ConfigError {
@@ -14,6 +16,10 @@ pub enum ConfigError {
     NotPowerOfTwo,
     /// `capacity < associativity * block_bytes` (fewer than one set).
     TooSmall,
+    /// The replacement policy cannot drive this geometry (tree-PLRU keeps
+    /// its direction bits in one 64-bit word per set, capping it at 64
+    /// ways).
+    PolicyUnsupported,
 }
 
 impl fmt::Display for ConfigError {
@@ -29,23 +35,29 @@ impl fmt::Display for ConfigError {
                     "capacity smaller than one set (associativity * block size)"
                 )
             }
+            ConfigError::PolicyUnsupported => {
+                write!(f, "replacement policy unsupported for this associativity")
+            }
         }
     }
 }
 
 impl Error for ConfigError {}
 
-/// Instruction-cache geometry: `(a, b, c)` in the paper's Table 2 notation —
-/// associativity, block size in bytes, capacity in bytes.
+/// Instruction-cache configuration: geometry `(a, b, c)` in the paper's
+/// Table 2 notation — associativity, block size in bytes, capacity in
+/// bytes — plus the [`ReplacementPolicy`] the sets run under (LRU unless
+/// overridden via [`with_policy`](CacheConfig::with_policy)).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct CacheConfig {
     assoc: u32,
     block_bytes: u32,
     capacity_bytes: u32,
+    policy: ReplacementPolicy,
 }
 
 impl CacheConfig {
-    /// Creates a geometry after validating it.
+    /// Creates an LRU geometry after validating it.
     ///
     /// # Errors
     ///
@@ -67,7 +79,28 @@ impl CacheConfig {
             assoc,
             block_bytes,
             capacity_bytes,
+            policy: ReplacementPolicy::Lru,
         })
+    }
+
+    /// The same geometry under another replacement policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::PolicyUnsupported`] when the policy cannot
+    /// drive this geometry (tree-PLRU beyond 64 ways).
+    pub fn with_policy(mut self, policy: ReplacementPolicy) -> Result<Self, ConfigError> {
+        if policy == ReplacementPolicy::Plru && self.assoc > 64 {
+            return Err(ConfigError::PolicyUnsupported);
+        }
+        self.policy = policy;
+        Ok(self)
+    }
+
+    /// The replacement policy.
+    #[inline]
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.policy
     }
 
     /// Associativity (`a`).
@@ -100,9 +133,9 @@ impl CacheConfig {
         (block.0 % u64::from(self.n_sets())) as usize
     }
 
-    /// A geometry with the same block size and associativity but
-    /// `capacity / divisor` bytes, as used by the paper's Figure 5
-    /// (running optimized programs on 1/2 and 1/4 capacity).
+    /// A configuration with the same block size, associativity, and
+    /// policy but `capacity / divisor` bytes, as used by the paper's
+    /// Figure 5 (running optimized programs on 1/2 and 1/4 capacity).
     ///
     /// # Errors
     ///
@@ -113,7 +146,8 @@ impl CacheConfig {
             self.assoc,
             self.block_bytes,
             self.capacity_bytes / divisor.max(1),
-        )
+        )?
+        .with_policy(self.policy)
     }
 
     /// The 36 configurations of the paper's Table 2 (`k1..k36`), in order:
@@ -138,11 +172,20 @@ impl CacheConfig {
 
 impl fmt::Display for CacheConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "({}, {}, {})",
-            self.assoc, self.block_bytes, self.capacity_bytes
-        )
+        // LRU keeps the paper's bare `(a, b, c)` notation (unchanged from
+        // when the crate was LRU-only); other policies are named.
+        match self.policy {
+            ReplacementPolicy::Lru => write!(
+                f,
+                "({}, {}, {})",
+                self.assoc, self.block_bytes, self.capacity_bytes
+            ),
+            p => write!(
+                f,
+                "({}, {}, {}, {p})",
+                self.assoc, self.block_bytes, self.capacity_bytes
+            ),
+        }
     }
 }
 
@@ -198,5 +241,32 @@ mod tests {
         assert_eq!(h.capacity_bytes(), 4096);
         assert_eq!(h.assoc(), 4);
         assert!(CacheConfig::new(4, 32, 128).unwrap().shrink(4).is_err());
+    }
+
+    #[test]
+    fn policy_defaults_to_lru_and_threads_through() {
+        let c = CacheConfig::new(2, 16, 256).unwrap();
+        assert_eq!(c.policy(), ReplacementPolicy::Lru);
+        let f = c.with_policy(ReplacementPolicy::Fifo).unwrap();
+        assert_eq!(f.policy(), ReplacementPolicy::Fifo);
+        // The policy is part of identity (and thus of fingerprints/keys).
+        assert_ne!(c, f);
+        // shrink keeps the policy.
+        assert_eq!(f.shrink(2).unwrap().policy(), ReplacementPolicy::Fifo);
+        // Display: LRU keeps the paper notation, others are named.
+        assert_eq!(c.to_string(), "(2, 16, 256)");
+        assert_eq!(f.to_string(), "(2, 16, 256, fifo)");
+    }
+
+    #[test]
+    fn plru_rejects_unrepresentable_widths() {
+        let wide = CacheConfig::new(128, 16, 4096).unwrap();
+        assert_eq!(
+            wide.with_policy(ReplacementPolicy::Plru),
+            Err(ConfigError::PolicyUnsupported)
+        );
+        assert!(wide.with_policy(ReplacementPolicy::Fifo).is_ok());
+        let ok = CacheConfig::new(64, 16, 2048).unwrap();
+        assert!(ok.with_policy(ReplacementPolicy::Plru).is_ok());
     }
 }

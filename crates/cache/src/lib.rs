@@ -1,28 +1,45 @@
-//! Concrete and abstract set-associative LRU instruction-cache models.
+//! Concrete and abstract set-associative instruction-cache models, generic
+//! over the replacement policy (LRU, FIFO, tree-PLRU).
 //!
 //! This crate substitutes for the cache semantics of Ferdinand & Wilhelm
-//! (reference [8] of the paper) that the authors' WCET analyzer builds on:
+//! (reference [8] of the paper) that the authors' WCET analyzer builds on,
+//! extended with a [`ReplacementPolicy`] axis:
 //!
-//! * [`CacheConfig`] — geometry `(associativity, block bytes, capacity)`,
-//!   including [`CacheConfig::paper_configs`], the paper's Table 2 set
-//!   k1..k36;
-//! * [`ConcreteState`] — an exact LRU cache state (`c : L → S`), used by the
-//!   trace simulator and by the optimizer's reverse analysis;
-//! * [`MustState`] / [`MayState`] — abstract cache states with the classic
-//!   must/may update and join functions, used to classify references as
-//!   always-hit / always-miss / unclassified during WCET analysis.
+//! * [`CacheConfig`] — geometry `(associativity, block bytes, capacity)`
+//!   plus the replacement policy (LRU by default; select another with
+//!   [`CacheConfig::with_policy`]), including
+//!   [`CacheConfig::paper_configs`], the paper's Table 2 set k1..k36;
+//! * [`ConcreteState`] — an exact cache state (`c : L → S`) under the
+//!   configured policy, used by the trace simulator, the optimizer's
+//!   reverse analysis, and the soundness audit's reference walks;
+//! * [`MustState`] / [`MayState`] / [`PersistenceState`] — abstract cache
+//!   states used to classify references as always-hit / always-miss /
+//!   first-miss during WCET analysis. Exact for LRU; for FIFO and
+//!   tree-PLRU they run at a policy-reduced *effective* associativity
+//!   (sound via relative competitiveness, less precise — see the
+//!   [`policy`] module docs).
 //!
 //! # Example
 //!
 //! ```
-//! use rtpf_cache::{CacheConfig, ConcreteState, AccessOutcome};
+//! use rtpf_cache::{CacheConfig, ConcreteState, AccessOutcome, ReplacementPolicy};
 //! use rtpf_isa::MemBlockId;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // LRU is the default policy...
 //! let config = CacheConfig::new(2, 16, 64)?; // 2-way, 16 B blocks, 64 B
 //! let mut cache = ConcreteState::new(&config);
 //! assert!(matches!(cache.access(MemBlockId(7)), AccessOutcome::Miss { .. }));
 //! assert!(matches!(cache.access(MemBlockId(7)), AccessOutcome::Hit));
+//!
+//! // ...and the same geometry can run FIFO or tree-PLRU instead.
+//! let fifo = config.with_policy(ReplacementPolicy::Fifo)?;
+//! let mut cache = ConcreteState::new(&fifo);
+//! cache.access(MemBlockId(0));
+//! cache.access(MemBlockId(2)); // same set; insertion order [2, 0]
+//! cache.access(MemBlockId(0)); // hit — FIFO does not reorder
+//! // 0 is still the oldest insertion, so it is evicted first.
+//! assert_eq!(cache.access(MemBlockId(4)).evicted(), Some(MemBlockId(0)));
 //! # Ok(())
 //! # }
 //! ```
@@ -36,6 +53,7 @@ pub mod intern;
 pub mod may;
 pub mod must;
 pub mod persistence;
+pub mod policy;
 pub mod timing;
 
 pub use classify::Classification;
@@ -45,4 +63,5 @@ pub use intern::{StateInterner, StatePair};
 pub use may::MayState;
 pub use must::MustState;
 pub use persistence::PersistenceState;
+pub use policy::ReplacementPolicy;
 pub use timing::MemTiming;

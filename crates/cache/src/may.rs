@@ -3,19 +3,31 @@
 //! Abstract may states assign each block a lower bound on its LRU age. A
 //! block absent from the may state is cached in **no** concrete state the
 //! abstract state represents, so a reference to it is an *always miss*.
+//!
+//! For LRU the domain is exact. FIFO and tree-PLRU have no finite LRU
+//! reduction on the may side (a FIFO block ages only on misses, which the
+//! abstract domain cannot distinguish from hits; a PLRU block can be
+//! protected indefinitely by the tree bits), so their may domain is
+//! *unbounded* ([`ReplacementPolicy::UNBOUNDED`](crate::ReplacementPolicy::UNBOUNDED)):
+//! possibly-cached blocks never age out, and only blocks that were never
+//! accessed on any reaching path classify as always-miss. Sound for any
+//! policy, but strictly less precise than the exact LRU domain.
 
 use std::fmt;
 
 use rtpf_isa::MemBlockId;
 
 use crate::config::CacheConfig;
+use crate::policy::ReplacementPolicy;
 
 /// Abstract may cache state.
 ///
 /// Stored as a single sorted vector of `(block, min-age)` entries — the
 /// same flat layout as [`crate::MustState`], chosen so each state costs
 /// one allocation instead of `n_sets × assoc` bucket vectors. Each block
-/// appears at most once and ages stay below the associativity.
+/// appears at most once and ages stay below the policy's effective
+/// associativity (which is [`ReplacementPolicy::UNBOUNDED`] for FIFO and
+/// tree-PLRU — see the module docs).
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct MayState {
     /// Sorted by block id: possibly-cached blocks with their minimal age.
@@ -30,7 +42,7 @@ impl MayState {
     pub fn new(config: &CacheConfig) -> Self {
         MayState {
             entries: Vec::new(),
-            assoc: config.assoc(),
+            assoc: config.policy().may_ways(config.assoc()),
             n_sets: config.n_sets(),
         }
     }
@@ -52,8 +64,16 @@ impl MayState {
 
     /// Abstract may update: the referenced block gets minimal age 0; blocks
     /// whose minimal age was ≤ the referenced block's move one step older;
-    /// blocks aging past the associativity are definitely evicted.
+    /// blocks aging past the (effective) associativity are definitely
+    /// evicted. In an unbounded domain nothing ever ages out: the update
+    /// only records that the block may now be cached.
     pub fn update(&mut self, block: MemBlockId) {
+        if self.assoc == ReplacementPolicy::UNBOUNDED {
+            if let Err(pos) = self.entries.binary_search_by_key(&block, |e| e.0) {
+                self.entries.insert(pos, (block, 0));
+            }
+            return;
+        }
         let n_sets = u64::from(self.n_sets);
         let set = block.0 % n_sets;
         let assoc = self.assoc;
@@ -129,9 +149,16 @@ impl MayState {
 
 impl fmt::Display for MayState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // An unbounded domain has no fixed age rows; print only the ages
+        // actually present (all 0 in practice).
+        let rows = if self.assoc == ReplacementPolicy::UNBOUNDED {
+            self.entries.iter().map(|e| e.1 + 1).max().unwrap_or(1)
+        } else {
+            self.assoc
+        };
         for s in 0..u64::from(self.n_sets) {
             write!(f, "set {s}:")?;
-            for h in 0..self.assoc {
+            for h in 0..rows {
                 let cells: Vec<String> = self
                     .entries
                     .iter()
@@ -182,6 +209,31 @@ mod tests {
         let j = a.join(&b);
         assert_eq!(j.age(MemBlockId(1)), Some(0));
         assert_eq!(j.age(MemBlockId(2)), Some(1)); // only in b
+    }
+
+    #[test]
+    fn unbounded_domain_never_forgets_a_block() {
+        use crate::policy::ReplacementPolicy;
+        for policy in [ReplacementPolicy::Fifo, ReplacementPolicy::Plru] {
+            let config = CacheConfig::new(2, 16, 32)
+                .unwrap()
+                .with_policy(policy)
+                .unwrap();
+            let mut m = MayState::new(&config);
+            for b in 0..100u64 {
+                m.update(MemBlockId(b));
+            }
+            // Far beyond the 2 ways, every accessed block is still "maybe
+            // cached" (the domain cannot rule eviction out)...
+            for b in 0..100u64 {
+                assert!(m.contains(MemBlockId(b)), "{policy}: lost block {b}");
+            }
+            // ...and a never-accessed block still classifies always-miss.
+            assert!(!m.contains(MemBlockId(100)));
+            // Display terminates and shows only present age rows.
+            assert!(m.to_string().contains("age0"));
+            assert!(!m.to_string().contains("age1"));
+        }
     }
 
     #[test]

@@ -1,10 +1,19 @@
 //! Must analysis: which blocks are *guaranteed* cached.
 //!
-//! Abstract must states assign each cached block an upper bound on its LRU
-//! age (0 = MRU). A block present in the must state is present in **every**
-//! concrete state the abstract state represents, so a reference to it is an
-//! *always hit*. Update and join follow Ferdinand's abstract semantics
-//! (reference [8] of the paper).
+//! Abstract must states assign each cached block an upper bound on its
+//! logical age (0 = most recently accessed). A block present in the must
+//! state is present in **every** concrete state the abstract state
+//! represents, so a reference to it is an *always hit*. Update and join
+//! follow Ferdinand's abstract LRU semantics (reference [8] of the paper).
+//!
+//! The domain is policy-generic through the configuration's
+//! [`ReplacementPolicy`](crate::ReplacementPolicy): for LRU it runs at the
+//! real associativity (exact); for FIFO and tree-PLRU it runs the same LRU
+//! update at the policy's smaller *effective* associativity
+//! ([`ReplacementPolicy::must_ways`](crate::ReplacementPolicy::must_ways)),
+//! the relative-competitiveness reduction of Reineke & Grund — sound for
+//! those policies, at the cost of fewer always-hit guarantees (see the
+//! [`crate::policy`] module docs and DESIGN.md §10).
 
 use std::fmt;
 
@@ -19,22 +28,33 @@ use crate::config::CacheConfig;
 /// beats the per-set-per-age bucket representation by orders of magnitude
 /// in allocation count — one allocation per state instead of
 /// `n_sets × assoc` — which dominates the analysis fixpoint's runtime.
-/// Each block appears at most once, ages stay below the associativity, and
-/// at most `assoc` blocks of any one set are present.
+/// Each block appears at most once, ages stay below the policy's
+/// *effective* associativity, and at most that many blocks of any one set
+/// are present.
 ///
 /// # Example
 ///
 /// ```
-/// use rtpf_cache::{CacheConfig, MustState};
+/// use rtpf_cache::{CacheConfig, MustState, ReplacementPolicy};
 /// use rtpf_isa::MemBlockId;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let config = CacheConfig::new(2, 16, 32)?; // one 2-way set
+/// let config = CacheConfig::new(2, 16, 32)?; // one 2-way set, LRU
 /// let mut must = MustState::new(&config);
 /// must.update(MemBlockId(1));
 /// must.update(MemBlockId(2));
 /// assert!(must.contains(MemBlockId(1))); // guaranteed cached (age 1)
 /// must.update(MemBlockId(3));            // ages 1 out of the guarantee
+/// assert!(!must.contains(MemBlockId(1)));
+///
+/// // A non-LRU policy shrinks the guarantee window: FIFO(2) runs the
+/// // same domain at effective associativity 1, so only the set's most
+/// // recent access stays guaranteed.
+/// let fifo = config.with_policy(ReplacementPolicy::Fifo)?;
+/// let mut must = MustState::new(&fifo);
+/// must.update(MemBlockId(1));
+/// must.update(MemBlockId(2));
+/// assert!(must.contains(MemBlockId(2)));
 /// assert!(!must.contains(MemBlockId(1)));
 /// # Ok(())
 /// # }
@@ -49,11 +69,12 @@ pub struct MustState {
 
 impl MustState {
     /// The empty must state (nothing guaranteed cached) — also the analysis
-    /// top for joins and the correct entry state (`ĉ_I`).
+    /// top for joins and the correct entry state (`ĉ_I`). Runs at the
+    /// policy's effective associativity (the real one for LRU).
     pub fn new(config: &CacheConfig) -> Self {
         MustState {
             entries: Vec::new(),
-            assoc: config.assoc(),
+            assoc: config.policy().must_ways(config.assoc()),
             n_sets: config.n_sets(),
         }
     }
@@ -257,6 +278,34 @@ mod tests {
         assert!(!m.contains(MemBlockId(2)));
         assert_eq!(m.len(), 3);
         assert!(m.iter().all(|(_, age)| age < config.assoc()));
+    }
+
+    #[test]
+    fn non_lru_policies_shrink_the_guarantee_window() {
+        use crate::policy::ReplacementPolicy;
+        // FIFO(4): effective associativity 1 — only the last access holds.
+        let fifo = CacheConfig::new(4, 16, 64)
+            .unwrap()
+            .with_policy(ReplacementPolicy::Fifo)
+            .unwrap();
+        let mut m = MustState::new(&fifo);
+        m.update(MemBlockId(1));
+        m.update(MemBlockId(2));
+        assert!(m.contains(MemBlockId(2)));
+        assert!(!m.contains(MemBlockId(1)));
+        // PLRU(4): effective associativity log2(4)+1 = 3.
+        let plru = CacheConfig::new(4, 16, 64)
+            .unwrap()
+            .with_policy(ReplacementPolicy::Plru)
+            .unwrap();
+        let mut m = MustState::new(&plru);
+        for b in [1u64, 2, 3] {
+            m.update(MemBlockId(b));
+        }
+        assert!(m.contains(MemBlockId(1))); // age 2 < 3
+        m.update(MemBlockId(4));
+        assert!(!m.contains(MemBlockId(1))); // aged past the window
+        assert!(m.contains(MemBlockId(2)));
     }
 
     #[test]

@@ -19,10 +19,18 @@ use rtpf_isa::MemBlockId;
 use crate::config::CacheConfig;
 
 /// Abstract persistence state.
+///
+/// Like [`MustState`](crate::MustState), the domain runs at the
+/// configuration policy's *effective* associativity: exact for LRU, and
+/// the competitiveness-reduced window for FIFO (1) and tree-PLRU
+/// (log2(k) + 1). A block whose age never reaches the effective window on
+/// any path is resident at every point under the real policy too, so the
+/// first-miss guarantee carries over.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct PersistenceState {
     /// `sets[s][h]` = blocks of set `s` at max-age `h`; bucket `assoc`
-    /// is the virtual ⊤ ("may have been evicted").
+    /// (the effective associativity) is the virtual ⊤ ("may have been
+    /// evicted").
     sets: Vec<Vec<Vec<MemBlockId>>>,
     assoc: u32,
     n_sets: u32,
@@ -31,9 +39,10 @@ pub struct PersistenceState {
 impl PersistenceState {
     /// The empty persistence state (no block tracked yet).
     pub fn new(config: &CacheConfig) -> Self {
+        let assoc = config.policy().must_ways(config.assoc());
         PersistenceState {
-            sets: vec![vec![Vec::new(); config.assoc() as usize + 1]; config.n_sets() as usize],
-            assoc: config.assoc(),
+            sets: vec![vec![Vec::new(); assoc as usize + 1]; config.n_sets() as usize],
+            assoc,
             n_sets: config.n_sets(),
         }
     }

@@ -23,7 +23,7 @@
 use std::fmt::Write as _;
 
 use rtpf_audit::{Code, DiagnosticSink, Level, Severity, SeverityConfig, SoundnessOptions, Span};
-use rtpf_cache::CacheConfig;
+use rtpf_cache::{CacheConfig, ReplacementPolicy};
 use rtpf_engine::{Engine, EngineConfig, EngineError};
 use rtpf_isa::{InstrKind, Program};
 use rtpf_sim::BranchBehavior;
@@ -35,6 +35,8 @@ use rtpf_sim::BranchBehavior;
 pub enum CliError {
     /// Bad arguments or a malformed flag value.
     Usage(String),
+    /// `--policy` named a replacement policy this build does not know.
+    UnknownPolicy(String),
     /// A pipeline stage failed; carries the typed source error.
     Engine(EngineError),
     /// An audit rendered findings and failed (deny-level verdict), or a
@@ -46,6 +48,14 @@ impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CliError::Usage(s) | CliError::Audit(s) => f.write_str(s),
+            CliError::UnknownPolicy(given) => {
+                let valid: Vec<&str> = ReplacementPolicy::ALL.iter().map(|p| p.name()).collect();
+                write!(
+                    f,
+                    "unknown replacement policy `{given}` (valid policies: {})",
+                    valid.join(", ")
+                )
+            }
             CliError::Engine(e) => write!(f, "{e}"),
         }
     }
@@ -79,6 +89,8 @@ pub struct Options {
     pub spec: Option<String>,
     /// `--cache a,b,c`.
     pub cache: Option<(u32, u32, u32)>,
+    /// `--policy lru|fifo|plru` (replacement policy; LRU by default).
+    pub policy: Option<ReplacementPolicy>,
     /// `--penalty N` (miss penalty in cycles).
     pub penalty: Option<u64>,
     /// `--runs N`.
@@ -118,6 +130,7 @@ impl Options {
             command,
             spec: None,
             cache: None,
+            policy: None,
             penalty: None,
             runs: None,
             seed: None,
@@ -146,6 +159,15 @@ impl Options {
                         return Err(err(format!("--cache wants 3 numbers, got {v}")));
                     }
                     o.cache = Some((parts[0], parts[1], parts[2]));
+                }
+                "--policy" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| err("--policy needs lru|fifo|plru"))?;
+                    o.policy = Some(
+                        ReplacementPolicy::parse(v)
+                            .ok_or_else(|| CliError::UnknownPolicy(v.clone()))?,
+                    );
                 }
                 "--penalty" => {
                     o.penalty = Some(parse_num(it.next(), "--penalty")?);
@@ -195,7 +217,19 @@ impl Options {
         let (a, b, c) = self.cache.ok_or_else(|| {
             err("this command needs --cache ASSOC,BLOCK,CAPACITY (e.g. --cache 2,16,512)")
         })?;
-        EngineConfig::geometry(a, b, c).map_err(|e| CliError::Engine(EngineError::Geometry(e)))
+        let cfg = EngineConfig::geometry(a, b, c)
+            .map_err(|e| CliError::Engine(EngineError::Geometry(e)))?;
+        self.apply_policy(cfg)
+    }
+
+    /// Applies `--policy` (when given) to a geometry.
+    fn apply_policy(&self, config: CacheConfig) -> Result<CacheConfig, CliError> {
+        match self.policy {
+            Some(p) => config
+                .with_policy(p)
+                .map_err(|e| CliError::Engine(EngineError::Geometry(e))),
+            None => Ok(config),
+        }
     }
 
     /// Folds the interactive flags into the engine profile this command
@@ -243,20 +277,25 @@ fn parse_num(v: Option<&String>, flag: &str) -> Result<u64, CliError> {
 pub const USAGE: &str = "usage: rtpf <command> [args]
 
 commands:
-  analyze  <file|suite:NAME> --cache a,b,c [--penalty N]
-  optimize <file|suite:NAME> --cache a,b,c [--penalty N] [--rounds N] [-v]
-  simulate <file|suite:NAME> --cache a,b,c [--runs N] [--seed N] [--behavior worst|random]
-  sweep    <file|suite:NAME> [--profile]    # all 36 paper configurations
-  audit    <file|suite:NAME|suite:all> [--cache a,b,c] [--json] [--optimize]
-           [--deny warnings|RTPF0xx] [--allow RTPF0xx] [-v]
+  analyze  <file|suite:NAME> --cache a,b,c [--policy lru|fifo|plru] [--penalty N]
+  optimize <file|suite:NAME> --cache a,b,c [--policy lru|fifo|plru] [--penalty N]
+           [--rounds N] [-v]
+  simulate <file|suite:NAME> --cache a,b,c [--policy lru|fifo|plru] [--runs N]
+           [--seed N] [--behavior worst|random]
+  sweep    <file|suite:NAME> [--policy lru|fifo|plru] [--profile]
+                                            # all 36 paper configurations
+  audit    <file|suite:NAME|suite:all> [--cache a,b,c] [--policy lru|fifo|plru]
+           [--json] [--optimize] [--deny warnings|RTPF0xx] [--allow RTPF0xx] [-v]
   fmt      <file>                           # parse + pretty-print
   suite                                     # list built-in benchmarks
 
 the program format is documented in `rtpf_isa::text`; `suite:NAME` loads a
-built-in Mälardalen skeleton (see `rtpf suite`). `audit` runs the IR lints
-and the abstract-vs-concrete soundness audit (plus the transform audit
-with --optimize) over every Table 2 configuration unless --cache narrows
-it; deny-level findings make the command fail.";
+built-in Mälardalen skeleton (see `rtpf suite`). `--policy` selects the
+cache replacement policy (default lru; fifo and tree-plru are analyzed via
+a sound competitiveness reduction, see DESIGN.md §10). `audit` runs the IR
+lints and the abstract-vs-concrete soundness audit (plus the transform
+audit with --optimize) over every Table 2 configuration unless --cache
+narrows it; deny-level findings make the command fail.";
 
 /// Loads a program from `path` or `suite:NAME`.
 ///
@@ -434,6 +473,7 @@ fn cmd_sweep(o: &Options) -> Result<String, CliError> {
     let mut profile = rtpf_wcet::AnalysisProfile::default();
     let mut units = 0u32;
     for (k, config) in CacheConfig::paper_configs() {
+        let config = o.apply_policy(config)?;
         let engine = Engine::new(o.batch_config(config));
         let r = engine
             .optimized(&p)
@@ -508,7 +548,10 @@ fn cmd_audit(o: &Options) -> Result<String, CliError> {
     };
     let configs: Vec<(String, CacheConfig)> = match o.cache {
         Some(_) => vec![("cli".to_string(), o.cache_config()?)],
-        None => CacheConfig::paper_configs(),
+        None => CacheConfig::paper_configs()
+            .into_iter()
+            .map(|(k, c)| Ok((k, o.apply_policy(c)?)))
+            .collect::<Result<_, CliError>>()?,
     };
     let sev = severity_config(o)?;
     let sopts = SoundnessOptions {
@@ -666,6 +709,60 @@ mod tests {
         assert!(Options::parse(&args(&["analyze", "--bogus"])).is_err());
         assert!(Options::parse(&args(&["analyze", "x", "--cache", "2,16"])).is_err());
         assert!(Options::parse(&args(&["analyze", "x", "--cache", "a,b,c"])).is_err());
+    }
+
+    #[test]
+    fn parses_policy_flag() {
+        let o = Options::parse(&args(&[
+            "analyze", "suite:bs", "--cache", "2,16,512", "--policy", "fifo",
+        ]))
+        .expect("parses");
+        assert_eq!(o.policy, Some(ReplacementPolicy::Fifo));
+        // Case-insensitive, like the rest of the flag grammar.
+        let o = Options::parse(&args(&["sweep", "suite:bs", "--policy", "PLRU"])).expect("parses");
+        assert_eq!(o.policy, Some(ReplacementPolicy::Plru));
+    }
+
+    #[test]
+    fn unknown_policy_is_a_typed_error_listing_valid_names() {
+        let e = Options::parse(&args(&["analyze", "suite:bs", "--policy", "mru"])).unwrap_err();
+        assert!(
+            matches!(e, CliError::UnknownPolicy(ref p) if p == "mru"),
+            "{e:?}"
+        );
+        let msg = e.to_string();
+        assert!(msg.contains("mru"), "{msg}");
+        for p in ReplacementPolicy::ALL {
+            assert!(msg.contains(p.name()), "{msg} should list {p}");
+        }
+        // A missing value is a plain usage error.
+        assert!(matches!(
+            Options::parse(&args(&["analyze", "--policy"])).unwrap_err(),
+            CliError::Usage(_)
+        ));
+    }
+
+    #[test]
+    fn analyze_accepts_every_policy() {
+        for p in ReplacementPolicy::ALL {
+            let o = Options::parse(&args(&[
+                "analyze",
+                "suite:bs",
+                "--cache",
+                "2,16,512",
+                "--policy",
+                p.name(),
+            ]))
+            .expect("parses");
+            let out = run(&o).expect("runs");
+            assert!(out.contains("WCET (memory):"), "{p}: {out}");
+            if p != ReplacementPolicy::Lru {
+                assert!(
+                    out.contains(p.name()),
+                    "{p} should appear in the header: {out}"
+                );
+            }
+        }
     }
 
     #[test]

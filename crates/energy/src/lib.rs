@@ -17,6 +17,15 @@
 //! experiment results are reported as *ratios* (optimized / original), as
 //! in the paper's Inequations 10–12.
 //!
+//! The model is **replacement-policy-invariant** by design: per-access
+//! energies, leakage, and timing depend only on the cache *geometry*
+//! (capacity, associativity, block size) and the technology node, never
+//! on how victims are chosen. The policy still changes *total* energy —
+//! through the hit/miss counts in [`MemStats`] — but a FIFO or PLRU
+//! configuration with the same geometry gets the exact same per-event
+//! costs as LRU (the few policy-state bits are lost in the tag/data
+//! array noise at any realistic geometry).
+//!
 //! # Example
 //!
 //! ```
@@ -246,6 +255,34 @@ mod tests {
         let n32 = EnergyModel::new(&c, Technology::Nm32);
         assert!(n32.read_energy_nj() < n45.read_energy_nj());
         assert!(n32.leakage_mw() > n45.leakage_mw());
+    }
+
+    #[test]
+    fn model_is_replacement_policy_invariant() {
+        use rtpf_cache::ReplacementPolicy;
+        let base = cfg(4, 16, 1024);
+        let stats = MemStats {
+            accesses: 1000,
+            hits: 900,
+            misses: 100,
+            fills: 100,
+            cycles: 3000,
+        };
+        for policy in ReplacementPolicy::ALL {
+            let c = base.with_policy(policy).unwrap();
+            for tech in Technology::all() {
+                let m = EnergyModel::new(&c, tech);
+                let r = EnergyModel::new(&base, tech);
+                assert_eq!(m.read_energy_nj(), r.read_energy_nj());
+                assert_eq!(m.fill_energy_nj(), r.fill_energy_nj());
+                assert_eq!(m.leakage_mw(), r.leakage_mw());
+                assert_eq!(m.timing().miss_cycles, r.timing().miss_cycles);
+                assert_eq!(
+                    m.energy_of(&stats).total_nj(),
+                    r.energy_of(&stats).total_nj()
+                );
+            }
+        }
     }
 
     #[test]

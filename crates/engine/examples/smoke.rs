@@ -1,59 +1,119 @@
-//! Engine smoke check (run by CI): push a small suite × configuration
-//! grid through the full pipeline twice — a cold pass that computes every
-//! artifact, then a warm pass that must be served entirely from the
-//! content-addressed store.
+//! Engine smoke check (run by CI as a per-policy matrix): push a small
+//! suite × configuration grid through the full pipeline twice — a cold
+//! pass that computes every artifact, then a warm pass that must be served
+//! entirely from the content-addressed store — and prove that artifacts
+//! never cross replacement policies.
 //!
 //! ```text
-//! cargo run --release -p rtpf-engine --example smoke
+//! cargo run --release -p rtpf-engine --example smoke            # all policies
+//! cargo run --release -p rtpf-engine --example smoke -- fifo   # one policy
 //! ```
 //!
-//! Exits nonzero (via assert) if the warm pass misses the cache, which
-//! would mean artifact keys are unstable within a process — the cheapest
-//! possible canary for fingerprint regressions.
+//! Exits nonzero (via assert) if the warm pass misses the cache (unstable
+//! artifact keys), or if a warm store built under one policy answers a
+//! request for another (policy missing from the config fingerprint) — the
+//! cheapest possible canaries for fingerprint regressions.
 
+use std::sync::Arc;
+
+use rtpf_cache::ReplacementPolicy;
 use rtpf_engine::{Engine, EngineConfig};
 
 fn main() {
+    let policies: Vec<ReplacementPolicy> = match std::env::args().nth(1) {
+        Some(name) => vec![ReplacementPolicy::parse(&name)
+            .unwrap_or_else(|| panic!("unknown policy {name} (expected lru|fifo|plru)"))],
+        None => ReplacementPolicy::ALL.to_vec(),
+    };
     let programs = ["bs", "fibcall", "sqrt", "crc"];
     let geometries = [(1u32, 16u32, 256u32), (2, 16, 512), (4, 32, 8192)];
 
     let mut units = 0u64;
-    for (a, b, c) in geometries {
-        let cache = EngineConfig::geometry(a, b, c).expect("valid geometry");
-        let engine = Engine::new(EngineConfig::evaluation(cache));
+    for &policy in &policies {
+        for (a, b, c) in geometries {
+            let cache = EngineConfig::geometry(a, b, c)
+                .expect("valid geometry")
+                .with_policy(policy)
+                .expect("valid policy");
+            let engine = Engine::new(EngineConfig::evaluation(cache));
 
-        let cold = std::time::Instant::now();
-        for name in programs {
-            let p = rtpf_suite::by_name(name).expect("known suite program");
-            let r = engine.unit(name, "smoke", &p.program).expect("evaluates");
-            assert!(r.wcet_opt <= r.wcet_orig, "{name}: Theorem 1 violated");
-            units += 1;
+            let cold = std::time::Instant::now();
+            for name in programs {
+                let p = rtpf_suite::by_name(name).expect("known suite program");
+                let r = engine.unit(name, "smoke", &p.program).expect("evaluates");
+                assert!(r.wcet_opt <= r.wcet_orig, "{name}: Theorem 1 violated");
+                units += 1;
+            }
+            let cold_ms = cold.elapsed().as_secs_f64() * 1e3;
+            let misses_after_cold = engine.store().misses();
+            let hits_after_cold = engine.store().hits();
+
+            let warm = std::time::Instant::now();
+            for name in programs {
+                let p = rtpf_suite::by_name(name).expect("known suite program");
+                engine.unit(name, "smoke", &p.program).expect("evaluates");
+            }
+            let warm_ms = warm.elapsed().as_secs_f64() * 1e3;
+
+            let warm_hits = engine.store().hits() - hits_after_cold;
+            let warm_misses = engine.store().misses() - misses_after_cold;
+            println!(
+                "{cache}: cold {cold_ms:.1} ms ({misses_after_cold} computes), \
+                 warm {warm_ms:.1} ms ({warm_hits} hits, {warm_misses} misses)"
+            );
+            assert_eq!(
+                warm_misses, 0,
+                "warm pass recomputed artifacts on {cache}: unstable keys"
+            );
+            assert!(
+                warm_hits >= programs.len() as u64,
+                "warm pass did not hit the store on {cache}"
+            );
+
+            // Policy isolation: attach a different-policy engine to this
+            // warm store; it must behave exactly as if the store were
+            // cold — identical hit/miss deltas to a private-store run of
+            // the same unit (a unit can hit its *own* just-computed
+            // artifacts, e.g. re-simulating an unchanged program, so
+            // "zero hits" would be too strict). Any extra hit means an
+            // artifact computed under `policy` leaked across.
+            let other_policy = ReplacementPolicy::ALL
+                .into_iter()
+                .find(|&p| p != policy)
+                .expect("more than one policy exists");
+            let other_cache = EngineConfig::geometry(a, b, c)
+                .expect("valid geometry")
+                .with_policy(other_policy)
+                .expect("valid policy");
+            let p = rtpf_suite::by_name(programs[0]).expect("known suite program");
+            let cold_ref = Engine::new(EngineConfig::evaluation(other_cache));
+            cold_ref
+                .unit(programs[0], "smoke", &p.program)
+                .expect("evaluates");
+
+            let other = Engine::with_store(
+                EngineConfig::evaluation(other_cache),
+                Arc::clone(engine.store()),
+            );
+            let hits_before = other.store().hits();
+            let misses_before = other.store().misses();
+            other
+                .unit(programs[0], "smoke", &p.program)
+                .expect("evaluates");
+            assert_eq!(
+                (
+                    other.store().hits() - hits_before,
+                    other.store().misses() - misses_before,
+                ),
+                (cold_ref.store().hits(), cold_ref.store().misses()),
+                "{other_cache} attached to a store warmed under {policy} did not \
+                 behave like a cold store: policy missing from the artifact keys"
+            );
         }
-        let cold_ms = cold.elapsed().as_secs_f64() * 1e3;
-        let misses_after_cold = engine.store().misses();
-        let hits_after_cold = engine.store().hits();
-
-        let warm = std::time::Instant::now();
-        for name in programs {
-            let p = rtpf_suite::by_name(name).expect("known suite program");
-            engine.unit(name, "smoke", &p.program).expect("evaluates");
-        }
-        let warm_ms = warm.elapsed().as_secs_f64() * 1e3;
-
-        let warm_hits = engine.store().hits() - hits_after_cold;
-        let warm_misses = engine.store().misses() - misses_after_cold;
-        println!(
-            "{cache}: cold {cold_ms:.1} ms ({misses_after_cold} computes), \
-             warm {warm_ms:.1} ms ({warm_hits} hits, {warm_misses} misses)"
-        );
-        assert_eq!(
-            warm_misses, 0,
-            "warm pass recomputed artifacts on {cache}: unstable keys"
-        );
-        assert!(
-            warm_hits >= programs.len() as u64,
-            "warm pass did not hit the store on {cache}"
-        );
     }
-    println!("engine smoke OK: {units} units, warm passes fully cached");
+    println!(
+        "engine smoke OK: {units} units over {} policies, warm passes fully cached, \
+         no cross-policy artifact reuse",
+        policies.len()
+    );
 }

@@ -264,6 +264,11 @@ impl EngineConfig {
         h.write_u32(self.cache.assoc());
         h.write_u32(self.cache.block_bytes());
         h.write_u32(self.cache.capacity_bytes());
+        // The replacement policy shapes every classification and concrete
+        // walk, so it is part of the analysis fingerprint (and therefore
+        // of every downstream stage key): the store can never serve an
+        // LRU artifact for a FIFO/PLRU request or vice versa.
+        h.write_u8(self.cache.policy().tag());
         let t = self.timing();
         h.write_u64(t.hit_cycles);
         h.write_u64(t.miss_cycles);
@@ -376,6 +381,27 @@ mod tests {
         let sweep = EngineConfig::cli_sweep(k8());
         let p = sweep.optimize_params(10_000);
         assert_eq!((p.max_rounds, p.max_singles_per_round), (4, 8));
+    }
+
+    #[test]
+    fn every_stage_fingerprint_separates_policies() {
+        use rtpf_cache::ReplacementPolicy;
+        // The policy must move the analysis fingerprint (the root of every
+        // stage key), so a warm store for one policy can never answer
+        // another policy's request.
+        let lru = EngineConfig::evaluation(k8());
+        for p in [ReplacementPolicy::Fifo, ReplacementPolicy::Plru] {
+            let other = EngineConfig::evaluation(k8().with_policy(p).expect("valid"));
+            assert_ne!(lru.analysis_fingerprint(), other.analysis_fingerprint());
+            assert_ne!(lru.sim_fingerprint(), other.sim_fingerprint());
+            assert_ne!(lru.optimize_fingerprint(), other.optimize_fingerprint());
+            assert_ne!(lru.fingerprint(), other.fingerprint());
+        }
+        let fifo =
+            EngineConfig::evaluation(k8().with_policy(ReplacementPolicy::Fifo).expect("valid"));
+        let plru =
+            EngineConfig::evaluation(k8().with_policy(ReplacementPolicy::Plru).expect("valid"));
+        assert_ne!(fifo.fingerprint(), plru.fingerprint());
     }
 
     #[test]

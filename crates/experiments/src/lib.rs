@@ -27,7 +27,7 @@
 
 use std::path::{Path, PathBuf};
 
-use rtpf_cache::CacheConfig;
+use rtpf_cache::{CacheConfig, ReplacementPolicy};
 use rtpf_engine::{ArtifactKey, ArtifactStore, Engine, EngineConfig, Grid};
 use rtpf_isa::Program;
 
@@ -61,11 +61,27 @@ pub fn run_unit(name: &str, program: &Program, k: &str, config: CacheConfig) -> 
     (*unit).clone()
 }
 
+/// On-disk name of the sweep artifact for `policy`. The historical LRU
+/// sweep keeps its original name (`sweep.csv`) so every pre-policy
+/// consumer — and the frozen golden-slice test — keeps reading the exact
+/// same bytes; other policies get `sweep-<policy>.csv` beside it.
+pub fn sweep_artifact_name(policy: ReplacementPolicy) -> String {
+    match policy {
+        ReplacementPolicy::Lru => "sweep.csv".to_string(),
+        p => format!("sweep-{p}.csv"),
+    }
+}
+
 /// Location of the on-disk sweep artifact (`<name>.hash` sidecar beside
 /// it).
 pub fn cache_path() -> PathBuf {
+    cache_path_for(ReplacementPolicy::Lru)
+}
+
+/// [`cache_path`], for any replacement policy.
+pub fn cache_path_for(policy: ReplacementPolicy) -> PathBuf {
     results_store()
-        .disk_path("sweep.csv")
+        .disk_path(&sweep_artifact_name(policy))
         .expect("store has a disk layer")
 }
 
@@ -74,16 +90,39 @@ pub fn results_store() -> ArtifactStore {
     ArtifactStore::with_disk(Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results"))
 }
 
+/// The Table 2 configurations under `policy` (the paper's grid is pure
+/// geometry; the policy is orthogonal and every Table 2 associativity is
+/// representable under every supported policy).
+pub fn paper_configs_for(policy: ReplacementPolicy) -> Vec<(String, CacheConfig)> {
+    CacheConfig::paper_configs()
+        .into_iter()
+        .map(|(k, c)| {
+            let c = c
+                .with_policy(policy)
+                .expect("Table 2 associativities support every policy");
+            (k, c)
+        })
+        .collect()
+}
+
 /// Content address of the full 37 × 36 sweep: every program fingerprint ×
 /// every evaluation-profile configuration fingerprint, plus the unit-stage
 /// version. Any change to a benchmark, a Table 2 geometry, an
-/// analysis/optimizer/simulation knob, or the unit algorithm itself moves
-/// this key and invalidates the cached CSV.
+/// analysis/optimizer/simulation knob, the replacement policy, or the
+/// unit algorithm itself moves this key and invalidates the cached CSV.
 pub fn sweep_artifact_key() -> ArtifactKey {
+    sweep_artifact_key_for(ReplacementPolicy::Lru)
+}
+
+/// [`sweep_artifact_key`], for any replacement policy. The policy enters
+/// every configuration fingerprint (see `EngineConfig`), so the three
+/// per-policy sweep artifacts can never serve each other's requests even
+/// if their file names were confused.
+pub fn sweep_artifact_key_for(policy: ReplacementPolicy) -> ArtifactKey {
     let suite = rtpf_suite::catalog();
-    let econfigs: Vec<EngineConfig> = CacheConfig::paper_configs()
-        .iter()
-        .map(|(_, c)| EngineConfig::evaluation(*c))
+    let econfigs: Vec<EngineConfig> = paper_configs_for(policy)
+        .into_iter()
+        .map(|(_, c)| EngineConfig::evaluation(c))
         .collect();
     rtpf_engine::sweep_key(
         suite
@@ -92,14 +131,15 @@ pub fn sweep_artifact_key() -> ArtifactKey {
     )
 }
 
-/// Loads the sweep artifact from `store` iff it is fresh under `key` and
-/// parses to the expected row count.
-fn load_sweep(
+/// Loads the named sweep artifact from `store` iff it is fresh under
+/// `key` and parses to the expected row count.
+fn load_sweep_named(
     store: &ArtifactStore,
+    name: &str,
     key: ArtifactKey,
     expected_rows: usize,
 ) -> Option<Vec<UnitResult>> {
-    let text = store.disk_get("sweep.csv", key)?;
+    let text = store.disk_get(name, key)?;
     match parse_csv(&text) {
         Ok(rows) if rows.len() == expected_rows => Some(rows),
         Ok(rows) => {
@@ -117,26 +157,34 @@ fn load_sweep(
     }
 }
 
-/// Runs (or loads) the full 37 × 36 sweep.
+/// Runs (or loads) the full 37 × 36 sweep under LRU, the paper's policy.
 ///
 /// The cached CSV is accepted only when its `.hash` sidecar names the
 /// current [`sweep_artifact_key`]; anything else — stale hash, missing
 /// sidecar, parse failure, wrong row count — is discarded and the sweep
 /// recomputed (and re-persisted under the current key).
 pub fn sweep() -> Vec<UnitResult> {
+    sweep_for(ReplacementPolicy::Lru)
+}
+
+/// [`sweep`], for any replacement policy. Each policy persists to its own
+/// artifact (see [`sweep_artifact_name`]) under its own content address.
+pub fn sweep_for(policy: ReplacementPolicy) -> Vec<UnitResult> {
     let store = results_store();
-    let key = sweep_artifact_key();
-    if let Some(rows) = load_sweep(&store, key, 37 * 36) {
+    let key = sweep_artifact_key_for(policy);
+    let name = sweep_artifact_name(policy);
+    if let Some(rows) = load_sweep_named(&store, &name, key, 37 * 36) {
         return rows;
     }
-    let results = run_sweep();
+    let results = run_sweep_for(policy);
     store
-        .disk_put("sweep.csv", key, &to_csv(&results))
+        .disk_put(&name, key, &to_csv(&results))
         .expect("persist sweep artifact");
     results
 }
 
-/// Computes the sweep from scratch on the engine's work-stealing grid.
+/// Computes the LRU sweep from scratch on the engine's work-stealing
+/// grid.
 ///
 /// Each unit runs in an ephemeral engine with a private store: no two
 /// units share a `(program, configuration)` pair, so there is nothing to
@@ -144,8 +192,13 @@ pub fn sweep() -> Vec<UnitResult> {
 /// (analyses, optimize results, simulations) immediately keeps the
 /// sweep's memory footprint flat.
 pub fn run_sweep() -> Vec<UnitResult> {
+    run_sweep_for(ReplacementPolicy::Lru)
+}
+
+/// [`run_sweep`], for any replacement policy.
+pub fn run_sweep_for(policy: ReplacementPolicy) -> Vec<UnitResult> {
     let suite = rtpf_suite::catalog();
-    let configs = CacheConfig::paper_configs();
+    let configs = paper_configs_for(policy);
     let units: Vec<(usize, usize)> = (0..suite.len())
         .flat_map(|p| (0..configs.len()).map(move |c| (p, c)))
         .collect();
@@ -153,7 +206,11 @@ pub fn run_sweep() -> Vec<UnitResult> {
     let grid = Grid {
         workers: 0,
         progress_every: 100,
-        label: "sweep",
+        label: match policy {
+            ReplacementPolicy::Lru => "sweep",
+            ReplacementPolicy::Fifo => "sweep[fifo]",
+            ReplacementPolicy::Plru => "sweep[plru]",
+        },
     };
     let mut out: Vec<UnitResult> = grid.run(&units, |_, &(pi, ci)| {
         let b = &suite[pi];
@@ -162,6 +219,102 @@ pub fn run_sweep() -> Vec<UnitResult> {
     });
     out.sort_by(|a, b| (&a.program, &a.k).cmp(&(&b.program, &b.k)));
     out
+}
+
+/// Per-policy precision of the abstract classifier, as measured by the
+/// soundness audit over the full suite × Table 2 grid.
+///
+/// `mean_precision` for LRU is the analog of the repository's headline
+/// ≈0.98 figure; FIFO and PLRU run through the competitiveness-based
+/// reductions (DESIGN.md §10) and are expected to score lower — sound
+/// but less precise. `unsound` must be zero for every policy: a nonzero
+/// count means the abstract classifier promised an always-hit (or
+/// always-miss) the concrete policy contradicts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PolicyPrecision {
+    /// The replacement policy audited.
+    pub policy: ReplacementPolicy,
+    /// Analyses audited (programs × configurations).
+    pub analyses: u32,
+    /// RTPF020/RTPF022 findings — genuine unsoundness, must be 0.
+    pub unsound: u64,
+    /// RTPF021 findings — unclassified references that concretely always
+    /// hit (pure precision loss).
+    pub precision_gaps: u64,
+    /// Mean precision score over all analyses (1.0 = every observed
+    /// reference classified exactly).
+    pub mean_precision: f64,
+}
+
+/// Audits every `(program, configuration)` unit under `policy` on the
+/// work-stealing grid and aggregates the per-analysis precision scores.
+pub fn measure_precision(policy: ReplacementPolicy) -> PolicyPrecision {
+    use rtpf_audit::{DiagnosticSink, SeverityConfig, SoundnessOptions};
+
+    let suite = rtpf_suite::catalog();
+    let configs = paper_configs_for(policy);
+    let units: Vec<(usize, usize)> = (0..suite.len())
+        .flat_map(|p| (0..configs.len()).map(move |c| (p, c)))
+        .collect();
+    let grid = Grid {
+        workers: 0,
+        progress_every: 200,
+        label: match policy {
+            ReplacementPolicy::Lru => "precision[lru]",
+            ReplacementPolicy::Fifo => "precision[fifo]",
+            ReplacementPolicy::Plru => "precision[plru]",
+        },
+    };
+    let sums = grid.run(&units, |_, &(pi, ci)| {
+        let b = &suite[pi];
+        let (_, config) = &configs[ci];
+        let engine = engine_for(*config);
+        let mut sink = DiagnosticSink::new(SeverityConfig::new());
+        engine
+            .audit_soundness(&b.program, &mut sink, &SoundnessOptions::default(), false)
+            .expect("suite programs analyse")
+    });
+    let analyses = u32::try_from(sums.len()).expect("grid fits in u32");
+    PolicyPrecision {
+        policy,
+        analyses,
+        unsound: sums.iter().map(|s| s.unsound as u64).sum(),
+        precision_gaps: sums.iter().map(|s| s.precision_gaps as u64).sum(),
+        mean_precision: sums.iter().map(|s| s.precision_score).sum::<f64>()
+            / f64::from(analyses.max(1)),
+    }
+}
+
+/// Renders per-policy precision rows as the `results/precision.csv`
+/// artifact payload.
+pub fn precision_to_csv(rows: &[PolicyPrecision]) -> String {
+    let mut s = String::from("policy,analyses,unsound,precision_gaps,mean_precision\n");
+    for r in rows {
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{:.6}",
+            r.policy, r.analyses, r.unsound, r.precision_gaps, r.mean_precision
+        );
+    }
+    s
+}
+
+/// Content address of the precision artifact: the union of every
+/// per-policy sweep input, so any change that could move a score
+/// invalidates the CSV.
+pub fn precision_artifact_key() -> ArtifactKey {
+    let suite = rtpf_suite::catalog();
+    let econfigs: Vec<EngineConfig> = ReplacementPolicy::ALL
+        .into_iter()
+        .flat_map(paper_configs_for)
+        .map(|(_, c)| EngineConfig::evaluation(c))
+        .collect();
+    rtpf_engine::sweep_key(
+        suite
+            .iter()
+            .flat_map(|b| econfigs.iter().map(move |e| (&b.program, e))),
+    )
 }
 
 /// Paper Table 2 capacities, used as Figure 3/4/5 x-axes.
@@ -225,6 +378,69 @@ mod tests {
     }
 
     #[test]
+    fn per_policy_sweep_artifacts_are_fully_separated() {
+        // Distinct file names, so no policy overwrites another's CSV…
+        let names: Vec<String> = ReplacementPolicy::ALL
+            .into_iter()
+            .map(sweep_artifact_name)
+            .collect();
+        assert_eq!(names, ["sweep.csv", "sweep-fifo.csv", "sweep-plru.csv"]);
+        // …and distinct content addresses, so even a renamed/copied CSV
+        // from another policy is rejected as stale.
+        let keys: Vec<ArtifactKey> = ReplacementPolicy::ALL
+            .into_iter()
+            .map(sweep_artifact_key_for)
+            .collect();
+        for i in 0..keys.len() {
+            for j in 0..i {
+                assert_ne!(keys[i], keys[j], "policies {j} and {i} share a sweep key");
+            }
+        }
+        // The LRU wrappers are the policy-generic forms at LRU.
+        assert_eq!(
+            sweep_artifact_key(),
+            sweep_artifact_key_for(ReplacementPolicy::Lru)
+        );
+        assert_eq!(cache_path(), cache_path_for(ReplacementPolicy::Lru));
+    }
+
+    #[test]
+    fn a_sweep_csv_copied_across_policies_is_rejected() {
+        // Concretely exercise the cross-policy isolation: persist a row
+        // under the FIFO key, then ask for it under the PLRU key (same
+        // file name) — the sidecar mismatch must force a recompute.
+        let dir = std::env::temp_dir().join(format!("rtpf-sweep-xpolicy-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::with_disk(&dir);
+        let b = rtpf_suite::by_name("bs").unwrap();
+        let row = run_unit(
+            "bs",
+            &b.program,
+            "k2",
+            EngineConfig::geometry(2, 16, 256).unwrap(),
+        );
+        let payload = to_csv(std::slice::from_ref(&row));
+        store
+            .disk_put(
+                "sweep-x.csv",
+                sweep_artifact_key_for(ReplacementPolicy::Fifo),
+                &payload,
+            )
+            .expect("writes");
+        assert!(
+            load_sweep_named(
+                &store,
+                "sweep-x.csv",
+                sweep_artifact_key_for(ReplacementPolicy::Plru),
+                1
+            )
+            .is_none(),
+            "a FIFO sweep artifact must never satisfy a PLRU request"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn stale_sweep_artifact_is_discarded() {
         // A payload persisted under a *different* key (e.g. written by an
         // older stage version or other configuration fingerprints) must be
@@ -250,12 +466,15 @@ mod tests {
             .disk_put("sweep.csv", stale, &payload)
             .expect("writes");
         assert!(
-            load_sweep(&store, key, 1).is_none(),
+            load_sweep_named(&store, "sweep.csv", key, 1).is_none(),
             "stale-hash artifact must be discarded"
         );
         // Re-persisted under the current key, the same payload is served.
         store.disk_put("sweep.csv", key, &payload).expect("writes");
-        assert_eq!(load_sweep(&store, key, 1), Some(vec![row]));
+        assert_eq!(
+            load_sweep_named(&store, "sweep.csv", key, 1),
+            Some(vec![row])
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -65,3 +65,25 @@ fn sampled_units_match_checked_in_sweep_rows() {
         assert_eq!(line, want, "unit {name} {k} diverged from cached sweep row");
     }
 }
+
+#[test]
+fn explicit_lru_policy_is_byte_identical_to_the_default() {
+    // The policy-generic refactor must leave the paper's LRU numbers
+    // untouched: selecting LRU *explicitly* reproduces the frozen
+    // pre-refactor slice byte-for-byte, exactly like the default does.
+    use rtpf_cache::ReplacementPolicy;
+    let mut rows = Vec::new();
+    for name in ["fibcall", "sqrt"] {
+        let b = rtpf_suite::by_name(name).expect("known");
+        for (k, config) in rtpf_experiments::paper_configs_for(ReplacementPolicy::Lru) {
+            assert_eq!(config.policy(), ReplacementPolicy::Lru);
+            rows.push(rtpf_experiments::run_unit(name, &b.program, &k, config));
+        }
+    }
+    rows.sort_by(|x, y| (&x.program, &x.k).cmp(&(&y.program, &y.k)));
+    assert_eq!(
+        rtpf_experiments::to_csv(&rows),
+        GOLDEN,
+        "explicit --policy lru diverged from the pre-refactor CSV"
+    );
+}

@@ -60,7 +60,8 @@ impl LockedContents {
     }
 }
 
-/// The simulation cache: LRU state, prefetch port, counters, and clock.
+/// The simulation cache: the exact policy state (LRU/FIFO/tree-PLRU, per
+/// the configuration), prefetch port, counters, and clock.
 #[derive(Debug)]
 pub struct CacheEngine {
     cache: ConcreteState,
@@ -83,7 +84,8 @@ pub struct CacheEngine {
 }
 
 impl CacheEngine {
-    /// A cold engine for the given geometry and timing.
+    /// A cold engine for the given configuration (geometry *and*
+    /// replacement policy) and timing.
     pub fn new(config: &CacheConfig, timing: MemTiming) -> Self {
         CacheEngine {
             cache: ConcreteState::new(config),
@@ -289,5 +291,46 @@ mod tests {
         assert_eq!(e.stats.accesses, 8);
         assert_eq!(e.stats.hits + e.stats.misses, 8);
         assert_eq!(e.stats.cycles, e.cycle);
+    }
+
+    #[test]
+    fn engine_follows_the_configured_policy() {
+        use rtpf_cache::ReplacementPolicy;
+        // Single 2-way set. The string [1, 2, 1, 3, 1] separates LRU from
+        // FIFO: the hit on 1 protects it under LRU but not FIFO.
+        let string = [1u64, 2, 1, 3, 1];
+        let run = |policy| {
+            let cfg = CacheConfig::new(2, 16, 32)
+                .unwrap()
+                .with_policy(policy)
+                .unwrap();
+            let mut e = CacheEngine::new(&cfg, MemTiming::with_miss_penalty(20));
+            string
+                .iter()
+                .map(|&b| e.fetch(MemBlockId(b)))
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(
+            run(ReplacementPolicy::Lru),
+            [false, false, true, false, true]
+        );
+        // FIFO: the hit does not refresh 1, so 3 evicts it.
+        assert_eq!(
+            run(ReplacementPolicy::Fifo),
+            [false, false, true, false, false]
+        );
+        // Every policy keeps the counters consistent.
+        for policy in ReplacementPolicy::ALL {
+            let cfg = CacheConfig::new(2, 16, 64)
+                .unwrap()
+                .with_policy(policy)
+                .unwrap();
+            let mut e = CacheEngine::new(&cfg, MemTiming::with_miss_penalty(20));
+            for b in [1u64, 2, 3, 1, 2, 3, 4, 1, 5, 2] {
+                e.fetch(MemBlockId(b));
+            }
+            assert_eq!(e.stats.hits + e.stats.misses, e.stats.accesses);
+            assert_eq!(e.stats.cycles, e.cycle);
+        }
     }
 }
