@@ -59,18 +59,29 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// Creates an LRU geometry after validating it.
     ///
+    /// `const` (hence the manual validation loop): a geometry known at
+    /// compile time can seed `static` sentinel states — see
+    /// [`no_info`](crate::no_info).
+    ///
     /// # Errors
     ///
     /// Returns a [`ConfigError`] if any parameter is zero, not a power of
     /// two, or the capacity holds less than one full set.
-    pub fn new(assoc: u32, block_bytes: u32, capacity_bytes: u32) -> Result<Self, ConfigError> {
-        for v in [assoc, block_bytes, capacity_bytes] {
-            if v == 0 {
+    pub const fn new(
+        assoc: u32,
+        block_bytes: u32,
+        capacity_bytes: u32,
+    ) -> Result<Self, ConfigError> {
+        let params = [assoc, block_bytes, capacity_bytes];
+        let mut i = 0;
+        while i < params.len() {
+            if params[i] == 0 {
                 return Err(ConfigError::Zero);
             }
-            if !v.is_power_of_two() {
+            if !params[i].is_power_of_two() {
                 return Err(ConfigError::NotPowerOfTwo);
             }
+            i += 1;
         }
         if capacity_bytes < assoc * block_bytes {
             return Err(ConfigError::TooSmall);
@@ -89,8 +100,8 @@ impl CacheConfig {
     ///
     /// Returns [`ConfigError::PolicyUnsupported`] when the policy cannot
     /// drive this geometry (tree-PLRU beyond 64 ways).
-    pub fn with_policy(mut self, policy: ReplacementPolicy) -> Result<Self, ConfigError> {
-        if policy == ReplacementPolicy::Plru && self.assoc > 64 {
+    pub const fn with_policy(mut self, policy: ReplacementPolicy) -> Result<Self, ConfigError> {
+        if matches!(policy, ReplacementPolicy::Plru) && self.assoc > 64 {
             return Err(ConfigError::PolicyUnsupported);
         }
         self.policy = policy;
@@ -99,31 +110,31 @@ impl CacheConfig {
 
     /// The replacement policy.
     #[inline]
-    pub fn policy(&self) -> ReplacementPolicy {
+    pub const fn policy(&self) -> ReplacementPolicy {
         self.policy
     }
 
     /// Associativity (`a`).
     #[inline]
-    pub fn assoc(&self) -> u32 {
+    pub const fn assoc(&self) -> u32 {
         self.assoc
     }
 
     /// Block (line) size in bytes (`b`).
     #[inline]
-    pub fn block_bytes(&self) -> u32 {
+    pub const fn block_bytes(&self) -> u32 {
         self.block_bytes
     }
 
     /// Total capacity in bytes (`c`).
     #[inline]
-    pub fn capacity_bytes(&self) -> u32 {
+    pub const fn capacity_bytes(&self) -> u32 {
         self.capacity_bytes
     }
 
     /// Number of sets (`c / (a * b)`).
     #[inline]
-    pub fn n_sets(&self) -> u32 {
+    pub const fn n_sets(&self) -> u32 {
         self.capacity_bytes / (self.assoc * self.block_bytes)
     }
 

@@ -10,7 +10,6 @@
 //! paid once.
 
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use crate::{MayState, MustState};
@@ -34,10 +33,24 @@ impl StateInterner {
         Self::default()
     }
 
+    /// Content hash of a pair: a multiply-rotate mix over the packed state
+    /// words. Interning hashes every state the fixpoint produces, so this
+    /// replaced `DefaultHasher` (SipHash) on the profile; collisions are
+    /// harmless — the bucket compares full states.
     fn key_of(pair: &StatePair) -> u64 {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        pair.hash(&mut h);
-        h.finish()
+        #[inline]
+        fn mix(h: u64, x: u64) -> u64 {
+            (h.rotate_left(5) ^ x).wrapping_mul(0x517c_c1b7_2722_0a95)
+        }
+        let mut h = 0x9e37_79b9_7f4a_7c15u64;
+        h = mix(h, pair.0.words().len() as u64);
+        for &w in pair.0.words() {
+            h = mix(h, w);
+        }
+        for &w in pair.1.words() {
+            h = mix(h, w);
+        }
+        h
     }
 
     /// Registers an already-shared pair (e.g. carried over from a previous

@@ -1,0 +1,372 @@
+//! The pre-packing abstract state representations, kept as a
+//! differential-testing oracle.
+//!
+//! [`LegacyMustState`] and [`LegacyMayState`] are the sorted
+//! `Vec<(MemBlockId, u32)>` implementations that [`crate::MustState`] and
+//! [`crate::MayState`] replaced with packed words (see [`crate::packed`]
+//! and DESIGN.md §11). They are compiled only for this crate's tests and
+//! under the `legacy-oracle` feature; the equivalence property tests at
+//! the bottom of this module drive both representations through identical
+//! access/join strings — randomized and extracted from the benchmark
+//! suite — across Table 2 geometries and all three policies, and require
+//! agreement on every observable (`age`, `contains`, `len`, element
+//! sets, and the derived hit/miss classification).
+//!
+//! The oracle deliberately does **not** clamp effective associativities
+//! to the packed age lane the way the packed states do: it represents the
+//! old behavior exactly. The clamp only matters beyond 255 effective
+//! ways, far outside any geometry the analyses run (Table 2 tops out at
+//! 4 ways, tree-PLRU at 64).
+
+use rtpf_isa::MemBlockId;
+
+use crate::config::CacheConfig;
+use crate::policy::ReplacementPolicy;
+
+/// The pre-packing must state: sorted `(block, max-age)` pairs.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LegacyMustState {
+    entries: Vec<(MemBlockId, u32)>,
+    assoc: u32,
+    n_sets: u32,
+}
+
+impl LegacyMustState {
+    /// The empty must state at the policy's effective associativity.
+    pub fn new(config: &CacheConfig) -> Self {
+        LegacyMustState {
+            entries: Vec::new(),
+            assoc: config.policy().must_ways(config.assoc()),
+            n_sets: config.n_sets(),
+        }
+    }
+
+    /// Maximal age of `block`, if it is guaranteed cached.
+    pub fn age(&self, block: MemBlockId) -> Option<u32> {
+        self.entries
+            .binary_search_by_key(&block, |e| e.0)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Whether a reference to `block` is an always-hit in this state.
+    pub fn contains(&self, block: MemBlockId) -> bool {
+        self.age(block).is_some()
+    }
+
+    /// The abstract must update, as formerly implemented.
+    pub fn update(&mut self, block: MemBlockId) {
+        let n_sets = u64::from(self.n_sets);
+        let set = block.0 % n_sets;
+        let assoc = self.assoc;
+        let cutoff = self.age(block).unwrap_or(assoc);
+        self.entries.retain_mut(|e| {
+            if e.0 == block {
+                return false;
+            }
+            if e.0 .0 % n_sets == set && e.1 < cutoff {
+                e.1 += 1;
+                return e.1 < assoc;
+            }
+            true
+        });
+        let pos = self
+            .entries
+            .binary_search_by_key(&block, |e| e.0)
+            .unwrap_err();
+        self.entries.insert(pos, (block, 0));
+    }
+
+    /// The must join: intersection at maximal age.
+    pub fn join(&self, other: &LegacyMustState) -> LegacyMustState {
+        let mut entries = Vec::with_capacity(self.entries.len().min(other.entries.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (a, b) = (self.entries[i], other.entries[j]);
+            match a.0.cmp(&b.0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    entries.push((a.0, a.1.max(b.1)));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        LegacyMustState {
+            entries,
+            assoc: self.assoc,
+            n_sets: self.n_sets,
+        }
+    }
+
+    /// All guaranteed blocks with their ages, in block order.
+    pub fn iter(&self) -> impl Iterator<Item = (MemBlockId, u32)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Number of blocks guaranteed cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no block is guaranteed cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The pre-packing may state: sorted `(block, min-age)` pairs.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LegacyMayState {
+    entries: Vec<(MemBlockId, u32)>,
+    assoc: u32,
+    n_sets: u32,
+}
+
+impl LegacyMayState {
+    /// The empty may state at the policy's effective associativity.
+    pub fn new(config: &CacheConfig) -> Self {
+        LegacyMayState {
+            entries: Vec::new(),
+            assoc: config.policy().may_ways(config.assoc()),
+            n_sets: config.n_sets(),
+        }
+    }
+
+    /// Minimal age of `block`, if it might be cached.
+    pub fn age(&self, block: MemBlockId) -> Option<u32> {
+        self.entries
+            .binary_search_by_key(&block, |e| e.0)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Whether `block` might be cached.
+    pub fn contains(&self, block: MemBlockId) -> bool {
+        self.age(block).is_some()
+    }
+
+    /// The abstract may update, as formerly implemented.
+    pub fn update(&mut self, block: MemBlockId) {
+        if self.assoc == ReplacementPolicy::UNBOUNDED {
+            if let Err(pos) = self.entries.binary_search_by_key(&block, |e| e.0) {
+                self.entries.insert(pos, (block, 0));
+            }
+            return;
+        }
+        let n_sets = u64::from(self.n_sets);
+        let set = block.0 % n_sets;
+        let assoc = self.assoc;
+        let bump_max = self.age(block).unwrap_or(assoc - 1);
+        self.entries.retain_mut(|e| {
+            if e.0 == block {
+                return false;
+            }
+            if e.0 .0 % n_sets == set && e.1 <= bump_max {
+                e.1 += 1;
+                return e.1 < assoc;
+            }
+            true
+        });
+        let pos = self
+            .entries
+            .binary_search_by_key(&block, |e| e.0)
+            .unwrap_err();
+        self.entries.insert(pos, (block, 0));
+    }
+
+    /// The may join: union at minimal age.
+    pub fn join(&self, other: &LegacyMayState) -> LegacyMayState {
+        let mut entries = Vec::with_capacity(self.entries.len().max(other.entries.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (a, b) = (self.entries[i], other.entries[j]);
+            match a.0.cmp(&b.0) {
+                std::cmp::Ordering::Less => {
+                    entries.push(a);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    entries.push(b);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    entries.push((a.0, a.1.min(b.1)));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        entries.extend_from_slice(&self.entries[i..]);
+        entries.extend_from_slice(&other.entries[j..]);
+        LegacyMayState {
+            entries,
+            assoc: self.assoc,
+            n_sets: self.n_sets,
+        }
+    }
+
+    /// All possibly-cached blocks with their ages, in block order.
+    pub fn iter(&self) -> impl Iterator<Item = (MemBlockId, u32)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Number of possibly-cached blocks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no block is possibly cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MayState, MustState};
+    use proptest::prelude::*;
+
+    /// Both representations side by side, advanced in lockstep.
+    struct Lockstep {
+        must: MustState,
+        may: MayState,
+        lmust: LegacyMustState,
+        lmay: LegacyMayState,
+    }
+
+    impl Lockstep {
+        fn new(config: &CacheConfig) -> Self {
+            Lockstep {
+                must: MustState::new(config),
+                may: MayState::new(config),
+                lmust: LegacyMustState::new(config),
+                lmay: LegacyMayState::new(config),
+            }
+        }
+
+        fn update(&mut self, b: MemBlockId) {
+            self.must.update(b);
+            self.may.update(b);
+            self.lmust.update(b);
+            self.lmay.update(b);
+        }
+
+        fn join(&self, other: &Lockstep) -> Lockstep {
+            Lockstep {
+                must: self.must.join(&other.must),
+                may: self.may.join(&other.may),
+                lmust: self.lmust.join(&other.lmust),
+                lmay: self.lmay.join(&other.lmay),
+            }
+        }
+
+        /// Every observable agrees: per-block ages (hence `contains` and
+        /// the always-hit/always-miss classification), lengths, and the
+        /// full element sets (order-independent — the packed states store
+        /// `(set, block)` order, the legacy ones block order).
+        fn assert_equivalent(&self, probe: impl Iterator<Item = u64>, ctx: &str) {
+            for b in probe {
+                let b = MemBlockId(b);
+                assert_eq!(self.must.age(b), self.lmust.age(b), "{ctx}: must age {b}");
+                assert_eq!(self.may.age(b), self.lmay.age(b), "{ctx}: may age {b}");
+            }
+            assert_eq!(self.must.len(), self.lmust.len(), "{ctx}: must len");
+            assert_eq!(self.may.len(), self.lmay.len(), "{ctx}: may len");
+            let mut a: Vec<_> = self.must.iter().collect();
+            let mut b: Vec<_> = self.lmust.iter().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{ctx}: must elements");
+            let mut a: Vec<_> = self.may.iter().collect();
+            let mut b: Vec<_> = self.lmay.iter().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{ctx}: may elements");
+        }
+    }
+
+    /// Geometries spanning Table 2's corners plus degenerate shapes.
+    fn geometries() -> Vec<CacheConfig> {
+        [
+            (1u32, 16u32, 256u32), // k1: direct-mapped, 16 sets
+            (2, 16, 32),           // single 2-way set
+            (4, 16, 64),           // single 4-way set
+            (2, 16, 256),          // k2
+            (4, 32, 8192),         // k36: 64 sets
+            (1, 32, 1024),         // direct-mapped, 32 sets
+        ]
+        .iter()
+        .map(|&(a, b, c)| CacheConfig::new(a, b, c).unwrap())
+        .collect()
+    }
+
+    proptest! {
+        /// Packed and legacy states agree on every observable after any
+        /// interleaving of updates and joins, across geometries and all
+        /// three policies.
+        #[test]
+        fn packed_matches_legacy_on_random_strings(
+            geo in 0..6usize,
+            policy in 0..3usize,
+            // Two access strings; the second feeds a join partner.
+            ops in proptest::collection::vec((0u64..96, 0u32..2), 1..200),
+        ) {
+            let policy = ReplacementPolicy::ALL[policy];
+            let config = geometries()[geo].with_policy(policy).unwrap();
+            let mut a = Lockstep::new(&config);
+            let mut b = Lockstep::new(&config);
+            for (i, &(block, side)) in ops.iter().enumerate() {
+                if side == 1 {
+                    b.update(MemBlockId(block));
+                } else {
+                    a.update(MemBlockId(block));
+                }
+                // Join periodically so join equivalence is exercised on
+                // states mid-construction, not just at the end.
+                if i % 17 == 16 {
+                    a = a.join(&b);
+                }
+                a.assert_equivalent(0..96, &format!("{config} op {i}"));
+            }
+            let j = a.join(&b);
+            j.assert_equivalent(0..96, &format!("{config} final join"));
+        }
+    }
+
+    /// Suite-driven equivalence: real benchmark address streams through
+    /// every Table 2 geometry under all three policies.
+    #[test]
+    fn packed_matches_legacy_on_suite_programs() {
+        for bench in rtpf_suite::catalog() {
+            if !["bs", "fft1", "statemate"].contains(&bench.name) {
+                continue;
+            }
+            // The program's instruction address stream in layout order.
+            let layout = rtpf_isa::Layout::of(&bench.program);
+            let addrs: Vec<u64> = bench
+                .program
+                .layout_order()
+                .iter()
+                .flat_map(|&bid| bench.program.block(bid).instrs().iter())
+                .map(|&iid| layout.addr(iid))
+                .collect();
+            for (_, geo) in CacheConfig::paper_configs() {
+                for policy in ReplacementPolicy::ALL {
+                    let config = geo.with_policy(policy).unwrap();
+                    let shift = config.block_bytes().trailing_zeros();
+                    let mut l = Lockstep::new(&config);
+                    for (i, &a) in addrs.iter().take(400).enumerate() {
+                        l.update(MemBlockId(a >> shift));
+                        if i % 50 == 49 {
+                            let probe = addrs.iter().map(|&a| a >> shift);
+                            l.assert_equivalent(probe, &format!("{} {config}", bench.name));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -50,8 +50,11 @@ pub mod classify;
 pub mod concrete;
 pub mod config;
 pub mod intern;
+#[cfg(any(test, feature = "legacy-oracle"))]
+pub mod legacy;
 pub mod may;
 pub mod must;
+mod packed;
 pub mod persistence;
 pub mod policy;
 pub mod timing;
@@ -65,3 +68,61 @@ pub use must::MustState;
 pub use persistence::PersistenceState;
 pub use policy::ReplacementPolicy;
 pub use timing::MemTiming;
+
+/// The shared no-information sentinel pair for `config`: an empty must
+/// state (nothing definitely cached) joined with an empty may state
+/// (nothing possibly cached) — the correct entry state for analysis from
+/// a cold cache, and the identity the fixpoint seeds predecessor-less
+/// nodes with.
+///
+/// The sentinel path is allocation-free end to end: both constructors are
+/// `const fn`, the backing packed-word vectors are empty, and cloning an
+/// empty `Vec` performs no heap allocation. For FIFO and tree-PLRU the
+/// may side carries [`ReplacementPolicy::UNBOUNDED`] effective
+/// associativity, but the sentinel value itself is the same empty-word
+/// encoding — one shared `static` (or one per-run binding cloned per
+/// node) serves all three policies of a geometry without ever touching
+/// the allocator.
+pub const fn no_info(config: &CacheConfig) -> StatePair {
+    (MustState::new(config), MayState::new(config))
+}
+
+#[cfg(test)]
+mod sentinel_tests {
+    use super::*;
+    use rtpf_isa::MemBlockId;
+
+    #[test]
+    fn no_info_sentinel_lives_in_a_static() {
+        // The whole chain — geometry validation, policy selection, state
+        // construction — is const-evaluable, so the sentinel for a known
+        // configuration is built at compile time and shared process-wide.
+        const CFG: CacheConfig = match CacheConfig::new(2, 16, 256) {
+            Ok(c) => c,
+            Err(_) => panic!("valid Table 2 geometry"),
+        };
+        const FIFO: CacheConfig = match CFG.with_policy(ReplacementPolicy::Fifo) {
+            Ok(c) => c,
+            Err(_) => panic!("FIFO drives any geometry"),
+        };
+        static COLD_LRU: StatePair = no_info(&CFG);
+        static COLD_FIFO: StatePair = no_info(&FIFO);
+
+        // No information: nothing definitely cached, nothing possibly
+        // cached, under either policy.
+        for pair in [&COLD_LRU, &COLD_FIFO] {
+            assert_eq!(pair.0.age(MemBlockId(3)), None);
+            assert!(!pair.1.contains(MemBlockId(3)));
+        }
+        // Cloning the sentinel yields exactly `MustState::new` /
+        // `MayState::new` for the same configuration.
+        assert_eq!(
+            COLD_LRU.clone(),
+            (MustState::new(&CFG), MayState::new(&CFG))
+        );
+        assert_eq!(
+            COLD_FIFO.clone(),
+            (MustState::new(&FIFO), MayState::new(&FIFO))
+        );
+    }
+}

@@ -18,41 +18,67 @@ use std::fmt;
 use rtpf_isa::MemBlockId;
 
 use crate::config::CacheConfig;
+use crate::packed;
 use crate::policy::ReplacementPolicy;
 
 /// Abstract may cache state.
 ///
-/// Stored as a single sorted vector of `(block, min-age)` entries — the
-/// same flat layout as [`crate::MustState`], chosen so each state costs
-/// one allocation instead of `n_sets × assoc` bucket vectors. Each block
-/// appears at most once and ages stay below the policy's effective
-/// associativity (which is [`ReplacementPolicy::UNBOUNDED`] for FIFO and
-/// tree-PLRU — see the module docs).
+/// Stored as a single sorted vector of packed `(set, block, age)` words —
+/// the same layout as [`crate::MustState`]; see [`crate::packed`] and
+/// DESIGN.md §11. In the unbounded domain ages are always 0 and the
+/// update degenerates to a sorted-set insert on the packed keys.
+///
+/// Each block appears at most once and ages stay below the policy's
+/// effective associativity (which is [`ReplacementPolicy::UNBOUNDED`] for
+/// FIFO and tree-PLRU — see the module docs). [`iter`](MayState::iter)
+/// yields blocks in `(set, block)` order — the storage order — not global
+/// block order.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct MayState {
-    /// Sorted by block id: possibly-cached blocks with their minimal age.
-    entries: Vec<(MemBlockId, u32)>,
+    /// Sorted packed words: possibly-cached blocks with their minimal age.
+    words: Vec<u64>,
     assoc: u32,
     n_sets: u32,
 }
 
 impl MayState {
     /// The empty may state (nothing possibly cached): the correct entry
-    /// state for a cold cache.
-    pub fn new(config: &CacheConfig) -> Self {
+    /// state for a cold cache. A bounded effective associativity too wide
+    /// for the packed age lane ([`packed::MAX_AGE`]) widens to
+    /// [`ReplacementPolicy::UNBOUNDED`] — never ruling out eviction is
+    /// sound, it merely classifies fewer always-misses.
+    ///
+    /// `const`: the no-information state for a given configuration can live
+    /// in a `static` and be shared instead of rebuilt per query.
+    pub const fn new(config: &CacheConfig) -> Self {
+        let ways = config.policy().may_ways(config.assoc());
+        let assoc = if ways != ReplacementPolicy::UNBOUNDED && ways > packed::MAX_AGE {
+            ReplacementPolicy::UNBOUNDED
+        } else {
+            ways
+        };
         MayState {
-            entries: Vec::new(),
-            assoc: config.policy().may_ways(config.assoc()),
+            words: Vec::new(),
+            assoc,
             n_sets: config.n_sets(),
         }
     }
 
+    /// The packed words, for hashing by the state interner.
+    #[inline]
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Minimal age of `block`, if it might be cached.
     pub fn age(&self, block: MemBlockId) -> Option<u32> {
-        self.entries
-            .binary_search_by_key(&block, |e| e.0)
+        if block.0 > packed::BLOCK_MASK {
+            return None; // unpackable ids are never stored
+        }
+        let key = packed::sort_key(self.n_sets, block.0);
+        packed::find(&self.words, key)
             .ok()
-            .map(|i| self.entries[i].1)
+            .map(|i| packed::age_of(self.words[i]))
     }
 
     /// Whether `block` might be cached. A `false` answer classifies a
@@ -68,82 +94,108 @@ impl MayState {
     /// evicted. In an unbounded domain nothing ever ages out: the update
     /// only records that the block may now be cached.
     pub fn update(&mut self, block: MemBlockId) {
+        let key = packed::sort_key(self.n_sets, block.0);
         if self.assoc == ReplacementPolicy::UNBOUNDED {
-            if let Err(pos) = self.entries.binary_search_by_key(&block, |e| e.0) {
-                self.entries.insert(pos, (block, 0));
+            if let Err(pos) = packed::find(&self.words, key) {
+                self.words.insert(pos, key << packed::AGE_BITS);
             }
             return;
         }
-        let n_sets = u64::from(self.n_sets);
-        let set = block.0 % n_sets;
-        let assoc = self.assoc;
+        let set_mask = u64::from(self.n_sets) - 1;
+        let set = block.0 & set_mask;
+        let assoc = u64::from(self.assoc);
+        let pos = packed::find(&self.words, key);
         // On a hit at age h blocks with age ≤ h age by one; on a miss every
         // same-set block does. Either way, reaching the associativity means
         // definite eviction.
-        let bump_max = self.age(block).unwrap_or(assoc - 1);
-        self.entries.retain_mut(|e| {
-            if e.0 == block {
-                return false; // reinserted at age 0 below
+        let bump_max = match pos {
+            Ok(i) => self.words[i] & packed::AGE_MASK,
+            Err(_) => assoc - 1,
+        };
+        let (lo, hi) = packed::group_range(&self.words, key, pos);
+        let mut w = lo;
+        for r in lo..hi {
+            let word = self.words[r];
+            if packed::key_of(word) == key {
+                continue; // reinserted at age 0 below
             }
-            if e.0 .0 % n_sets == set && e.1 <= bump_max {
-                e.1 += 1;
-                return e.1 < assoc;
+            let age = word & packed::AGE_MASK;
+            // Group runs may mix sets if groups collide (> 2^20 sets);
+            // re-check the exact set from the block id.
+            if packed::block_of(word) & set_mask == set && age <= bump_max {
+                if age + 1 >= assoc {
+                    continue; // definitely evicted
+                }
+                self.words[w] = word + 1;
+            } else {
+                self.words[w] = word;
             }
-            true
-        });
-        let pos = self
-            .entries
-            .binary_search_by_key(&block, |e| e.0)
-            .unwrap_err();
-        self.entries.insert(pos, (block, 0));
+            w += 1;
+        }
+        if w < hi {
+            self.words.copy_within(hi.., w);
+            self.words.truncate(self.words.len() - (hi - w));
+        }
+        let ins = packed::find(&self.words, key).unwrap_err();
+        self.words.insert(ins, key << packed::AGE_BITS);
     }
 
-    /// May join: union of both sides, keeping the *minimal* age.
+    /// May join: union of both sides, keeping the *minimal* age. Identical
+    /// states short-circuit via a word-wise `memcmp`.
     pub fn join(&self, other: &MayState) -> MayState {
         debug_assert_eq!(self.n_sets, other.n_sets);
         debug_assert_eq!(self.assoc, other.assoc);
-        let mut entries = Vec::with_capacity(self.entries.len().max(other.entries.len()));
+        if self.words == other.words {
+            return self.clone();
+        }
+        let (a, b) = (&self.words, &other.words);
+        let mut words = Vec::with_capacity(a.len().max(b.len()));
         let (mut i, mut j) = (0, 0);
-        while i < self.entries.len() && j < other.entries.len() {
-            let (a, b) = (self.entries[i], other.entries[j]);
-            match a.0.cmp(&b.0) {
+        while i < a.len() && j < b.len() {
+            let (wa, wb) = (a[i], b[j]);
+            match packed::key_of(wa).cmp(&packed::key_of(wb)) {
                 std::cmp::Ordering::Less => {
-                    entries.push(a);
+                    words.push(wa);
                     i += 1;
                 }
                 std::cmp::Ordering::Greater => {
-                    entries.push(b);
+                    words.push(wb);
                     j += 1;
                 }
                 std::cmp::Ordering::Equal => {
-                    entries.push((a.0, a.1.min(b.1)));
+                    // Equal keys share all high lanes, so the word min is
+                    // the same block at the min age.
+                    words.push(wa.min(wb));
                     i += 1;
                     j += 1;
                 }
             }
         }
-        entries.extend_from_slice(&self.entries[i..]);
-        entries.extend_from_slice(&other.entries[j..]);
+        words.extend_from_slice(&a[i..]);
+        words.extend_from_slice(&b[j..]);
         MayState {
-            entries,
+            words,
             assoc: self.assoc,
             n_sets: self.n_sets,
         }
     }
 
-    /// All possibly-cached blocks with their minimal ages.
+    /// All possibly-cached blocks with their minimal ages, in
+    /// `(set, block)` order.
     pub fn iter(&self) -> impl Iterator<Item = (MemBlockId, u32)> + '_ {
-        self.entries.iter().copied()
+        self.words
+            .iter()
+            .map(|&w| (MemBlockId(packed::block_of(w)), packed::age_of(w)))
     }
 
     /// Number of possibly-cached blocks.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.words.len()
     }
 
     /// Whether no block might be cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.words.is_empty()
     }
 }
 
@@ -152,7 +204,7 @@ impl fmt::Display for MayState {
         // An unbounded domain has no fixed age rows; print only the ages
         // actually present (all 0 in practice).
         let rows = if self.assoc == ReplacementPolicy::UNBOUNDED {
-            self.entries.iter().map(|e| e.1 + 1).max().unwrap_or(1)
+            self.iter().map(|e| e.1 + 1).max().unwrap_or(1)
         } else {
             self.assoc
         };
@@ -160,7 +212,6 @@ impl fmt::Display for MayState {
             write!(f, "set {s}:")?;
             for h in 0..rows {
                 let cells: Vec<String> = self
-                    .entries
                     .iter()
                     .filter(|e| e.0 .0 % u64::from(self.n_sets) == s && e.1 == h)
                     .map(|e| e.0.to_string())

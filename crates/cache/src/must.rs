@@ -20,17 +20,22 @@ use std::fmt;
 use rtpf_isa::MemBlockId;
 
 use crate::config::CacheConfig;
+use crate::packed;
 
 /// Abstract must cache state.
 ///
-/// Stored as a single sorted vector of `(block, max-age)` entries: the
-/// number of cached blocks is bounded by the cache size, so a flat vector
-/// beats the per-set-per-age bucket representation by orders of magnitude
-/// in allocation count — one allocation per state instead of
-/// `n_sets × assoc` — which dominates the analysis fixpoint's runtime.
+/// Stored as a single sorted vector of packed `(set, block, age)` words —
+/// see the [`crate::packed`] module for the lane layout and DESIGN.md §11
+/// for the rationale. One `u64` per guaranteed block halves the footprint
+/// of the old `(MemBlockId, u32)` pairs, same-set entries sit contiguously
+/// so an update only touches its set's short run, joins reduce to sorted
+/// word merges whose equal-block case is a single `u64::max`, and state
+/// equality (the fixpoint's hottest comparison) is a `memcmp`.
+///
 /// Each block appears at most once, ages stay below the policy's
 /// *effective* associativity, and at most that many blocks of any one set
-/// are present.
+/// are present. [`iter`](MustState::iter) yields blocks in `(set, block)`
+/// order — the storage order — not global block order.
 ///
 /// # Example
 ///
@@ -61,8 +66,8 @@ use crate::config::CacheConfig;
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct MustState {
-    /// Sorted by block id: guaranteed-cached blocks with their maximal age.
-    entries: Vec<(MemBlockId, u32)>,
+    /// Sorted packed words: guaranteed-cached blocks with their maximal age.
+    words: Vec<u64>,
     assoc: u32,
     n_sets: u32,
 }
@@ -70,26 +75,41 @@ pub struct MustState {
 impl MustState {
     /// The empty must state (nothing guaranteed cached) — also the analysis
     /// top for joins and the correct entry state (`ĉ_I`). Runs at the
-    /// policy's effective associativity (the real one for LRU).
-    pub fn new(config: &CacheConfig) -> Self {
+    /// policy's effective associativity (the real one for LRU), clamped to
+    /// the packed age lane's width ([`packed::MAX_AGE`]) — running must at
+    /// fewer ways is always sound, it merely guarantees less.
+    ///
+    /// `const`: the no-information state for a given configuration can live
+    /// in a `static` and be shared instead of rebuilt per query.
+    pub const fn new(config: &CacheConfig) -> Self {
+        let ways = config.policy().must_ways(config.assoc());
+        let assoc = if ways > packed::MAX_AGE {
+            packed::MAX_AGE
+        } else {
+            ways
+        };
         MustState {
-            entries: Vec::new(),
-            assoc: config.policy().must_ways(config.assoc()),
+            words: Vec::new(),
+            assoc,
             n_sets: config.n_sets(),
         }
     }
 
+    /// The packed words, for hashing by the state interner.
     #[inline]
-    fn set_of(&self, block: MemBlockId) -> u64 {
-        block.0 % u64::from(self.n_sets)
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Maximal age of `block`, if it is guaranteed cached.
     pub fn age(&self, block: MemBlockId) -> Option<u32> {
-        self.entries
-            .binary_search_by_key(&block, |e| e.0)
+        if block.0 > packed::BLOCK_MASK {
+            return None; // unpackable ids are never stored
+        }
+        let key = packed::sort_key(self.n_sets, block.0);
+        packed::find(&self.words, key)
             .ok()
-            .map(|i| self.entries[i].1)
+            .map(|i| packed::age_of(self.words[i]))
     }
 
     /// Whether a reference to `block` is an always-hit in this state.
@@ -100,71 +120,98 @@ impl MustState {
 
     /// Abstract must update `Û(ĉ, s)`: the referenced block becomes age 0;
     /// younger blocks age by one; blocks aging past the associativity are
-    /// no longer guaranteed cached.
+    /// no longer guaranteed cached. Only the referenced block's set run is
+    /// scanned; the rest of the state is untouched.
     pub fn update(&mut self, block: MemBlockId) {
-        let set = self.set_of(block);
-        let n_sets = u64::from(self.n_sets);
-        let assoc = self.assoc;
+        let key = packed::sort_key(self.n_sets, block.0);
+        let set_mask = u64::from(self.n_sets) - 1;
+        let set = block.0 & set_mask;
+        let assoc = u64::from(self.assoc);
+        let pos = packed::find(&self.words, key);
         // On a hit at age h only blocks younger than h age (and stay below
         // the associativity); on a miss every same-set block ages and may
         // fall out of the guarantee.
-        let cutoff = self.age(block).unwrap_or(assoc);
-        self.entries.retain_mut(|e| {
-            if e.0 == block {
-                return false; // reinserted at age 0 below
+        let cutoff = match pos {
+            Ok(i) => self.words[i] & packed::AGE_MASK,
+            Err(_) => assoc,
+        };
+        let (lo, hi) = packed::group_range(&self.words, key, pos);
+        let mut w = lo;
+        for r in lo..hi {
+            let word = self.words[r];
+            if packed::key_of(word) == key {
+                continue; // reinserted at age 0 below
             }
-            if e.0 .0 % n_sets == set && e.1 < cutoff {
-                e.1 += 1;
-                return e.1 < assoc;
+            let age = word & packed::AGE_MASK;
+            // The group run may mix sets if groups collide (> 2^20 sets);
+            // re-check the exact set from the block id.
+            if packed::block_of(word) & set_mask == set && age < cutoff {
+                if age + 1 >= assoc {
+                    continue; // aged out of the guarantee
+                }
+                self.words[w] = word + 1;
+            } else {
+                self.words[w] = word;
             }
-            true
-        });
-        let pos = self
-            .entries
-            .binary_search_by_key(&block, |e| e.0)
-            .unwrap_err();
-        self.entries.insert(pos, (block, 0));
+            w += 1;
+        }
+        if w < hi {
+            self.words.copy_within(hi.., w);
+            self.words.truncate(self.words.len() - (hi - w));
+        }
+        let ins = packed::find(&self.words, key).unwrap_err();
+        self.words.insert(ins, key << packed::AGE_BITS);
     }
 
     /// Must join (Definition in [8]): keep only blocks present on **both**
-    /// sides, at their *maximal* age.
+    /// sides, at their *maximal* age. Identical states (the common case at
+    /// a converged fixpoint) short-circuit via a word-wise `memcmp`.
     pub fn join(&self, other: &MustState) -> MustState {
         debug_assert_eq!(self.n_sets, other.n_sets);
         debug_assert_eq!(self.assoc, other.assoc);
-        let mut entries = Vec::with_capacity(self.entries.len().min(other.entries.len()));
+        if self.words == other.words {
+            return self.clone();
+        }
+        let (a, b) = (&self.words, &other.words);
+        let mut words = Vec::with_capacity(a.len().min(b.len()));
         let (mut i, mut j) = (0, 0);
-        while i < self.entries.len() && j < other.entries.len() {
-            let (a, b) = (self.entries[i], other.entries[j]);
-            match a.0.cmp(&b.0) {
+        while i < a.len() && j < b.len() {
+            let (wa, wb) = (a[i], b[j]);
+            match packed::key_of(wa).cmp(&packed::key_of(wb)) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
-                    entries.push((a.0, a.1.max(b.1)));
+                    // Equal keys share all high lanes, so the word max is
+                    // the same block at the max age.
+                    words.push(wa.max(wb));
                     i += 1;
                     j += 1;
                 }
             }
         }
         MustState {
-            entries,
+            words,
             assoc: self.assoc,
             n_sets: self.n_sets,
         }
     }
 
-    /// All blocks guaranteed cached, with their maximal ages.
+    /// All blocks guaranteed cached, with their maximal ages, in
+    /// `(set, block)` order.
     pub fn iter(&self) -> impl Iterator<Item = (MemBlockId, u32)> + '_ {
-        self.entries.iter().copied()
+        self.words
+            .iter()
+            .map(|&w| (MemBlockId(packed::block_of(w)), packed::age_of(w)))
     }
 
     /// Number of blocks guaranteed cached.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.words.len()
     }
 
     /// Whether nothing is guaranteed cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.words.is_empty()
     }
 }
 
@@ -174,7 +221,6 @@ impl fmt::Display for MustState {
             write!(f, "set {s}:")?;
             for h in 0..self.assoc {
                 let cells: Vec<String> = self
-                    .entries
                     .iter()
                     .filter(|e| e.0 .0 % u64::from(self.n_sets) == s && e.1 == h)
                     .map(|e| e.0.to_string())
@@ -323,5 +369,25 @@ mod tests {
                 assert!(c.contains(blk), "must claims {blk} but concrete lacks it");
             }
         }
+    }
+
+    #[test]
+    fn iter_yields_set_then_block_order() {
+        // 2 sets: blocks 1,3 are set 1, blocks 2,4 set 0. Storage order
+        // interleaves by set, not by global block id.
+        let config = CacheConfig::new(2, 16, 64).unwrap();
+        let mut m = MustState::new(&config);
+        for b in [1u64, 2, 3, 4] {
+            m.update(MemBlockId(b));
+        }
+        let blocks: Vec<u64> = m.iter().map(|(b, _)| b.0).collect();
+        assert_eq!(blocks, vec![2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn oversized_block_queries_are_absent_not_fatal() {
+        let m = MustState::new(&cfg());
+        assert!(!m.contains(MemBlockId(1 << 40)));
+        assert_eq!(m.age(MemBlockId(1 << 40)), None);
     }
 }

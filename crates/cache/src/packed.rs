@@ -1,0 +1,163 @@
+//! Bit-packed entry words for the abstract cache domains.
+//!
+//! [`MustState`](crate::MustState) and [`MayState`](crate::MayState) store
+//! one `u64` per tracked block instead of a `(MemBlockId, u32)` pair,
+//! halving the state footprint and making every hot operation a plain
+//! word compare/add (DESIGN.md §11 describes the layout and the soundness
+//! of the width clamps):
+//!
+//! ```text
+//!   63            44 43                       8 7          0
+//!  ┌────────────────┬──────────────────────────┬────────────┐
+//!  │ group (20 bit) │ block id        (36 bit) │ age (8 bit)│
+//!  └────────────────┴──────────────────────────┴────────────┘
+//! ```
+//!
+//! * **age** — the domain's age bound for the block. Effective
+//!   associativities always fit 8 bits in practice (Table 2 tops out at
+//!   4 ways; tree-PLRU is capped at 64); see [`MAX_AGE`] for how absurd
+//!   geometries are clamped soundly.
+//! * **block id** — the memory block. Block ids derive from 32-bit
+//!   addresses divided by the block size, so 36 bits leave headroom even
+//!   for synthetic test ids.
+//! * **group** — the block's cache set (masked to 20 bits). Placing the
+//!   set in the *top* bits makes the sorted word order group same-set
+//!   entries contiguously, so an update touches only its set's short run
+//!   of words instead of scanning the whole state. The group is purely an
+//!   ordering accelerator: every scan re-checks the exact set from the
+//!   block id, so a >2²⁰-set geometry (where groups can collide) stays
+//!   correct, merely unaccelerated.
+//!
+//! Sorting by the raw word sorts by `(group, block, age)`; each block
+//! appears at most once, so the word order is a total order on blocks and
+//! the shifted word (`word >> AGE_BITS`) is the binary-search key. Joins
+//! are sorted merges where the equal-key cases reduce to single `u64`
+//! `min`/`max` ops, and whole-state equality is a `memcmp`.
+
+/// Bits of the age lane.
+pub(crate) const AGE_BITS: u32 = 8;
+/// Mask of the age lane.
+pub(crate) const AGE_MASK: u64 = (1 << AGE_BITS) - 1;
+/// Bits of the block-id lane.
+pub(crate) const BLOCK_BITS: u32 = 36;
+/// Mask of the block-id lane (after shifting the age off).
+pub(crate) const BLOCK_MASK: u64 = (1 << BLOCK_BITS) - 1;
+/// Shift of the group (set) lane.
+pub(crate) const GROUP_SHIFT: u32 = AGE_BITS + BLOCK_BITS;
+/// Mask of the group lane.
+pub(crate) const GROUP_MASK: u64 = (1 << (64 - GROUP_SHIFT)) - 1;
+/// Largest age the 8-bit lane can store. Effective associativities above
+/// this are clamped to it by the must domain (running must at *fewer*
+/// ways is the relative-competitiveness argument — sound, fewer
+/// guarantees) and widened to
+/// [`UNBOUNDED`](crate::ReplacementPolicy::UNBOUNDED) by the may domain
+/// (never ruling out eviction is sound, fewer always-miss answers).
+pub(crate) const MAX_AGE: u32 = AGE_MASK as u32;
+
+/// The binary-search key of a block: `(group, block)`, i.e. the packed
+/// word without its age lane.
+///
+/// # Panics
+///
+/// Panics if the block id exceeds the 36-bit lane; ids derive from 32-bit
+/// addresses, so this is unreachable through the ISA.
+#[inline]
+pub(crate) fn sort_key(n_sets: u32, block: u64) -> u64 {
+    assert!(
+        block <= BLOCK_MASK,
+        "block id {block} exceeds the packed 36-bit lane"
+    );
+    // n_sets is validated as a power of two, so the set is a mask.
+    let set = block & (n_sets as u64 - 1);
+    ((set & GROUP_MASK) << BLOCK_BITS) | block
+}
+
+/// The block id stored in a word.
+#[inline]
+pub(crate) fn block_of(word: u64) -> u64 {
+    (word >> AGE_BITS) & BLOCK_MASK
+}
+
+/// The age stored in a word.
+#[inline]
+pub(crate) fn age_of(word: u64) -> u32 {
+    (word & AGE_MASK) as u32
+}
+
+/// The binary-search key of a stored word.
+#[inline]
+pub(crate) fn key_of(word: u64) -> u64 {
+    word >> AGE_BITS
+}
+
+/// Binary search for a block's word in a sorted packed vector.
+#[inline]
+pub(crate) fn find(words: &[u64], key: u64) -> Result<usize, usize> {
+    words.binary_search_by(|w| key_of(*w).cmp(&key))
+}
+
+/// The contiguous index range of `key`'s group around a search position
+/// (`Ok` hit index or `Err` insertion point). Group runs are short — at
+/// most the effective associativity for bounded domains — so linear
+/// expansion beats two extra binary searches.
+#[inline]
+pub(crate) fn group_range(words: &[u64], key: u64, anchor: Result<usize, usize>) -> (usize, usize) {
+    let group = key >> BLOCK_BITS;
+    let pos = match anchor {
+        Ok(i) | Err(i) => i,
+    };
+    let mut lo = pos;
+    while lo > 0 && words[lo - 1] >> GROUP_SHIFT == group {
+        lo -= 1;
+    }
+    let mut hi = pos;
+    while hi < words.len() && words[hi] >> GROUP_SHIFT == group {
+        hi += 1;
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_order_groups_sets() {
+        // 4 sets: blocks 0..8 map to sets 0,1,2,3,0,1,2,3. Sorted keys
+        // must interleave by set, not by block.
+        let mut keys: Vec<u64> = (0..8u64).map(|b| sort_key(4, b)).collect();
+        keys.sort_unstable();
+        let blocks: Vec<u64> = keys.iter().map(|k| k & BLOCK_MASK).collect();
+        assert_eq!(blocks, vec![0, 4, 1, 5, 2, 6, 3, 7]);
+    }
+
+    #[test]
+    fn pack_roundtrips() {
+        let w = (sort_key(8, 21) << AGE_BITS) | 3;
+        assert_eq!(block_of(w), 21);
+        assert_eq!(age_of(w), 3);
+        assert_eq!(key_of(w), sort_key(8, 21));
+    }
+
+    #[test]
+    #[should_panic(expected = "36-bit lane")]
+    fn oversized_block_id_is_rejected() {
+        sort_key(4, 1 << BLOCK_BITS);
+    }
+
+    #[test]
+    fn group_range_finds_the_set_run() {
+        // 2 sets; blocks 0,2,4 are set 0, blocks 1,3 set 1.
+        let mut words: Vec<u64> = [0u64, 1, 2, 3, 4]
+            .iter()
+            .map(|&b| sort_key(2, b) << AGE_BITS)
+            .collect();
+        words.sort_unstable();
+        let key = sort_key(2, 2);
+        let (lo, hi) = group_range(&words, key, find(&words, key));
+        assert_eq!((lo, hi), (0, 3), "set-0 run is blocks 0,2,4");
+        let key1 = sort_key(2, 3);
+        let (lo, hi) = group_range(&words, key1, find(&words, key1));
+        assert_eq!((lo, hi), (3, 5), "set-1 run is blocks 1,3");
+    }
+}

@@ -84,7 +84,9 @@ impl ReplacementPolicy {
 
     /// Effective associativity of the must and persistence domains for a
     /// set of `assoc` real ways (the competitiveness reduction above).
-    pub fn must_ways(self, assoc: u32) -> u32 {
+    /// `const` so the empty abstract states can be built in `const`/`static`
+    /// contexts.
+    pub const fn must_ways(self, assoc: u32) -> u32 {
         match self {
             ReplacementPolicy::Lru => assoc,
             ReplacementPolicy::Fifo => 1,
@@ -96,7 +98,7 @@ impl ReplacementPolicy {
     /// Effective associativity of the may domain
     /// ([`UNBOUNDED`](Self::UNBOUNDED) when no finite LRU reduction
     /// exists).
-    pub fn may_ways(self, assoc: u32) -> u32 {
+    pub const fn may_ways(self, assoc: u32) -> u32 {
         match self {
             ReplacementPolicy::Lru => assoc,
             ReplacementPolicy::Fifo | ReplacementPolicy::Plru => Self::UNBOUNDED,

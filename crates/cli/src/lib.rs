@@ -106,6 +106,10 @@ pub struct Options {
     /// `--profile` (sweep): print the aggregated per-stage pipeline
     /// profile and throughput.
     pub profile: bool,
+    /// `--shards N` (sweep): run the configuration grid on the parallel
+    /// scheduler partitioned into `N` worker groups (see
+    /// [`rtpf_engine::Grid`]); absent = the classic serial sweep.
+    pub shards: Option<usize>,
     /// `--json` (audit): emit diagnostics as JSON lines.
     pub json: bool,
     /// `--optimize` (audit): additionally optimize each program and audit
@@ -138,6 +142,7 @@ impl Options {
             rounds: None,
             verbose: false,
             profile: false,
+            shards: None,
             json: false,
             optimize: false,
             deny: Vec::new(),
@@ -187,6 +192,13 @@ impl Options {
                 }
                 "--verbose" | "-v" => o.verbose = true,
                 "--profile" => o.profile = true,
+                "--shards" => {
+                    let n = parse_num(it.next(), "--shards")? as usize;
+                    if n == 0 {
+                        return Err(err("--shards wants at least 1"));
+                    }
+                    o.shards = Some(n);
+                }
                 "--json" => o.json = true,
                 "--optimize" => o.optimize = true,
                 "--deny" => {
@@ -282,7 +294,7 @@ commands:
            [--rounds N] [-v]
   simulate <file|suite:NAME> --cache a,b,c [--policy lru|fifo|plru] [--runs N]
            [--seed N] [--behavior worst|random]
-  sweep    <file|suite:NAME> [--policy lru|fifo|plru] [--profile]
+  sweep    <file|suite:NAME> [--policy lru|fifo|plru] [--profile] [--shards N]
                                             # all 36 paper configurations
   audit    <file|suite:NAME|suite:all> [--cache a,b,c] [--policy lru|fifo|plru]
            [--json] [--optimize] [--deny warnings|RTPF0xx] [--allow RTPF0xx] [-v]
@@ -469,29 +481,49 @@ fn cmd_sweep(o: &Options) -> Result<String, CliError> {
         "{:<5} {:>2} {:>3} {:>6} {:>12} {:>12} {:>8} {:>4}",
         "k", "a", "b", "c", "wcet_orig", "wcet_opt", "delta", "pf"
     );
+    let configs: Vec<(String, CacheConfig)> = CacheConfig::paper_configs()
+        .into_iter()
+        .map(|(k, c)| Ok((k, o.apply_policy(c)?)))
+        .collect::<Result<_, CliError>>()?;
     let t0 = std::time::Instant::now();
+    // Without --shards: one worker, one shard — the classic serial sweep.
+    // With --shards N: the engine's sharded grid scheduler, one worker
+    // group per shard. Output rows come back in configuration order either
+    // way, so the rendered table is identical.
+    let grid = rtpf_engine::Grid {
+        workers: if o.shards.is_some() { 0 } else { 1 },
+        shards: o.shards.unwrap_or(1),
+        progress_every: 0,
+        label: "sweep",
+    };
+    let rows: Vec<Result<(String, rtpf_wcet::AnalysisProfile), CliError>> =
+        grid.run(&configs, |_, (k, config)| {
+            let engine = Engine::new(o.batch_config(*config));
+            let r = engine
+                .optimized(&p)
+                .map_err(|e| tool_error(&name, Some(k), &e))?;
+            let mut line = String::new();
+            let _ = writeln!(
+                line,
+                "{:<5} {:>2} {:>3} {:>6} {:>12} {:>12} {:>7.2}% {:>4}",
+                k,
+                config.assoc(),
+                config.block_bytes(),
+                config.capacity_bytes(),
+                r.report.wcet_before,
+                r.report.wcet_after,
+                100.0 * (r.report.wcet_after as f64 / r.report.wcet_before as f64 - 1.0),
+                r.report.inserted
+            );
+            Ok((line, engine.profile()))
+        });
     let mut profile = rtpf_wcet::AnalysisProfile::default();
     let mut units = 0u32;
-    for (k, config) in CacheConfig::paper_configs() {
-        let config = o.apply_policy(config)?;
-        let engine = Engine::new(o.batch_config(config));
-        let r = engine
-            .optimized(&p)
-            .map_err(|e| tool_error(&name, Some(&k), &e))?;
-        profile.add(&engine.profile());
+    for row in rows {
+        let (line, prof) = row?;
+        s.push_str(&line);
+        profile.add(&prof);
         units += 1;
-        let _ = writeln!(
-            s,
-            "{:<5} {:>2} {:>3} {:>6} {:>12} {:>12} {:>7.2}% {:>4}",
-            k,
-            config.assoc(),
-            config.block_bytes(),
-            config.capacity_bytes(),
-            r.report.wcet_before,
-            r.report.wcet_after,
-            100.0 * (r.report.wcet_after as f64 / r.report.wcet_before as f64 - 1.0),
-            r.report.inserted
-        );
     }
     if o.profile {
         let elapsed = t0.elapsed().as_secs_f64();

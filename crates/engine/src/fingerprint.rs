@@ -127,46 +127,65 @@ impl FpHasher {
 /// bounds, and layout order — everything the analyses can observe. Two
 /// structurally identical programs hash identically; any edit (an extra
 /// prefetch, a changed bound, a reordered block) changes the hash.
+///
+/// The program is serialized into one contiguous byte buffer which is
+/// absorbed in a single [`FpHasher::write_bytes`] pass. Both hash streams
+/// are byte-serial, so this produces the same fingerprint as the old
+/// field-at-a-time writes — persisted artifact keys stay valid — while
+/// keeping the serializer a straight-line memory walk.
 pub fn program_fingerprint(p: &Program) -> Fingerprint {
+    // Rough upper bound: ~9 bytes per instruction plus block/edge framing.
+    let mut buf = Vec::with_capacity(64 + 16 * p.instr_count());
+    write_program_bytes(p, &mut buf);
     let mut h = FpHasher::new();
-    h.write_str(p.name());
-    h.write_u64(p.entry().index() as u64);
-    h.write_u64(p.block_count() as u64);
+    h.write_bytes(&buf);
+    h.finish()
+}
+
+/// Serializes everything [`program_fingerprint`] observes into `buf`,
+/// using the same framing as the incremental `FpHasher` writers
+/// (`write_str` = u64 length prefix + bytes, integers little-endian).
+fn write_program_bytes(p: &Program, buf: &mut Vec<u8>) {
+    let push_u64 = |buf: &mut Vec<u8>, v: u64| buf.extend_from_slice(&v.to_le_bytes());
+    let push_u32 = |buf: &mut Vec<u8>, v: u32| buf.extend_from_slice(&v.to_le_bytes());
+    push_u64(buf, p.name().len() as u64);
+    buf.extend_from_slice(p.name().as_bytes());
+    push_u64(buf, p.entry().index() as u64);
+    push_u64(buf, p.block_count() as u64);
     for b in p.block_ids() {
         let block = p.block(b);
-        h.write_u64(b.index() as u64);
-        h.write_u64(block.len() as u64);
+        push_u64(buf, b.index() as u64);
+        push_u64(buf, block.len() as u64);
         for &i in block.instrs() {
             match p.instr(i).kind {
                 InstrKind::Compute(tag) => {
-                    h.write_u8(0);
-                    h.write_u32(u32::from(tag));
+                    buf.push(0);
+                    push_u32(buf, u32::from(tag));
                 }
-                InstrKind::Branch => h.write_u8(1),
-                InstrKind::Call => h.write_u8(2),
-                InstrKind::Return => h.write_u8(3),
+                InstrKind::Branch => buf.push(1),
+                InstrKind::Call => buf.push(2),
+                InstrKind::Return => buf.push(3),
                 InstrKind::Prefetch { target } => {
-                    h.write_u8(4);
-                    h.write_u32(target.0);
+                    buf.push(4);
+                    push_u32(buf, target.0);
                 }
             }
         }
         for &(succ, kind) in p.succs(b) {
-            h.write_u64(succ.index() as u64);
-            h.write_u8(match kind {
+            push_u64(buf, succ.index() as u64);
+            buf.push(match kind {
                 EdgeKind::Fallthrough => 0,
                 EdgeKind::Taken => 1,
             });
         }
     }
     for (&header, &bound) in p.loop_bounds() {
-        h.write_u64(header.index() as u64);
-        h.write_u32(bound);
+        push_u64(buf, header.index() as u64);
+        push_u32(buf, bound);
     }
     for &b in p.layout_order() {
-        h.write_u64(b.index() as u64);
+        push_u64(buf, b.index() as u64);
     }
-    h.finish()
 }
 
 #[cfg(test)]
@@ -180,6 +199,53 @@ mod tests {
             Shape::loop_(5, Shape::if_else(2, Shape::code(6), Shape::code(4))),
         ])
         .compile("demo")
+    }
+
+    #[test]
+    fn batched_buffer_matches_incremental_field_writes() {
+        // The pre-batching implementation hashed field by field. Replay
+        // those writes here and check the contiguous-buffer path produces
+        // the identical fingerprint, so persisted artifact keys survive.
+        let p = demo();
+        let mut h = FpHasher::new();
+        h.write_str(p.name());
+        h.write_u64(p.entry().index() as u64);
+        h.write_u64(p.block_count() as u64);
+        for b in p.block_ids() {
+            let block = p.block(b);
+            h.write_u64(b.index() as u64);
+            h.write_u64(block.len() as u64);
+            for &i in block.instrs() {
+                match p.instr(i).kind {
+                    InstrKind::Compute(tag) => {
+                        h.write_u8(0);
+                        h.write_u32(u32::from(tag));
+                    }
+                    InstrKind::Branch => h.write_u8(1),
+                    InstrKind::Call => h.write_u8(2),
+                    InstrKind::Return => h.write_u8(3),
+                    InstrKind::Prefetch { target } => {
+                        h.write_u8(4);
+                        h.write_u32(target.0);
+                    }
+                }
+            }
+            for &(succ, kind) in p.succs(b) {
+                h.write_u64(succ.index() as u64);
+                h.write_u8(match kind {
+                    EdgeKind::Fallthrough => 0,
+                    EdgeKind::Taken => 1,
+                });
+            }
+        }
+        for (&header, &bound) in p.loop_bounds() {
+            h.write_u64(header.index() as u64);
+            h.write_u32(bound);
+        }
+        for &b in p.layout_order() {
+            h.write_u64(b.index() as u64);
+        }
+        assert_eq!(h.finish(), program_fingerprint(&p));
     }
 
     #[test]

@@ -8,8 +8,13 @@
 //! Results come back in item order regardless of which worker computed
 //! what.
 //!
-//! Moved here from `rtpf-experiments` so every front end (and the engine's
-//! own sweep stage) schedules grids the same way.
+//! With [`Grid::shards`] > 1 the item range is partitioned into that many
+//! contiguous shards, each with its own claim counter, and the worker pool
+//! is split into groups with one home shard apiece. Workers drain their
+//! home shard first and only then steal from the others, so a wide pool
+//! hammering one shared counter (and, downstream, one on-disk store lock
+//! after near-simultaneous claims) turns into independent groups that
+//! converge only in the tail.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -22,6 +27,9 @@ pub struct Grid {
     pub progress_every: usize,
     /// Label prefixing progress lines.
     pub label: &'static str,
+    /// Independent claim-counter partitions (`0` or `1` = one shared
+    /// counter, the classic mode). Clamped to the worker and item counts.
+    pub shards: usize,
 }
 
 impl Default for Grid {
@@ -30,6 +38,7 @@ impl Default for Grid {
             workers: 0,
             progress_every: 0,
             label: "grid",
+            shards: 0,
         }
     }
 }
@@ -43,30 +52,50 @@ impl Grid {
         } else {
             self.workers
         };
-        let next = AtomicUsize::new(0);
+        // More shards than workers (or items) would only manufacture
+        // steal traffic, so clamp; shard `s` owns `bounds[s]..bounds[s+1]`.
+        let shards = self.shards.clamp(1, workers.min(items.len()).max(1));
+        let bounds: Vec<usize> = (0..=shards).map(|s| s * items.len() / shards).collect();
+        let cursors: Vec<AtomicUsize> = bounds[..shards]
+            .iter()
+            .map(|&lo| AtomicUsize::new(lo))
+            .collect();
         let done = AtomicUsize::new(0);
         let started = std::time::Instant::now();
 
         let buffers: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
+                .map(|w| {
+                    let home = w % shards;
+                    let cursors = &cursors;
+                    let bounds = &bounds;
+                    let done = &done;
+                    let started = &started;
+                    let f = &f;
+                    scope.spawn(move || {
                         let mut local: Vec<(usize, R)> = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= items.len() {
-                                break;
+                        'work: loop {
+                            // Home shard first, then steal round-robin.
+                            for k in 0..shards {
+                                let s = (home + k) % shards;
+                                let i = cursors[s].fetch_add(1, Ordering::Relaxed);
+                                if i >= bounds[s + 1] {
+                                    continue;
+                                }
+                                local.push((i, f(i, &items[i])));
+                                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                                if self.progress_every > 0 && d.is_multiple_of(self.progress_every)
+                                {
+                                    let rate = d as f64 / started.elapsed().as_secs_f64();
+                                    eprintln!(
+                                        "{}: {d}/{} units ({rate:.2} units/s)",
+                                        self.label,
+                                        items.len()
+                                    );
+                                }
+                                continue 'work;
                             }
-                            local.push((i, f(i, &items[i])));
-                            let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-                            if self.progress_every > 0 && d.is_multiple_of(self.progress_every) {
-                                let rate = d as f64 / started.elapsed().as_secs_f64();
-                                eprintln!(
-                                    "{}: {d}/{} units ({rate:.2} units/s)",
-                                    self.label,
-                                    items.len()
-                                );
-                            }
+                            break;
                         }
                         local
                     })
@@ -109,6 +138,45 @@ mod tests {
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, 2 * i as u64);
         }
+    }
+
+    #[test]
+    fn sharded_run_covers_every_item_in_order() {
+        let items: Vec<u64> = (0..131).collect();
+        for shards in [2, 4, 16, 1000] {
+            let grid = Grid {
+                workers: 7,
+                shards,
+                ..Grid::default()
+            };
+            let out = grid.run(&items, |i, &v| {
+                assert_eq!(i as u64, v);
+                v + 10
+            });
+            assert_eq!(out.len(), items.len(), "shards={shards}");
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i as u64 + 10, "shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_workers_finish_foreign_shards() {
+        // One shard gets all the slow items; with stealing, the grid still
+        // completes every item even though the home groups are unbalanced.
+        let items: Vec<u64> = (0..64).collect();
+        let grid = Grid {
+            workers: 4,
+            shards: 4,
+            ..Grid::default()
+        };
+        let out = grid.run(&items, |i, &v| {
+            if i < 16 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            v * 3
+        });
+        assert_eq!(out, (0..64).map(|v| v * 3).collect::<Vec<u64>>());
     }
 
     #[test]

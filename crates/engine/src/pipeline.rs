@@ -107,8 +107,12 @@ impl Engine {
         Ok((named.0.clone(), Arc::new(named.1.clone())))
     }
 
-    fn key_for(&self, stage: Stage, cfg_fp: Fingerprint, p: &Program) -> ArtifactKey {
-        ArtifactKey::new(stage, &[cfg_fp, program_fingerprint(p)])
+    /// Stage keys take the *program* fingerprint precomputed: public stage
+    /// entries hash the program exactly once and thread the fingerprint
+    /// through every internal `_with_fp` hop, so a unit no longer re-walks
+    /// the program per artifact lookup it makes.
+    fn key_for(&self, stage: Stage, cfg_fp: Fingerprint, pfp: Fingerprint) -> ArtifactKey {
+        ArtifactKey::new(stage, &[cfg_fp, pfp])
     }
 
     /// Analyze stage: CFG/loops/layout, VIVU, classification, and IPET in
@@ -118,7 +122,11 @@ impl Engine {
     ///
     /// Propagates [`EngineError::Analysis`].
     pub fn analysis(&self, p: &Program) -> Result<Arc<WcetAnalysis>, EngineError> {
-        let key = self.key_for(Stage::Analyze, self.config.analysis_fingerprint(), p);
+        let key = self.key_for(
+            Stage::Analyze,
+            self.config.analysis_fingerprint(),
+            program_fingerprint(p),
+        );
         self.store.get_or_compute(key, || self.compute_analysis(p))
     }
 
@@ -147,7 +155,7 @@ impl Engine {
     ///
     /// Propagates [`EngineError::Optimize`].
     pub fn optimized(&self, p: &Program) -> Result<Arc<OptimizeResult>, EngineError> {
-        self.optimize_artifact(p, None)
+        self.optimize_artifact(p, program_fingerprint(p), None)
     }
 
     /// Optimize stage with a round override (`Some(0)` is the no-op
@@ -155,11 +163,12 @@ impl Engine {
     fn optimize_artifact(
         &self,
         p: &Program,
+        pfp: Fingerprint,
         rounds_override: Option<u32>,
     ) -> Result<Arc<OptimizeResult>, EngineError> {
         let mut h = FpHasher::new();
         h.write_fp(self.config.optimize_fingerprint());
-        h.write_fp(program_fingerprint(p));
+        h.write_fp(pfp);
         match rounds_override {
             None => h.write_u8(0),
             Some(r) => {
@@ -194,8 +203,9 @@ impl Engine {
         &self,
         p: &Program,
     ) -> Result<(Arc<OptimizeResult>, TheoremReport), EngineError> {
-        let r = self.optimized(p)?;
-        let key = self.key_for(Stage::Verify, self.config.optimize_fingerprint(), p);
+        let pfp = program_fingerprint(p);
+        let r = self.optimize_artifact(p, pfp, None)?;
+        let key = self.key_for(Stage::Verify, self.config.optimize_fingerprint(), pfp);
         let report = self.store.get_or_compute(key, || {
             let t0 = Instant::now();
             let rep = check(
@@ -221,7 +231,15 @@ impl Engine {
     ///
     /// Propagates [`EngineError::Simulate`].
     pub fn simulated(&self, p: &Program) -> Result<Arc<SimResult>, EngineError> {
-        let key = self.key_for(Stage::Simulate, self.config.sim_fingerprint(), p);
+        self.simulated_with_fp(p, program_fingerprint(p))
+    }
+
+    fn simulated_with_fp(
+        &self,
+        p: &Program,
+        pfp: Fingerprint,
+    ) -> Result<Arc<SimResult>, EngineError> {
+        let key = self.key_for(Stage::Simulate, self.config.sim_fingerprint(), pfp);
         self.store.get_or_compute(key, || {
             let t0 = Instant::now();
             let run = Simulator::new(
@@ -266,15 +284,22 @@ impl Engine {
     ///
     /// Propagates optimize/simulate stage failures.
     pub fn gated_optimize(&self, p: &Program) -> Result<Gated, EngineError> {
+        self.gated_optimize_with_fp(p, program_fingerprint(p))
+    }
+
+    fn gated_optimize_with_fp(&self, p: &Program, pfp: Fingerprint) -> Result<Gated, EngineError> {
         let e45 = EnergyModel::new(self.config.cache(), Technology::Nm45);
         let energy = |run: &SimResult| e45.energy_of(&run.mean_stats()).total_nj();
-        let mut opt = self.optimized(p)?;
-        let sim_orig = self.simulated(p)?;
-        let mut sim_opt = self.simulated(&opt.program)?;
+        let mut opt = self.optimize_artifact(p, pfp, None)?;
+        let sim_orig = self.simulated_with_fp(p, pfp)?;
+        // The optimized binary is a different program; its fingerprint is
+        // hashed once here (not per stage the gate consults).
+        let mut sim_opt =
+            self.simulated_with_fp(&opt.program, program_fingerprint(&opt.program))?;
         let regressed = sim_opt.acet_cycles() > sim_orig.acet_cycles() * 1.001
             || energy(&sim_opt) > energy(&sim_orig) * 1.0005;
         if regressed {
-            opt = self.optimize_artifact(p, Some(0))?;
+            opt = self.optimize_artifact(p, pfp, Some(0))?;
             sim_opt = Arc::clone(&sim_orig);
         }
         Ok(Gated {
@@ -292,23 +317,30 @@ impl Engine {
     ///
     /// Propagates optimize/simulate stage failures.
     pub fn unit(&self, name: &str, k: &str, p: &Program) -> Result<Arc<UnitResult>, EngineError> {
+        let pfp = program_fingerprint(p);
         let mut h = FpHasher::new();
         h.write_fp(self.config.fingerprint());
-        h.write_fp(program_fingerprint(p));
+        h.write_fp(pfp);
         h.write_str(name);
         h.write_str(k);
         let key = ArtifactKey::new(Stage::Unit, &[h.finish()]);
         self.store
-            .get_or_compute(key, || self.compute_unit(name, k, p))
+            .get_or_compute(key, || self.compute_unit(name, k, p, pfp))
     }
 
-    fn compute_unit(&self, name: &str, k: &str, p: &Program) -> Result<UnitResult, EngineError> {
+    fn compute_unit(
+        &self,
+        name: &str,
+        k: &str,
+        p: &Program,
+        pfp: Fingerprint,
+    ) -> Result<UnitResult, EngineError> {
         let config = *self.config.cache();
         let Gated {
             opt,
             sim_orig,
             sim_opt,
-        } = self.gated_optimize(p)?;
+        } = self.gated_optimize_with_fp(p, pfp)?;
 
         let e_orig = self.energies(&sim_orig).map(|e| e.total_nj());
         let e_opt = self.energies(&sim_opt).map(|e| e.total_nj());
@@ -441,13 +473,28 @@ pub fn load_program(spec: &str) -> Result<(String, Program), EngineError> {
 
 /// Key of the full-sweep on-disk artifact: content hash over every
 /// `(program, configuration)` pair of the grid, in order.
+///
+/// Grids repeat the same handful of programs across many configurations,
+/// so program fingerprints are memoized by reference identity — the hash
+/// input is unchanged, each distinct program is just walked once instead
+/// of once per configuration.
 pub fn sweep_key<'a>(
     units: impl IntoIterator<Item = (&'a Program, &'a EngineConfig)>,
 ) -> ArtifactKey {
+    let mut memo: Vec<(*const Program, Fingerprint)> = Vec::new();
     let mut h = FpHasher::new();
     h.write_u32(Stage::Unit.version());
     for (p, cfg) in units {
-        h.write_fp(program_fingerprint(p));
+        let key = std::ptr::from_ref(p);
+        let pfp = match memo.iter().find(|(q, _)| *q == key) {
+            Some(&(_, fp)) => fp,
+            None => {
+                let fp = program_fingerprint(p);
+                memo.push((key, fp));
+                fp
+            }
+        };
+        h.write_fp(pfp);
         h.write_fp(cfg.fingerprint());
     }
     ArtifactKey::new(Stage::Sweep, &[h.finish()])

@@ -183,6 +183,14 @@ pub fn sweep_for(policy: ReplacementPolicy) -> Vec<UnitResult> {
     results
 }
 
+/// Worker groups the evaluation grids run under: one shard per four
+/// workers, so small machines (including single-core CI) collapse to the
+/// classic single-counter mode and wide ones split into independent
+/// groups.
+pub fn default_shards() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().div_ceil(4))
+}
+
 /// Computes the LRU sweep from scratch on the engine's work-stealing
 /// grid.
 ///
@@ -195,7 +203,9 @@ pub fn run_sweep() -> Vec<UnitResult> {
     run_sweep_for(ReplacementPolicy::Lru)
 }
 
-/// [`run_sweep`], for any replacement policy.
+/// [`run_sweep`], for any replacement policy. The grid runs sharded (one
+/// worker group per [`default_shards`] slice), so wide machines do not
+/// convoy on a single claim counter while sharing the results store.
 pub fn run_sweep_for(policy: ReplacementPolicy) -> Vec<UnitResult> {
     let suite = rtpf_suite::catalog();
     let configs = paper_configs_for(policy);
@@ -211,6 +221,7 @@ pub fn run_sweep_for(policy: ReplacementPolicy) -> Vec<UnitResult> {
             ReplacementPolicy::Fifo => "sweep[fifo]",
             ReplacementPolicy::Plru => "sweep[plru]",
         },
+        shards: default_shards(),
     };
     let mut out: Vec<UnitResult> = grid.run(&units, |_, &(pi, ci)| {
         let b = &suite[pi];
@@ -264,6 +275,7 @@ pub fn measure_precision(policy: ReplacementPolicy) -> PolicyPrecision {
             ReplacementPolicy::Fifo => "precision[fifo]",
             ReplacementPolicy::Plru => "precision[plru]",
         },
+        shards: default_shards(),
     };
     let sums = grid.run(&units, |_, &(pi, ci)| {
         let b = &suite[pi];

@@ -181,6 +181,44 @@ impl CacheEngine {
         outcome.is_hit()
     }
 
+    /// A demand fetch of `block` immediately followed by `n - 1` repeat
+    /// fetches of the same block (consecutive instructions sharing one
+    /// memory block). Exactly equivalent to calling [`CacheEngine::fetch`]
+    /// `n` times: after the first access the block is resident, and a
+    /// repeat access to the resident block cannot change the replacement
+    /// state under any supported policy (LRU re-promotes the front, FIFO
+    /// never reorders, tree-PLRU's touch is idempotent), so with no
+    /// prefetch in flight the repeats collapse to counter arithmetic.
+    /// Returns whether the *first* access hit.
+    pub fn fetch_run(&mut self, block: MemBlockId, n: u32) -> bool {
+        let hit = self.fetch(block);
+        let rest = u64::from(n.saturating_sub(1));
+        if rest == 0 {
+            return hit;
+        }
+        if !self.inflight.is_empty() || self.locked.is_some() {
+            // An in-flight prefetch could complete mid-run (its install
+            // order interleaves with the repeat hits), and a locked cache
+            // re-misses unlocked blocks on every repeat; take the exact
+            // path.
+            for _ in 0..rest {
+                self.fetch(block);
+            }
+            return hit;
+        }
+        self.stats.accesses += rest;
+        self.stats.hits += rest;
+        // Mirrors the per-repeat bookkeeping; by this point the first
+        // fetch has already consumed any `prefetched` entry, so this is
+        // the same no-op the individual hits would perform.
+        if self.prefetched.remove(&block) {
+            self.prefetch_useful += 1;
+        }
+        self.cycle += rest * self.timing.hit_cycles;
+        self.stats.cycles = self.cycle;
+        hit
+    }
+
     /// Issues a non-blocking prefetch of `block` (no clock cost beyond the
     /// instruction fetch, which the caller accounts separately).
     pub fn prefetch(&mut self, block: MemBlockId) {

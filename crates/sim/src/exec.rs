@@ -10,7 +10,7 @@ use rand::{Rng, SeedableRng};
 use rtpf_cache::{CacheConfig, MemTiming};
 use rtpf_isa::dom::Dominators;
 use rtpf_isa::loops::LoopForest;
-use rtpf_isa::{BlockId, InstrKind, Layout, Program};
+use rtpf_isa::{BlockId, InstrKind, Layout, MemBlockId, Program};
 
 use crate::engine::{CacheEngine, HwPrefetcher, LockedContents};
 use crate::result::SimResult;
@@ -75,6 +75,88 @@ impl fmt::Display for SimError {
 }
 
 impl Error for SimError {}
+
+/// One step of a block's precompiled fetch sequence.
+#[derive(Clone, Debug)]
+enum Seg {
+    /// `n` consecutive instructions mapping to the same memory block
+    /// (batched via [`CacheEngine::fetch_run`]); `last_addr` is the
+    /// address of the run's final instruction.
+    Fetch {
+        mb: MemBlockId,
+        n: u32,
+        last_addr: u64,
+    },
+    /// A software prefetch action, issued after the owning instruction's
+    /// fetch (which is part of the preceding `Fetch` run).
+    Prefetch { target: MemBlockId },
+}
+
+/// Per-program walk plan, built once per [`Simulator::run_full`] and
+/// shared by every seeded run: each block's instruction stream collapsed
+/// into same-memory-block fetch runs, loop bounds by block index, and a
+/// body-membership bitset per loop header. Replaces the per-instruction
+/// layout lookups and per-transition `LoopForest` scans of the walk's
+/// previous inner loop.
+struct WalkPlan {
+    segs: Vec<Vec<Seg>>,
+    bound: Vec<Option<u32>>,
+    /// `body[h]` non-empty iff block `h` heads a loop; bit `b` set iff
+    /// block `b` is in that loop's body.
+    body: Vec<Vec<u64>>,
+}
+
+impl WalkPlan {
+    fn build(p: &Program, forest: &LoopForest, layout: &Layout, block_bytes: u32) -> WalkPlan {
+        let n_blocks = p.block_count();
+        let words = n_blocks.div_ceil(64);
+        let mut segs = vec![Vec::new(); n_blocks];
+        let mut bound = vec![None; n_blocks];
+        let mut body = vec![Vec::new(); n_blocks];
+        for b in p.block_ids() {
+            bound[b.index()] = p.loop_bound(b);
+            if let Some(l) = forest.loop_of(b) {
+                let mut bits = vec![0u64; words];
+                for &m in &l.body {
+                    bits[m.index() / 64] |= 1 << (m.index() % 64);
+                }
+                body[b.index()] = bits;
+            }
+            let v = &mut segs[b.index()];
+            for &i in p.block(b).instrs() {
+                let addr = layout.addr(i);
+                let mb = layout.block_of(i, block_bytes);
+                match v.last_mut() {
+                    Some(Seg::Fetch {
+                        mb: m,
+                        n,
+                        last_addr,
+                    }) if *m == mb => {
+                        *n += 1;
+                        *last_addr = addr;
+                    }
+                    _ => v.push(Seg::Fetch {
+                        mb,
+                        n: 1,
+                        last_addr: addr,
+                    }),
+                }
+                if let InstrKind::Prefetch { target } = p.instr(i).kind {
+                    v.push(Seg::Prefetch {
+                        target: layout.block_of(target, block_bytes),
+                    });
+                }
+            }
+        }
+        WalkPlan { segs, bound, body }
+    }
+
+    #[inline]
+    fn in_body(&self, header: BlockId, b: BlockId) -> bool {
+        let bits = &self.body[header.index()];
+        !bits.is_empty() && (bits[b.index() / 64] >> (b.index() % 64)) & 1 == 1
+    }
+}
 
 /// Trace-driven simulator for one cache configuration and timing model.
 #[derive(Clone, Debug)]
@@ -155,6 +237,7 @@ impl Simulator {
         let forest =
             LoopForest::compute(p, &dom).map_err(|e| SimError::InvalidProgram(e.to_string()))?;
         let layout = Layout::of(p);
+        let plan = WalkPlan::build(p, &forest, &layout, self.config.block_bytes());
 
         let mut result = SimResult::default();
         for k in 0..self.sim.runs {
@@ -163,7 +246,7 @@ impl Simulator {
             let mut hw = hw_factory();
             let instrs = self.walk(
                 p,
-                &forest,
+                &plan,
                 &layout,
                 &mut engine,
                 &mut hw,
@@ -178,7 +261,7 @@ impl Simulator {
     fn walk(
         &self,
         p: &Program,
-        forest: &LoopForest,
+        plan: &WalkPlan,
         layout: &Layout,
         engine: &mut CacheEngine,
         hw: &mut Option<Box<dyn HwPrefetcher>>,
@@ -189,10 +272,6 @@ impl Simulator {
         let mut counters: HashMap<BlockId, u64> = HashMap::new();
         let mut fetched: u64 = 0;
 
-        let in_body = |header: BlockId, b: BlockId| {
-            forest.loop_of(header).is_some_and(|l| l.body.contains(&b))
-        };
-
         let choose_iters = |rng: &mut StdRng, bound: u32| -> u64 {
             match self.sim.behavior {
                 BranchBehavior::WorstLike => u64::from(bound),
@@ -201,35 +280,58 @@ impl Simulator {
         };
 
         let mut cur = p.entry();
-        if let Some(bound) = p.loop_bound(cur) {
+        if let Some(bound) = plan.bound[cur.index()] {
             counters.insert(cur, choose_iters(&mut rng, bound));
         }
         loop {
-            // Fetch the block's instructions.
+            // Fetch the block's instructions. With a hardware prefetcher
+            // attached, every fetch is reported individually at its exact
+            // address; otherwise the precompiled fetch runs collapse the
+            // per-instruction loop into one engine call per memory block.
             let mut last_addr = layout.addr(
                 *p.block(cur)
                     .instrs()
                     .first()
                     .unwrap_or(&rtpf_isa::InstrId(0)),
             );
-            for &i in p.block(cur).instrs() {
-                fetched += 1;
-                if fetched > self.sim.max_fetches {
-                    return Err(SimError::FetchCapExceeded {
-                        cap: self.sim.max_fetches,
-                    });
-                }
-                let addr = layout.addr(i);
-                last_addr = addr;
-                let mb = layout.block_of(i, block_bytes);
-                let hit = engine.fetch(mb);
-                if let Some(hw) = hw.as_deref_mut() {
+            if let Some(hw) = hw.as_deref_mut() {
+                for &i in p.block(cur).instrs() {
+                    fetched += 1;
+                    if fetched > self.sim.max_fetches {
+                        return Err(SimError::FetchCapExceeded {
+                            cap: self.sim.max_fetches,
+                        });
+                    }
+                    let addr = layout.addr(i);
+                    last_addr = addr;
+                    let mb = layout.block_of(i, block_bytes);
+                    let hit = engine.fetch(mb);
                     for s in hw.on_fetch(addr, mb, !hit) {
                         engine.prefetch(s);
                     }
+                    if let InstrKind::Prefetch { target } = p.instr(i).kind {
+                        engine.prefetch(layout.block_of(target, block_bytes));
+                    }
                 }
-                if let InstrKind::Prefetch { target } = p.instr(i).kind {
-                    engine.prefetch(layout.block_of(target, block_bytes));
+            } else {
+                for seg in &plan.segs[cur.index()] {
+                    match *seg {
+                        Seg::Fetch {
+                            mb,
+                            n,
+                            last_addr: a,
+                        } => {
+                            fetched += u64::from(n);
+                            if fetched > self.sim.max_fetches {
+                                return Err(SimError::FetchCapExceeded {
+                                    cap: self.sim.max_fetches,
+                                });
+                            }
+                            engine.fetch_run(mb, n);
+                            last_addr = a;
+                        }
+                        Seg::Prefetch { target } => engine.prefetch(target),
+                    }
                 }
             }
 
@@ -238,21 +340,36 @@ impl Simulator {
             if succs.is_empty() {
                 break;
             }
-            let next = if let Some(_bound) = p.loop_bound(cur) {
+            let next = if plan.bound[cur.index()].is_some() {
                 let c = counters.get_mut(&cur).expect("counter set on entry");
                 let want_body = *c > 0;
                 if want_body {
                     *c -= 1;
                 }
-                let matching: Vec<BlockId> = succs
-                    .iter()
-                    .map(|&(s, _)| s)
-                    .filter(|&s| in_body(cur, s) == want_body)
-                    .collect();
-                match matching.len() {
+                // Count the matching successors without materializing them;
+                // the RNG draw pattern is identical to the old collect.
+                let mut count = 0usize;
+                let mut first = None;
+                for &(s, _) in succs {
+                    if plan.in_body(cur, s) == want_body {
+                        count += 1;
+                        if first.is_none() {
+                            first = Some(s);
+                        }
+                    }
+                }
+                match count {
                     0 => succs[rng.gen_range(0..succs.len())].0,
-                    1 => matching[0],
-                    n => matching[rng.gen_range(0..n)],
+                    1 => first.expect("count said one match"),
+                    n => {
+                        let j = rng.gen_range(0..n);
+                        succs
+                            .iter()
+                            .map(|&(s, _)| s)
+                            .filter(|&s| plan.in_body(cur, s) == want_body)
+                            .nth(j)
+                            .expect("count said j-th match exists")
+                    }
                 }
             } else {
                 succs[rng.gen_range(0..succs.len())].0
@@ -265,8 +382,8 @@ impl Simulator {
 
             // Loop-entry counter reset: entering a header from outside its
             // body starts a fresh iteration count.
-            if let Some(bound) = p.loop_bound(next) {
-                if !in_body(next, cur) {
+            if let Some(bound) = plan.bound[next.index()] {
+                if !plan.in_body(next, cur) {
                     counters.insert(next, choose_iters(&mut rng, bound));
                 }
             }
@@ -372,6 +489,54 @@ mod tests {
             s.run(&p),
             Err(SimError::FetchCapExceeded { cap: 100 })
         ));
+    }
+
+    #[test]
+    fn batched_walk_matches_the_per_instruction_path() {
+        // A no-op hardware prefetcher forces the exact per-instruction
+        // fetch loop with the same RNG draw pattern, so it is a reference
+        // implementation for the precompiled fetch-run path: every counter
+        // must agree, for every policy, with and without software
+        // prefetches.
+        use rtpf_cache::ReplacementPolicy;
+        struct NoopHw;
+        impl crate::HwPrefetcher for NoopHw {
+            fn on_fetch(&mut self, _: u64, _: MemBlockId, _: bool) -> Vec<MemBlockId> {
+                Vec::new()
+            }
+            fn on_branch(&mut self, _: u64, _: MemBlockId, _: bool) -> Vec<MemBlockId> {
+                Vec::new()
+            }
+        }
+        let mut p =
+            Shape::loop_(20, Shape::if_else(3, Shape::code(17), Shape::code(9))).compile("eq");
+        let (tb, target) = p
+            .block_ids()
+            .find_map(|b| p.block(b).instrs().first().map(|&i| (b, i)))
+            .expect("program has instructions");
+        p.insert_instr(tb, 0, InstrKind::Prefetch { target })
+            .unwrap();
+        for policy in ReplacementPolicy::ALL {
+            for behavior in [BranchBehavior::WorstLike, BranchBehavior::Random] {
+                let cfg = CacheConfig::new(2, 16, 64)
+                    .unwrap()
+                    .with_policy(policy)
+                    .unwrap();
+                let s = Simulator::new(
+                    cfg,
+                    MemTiming::default(),
+                    SimConfig {
+                        behavior,
+                        seed: 7,
+                        runs: 2,
+                        max_fetches: 1_000_000,
+                    },
+                );
+                let fast = s.run(&p).unwrap();
+                let slow = s.run_hw(&p, || Box::new(NoopHw)).unwrap();
+                assert_eq!(fast, slow, "{policy} {behavior:?}");
+            }
+        }
     }
 
     #[test]

@@ -42,7 +42,7 @@
 
 use std::sync::Arc;
 
-use rtpf_cache::{CacheConfig, Classification, MayState, MustState, StatePair};
+use rtpf_cache::{CacheConfig, Classification, StatePair};
 use rtpf_isa::{InstrKind, Layout, MemBlockId, Program};
 
 use crate::acfg::Acfg;
@@ -169,36 +169,29 @@ pub fn classify_incremental(
     )
 }
 
-/// The touched-block signature of every node: the per-reference sequence
-/// of `(own block, prefetch target block)` pairs, which determines the
-/// node's transfer function entirely (hardware next-line folds depend
-/// only on the fetched block).
-fn node_sigs(
+/// Fills `buf` with one node's touched-block signature: the per-reference
+/// sequence of `(own block, prefetch target block)` pairs, which
+/// determines the node's transfer function entirely (hardware next-line
+/// folds depend only on the fetched block). Reuses the caller's scratch
+/// buffer so a classify pass allocates no per-node signature vectors.
+fn fill_node_sig(
     p: &Program,
     layout: &Layout,
-    vivu: &VivuGraph,
     acfg: &Acfg,
     block_bytes: u32,
-) -> Vec<Vec<(MemBlockId, Option<MemBlockId>)>> {
-    (0..vivu.len())
-        .map(|i| {
-            let nid = NodeId(i as u32);
-            acfg.refs_of_node(nid)
-                .iter()
-                .map(|&r| {
-                    let reference = acfg.reference(r);
-                    let own = layout.block_of(reference.instr, block_bytes);
-                    let pf = match p.instr(reference.instr).kind {
-                        InstrKind::Prefetch { target } => {
-                            Some(layout.block_of(target, block_bytes))
-                        }
-                        _ => None,
-                    };
-                    (own, pf)
-                })
-                .collect()
-        })
-        .collect()
+    nid: NodeId,
+    buf: &mut Vec<(MemBlockId, Option<MemBlockId>)>,
+) {
+    buf.clear();
+    for &r in acfg.refs_of_node(nid) {
+        let reference = acfg.reference(r);
+        let own = layout.block_of(reference.instr, block_bytes);
+        let pf = match p.instr(reference.instr).kind {
+            InstrKind::Prefetch { target } => Some(layout.block_of(target, block_bytes)),
+            _ => None,
+        };
+        buf.push((own, pf));
+    }
 }
 
 /// Strongly connected components of the dataflow graph, in condensation
@@ -296,12 +289,6 @@ fn build_topology(vivu: &VivuGraph) -> Topology {
     }
 
     let mut comps = condensation(n, &succs);
-    let mut comp_id = vec![0usize; n];
-    for (cid, comp) in comps.iter().enumerate() {
-        for &i in comp {
-            comp_id[i] = cid;
-        }
-    }
     let mut pos = vec![0usize; n];
     for (k, nid) in vivu.topo().iter().enumerate() {
         pos[nid.index()] = k;
@@ -310,12 +297,7 @@ fn build_topology(vivu: &VivuGraph) -> Topology {
         comp.sort_unstable_by_key(|&i| pos[i]);
     }
 
-    Topology {
-        preds,
-        succs,
-        comps,
-        comp_id,
-    }
+    Topology::from_parts(preds, succs, comps)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -330,15 +312,14 @@ fn run_classify(
     cache: &AnalysisCache,
 ) -> ClassifyResult {
     let n = vivu.len();
-    let empty: StatePair = (MustState::new(config), MayState::new(config));
+    // No-information sentinel for predecessor-less nodes. Cloning it is
+    // allocation-free (empty packed-word vectors) — see `rtpf_cache::no_info`.
+    let empty: StatePair = rtpf_cache::no_info(config);
 
     // Adjacency (with back edges) and SCC condensation are identical for
     // every analysis of the lineage — fetched from the shared cache,
     // built on the first pass.
     let top = cache.topology(|| build_topology(vivu));
-    let all_preds = &top.preds;
-    let all_succs = &top.succs;
-    let comp_id = &top.comp_id;
 
     let block_bytes = config.block_bytes();
     // Canonicalize signatures through the lineage cache: a node whose
@@ -346,24 +327,29 @@ fn run_classify(
     // (no hashing), everything else is interned so content-equal
     // signatures across candidate analyses share one pointer. The memo
     // key is then a pure pointer tuple. `dirty[i]` falls out for free.
-    let raw_sigs = node_sigs(p, layout, vivu, acfg, block_bytes);
+    // One scratch buffer serves every node; the interner copies on miss.
+    let mut scratch: Vec<(MemBlockId, Option<MemBlockId>)> = Vec::new();
     let mut sigs: Vec<NodeSig> = Vec::with_capacity(n);
     let dirty: Option<Vec<bool>> = match prev {
         Some(pv) => {
             let mut d = Vec::with_capacity(n);
-            for (i, s) in raw_sigs.into_iter().enumerate() {
-                if *pv.sigs[i] == s {
+            for i in 0..n {
+                fill_node_sig(p, layout, acfg, block_bytes, NodeId(i as u32), &mut scratch);
+                if pv.sigs[i].as_slice() == scratch.as_slice() {
                     sigs.push(Arc::clone(&pv.sigs[i]));
                     d.push(false);
                 } else {
-                    sigs.push(cache.intern_sig(s));
+                    sigs.push(cache.intern_sig(&scratch));
                     d.push(true);
                 }
             }
             Some(d)
         }
         None => {
-            sigs.extend(raw_sigs.into_iter().map(|s| cache.intern_sig(s)));
+            for i in 0..n {
+                fill_node_sig(p, layout, acfg, block_bytes, NodeId(i as u32), &mut scratch);
+                sigs.push(cache.intern_sig(&scratch));
+            }
             None
         }
     };
@@ -412,19 +398,23 @@ fn run_classify(
     let mut memo_hits = 0u64;
     let mut states_interned = 0u64;
     let mut states_fresh = 0u64;
-    for (cid, comp) in top.comps.iter().enumerate() {
+    for cid in 0..top.n_comps() {
+        let comp = top.comp(cid);
         let recompute = match (prev, &dirty) {
             (Some(_), Some(dirty)) => comp.iter().any(|&i| {
+                let i = i as usize;
                 dirty[i]
-                    || all_preds[i]
-                        .iter()
-                        .any(|&pr| comp_id[pr] != cid && changed[pr])
+                    || top.preds(i).iter().any(|&pr| {
+                        let pr = pr as usize;
+                        top.comp_id(pr) != cid && changed[pr]
+                    })
             }),
             _ => true,
         };
         if !recompute {
             let pv = prev.expect("skipping requires a previous pass");
             for &i in comp {
+                let i = i as usize;
                 out[i] = Some(Arc::clone(&pv.out_states[i]));
                 changed[i] = false;
             }
@@ -434,7 +424,11 @@ fn run_classify(
         // real join + per-reference classify/fold.
         let mut eval = |i: usize, out: &[Option<Arc<StatePair>>]| -> Arc<NodeEval> {
             ins_buf.clear();
-            ins_buf.extend(all_preds[i].iter().filter_map(|&pr| out[pr].clone()));
+            ins_buf.extend(
+                top.preds(i)
+                    .iter()
+                    .filter_map(|&pr| out[pr as usize].clone()),
+            );
             if let Some(hit) = cache.lookup(&sigs[i], &ins_buf) {
                 memo_hits += 1;
                 return hit;
@@ -468,9 +462,9 @@ fn run_classify(
             }
             stored
         };
-        if comp.len() == 1 && !all_preds[comp[0]].contains(&comp[0]) {
+        if comp.len() == 1 && !top.preds(comp[0] as usize).contains(&comp[0]) {
             // Acyclic singleton: one evaluation is the exact solution.
-            let i = comp[0];
+            let i = comp[0] as usize;
             iterations += 1;
             let ev = eval(i, &out);
             out[i] = Some(Arc::clone(&ev.out));
@@ -483,11 +477,12 @@ fn run_classify(
             // same output — and chaotic iteration from the extremal start
             // reaches the unique extremal fixpoint in any order.
             for &i in comp {
-                pend[i] = true;
+                pend[i as usize] = true;
             }
             loop {
                 iterations += 1;
                 for &i in comp {
+                    let i = i as usize;
                     if !pend[i] {
                         continue;
                     }
@@ -498,21 +493,23 @@ fn run_classify(
                         .is_some_and(|old| Arc::ptr_eq(old, &ev.out) || **old == *ev.out);
                     if !same {
                         out[i] = Some(Arc::clone(&ev.out));
-                        for &s in &all_succs[i] {
-                            if comp_id[s] == cid {
+                        for &s in top.succs(i) {
+                            let s = s as usize;
+                            if top.comp_id(s) == cid {
                                 pend[s] = true;
                             }
                         }
                     }
                     node_evals[i] = Some(ev);
                 }
-                if !comp.iter().any(|&i| pend[i]) {
+                if !comp.iter().any(|&i| pend[i as usize]) {
                     break;
                 }
                 assert!(iterations < 1_000_000, "classification fixpoint diverged");
             }
         }
         for &i in comp {
+            let i = i as usize;
             recomputed[i] = true;
             changed[i] = match prev {
                 Some(pv) => {

@@ -100,16 +100,89 @@ type PreMap<V> = HashMap<u64, Vec<V>, BuildHasherDefault<PreHashed>>;
 /// the broken back edges restored, plus its SCC condensation. Every
 /// analysis of a lineage shares one VIVU graph, so this is computed once
 /// per cache and reused by every (re-)classification pass.
+///
+/// Stored in compressed-sparse-row form — one flat data array plus one
+/// offset array per relation — instead of nested `Vec<Vec<_>>`: three
+/// allocations replace `3n`, and the fixpoint's inner loops walk
+/// contiguous memory.
 pub(crate) struct Topology {
-    /// Predecessors per node, including loop latches.
-    pub preds: Vec<Vec<usize>>,
-    /// Successors per node, including loop headers.
-    pub succs: Vec<Vec<usize>>,
-    /// SCCs in condensation (topological) order; members sorted by
-    /// topological position of the underlying VIVU order.
-    pub comps: Vec<Vec<usize>>,
-    /// Component index per node.
-    pub comp_id: Vec<usize>,
+    pred_off: Vec<u32>,
+    pred_dat: Vec<u32>,
+    succ_off: Vec<u32>,
+    succ_dat: Vec<u32>,
+    comp_off: Vec<u32>,
+    comp_dat: Vec<u32>,
+    comp_id: Vec<u32>,
+}
+
+impl Topology {
+    /// Flattens build-time adjacency and condensation lists into CSR form
+    /// and derives the per-node component index.
+    pub(crate) fn from_parts(
+        preds: Vec<Vec<usize>>,
+        succs: Vec<Vec<usize>>,
+        comps: Vec<Vec<usize>>,
+    ) -> Topology {
+        fn csr(lists: &[Vec<usize>]) -> (Vec<u32>, Vec<u32>) {
+            let mut off = Vec::with_capacity(lists.len() + 1);
+            let mut dat = Vec::with_capacity(lists.iter().map(Vec::len).sum());
+            off.push(0);
+            for l in lists {
+                dat.extend(l.iter().map(|&x| x as u32));
+                off.push(dat.len() as u32);
+            }
+            (off, dat)
+        }
+        let n = preds.len();
+        let (pred_off, pred_dat) = csr(&preds);
+        let (succ_off, succ_dat) = csr(&succs);
+        let (comp_off, comp_dat) = csr(&comps);
+        let mut comp_id = vec![0u32; n];
+        for (cid, comp) in comps.iter().enumerate() {
+            for &i in comp {
+                comp_id[i] = cid as u32;
+            }
+        }
+        Topology {
+            pred_off,
+            pred_dat,
+            succ_off,
+            succ_dat,
+            comp_off,
+            comp_dat,
+            comp_id,
+        }
+    }
+
+    /// Predecessors of node `i` (loop latches included).
+    #[inline]
+    pub(crate) fn preds(&self, i: usize) -> &[u32] {
+        &self.pred_dat[self.pred_off[i] as usize..self.pred_off[i + 1] as usize]
+    }
+
+    /// Successors of node `i` (loop headers included).
+    #[inline]
+    pub(crate) fn succs(&self, i: usize) -> &[u32] {
+        &self.succ_dat[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
+    }
+
+    /// Number of strongly connected components.
+    #[inline]
+    pub(crate) fn n_comps(&self) -> usize {
+        self.comp_off.len() - 1
+    }
+
+    /// Members of component `c`, sorted by topological position.
+    #[inline]
+    pub(crate) fn comp(&self, c: usize) -> &[u32] {
+        &self.comp_dat[self.comp_off[c] as usize..self.comp_off[c + 1] as usize]
+    }
+
+    /// Component index of node `i`.
+    #[inline]
+    pub(crate) fn comp_id(&self, i: usize) -> usize {
+        self.comp_id[i] as usize
+    }
 }
 
 struct Inner {
@@ -150,15 +223,17 @@ impl AnalysisCache {
 
     /// Returns the canonical `Arc` for a signature, so content-equal
     /// signatures from different analyses of the lineage compare (and
-    /// hash) by pointer.
-    pub(crate) fn intern_sig(&self, sig: Vec<(MemBlockId, Option<MemBlockId>)>) -> NodeSig {
-        let h = sig_hash(&sig);
+    /// hash) by pointer. Takes a slice and copies only on a miss, so
+    /// callers can fill one scratch buffer per pass instead of allocating
+    /// a `Vec` per node.
+    pub(crate) fn intern_sig(&self, sig: &[(MemBlockId, Option<MemBlockId>)]) -> NodeSig {
+        let h = sig_hash(sig);
         let mut inner = self.inner.lock().expect("analysis cache poisoned");
         let bucket = inner.sigs.entry(h).or_default();
-        if let Some(found) = bucket.iter().find(|s| ***s == sig) {
+        if let Some(found) = bucket.iter().find(|s| s.as_slice() == sig) {
             return Arc::clone(found);
         }
-        let arc: NodeSig = Arc::new(sig);
+        let arc: NodeSig = Arc::new(sig.to_vec());
         bucket.push(Arc::clone(&arc));
         arc
     }
@@ -240,7 +315,7 @@ mod tests {
     fn memo_roundtrip_and_ptr_identity() {
         let cfg = CacheConfig::new(2, 16, 256).unwrap();
         let cache = AnalysisCache::new();
-        let sig = cache.intern_sig(vec![(MemBlockId(3), None)]);
+        let sig = cache.intern_sig(&[(MemBlockId(3), None)]);
         let base = Arc::new((MustState::new(&cfg), MayState::new(&cfg)));
         assert!(cache.lookup(&sig, std::slice::from_ref(&base)).is_none());
 
@@ -262,7 +337,7 @@ mod tests {
         assert_eq!(cache.len(), 1);
 
         // Content-equal signatures intern to the same canonical pointer.
-        let sig2 = cache.intern_sig(vec![(MemBlockId(3), None)]);
+        let sig2 = cache.intern_sig(&[(MemBlockId(3), None)]);
         assert!(Arc::ptr_eq(&sig, &sig2));
         assert!(cache.lookup(&sig2, std::slice::from_ref(&base)).is_some());
         // A different input misses.

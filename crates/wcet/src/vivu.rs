@@ -66,8 +66,15 @@ pub struct VivuNode {
 #[derive(Clone, Debug)]
 pub struct VivuGraph {
     nodes: Vec<VivuNode>,
-    succs: Vec<Vec<NodeId>>,
-    preds: Vec<Vec<NodeId>>,
+    /// Adjacency in compressed-sparse-row form, frozen after the build:
+    /// `succ_dat[succ_off[i]..succ_off[i+1]]` are node `i`'s successors.
+    /// Two flat arrays per direction instead of a `Vec` per node — the
+    /// graph is rebuilt for every analysis, so construction allocations
+    /// and traversal locality both matter.
+    succ_off: Vec<u32>,
+    succ_dat: Vec<NodeId>,
+    pred_off: Vec<u32>,
+    pred_dat: Vec<NodeId>,
     /// Broken back edges `(latch_node, header_node)`, needed for a sound
     /// classification fixpoint (state can flow around the rest instance).
     back_edges: Vec<(NodeId, NodeId)>,
@@ -234,10 +241,14 @@ impl VivuGraph {
         let topo = topo_order(&nodes, &succs, &preds)
             .map_err(|_| AnalysisError::Ipet("VIVU graph is not acyclic".into()))?;
 
+        let (succ_off, succ_dat) = to_csr(&succs);
+        let (pred_off, pred_dat) = to_csr(&preds);
         Ok(VivuGraph {
             nodes,
-            succs,
-            preds,
+            succ_off,
+            succ_dat,
+            pred_off,
+            pred_dat,
             back_edges,
             entry,
             topo,
@@ -263,13 +274,15 @@ impl VivuGraph {
     /// Acyclic successors of `id` (back edges excluded).
     #[inline]
     pub fn succs(&self, id: NodeId) -> &[NodeId] {
-        &self.succs[id.index()]
+        let i = id.index();
+        &self.succ_dat[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
     }
 
     /// Acyclic predecessors of `id`.
     #[inline]
     pub fn preds(&self, id: NodeId) -> &[NodeId] {
-        &self.preds[id.index()]
+        let i = id.index();
+        &self.pred_dat[self.pred_off[i] as usize..self.pred_off[i + 1] as usize]
     }
 
     /// The broken back edges `(latch, header)` of every rest instance.
@@ -289,7 +302,7 @@ impl VivuGraph {
     pub fn exits(&self) -> Vec<NodeId> {
         (0..self.nodes.len() as u32)
             .map(NodeId)
-            .filter(|n| self.succs[n.index()].is_empty())
+            .filter(|&n| self.succs(n).is_empty())
             .collect()
     }
 
@@ -318,6 +331,18 @@ impl VivuGraph {
             .find(|n| n.block == block && &n.ctx == ctx)
             .map(|n| n.id)
     }
+}
+
+/// Flattens build-time adjacency lists into offset + data arrays.
+fn to_csr(lists: &[Vec<NodeId>]) -> (Vec<u32>, Vec<NodeId>) {
+    let mut off = Vec::with_capacity(lists.len() + 1);
+    let mut dat = Vec::with_capacity(lists.iter().map(Vec::len).sum());
+    off.push(0);
+    for l in lists {
+        dat.extend_from_slice(l);
+        off.push(dat.len() as u32);
+    }
+    (off, dat)
 }
 
 fn add_edge(succs: &mut [Vec<NodeId>], preds: &mut [Vec<NodeId>], u: NodeId, v: NodeId) {
