@@ -15,7 +15,9 @@ use rtpf_isa::{BlockId, InstrId};
 
 /// Stable lint/audit codes. The numeric ranges partition by audit layer:
 /// `001..=019` IR lints, `020..=029` soundness audit, `030..=039`
-/// transform audit, `090..=099` tool-level failures.
+/// transform audit, `040..=049` refinement audit (the soundness
+/// cross-check specialized to classifications the exact FIFO/PLRU
+/// exploration produced), `090..=099` tool-level failures.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Code {
     /// RTPF001: a block is not reachable from the entry.
@@ -45,6 +47,16 @@ pub enum Code {
     PrecisionGap,
     /// RTPF022: an always-miss reference concretely hit (unsound).
     UnsoundAlwaysMiss,
+    /// RTPF040: a *refined* always-hit (upgraded by the exact FIFO/PLRU
+    /// exploration) concretely missed — the refinement itself is unsound.
+    RefinedUnsoundAlwaysHit,
+    /// RTPF041: a reference the refinement examined but left unclassified
+    /// showed a single concrete outcome across every seeded walk — a
+    /// residual precision gap the exploration could not close.
+    RefinedPrecisionGap,
+    /// RTPF042: a *refined* always-miss concretely hit — the refinement
+    /// itself is unsound.
+    RefinedUnsoundAlwaysMiss,
     /// RTPF030: input and output are not prefetch-equivalent.
     NotEquivalent,
     /// RTPF031: the transform increased `τ_w`.
@@ -63,7 +75,7 @@ pub enum Code {
 
 impl Code {
     /// Every code, in catalog order.
-    pub const ALL: [Code; 20] = [
+    pub const ALL: [Code; 23] = [
         Code::UnreachableBlock,
         Code::EmptyBlock,
         Code::MissingLoopBound,
@@ -77,6 +89,9 @@ impl Code {
         Code::UnsoundAlwaysHit,
         Code::PrecisionGap,
         Code::UnsoundAlwaysMiss,
+        Code::RefinedUnsoundAlwaysHit,
+        Code::RefinedPrecisionGap,
+        Code::RefinedUnsoundAlwaysMiss,
         Code::NotEquivalent,
         Code::WcetRegression,
         Code::IneffectivePrefetch,
@@ -102,6 +117,9 @@ impl Code {
             Code::UnsoundAlwaysHit => "RTPF020",
             Code::PrecisionGap => "RTPF021",
             Code::UnsoundAlwaysMiss => "RTPF022",
+            Code::RefinedUnsoundAlwaysHit => "RTPF040",
+            Code::RefinedPrecisionGap => "RTPF041",
+            Code::RefinedUnsoundAlwaysMiss => "RTPF042",
             Code::NotEquivalent => "RTPF030",
             Code::WcetRegression => "RTPF031",
             Code::IneffectivePrefetch => "RTPF032",
@@ -129,9 +147,14 @@ impl Code {
             | Code::IrreducibleLoop
             | Code::NoExit
             | Code::DanglingPrefetch => Severity::Deny,
-            // Genuine soundness / Theorem 1 violations.
+            // Genuine soundness / Theorem 1 violations. A refined
+            // classification that disagrees with a concrete walk is a hard
+            // failure exactly like a cheap one: the exploration claims
+            // every reachable state, so one counterexample disproves it.
             Code::UnsoundAlwaysHit
             | Code::UnsoundAlwaysMiss
+            | Code::RefinedUnsoundAlwaysHit
+            | Code::RefinedUnsoundAlwaysMiss
             | Code::NotEquivalent
             | Code::WcetRegression
             | Code::RelocationUnsafe
@@ -144,7 +167,10 @@ impl Code {
             | Code::UnprofitablePrefetch => Severity::Warn,
             // Informational: legitimate in compiler-generated code, or a
             // precision (not soundness) signal.
-            Code::EmptyBlock | Code::PrecisionGap | Code::OffPathPrefetch => Severity::Note,
+            Code::EmptyBlock
+            | Code::PrecisionGap
+            | Code::RefinedPrecisionGap
+            | Code::OffPathPrefetch => Severity::Note,
         }
     }
 }

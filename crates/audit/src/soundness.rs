@@ -14,6 +14,16 @@
 //!   precision gap (RTPF021, note) and feeds the per-program precision
 //!   score.
 //!
+//! Classifications produced by the exact FIFO/PLRU refinement stage
+//! (DESIGN.md §12) are cross-checked under their own codes: a *refined*
+//! always-hit that concretely misses is RTPF040, a refined always-miss
+//! that concretely hits is RTPF042 (both deny — one counterexample
+//! disproves the exploration), and a reference the refinement examined
+//! but could not classify that shows a single concrete outcome is RTPF041
+//! (note). The summary reports the precision of the cheap classification
+//! alongside the refined one, so the evaluation can quantify what the
+//! refinement bought.
+//!
 //! Because the abstract join covers *every* path through the context
 //! graph (including arbitrary flow around the broken back edges), any
 //! walk that respects loop bounds observes a subset of the abstracted
@@ -22,7 +32,7 @@
 
 use std::collections::HashMap;
 
-use rtpf_cache::{CacheConfig, Classification, ConcreteState, MemTiming};
+use rtpf_cache::{CacheConfig, Classification, ConcreteState, MemTiming, RefineMark};
 use rtpf_isa::{BlockId, Program};
 use rtpf_wcet::{AnalysisError, NodeId, RefId, WcetAnalysis};
 
@@ -60,14 +70,22 @@ pub struct SoundnessSummary {
     pub refs_total: usize,
     /// References executed by at least one walk.
     pub refs_observed: usize,
-    /// RTPF020/RTPF022 findings (genuine unsoundness).
+    /// RTPF020/RTPF022/RTPF040/RTPF042 findings (genuine unsoundness).
     pub unsound: usize,
-    /// RTPF021 findings (unclassified yet concretely always-hit).
+    /// RTPF021/RTPF041 findings (unclassified yet concretely
+    /// single-outcome).
     pub precision_gaps: usize,
-    /// Fraction of observed references whose classification matched the
-    /// concrete behaviour exactly (1.0 = perfectly precise on the
-    /// observed paths).
+    /// Observed references whose classification was upgraded by the exact
+    /// FIFO/PLRU refinement stage.
+    pub refined: usize,
+    /// Fraction of observed references whose (refined) classification
+    /// matched the concrete behaviour exactly (1.0 = perfectly precise on
+    /// the observed paths).
     pub precision_score: f64,
+    /// The same fraction for the *cheap* (pre-refinement) classification.
+    /// Equal to [`precision_score`](SoundnessSummary::precision_score)
+    /// under LRU or with refinement off.
+    pub cheap_precision_score: f64,
 }
 
 /// Runs the soundness audit of `p` under `config`/`timing`.
@@ -100,6 +118,25 @@ pub fn audit_soundness_with(
     opts: &SoundnessOptions,
     reclass: impl Fn(RefId, Classification) -> Classification,
 ) -> Result<SoundnessSummary, AnalysisError> {
+    audit_soundness_forced(p, config, timing, sink, opts, |r, c, m| (reclass(r, c), m))
+}
+
+/// [`audit_soundness_with`] with the refinement mark exposed and
+/// overridable as well: the seam that lets tests prove the audit catches
+/// a corrupted *refinement* (RTPF040/RTPF042), not just a corrupted cheap
+/// classifier.
+///
+/// # Errors
+///
+/// Fails when the program cannot be analysed at all.
+pub fn audit_soundness_forced(
+    p: &Program,
+    config: &CacheConfig,
+    timing: &MemTiming,
+    sink: &mut DiagnosticSink,
+    opts: &SoundnessOptions,
+    reclass: impl Fn(RefId, Classification, RefineMark) -> (Classification, RefineMark),
+) -> Result<SoundnessSummary, AnalysisError> {
     let a = WcetAnalysis::analyze(p, config, timing)?;
     let obs = observe(p, &a, config, opts);
     Ok(compare(p, &a, &obs, sink, reclass))
@@ -116,7 +153,7 @@ pub fn audit_soundness_artifact(
     opts: &SoundnessOptions,
 ) -> SoundnessSummary {
     let obs = observe(p, a, a.config(), opts);
-    compare(p, a, &obs, sink, |_, c| c)
+    compare(p, a, &obs, sink, |_, c, m| (c, m))
 }
 
 /// Per-reference concrete observations across all walks.
@@ -234,13 +271,24 @@ fn observe(
     Observations { hits, misses }
 }
 
+/// Exactness of one classification against one reference's observations,
+/// per the precision-score rules: hit-only always-hit, miss-only
+/// always-miss, and genuinely-variable unclassified are exact.
+fn is_exact(class: Classification, h: u64, m: u64) -> bool {
+    match class {
+        Classification::AlwaysHit => m == 0,
+        Classification::AlwaysMiss => h == 0,
+        Classification::Unclassified => h > 0 && m > 0,
+    }
+}
+
 /// Compares observations against (possibly overridden) classifications.
 fn compare(
     p: &Program,
     a: &WcetAnalysis,
     obs: &Observations,
     sink: &mut DiagnosticSink,
-    reclass: impl Fn(RefId, Classification) -> Classification,
+    reclass: impl Fn(RefId, Classification, RefineMark) -> (Classification, RefineMark),
 ) -> SoundnessSummary {
     let acfg = a.acfg();
     let name = p.name().to_string();
@@ -249,6 +297,7 @@ fn compare(
         ..SoundnessSummary::default()
     };
     let mut exact = 0usize;
+    let mut cheap_exact = 0usize;
     for rf in acfg.refs() {
         let r = rf.id;
         let (h, m) = (obs.hits[r.index()], obs.misses[r.index()]);
@@ -258,23 +307,55 @@ fn compare(
         s.refs_observed += 1;
         let node = a.vivu().node(rf.node);
         let span = Span::instr(&name, node.block, rf.instr);
-        match reclass(r, a.classification(r)) {
+        let (class, mark) = reclass(r, a.classification(r), a.refine_mark(r));
+        // The cheap (pre-refinement) view is scored silently on the same
+        // observations; diagnostics are only raised for the shipped view.
+        if is_exact(a.cheap_classification(r), h, m) {
+            cheap_exact += 1;
+        }
+        if mark == RefineMark::Refined {
+            s.refined += 1;
+        }
+        match class {
             Classification::AlwaysHit => {
                 if m > 0 {
                     s.unsound += 1;
-                    sink.report(
-                        Code::UnsoundAlwaysHit,
-                        span,
-                        format!(
-                            "reference {} in {} (context {}) is classified always-hit but \
-                             concretely missed {m} of {} executions",
-                            rf.instr,
-                            node.block,
-                            node.ctx,
-                            h + m
-                        ),
-                        Some("the must analysis over-approximates: this is a soundness bug".into()),
-                    );
+                    if mark == RefineMark::Refined {
+                        sink.report(
+                            Code::RefinedUnsoundAlwaysHit,
+                            span,
+                            format!(
+                                "refined always-hit reference {} in {} (context {}) concretely \
+                                 missed {m} of {} executions",
+                                rf.instr,
+                                node.block,
+                                node.ctx,
+                                h + m
+                            ),
+                            Some(
+                                "the exact exploration missed a reachable state: \
+                                 this is a refinement soundness bug"
+                                    .into(),
+                            ),
+                        );
+                    } else {
+                        sink.report(
+                            Code::UnsoundAlwaysHit,
+                            span,
+                            format!(
+                                "reference {} in {} (context {}) is classified always-hit but \
+                                 concretely missed {m} of {} executions",
+                                rf.instr,
+                                node.block,
+                                node.ctx,
+                                h + m
+                            ),
+                            Some(
+                                "the must analysis over-approximates: this is a soundness bug"
+                                    .into(),
+                            ),
+                        );
+                    }
                 } else {
                     exact += 1;
                 }
@@ -282,19 +363,42 @@ fn compare(
             Classification::AlwaysMiss => {
                 if h > 0 {
                     s.unsound += 1;
-                    sink.report(
-                        Code::UnsoundAlwaysMiss,
-                        span,
-                        format!(
-                            "reference {} in {} (context {}) is classified always-miss but \
-                             concretely hit {h} of {} executions",
-                            rf.instr,
-                            node.block,
-                            node.ctx,
-                            h + m
-                        ),
-                        Some("the may analysis under-approximates: this is a soundness bug".into()),
-                    );
+                    if mark == RefineMark::Refined {
+                        sink.report(
+                            Code::RefinedUnsoundAlwaysMiss,
+                            span,
+                            format!(
+                                "refined always-miss reference {} in {} (context {}) concretely \
+                                 hit {h} of {} executions",
+                                rf.instr,
+                                node.block,
+                                node.ctx,
+                                h + m
+                            ),
+                            Some(
+                                "the exact exploration saw a spurious miss in every state: \
+                                 this is a refinement soundness bug"
+                                    .into(),
+                            ),
+                        );
+                    } else {
+                        sink.report(
+                            Code::UnsoundAlwaysMiss,
+                            span,
+                            format!(
+                                "reference {} in {} (context {}) is classified always-miss but \
+                                 concretely hit {h} of {} executions",
+                                rf.instr,
+                                node.block,
+                                node.ctx,
+                                h + m
+                            ),
+                            Some(
+                                "the may analysis under-approximates: this is a soundness bug"
+                                    .into(),
+                            ),
+                        );
+                    }
                 } else {
                     exact += 1;
                 }
@@ -302,15 +406,48 @@ fn compare(
             Classification::Unclassified => {
                 if m == 0 {
                     s.precision_gaps += 1;
+                    if mark == RefineMark::Examined {
+                        sink.report(
+                            Code::RefinedPrecisionGap,
+                            span,
+                            format!(
+                                "refinement-examined reference {} in {} (context {}) stayed \
+                                 unclassified yet hit on all {h} observed executions",
+                                rf.instr, node.block, node.ctx
+                            ),
+                            Some(
+                                "the exploration saw mixed states or ran out of budget; \
+                                 raising --refine-budget may close this"
+                                    .into(),
+                            ),
+                        );
+                    } else {
+                        sink.report(
+                            Code::PrecisionGap,
+                            span,
+                            format!(
+                                "unclassified reference {} in {} (context {}) hit on all {h} \
+                                 observed executions",
+                                rf.instr, node.block, node.ctx
+                            ),
+                            Some("a persistence or first-miss analysis could classify this".into()),
+                        );
+                    }
+                } else if h == 0 && mark == RefineMark::Examined {
+                    s.precision_gaps += 1;
                     sink.report(
-                        Code::PrecisionGap,
+                        Code::RefinedPrecisionGap,
                         span,
                         format!(
-                            "unclassified reference {} in {} (context {}) hit on all {h} \
-                             observed executions",
+                            "refinement-examined reference {} in {} (context {}) stayed \
+                             unclassified yet missed on all {m} observed executions",
                             rf.instr, node.block, node.ctx
                         ),
-                        Some("a persistence or first-miss analysis could classify this".into()),
+                        Some(
+                            "the exploration saw mixed states or ran out of budget; \
+                             raising --refine-budget may close this"
+                                .into(),
+                        ),
                     );
                 } else if h > 0 {
                     exact += 1; // genuinely variable: unclassified is tight
@@ -318,11 +455,13 @@ fn compare(
             }
         }
     }
-    s.precision_score = if s.refs_observed == 0 {
-        1.0
+    if s.refs_observed == 0 {
+        s.precision_score = 1.0;
+        s.cheap_precision_score = 1.0;
     } else {
-        exact as f64 / s.refs_observed as f64
-    };
+        s.precision_score = exact as f64 / s.refs_observed as f64;
+        s.cheap_precision_score = cheap_exact as f64 / s.refs_observed as f64;
+    }
     s
 }
 
@@ -419,6 +558,87 @@ mod tests {
             .diagnostics()
             .iter()
             .any(|d| d.code == Code::UnsoundAlwaysMiss));
+    }
+
+    #[test]
+    fn corrupted_refinement_fires_rtpf040_and_rtpf042() {
+        // Forcing the refined mark onto corrupt classifications must
+        // surface the refinement-specific deny codes, not the cheap ones:
+        // a refined always-hit that misses is RTPF040, a refined
+        // always-miss that hits is RTPF042.
+        let p = demo();
+        let config = CacheConfig::new(2, 16, 256).unwrap();
+        for (forced, code) in [
+            (Classification::AlwaysHit, Code::RefinedUnsoundAlwaysHit),
+            (Classification::AlwaysMiss, Code::RefinedUnsoundAlwaysMiss),
+        ] {
+            let mut sink = DiagnosticSink::new(SeverityConfig::new());
+            let s = audit_soundness_forced(
+                &p,
+                &config,
+                &MemTiming::default(),
+                &mut sink,
+                &SoundnessOptions::default(),
+                |_, _, _| (forced, RefineMark::Refined),
+            )
+            .unwrap();
+            assert!(s.unsound > 0, "{forced:?} corruption must be caught");
+            assert!(
+                sink.diagnostics().iter().any(|d| d.code == code),
+                "expected {code}: {}",
+                sink.render_text()
+            );
+            assert!(sink.has_denials());
+            assert_eq!(s.refined, s.refs_observed);
+        }
+    }
+
+    #[test]
+    fn examined_but_unclassified_gaps_fire_rtpf041() {
+        // Mark every reference examined-and-unclassified: single-outcome
+        // references become RTPF041 residual-gap notes (never denials).
+        let p = demo();
+        let config = CacheConfig::new(2, 16, 256).unwrap();
+        let mut sink = DiagnosticSink::new(SeverityConfig::new());
+        let s = audit_soundness_forced(
+            &p,
+            &config,
+            &MemTiming::default(),
+            &mut sink,
+            &SoundnessOptions::default(),
+            |_, _, _| (Classification::Unclassified, RefineMark::Examined),
+        )
+        .unwrap();
+        assert_eq!(s.unsound, 0);
+        assert!(s.precision_gaps > 0);
+        assert!(sink
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == Code::RefinedPrecisionGap));
+        assert!(sink
+            .diagnostics()
+            .iter()
+            .all(|d| d.code != Code::PrecisionGap));
+        assert!(!sink.has_denials(), "{}", sink.render_text());
+    }
+
+    #[test]
+    fn cheap_and_refined_scores_agree_without_refinement() {
+        // Under LRU the refinement never runs, so both precision views
+        // must coincide.
+        let p = demo();
+        let config = CacheConfig::new(2, 16, 256).unwrap();
+        let mut sink = DiagnosticSink::new(SeverityConfig::new());
+        let s = audit_soundness(
+            &p,
+            &config,
+            &MemTiming::default(),
+            &mut sink,
+            &SoundnessOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(s.precision_score, s.cheap_precision_score);
+        assert_eq!(s.refined, 0);
     }
 
     #[test]

@@ -50,6 +50,7 @@ struct Record {
     units: f64,
     vivu_ms: f64,
     fixpoint_ms: f64,
+    refine_ms: f64,
     ipet_ms: f64,
     relocation_ms: f64,
     optimize_ms: f64,
@@ -60,11 +61,12 @@ struct Record {
     csv_identical: Option<bool>,
 }
 
-const NUM_FIELDS: [&str; 10] = [
+const NUM_FIELDS: [&str; 11] = [
     "wall_ms",
     "units",
     "vivu_ms",
     "fixpoint_ms",
+    "refine_ms",
     "ipet_ms",
     "relocation_ms",
     "optimize_ms",
@@ -74,12 +76,13 @@ const NUM_FIELDS: [&str; 10] = [
 ];
 
 impl Record {
-    fn fields(&self) -> [f64; 10] {
+    fn fields(&self) -> [f64; 11] {
         [
             self.wall_ms,
             self.units,
             self.vivu_ms,
             self.fixpoint_ms,
+            self.refine_ms,
             self.ipet_ms,
             self.relocation_ms,
             self.optimize_ms,
@@ -89,12 +92,13 @@ impl Record {
         ]
     }
 
-    fn fields_mut(&mut self) -> [&mut f64; 10] {
+    fn fields_mut(&mut self) -> [&mut f64; 11] {
         [
             &mut self.wall_ms,
             &mut self.units,
             &mut self.vivu_ms,
             &mut self.fixpoint_ms,
+            &mut self.refine_ms,
             &mut self.ipet_ms,
             &mut self.relocation_ms,
             &mut self.optimize_ms,
@@ -123,8 +127,11 @@ impl Record {
 
     fn from_json(obj: &str) -> Option<Record> {
         let mut r = Record::default();
+        json_num(obj, "wall_ms")?;
         for (name, slot) in NUM_FIELDS.iter().zip(r.fields_mut()) {
-            *slot = json_num(obj, name)?;
+            // Fields added after a baseline was recorded (refine_ms) read
+            // as 0 from older committed files.
+            *slot = json_num(obj, name).unwrap_or(0.0);
         }
         r.csv_identical = json_bool(obj, "csv_identical");
         Some(r)
@@ -285,6 +292,7 @@ fn measure(smoke: bool) -> Record {
         units: units.len() as f64,
         vivu_ms: ms(prof.vivu_ns),
         fixpoint_ms: ms(prof.fixpoint_ns),
+        refine_ms: ms(prof.refine_ns),
         ipet_ms: ms(prof.ipet_ns),
         relocation_ms: ms(prof.relocation_ns),
         optimize_ms: ms(prof.optimize_ns),
@@ -297,10 +305,11 @@ fn measure(smoke: bool) -> Record {
 
 fn print_record(label: &str, r: &Record) {
     println!(
-        "{label:<8} wall {:>10.1} ms | fixpoint {:>9.1} | vivu {:>7.1} | ipet {:>7.1} | \
-         reloc {:>7.1} | optimize {:>9.1} | simulate {:>8.1} | energy {:>6.1}",
+        "{label:<8} wall {:>10.1} ms | fixpoint {:>9.1} | refine {:>6.1} | vivu {:>7.1} | \
+         ipet {:>7.1} | reloc {:>7.1} | optimize {:>9.1} | simulate {:>8.1} | energy {:>6.1}",
         r.wall_ms,
         r.fixpoint_ms,
+        r.refine_ms,
         r.vivu_ms,
         r.ipet_ms,
         r.relocation_ms,

@@ -204,7 +204,9 @@ impl ConcreteState {
 
 /// The way a full tree-PLRU set would evict: follow the direction bits
 /// from the root (heap node 1) to a leaf. Leaf `assoc + w` is way `w`.
-fn plru_victim(bits: u64, assoc: usize) -> usize {
+/// Shared with the refinement stage's projected set states
+/// ([`crate::refine::SetState`]), which must replay the exact semantics.
+pub(crate) fn plru_victim(bits: u64, assoc: usize) -> usize {
     let mut node = 1;
     while node < assoc {
         node = 2 * node + ((bits >> node) & 1) as usize;
@@ -214,7 +216,7 @@ fn plru_victim(bits: u64, assoc: usize) -> usize {
 
 /// After an access to `way`, point every direction bit on the way's
 /// root-to-leaf path *away* from it (the standard tree-PLRU promotion).
-fn plru_touch(bits: &mut u64, assoc: usize, way: usize) {
+pub(crate) fn plru_touch(bits: &mut u64, assoc: usize, way: usize) {
     let mut node = assoc + way;
     while node > 1 {
         let parent = node / 2;

@@ -369,4 +369,122 @@ mod tests {
             }
         }
     }
+
+    /// The widest geometry the packed age lane represents exactly: LRU at
+    /// 128 ways (`must_ways == may_ways == 128 ≤ packed::MAX_AGE`). The
+    /// oracle and the packed states must agree on every observable through
+    /// an eviction-heavy string with mid-stream joins — this is the last
+    /// power-of-two associativity before the clamp engages.
+    #[test]
+    fn lockstep_agrees_at_the_largest_unclamped_associativity() {
+        let config = CacheConfig::new(128, 16, 2048).unwrap(); // one 128-way set
+        assert!(
+            !MayState::new(&config).is_unbounded(),
+            "128 ways fit the lane"
+        );
+        let mut a = Lockstep::new(&config);
+        let mut b = Lockstep::new(&config);
+        // 200 distinct blocks in one set: well past the associativity, so
+        // both aging-out paths (must guarantee loss, may definite eviction)
+        // fire; the re-reference pass exercises hit-path aging.
+        for i in 0..200u64 {
+            a.update(MemBlockId(i));
+            b.update(MemBlockId(199 - i));
+            if i % 31 == 30 {
+                a = a.join(&b);
+            }
+            a.assert_equivalent(0..200, &format!("{config} cold fill {i}"));
+        }
+        for i in (0..200u64).step_by(3) {
+            a.update(MemBlockId(i));
+        }
+        a.join(&b)
+            .assert_equivalent(0..200, &format!("{config} warm join"));
+    }
+
+    /// One past the lane: at 256 ways must clamps its effective
+    /// associativity to [`packed::MAX_AGE`] (255) while the oracle keeps
+    /// the true width. Both agree exactly up to age 254; the 255th miss is
+    /// where the documented sound divergence appears — packed drops the
+    /// guarantee one access early, the oracle holds it for one more.
+    #[test]
+    fn must_clamps_to_the_packed_age_lane_at_256_ways() {
+        use crate::packed;
+
+        let config = CacheConfig::new(256, 16, 4096).unwrap(); // one 256-way set
+        let mut must = MustState::new(&config);
+        let mut legacy = LegacyMustState::new(&config);
+        let victim = MemBlockId(1000);
+        must.update(victim);
+        legacy.update(victim);
+        // 254 distinct misses: the victim ages in lockstep on both sides,
+        // ending exactly at MAX_AGE - 1 — the last age the lane can hold.
+        for i in 0..u64::from(packed::MAX_AGE) - 1 {
+            must.update(MemBlockId(i));
+            legacy.update(MemBlockId(i));
+            assert_eq!(
+                must.age(victim),
+                legacy.age(victim),
+                "agreement below the clamp (miss {i})"
+            );
+        }
+        assert_eq!(must.age(victim), Some(packed::MAX_AGE - 1));
+        // Miss 255: age would reach the clamped associativity, so packed
+        // soundly forgets the guarantee; the unclamped oracle still holds
+        // the block at age 255 of 256.
+        must.update(MemBlockId(999));
+        legacy.update(MemBlockId(999));
+        assert!(!must.contains(victim), "clamped must drops at 255 ways");
+        assert_eq!(
+            legacy.age(victim),
+            Some(packed::MAX_AGE),
+            "oracle keeps the true width"
+        );
+    }
+
+    /// The may-side counterpart: a bounded effective associativity wider
+    /// than the lane widens to the UNBOUNDED sentinel domain — nothing is
+    /// ever definitely evicted, so no reference classifies always-miss.
+    /// At 128 ways the domain stays bounded and definite eviction fires.
+    #[test]
+    fn may_widens_to_unbounded_past_the_age_lane() {
+        // LRU is the only policy whose bounded may domain can outgrow the
+        // lane; FIFO and tree-PLRU are unbounded at any width already.
+        let wide = CacheConfig::new(256, 16, 4096).unwrap();
+        let mut may = MayState::new(&wide);
+        assert!(may.is_unbounded(), "256 > MAX_AGE widens to the sentinel");
+        let victim = MemBlockId(1000);
+        may.update(victim);
+        for i in 0..600u64 {
+            may.update(MemBlockId(i));
+        }
+        assert_eq!(
+            may.age(victim),
+            Some(0),
+            "unbounded may never ages anything out"
+        );
+
+        let edge = CacheConfig::new(128, 16, 2048).unwrap();
+        let mut may = MayState::new(&edge);
+        assert!(!may.is_unbounded());
+        may.update(victim);
+        for i in 0..128u64 {
+            may.update(MemBlockId(i));
+        }
+        assert!(
+            !may.contains(victim),
+            "bounded may evicts past 128 distinct blocks"
+        );
+
+        for policy in [ReplacementPolicy::Fifo, ReplacementPolicy::Plru] {
+            let small = CacheConfig::new(4, 16, 64)
+                .unwrap()
+                .with_policy(policy)
+                .unwrap();
+            assert!(
+                MayState::new(&small).is_unbounded(),
+                "{policy}: competitiveness reduction has no bounded may domain"
+            );
+        }
+    }
 }

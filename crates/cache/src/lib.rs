@@ -57,6 +57,7 @@ pub mod must;
 mod packed;
 pub mod persistence;
 pub mod policy;
+pub mod refine;
 pub mod timing;
 
 pub use classify::Classification;
@@ -67,6 +68,7 @@ pub use may::MayState;
 pub use must::MustState;
 pub use persistence::PersistenceState;
 pub use policy::ReplacementPolicy;
+pub use refine::{NcCause, RefineConfig, RefineMark, SetState};
 pub use timing::MemTiming;
 
 /// The shared no-information sentinel pair for `config`: an empty must

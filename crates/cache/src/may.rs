@@ -88,6 +88,18 @@ impl MayState {
         self.age(block).is_some()
     }
 
+    /// Whether this state lives in the no-information unbounded domain
+    /// (FIFO / tree-PLRU, or a bounded effective associativity widened
+    /// past the packed age lane). An unclassified reference under an
+    /// unbounded may domain is a *sentinel* NC — the always-miss half of
+    /// the classifier was structurally absent, not outvoted — which is
+    /// what the refinement stage targets first (see
+    /// [`crate::refine::NcCause`]).
+    #[inline]
+    pub fn is_unbounded(&self) -> bool {
+        self.assoc == ReplacementPolicy::UNBOUNDED
+    }
+
     /// Abstract may update: the referenced block gets minimal age 0; blocks
     /// whose minimal age was ≤ the referenced block's move one step older;
     /// blocks aging past the (effective) associativity are definitely

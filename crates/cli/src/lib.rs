@@ -23,7 +23,7 @@
 use std::fmt::Write as _;
 
 use rtpf_audit::{Code, DiagnosticSink, Level, Severity, SeverityConfig, SoundnessOptions, Span};
-use rtpf_cache::{CacheConfig, ReplacementPolicy};
+use rtpf_cache::{CacheConfig, RefineConfig, ReplacementPolicy};
 use rtpf_engine::{Engine, EngineConfig, EngineError};
 use rtpf_isa::{InstrKind, Program};
 use rtpf_sim::BranchBehavior;
@@ -91,6 +91,12 @@ pub struct Options {
     pub cache: Option<(u32, u32, u32)>,
     /// `--policy lru|fifo|plru` (replacement policy; LRU by default).
     pub policy: Option<ReplacementPolicy>,
+    /// `--refine on|off` (exact FIFO/PLRU refinement stage; on by
+    /// default).
+    pub refine: Option<bool>,
+    /// `--refine-budget N` (per-node state budget of the refinement
+    /// exploration).
+    pub refine_budget: Option<u32>,
     /// `--penalty N` (miss penalty in cycles).
     pub penalty: Option<u64>,
     /// `--runs N`.
@@ -135,6 +141,8 @@ impl Options {
             spec: None,
             cache: None,
             policy: None,
+            refine: None,
+            refine_budget: None,
             penalty: None,
             runs: None,
             seed: None,
@@ -173,6 +181,17 @@ impl Options {
                         ReplacementPolicy::parse(v)
                             .ok_or_else(|| CliError::UnknownPolicy(v.clone()))?,
                     );
+                }
+                "--refine" => {
+                    let v = it.next().ok_or_else(|| err("--refine needs on|off"))?;
+                    o.refine = Some(match v.as_str() {
+                        "on" => true,
+                        "off" => false,
+                        other => return Err(err(format!("--refine needs on|off, got {other}"))),
+                    });
+                }
+                "--refine-budget" => {
+                    o.refine_budget = Some(parse_num(it.next(), "--refine-budget")? as u32);
                 }
                 "--penalty" => {
                     o.penalty = Some(parse_num(it.next(), "--penalty")?);
@@ -263,7 +282,7 @@ impl Options {
         if let Some(r) = self.rounds {
             cfg = cfg.with_rounds(r);
         }
-        cfg
+        cfg.with_refine(self.refine_config())
     }
 
     /// The batch profile `sweep` and `audit --optimize` share: a small
@@ -276,7 +295,20 @@ impl Options {
         if let Some(r) = self.rounds {
             cfg = cfg.with_rounds(r);
         }
-        cfg
+        cfg.with_refine(self.refine_config())
+    }
+
+    /// Folds `--refine` / `--refine-budget` over the default-on stage
+    /// configuration.
+    fn refine_config(&self) -> RefineConfig {
+        let mut r = RefineConfig::on();
+        if let Some(enabled) = self.refine {
+            r.enabled = enabled;
+        }
+        if let Some(budget) = self.refine_budget {
+            r.max_states = budget;
+        }
+        r
     }
 }
 
@@ -290,24 +322,30 @@ pub const USAGE: &str = "usage: rtpf <command> [args]
 
 commands:
   analyze  <file|suite:NAME> --cache a,b,c [--policy lru|fifo|plru] [--penalty N]
+           [--refine on|off] [--refine-budget N]
   optimize <file|suite:NAME> --cache a,b,c [--policy lru|fifo|plru] [--penalty N]
-           [--rounds N] [-v]
+           [--rounds N] [--refine on|off] [--refine-budget N] [-v]
   simulate <file|suite:NAME> --cache a,b,c [--policy lru|fifo|plru] [--runs N]
            [--seed N] [--behavior worst|random]
-  sweep    <file|suite:NAME> [--policy lru|fifo|plru] [--profile] [--shards N]
+  sweep    <file|suite:NAME> [--policy lru|fifo|plru] [--refine on|off]
+           [--refine-budget N] [--profile] [--shards N]
                                             # all 36 paper configurations
   audit    <file|suite:NAME|suite:all> [--cache a,b,c] [--policy lru|fifo|plru]
-           [--json] [--optimize] [--deny warnings|RTPF0xx] [--allow RTPF0xx] [-v]
+           [--refine on|off] [--refine-budget N] [--json] [--optimize]
+           [--deny warnings|RTPF0xx] [--allow RTPF0xx] [-v]
   fmt      <file>                           # parse + pretty-print
   suite                                     # list built-in benchmarks
 
 the program format is documented in `rtpf_isa::text`; `suite:NAME` loads a
 built-in Mälardalen skeleton (see `rtpf suite`). `--policy` selects the
 cache replacement policy (default lru; fifo and tree-plru are analyzed via
-a sound competitiveness reduction, see DESIGN.md §10). `audit` runs the IR
-lints and the abstract-vs-concrete soundness audit (plus the transform
-audit with --optimize) over every Table 2 configuration unless --cache
-narrows it; deny-level findings make the command fail.";
+a sound competitiveness reduction, see DESIGN.md §10). `--refine` toggles
+the exact per-set FIFO/PLRU refinement of unclassified references
+(DESIGN.md §12; on by default, a no-op under lru) and `--refine-budget`
+caps its per-node state count (default 64). `audit` runs the IR lints and
+the abstract-vs-concrete soundness audit (plus the transform audit with
+--optimize) over every Table 2 configuration unless --cache narrows it;
+deny-level findings make the command fail.";
 
 /// Loads a program from `path` or `suite:NAME`.
 ///
@@ -368,6 +406,19 @@ fn cmd_analyze(o: &Options) -> Result<String, CliError> {
         s,
         "classification: {hit} always-hit / {miss} always-miss / {unk} unclassified"
     );
+    let rs = a.refine_stats();
+    if rs.sets_targeted > 0 {
+        let _ = writeln!(
+            s,
+            "refinement {}: {} sets explored ({} over budget), {} upgraded to \
+             always-hit, {} to always-miss",
+            a.refine_config(),
+            rs.sets_targeted,
+            rs.sets_exhausted,
+            rs.refined_hits,
+            rs.refined_misses
+        );
+    }
     let _ = writeln!(s, "WCET (memory): {} cycles", a.tau_w());
     let _ = writeln!(
         s,
@@ -753,6 +804,43 @@ mod tests {
         // Case-insensitive, like the rest of the flag grammar.
         let o = Options::parse(&args(&["sweep", "suite:bs", "--policy", "PLRU"])).expect("parses");
         assert_eq!(o.policy, Some(ReplacementPolicy::Plru));
+    }
+
+    #[test]
+    fn parses_refine_flags() {
+        let o = Options::parse(&args(&[
+            "analyze", "suite:bs", "--cache", "2,16,512", "--refine", "off",
+        ]))
+        .expect("parses");
+        assert_eq!(o.refine, Some(false));
+        assert!(!o.refine_config().enabled);
+
+        let o = Options::parse(&args(&[
+            "sweep",
+            "suite:bs",
+            "--refine",
+            "on",
+            "--refine-budget",
+            "128",
+        ]))
+        .expect("parses");
+        assert_eq!(o.refine, Some(true));
+        assert_eq!(o.refine_budget, Some(128));
+        assert_eq!(
+            o.refine_config(),
+            RefineConfig {
+                enabled: true,
+                max_states: 128
+            }
+        );
+
+        // Default: on, with the library default budget.
+        let o =
+            Options::parse(&args(&["analyze", "suite:bs", "--cache", "2,16,512"])).expect("parses");
+        assert_eq!(o.refine_config(), RefineConfig::on());
+
+        assert!(Options::parse(&args(&["analyze", "x", "--refine", "maybe"])).is_err());
+        assert!(Options::parse(&args(&["analyze", "x", "--refine-budget", "many"])).is_err());
     }
 
     #[test]

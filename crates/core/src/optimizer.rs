@@ -1,6 +1,6 @@
 //! The iterative prefetch-insertion optimizer (paper Algorithms 1–3).
 
-use rtpf_cache::{CacheConfig, MemTiming};
+use rtpf_cache::{CacheConfig, MemTiming, RefineConfig};
 use rtpf_isa::{InstrId, InstrKind, Layout, Program};
 use rtpf_wcet::{AnalysisError, AnalysisProfile, WcetAnalysis};
 
@@ -34,6 +34,10 @@ pub struct OptimizeParams {
     /// Any setting yields bit-identical results; see
     /// [`Optimizer::run`].
     pub verify_workers: usize,
+    /// Exact per-set FIFO/PLRU refinement applied behind every
+    /// classification the optimizer consumes (`mcost`, profitability, and
+    /// the verification analyses alike). A no-op under LRU.
+    pub refine: RefineConfig,
 }
 
 impl Default for OptimizeParams {
@@ -46,6 +50,7 @@ impl Default for OptimizeParams {
             check_effectiveness: true,
             incremental: true,
             verify_workers: 0,
+            refine: RefineConfig::on(),
         }
     }
 }
@@ -153,8 +158,13 @@ impl Optimizer {
         let timing = self.params.timing;
         let mut prog = p.clone();
         let mut layout = Layout::of(&prog);
-        let before =
-            WcetAnalysis::analyze_with_layout(&prog, layout.clone(), &self.config, &timing)?;
+        let before = WcetAnalysis::analyze_refined(
+            &prog,
+            layout.clone(),
+            &self.config,
+            &timing,
+            self.params.refine,
+        )?;
         let mut cur = before.clone();
         let mut report = OptimizeReport {
             wcet_before: before.tau_w(),
@@ -231,7 +241,13 @@ impl Optimizer {
         if self.params.incremental {
             cur.reanalyze_after_insert(p, layout)
         } else {
-            WcetAnalysis::analyze_with_layout(p, layout, &self.config, &self.params.timing)
+            WcetAnalysis::analyze_refined(
+                p,
+                layout,
+                &self.config,
+                &self.params.timing,
+                self.params.refine,
+            )
         }
     }
 

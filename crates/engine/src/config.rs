@@ -20,7 +20,7 @@
 
 use rtpf_audit::SeverityConfig;
 pub use rtpf_cache::ConfigError;
-use rtpf_cache::{CacheConfig, MemTiming};
+use rtpf_cache::{CacheConfig, MemTiming, RefineConfig};
 use rtpf_energy::{EnergyModel, Technology};
 use rtpf_sim::{BranchBehavior, SimConfig};
 
@@ -59,6 +59,10 @@ pub struct EngineConfig {
     max_fetches: u64,
     policy: OptimizePolicy,
     check_effectiveness: bool,
+    /// Exact per-set FIFO/PLRU refinement behind the classify fixpoint
+    /// (DESIGN.md §12). On by default in every profile; a no-op under LRU,
+    /// so LRU artifacts are bit-identical with it on or off.
+    refine: RefineConfig,
     /// Result-invariant execution strategy knobs (identical outputs per
     /// `OptimizeParams` docs), excluded from the artifact fingerprint.
     incremental: bool,
@@ -92,6 +96,7 @@ impl EngineConfig {
                 max_prefetches: 512,
             },
             check_effectiveness: true,
+            refine: RefineConfig::on(),
             incremental: true,
             verify_workers: 0,
             severity: SeverityConfig::new(),
@@ -198,9 +203,32 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the exact FIFO/PLRU refinement stage configuration.
+    pub fn with_refine(mut self, refine: RefineConfig) -> EngineConfig {
+        self.refine = refine;
+        self
+    }
+
+    /// The exact FIFO/PLRU refinement stage configuration.
+    pub fn refine(&self) -> RefineConfig {
+        self.refine
+    }
+
     /// Cache geometry.
     pub fn cache(&self) -> &CacheConfig {
         &self.cache
+    }
+
+    /// The same knobs over a different geometry — how the Figure-5
+    /// shrunk-capacity probes derive their sub-engine configuration, so
+    /// probe artifacts are keyed (and cached) exactly like first-class
+    /// stages. Any explicit `penalty` override is dropped: probe timing
+    /// has always been derived from the energy model of the *shrunken*
+    /// geometry, never inherited from the full-size one.
+    pub(crate) fn with_cache(mut self, cache: CacheConfig) -> EngineConfig {
+        self.cache = cache;
+        self.penalty = None;
+        self
     }
 
     /// The audit severity policy.
@@ -235,6 +263,7 @@ impl EngineConfig {
             check_effectiveness: self.check_effectiveness,
             incremental: self.incremental,
             verify_workers: self.verify_workers,
+            refine: self.refine,
             ..OptimizeParams::default()
         };
         match self.policy {
@@ -273,6 +302,12 @@ impl EngineConfig {
         h.write_u64(t.hit_cycles);
         h.write_u64(t.miss_cycles);
         h.write_u64(t.prefetch_latency);
+        // The refinement stage rewrites classifications, so both knobs are
+        // analysis inputs. Hashed unconditionally (even for LRU, where the
+        // stage is a no-op) to keep the key derivation policy-oblivious;
+        // the Analyze stage version bump already re-keyed every artifact.
+        h.write_u8(u8::from(self.refine.enabled));
+        h.write_u32(self.refine.max_states);
     }
 
     fn write_sim_inputs(&self, h: &mut FpHasher) {
@@ -415,5 +450,20 @@ mod tests {
         assert_ne!(base.fingerprint(), diff.fingerprint());
         let diff = base.clone().with_check_effectiveness(false);
         assert_ne!(base.fingerprint(), diff.fingerprint());
+    }
+
+    #[test]
+    fn refine_knobs_move_the_analysis_fingerprint() {
+        use rtpf_cache::RefineConfig;
+        let base = EngineConfig::evaluation(k8());
+        assert_eq!(base.refine(), RefineConfig::on());
+        let off = base.clone().with_refine(RefineConfig::off());
+        assert_ne!(base.analysis_fingerprint(), off.analysis_fingerprint());
+        assert_ne!(base.fingerprint(), off.fingerprint());
+        let bigger = base.clone().with_refine(RefineConfig {
+            enabled: true,
+            max_states: 256,
+        });
+        assert_ne!(base.analysis_fingerprint(), bigger.analysis_fingerprint());
     }
 }

@@ -141,9 +141,52 @@ impl Engine {
         self.compute_analysis(p)
     }
 
-    fn compute_analysis(&self, p: &Program) -> Result<WcetAnalysis, EngineError> {
-        let a = WcetAnalysis::analyze(p, self.config.cache(), &self.config.timing())
+    /// Analyze stage under an explicit (anchored) layout. The layout is
+    /// part of the artifact key — the same program at different addresses
+    /// is a different analysis. Used by the Figure-5 shrunk-capacity
+    /// probes, which must analyse the optimized binary at the optimizer's
+    /// anchored addresses rather than a fresh `Layout::of`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineError::Analysis`].
+    fn analysis_at_layout(
+        &self,
+        p: &Program,
+        pfp: Fingerprint,
+        layout: &rtpf_isa::Layout,
+    ) -> Result<Arc<WcetAnalysis>, EngineError> {
+        let mut h = FpHasher::new();
+        h.write_fp(self.config.analysis_fingerprint());
+        h.write_fp(pfp);
+        h.write_u64(layout.base());
+        for i in 0..layout.len() {
+            h.write_u64(layout.addr(rtpf_isa::InstrId(i as u32)));
+        }
+        let key = ArtifactKey::new(Stage::Analyze, &[h.finish()]);
+        self.store.get_or_compute(key, || {
+            let a = WcetAnalysis::analyze_refined(
+                p,
+                layout.clone(),
+                self.config.cache(),
+                &self.config.timing(),
+                self.config.refine(),
+            )
             .map_err(EngineError::Analysis)?;
+            self.absorb(a.profile());
+            Ok(a)
+        })
+    }
+
+    fn compute_analysis(&self, p: &Program) -> Result<WcetAnalysis, EngineError> {
+        let a = WcetAnalysis::analyze_refined(
+            p,
+            rtpf_isa::Layout::of(p),
+            self.config.cache(),
+            &self.config.timing(),
+            self.config.refine(),
+        )
+        .map_err(EngineError::Analysis)?;
         self.absorb(a.profile());
         Ok(a)
     }
@@ -345,26 +388,28 @@ impl Engine {
         let e_orig = self.energies(&sim_orig).map(|e| e.total_nj());
         let e_opt = self.energies(&sim_opt).map(|e| e.total_nj());
 
-        // Figure 5: the optimized binary on half / quarter capacity. The
-        // shrunken geometries are probes interior to this unit — their
-        // analyses reuse the optimizer's anchored layout, so they are
-        // computed directly rather than as store artifacts.
+        // Figure 5: the optimized binary on half / quarter capacity. Each
+        // probe runs through a sub-engine for the shrunken geometry that
+        // shares this engine's store, so its analysis and simulation are
+        // first-class, content-addressed artifacts (keyed by the shrunken
+        // configuration and — for the analysis — the optimizer's anchored
+        // layout) instead of raw recomputations.
+        let opt_fp = program_fingerprint(&opt.program);
         let shrunk = |divisor: u32| -> Option<[f64; 4]> {
             let small = config.shrink(divisor).ok()?;
             let m45 = EnergyModel::new(&small, Technology::Nm45);
             let m32 = EnergyModel::new(&small, Technology::Nm32);
-            let t = m45.timing();
-            let wcet = WcetAnalysis::analyze_with_layout(
-                &opt.program,
-                opt.analysis_after.layout().clone(),
-                &small,
-                &t,
-            )
-            .ok()?
-            .tau_w();
-            let sim = Simulator::new(small, t, self.config.sim_config())
-                .run(&opt.program)
-                .ok()?;
+            let sub = Engine::with_store(
+                self.config.clone().with_cache(small),
+                Arc::clone(&self.store),
+            );
+            let wcet = sub
+                .analysis_at_layout(&opt.program, opt_fp, opt.analysis_after.layout())
+                .ok()?
+                .tau_w();
+            let sim = sub.simulated_with_fp(&opt.program, opt_fp).ok()?;
+            let probe_profile = *sub.profile.lock().expect("probe profile lock");
+            self.absorb(&probe_profile);
             Some([
                 wcet as f64,
                 sim.acet_cycles(),

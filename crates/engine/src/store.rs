@@ -62,15 +62,19 @@ impl Stage {
     /// algorithm changes observably** so stale on-disk artifacts are
     /// discarded instead of silently reused.
     pub fn version(self) -> u32 {
+        // v2 of Analyze/Optimize/Unit/Sweep: the exact FIFO/PLRU
+        // refinement stage (DESIGN.md §12) rewrites classifications, which
+        // feed τ_w, the optimizer's profitability inputs, and every
+        // evaluation row built on them.
         match self {
             Stage::Parse => 1,
-            Stage::Analyze => 1,
-            Stage::Optimize => 1,
+            Stage::Analyze => 2,
+            Stage::Optimize => 2,
             Stage::Verify => 1,
             Stage::Simulate => 1,
             Stage::Energy => 1,
-            Stage::Unit => 1,
-            Stage::Sweep => 1,
+            Stage::Unit => 2,
+            Stage::Sweep => 2,
         }
     }
 

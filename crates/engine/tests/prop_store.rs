@@ -41,10 +41,10 @@ fn fingerprints_are_pinned_across_processes() {
     assert_eq!(program_fingerprint(&b2.program), all[0]);
     assert_eq!(cfg2.fingerprint(), all[4]);
     // Pinned golden values (computed once; see doc comment). Re-pinned
-    // when the replacement policy entered the analysis inputs: every
-    // config fingerprint moved (LRU included), with LRU outputs unchanged.
+    // when the refinement knobs entered the analysis inputs: every config
+    // fingerprint moved (LRU included), with LRU outputs unchanged.
     assert_eq!(all[0].hex(), "48b4144fb19efa1faddf8890773c646d");
-    assert_eq!(all[4].hex(), "2db543169d3bdc007d17415c70869432");
+    assert_eq!(all[4].hex(), "870e6dff7839cf37a3efd5dd253f19ea");
 }
 
 #[test]

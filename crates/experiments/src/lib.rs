@@ -247,13 +247,20 @@ pub struct PolicyPrecision {
     pub policy: ReplacementPolicy,
     /// Analyses audited (programs × configurations).
     pub analyses: u32,
-    /// RTPF020/RTPF022 findings — genuine unsoundness, must be 0.
+    /// RTPF020/RTPF022/RTPF040/RTPF042 findings — genuine unsoundness,
+    /// must be 0.
     pub unsound: u64,
-    /// RTPF021 findings — unclassified references that concretely always
-    /// hit (pure precision loss).
+    /// RTPF021/RTPF041 findings — unclassified references with a single
+    /// concrete outcome (pure precision loss).
     pub precision_gaps: u64,
-    /// Mean precision score over all analyses (1.0 = every observed
-    /// reference classified exactly).
+    /// References upgraded by the exact FIFO/PLRU refinement stage across
+    /// all analyses (always 0 for LRU).
+    pub refined: u64,
+    /// Mean precision of the *cheap* competitiveness-based classification
+    /// alone, refinement discounted.
+    pub mean_precision_cheap: f64,
+    /// Mean precision score of the shipped (refined) classification over
+    /// all analyses (1.0 = every observed reference classified exactly).
     pub mean_precision: f64,
 }
 
@@ -292,6 +299,9 @@ pub fn measure_precision(policy: ReplacementPolicy) -> PolicyPrecision {
         analyses,
         unsound: sums.iter().map(|s| s.unsound as u64).sum(),
         precision_gaps: sums.iter().map(|s| s.precision_gaps as u64).sum(),
+        refined: sums.iter().map(|s| s.refined as u64).sum(),
+        mean_precision_cheap: sums.iter().map(|s| s.cheap_precision_score).sum::<f64>()
+            / f64::from(analyses.max(1)),
         mean_precision: sums.iter().map(|s| s.precision_score).sum::<f64>()
             / f64::from(analyses.max(1)),
     }
@@ -300,16 +310,44 @@ pub fn measure_precision(policy: ReplacementPolicy) -> PolicyPrecision {
 /// Renders per-policy precision rows as the `results/precision.csv`
 /// artifact payload.
 pub fn precision_to_csv(rows: &[PolicyPrecision]) -> String {
-    let mut s = String::from("policy,analyses,unsound,precision_gaps,mean_precision\n");
+    let mut s = String::from(
+        "policy,analyses,unsound,precision_gaps,refined,mean_precision_cheap,mean_precision\n",
+    );
     for r in rows {
         use std::fmt::Write as _;
         let _ = writeln!(
             s,
-            "{},{},{},{},{:.6}",
-            r.policy, r.analyses, r.unsound, r.precision_gaps, r.mean_precision
+            "{},{},{},{},{},{:.6},{:.6}",
+            r.policy,
+            r.analyses,
+            r.unsound,
+            r.precision_gaps,
+            r.refined,
+            r.mean_precision_cheap,
+            r.mean_precision
         );
     }
     s
+}
+
+/// The committed precision record per policy (the refined
+/// `mean_precision` column of `results/precision.csv` at the time the
+/// record was last raised). `precision --check` fails when a measured
+/// score drops below its record — the CI ratchet that keeps refinement
+/// regressions out.
+pub const PRECISION_RECORD: [(ReplacementPolicy, f64); 3] = [
+    (ReplacementPolicy::Lru, 0.982),
+    (ReplacementPolicy::Fifo, 0.981),
+    (ReplacementPolicy::Plru, 0.981),
+];
+
+/// The committed record for one policy.
+pub fn precision_record(policy: ReplacementPolicy) -> f64 {
+    PRECISION_RECORD
+        .iter()
+        .find(|(p, _)| *p == policy)
+        .map(|&(_, v)| v)
+        .expect("every policy has a record")
 }
 
 /// Content address of the precision artifact: the union of every

@@ -5,7 +5,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::Instant;
 
-use rtpf_cache::{CacheConfig, Classification, MemTiming, StatePair};
+use rtpf_cache::{CacheConfig, Classification, MemTiming, RefineConfig, RefineMark, StatePair};
 use rtpf_isa::{Layout, MemBlockId, Program};
 
 use crate::acfg::{Acfg, RefId};
@@ -14,6 +14,7 @@ use crate::error::AnalysisError;
 use crate::ipet;
 use crate::memo::{AnalysisCache, NodeSig};
 use crate::profile::AnalysisProfile;
+use crate::refine::{self, RefineStats};
 use crate::vivu::{NodeId, VivuGraph};
 
 /// Result of analysing one program under one cache configuration.
@@ -35,10 +36,24 @@ pub struct WcetAnalysis {
     config: CacheConfig,
     timing: MemTiming,
     hw_next_line: Option<u32>,
+    refine: RefineConfig,
     /// Fingerprint of the analysed program's CFG (blocks, edges, loop
     /// bounds); incremental re-analysis requires it to be unchanged.
     cfg_sig: u64,
+    /// Final classification: the cheap fixpoint result, with every
+    /// upgrade the refinement stage proved applied on top. Feeds `t_w`,
+    /// IPET, and the optimizer's profitability inputs.
     class: Vec<Classification>,
+    /// The *unrefined* fixpoint classification. Incremental re-analysis
+    /// seeds from this vector, never the refined one: the skipped-SCC
+    /// positional copy must reproduce exactly what the fixpoint would
+    /// compute, and a positionally-copied refined upgrade could go stale
+    /// when another context of the same cache set changes. Refinement
+    /// instead re-runs deterministically after every (re-)classification.
+    cheap_class: Vec<Classification>,
+    /// What the refinement stage did to each reference.
+    marks: Vec<RefineMark>,
+    refine_stats: RefineStats,
     mem_block: Vec<MemBlockId>,
     pf_block: Vec<Option<MemBlockId>>,
     out_states: Vec<Arc<StatePair>>,
@@ -99,7 +114,27 @@ impl WcetAnalysis {
         config: &CacheConfig,
         timing: &MemTiming,
     ) -> Result<Self, AnalysisError> {
-        Self::analyze_full(p, layout, config, timing, None)
+        Self::analyze_full(p, layout, config, timing, None, RefineConfig::default())
+    }
+
+    /// [`analyze_with_layout`](WcetAnalysis::analyze_with_layout) with an
+    /// explicit refinement configuration (the engine threads its
+    /// fingerprinted `RefineConfig` through here). Refinement only runs
+    /// for FIFO/tree-PLRU; under LRU or with refinement disabled the
+    /// result is bit-identical to the unrefined analysis.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `p` is structurally invalid or the analysis blows its
+    /// context budget.
+    pub fn analyze_refined(
+        p: &Program,
+        layout: Layout,
+        config: &CacheConfig,
+        timing: &MemTiming,
+        refine: RefineConfig,
+    ) -> Result<Self, AnalysisError> {
+        Self::analyze_full(p, layout, config, timing, None, refine)
     }
 
     /// Analyses `p` assuming an always-on **next-N-line hardware
@@ -118,7 +153,14 @@ impl WcetAnalysis {
         timing: &MemTiming,
         n: u32,
     ) -> Result<Self, AnalysisError> {
-        Self::analyze_full(p, Layout::of(p), config, timing, Some(n))
+        Self::analyze_full(
+            p,
+            Layout::of(p),
+            config,
+            timing,
+            Some(n),
+            RefineConfig::default(),
+        )
     }
 
     fn analyze_full(
@@ -127,6 +169,7 @@ impl WcetAnalysis {
         config: &CacheConfig,
         timing: &MemTiming,
         hw_next_line: Option<u32>,
+        refine: RefineConfig,
     ) -> Result<Self, AnalysisError> {
         let t0 = Instant::now();
         let vivu = Arc::new(VivuGraph::build(p)?);
@@ -147,6 +190,7 @@ impl WcetAnalysis {
             config,
             timing,
             hw_next_line,
+            refine,
             cls,
             cache,
             vivu_ns,
@@ -166,15 +210,34 @@ impl WcetAnalysis {
         config: &CacheConfig,
         timing: &MemTiming,
         hw_next_line: Option<u32>,
+        refine: RefineConfig,
         cls: ClassifyResult,
         cache: Arc<AnalysisCache>,
         vivu_ns: u64,
         fixpoint_ns: u64,
         incremental: bool,
     ) -> Result<Self, AnalysisError> {
-        // Per-reference worst-case access time.
-        let t_w: Vec<u64> = cls
-            .class
+        // Exact refinement of the cheap classification (a deterministic
+        // post-pass, so incremental and full analyses stay bit-identical).
+        // The unrefined vector is retained: it alone seeds the next
+        // incremental step.
+        let cheap_class = cls.class;
+        let mut class = cheap_class.clone();
+        let t_refine = Instant::now();
+        let (marks, refine_stats) = refine::refine_classification(
+            &vivu,
+            &acfg,
+            config,
+            refine,
+            hw_next_line,
+            &cls.sigs,
+            &cls.mem_block,
+            &mut class,
+        );
+        let refine_ns = t_refine.elapsed().as_nanos() as u64;
+
+        // Per-reference worst-case access time, from the refined view.
+        let t_w: Vec<u64> = class
             .iter()
             .map(|c| timing.access_cycles(!c.counts_as_miss()))
             .collect();
@@ -200,6 +263,7 @@ impl WcetAnalysis {
         let profile = AnalysisProfile {
             vivu_ns,
             fixpoint_ns,
+            refine_ns,
             ipet_ns,
             relocation_ns: 0,
             fixpoint_evals: cls.evals,
@@ -220,8 +284,12 @@ impl WcetAnalysis {
             config: *config,
             timing: *timing,
             hw_next_line,
+            refine,
             cfg_sig: cfg_signature(p),
-            class: cls.class,
+            class,
+            cheap_class,
+            marks,
+            refine_stats,
             mem_block: cls.mem_block,
             pf_block: cls.pf_block,
             out_states: cls.out_states,
@@ -261,7 +329,14 @@ impl WcetAnalysis {
         layout2: Layout,
     ) -> Result<Self, AnalysisError> {
         if cfg_signature(p2) != self.cfg_sig {
-            return Self::analyze_full(p2, layout2, &self.config, &self.timing, self.hw_next_line);
+            return Self::analyze_full(
+                p2,
+                layout2,
+                &self.config,
+                &self.timing,
+                self.hw_next_line,
+                self.refine,
+            );
         }
 
         let t0 = Instant::now();
@@ -279,7 +354,10 @@ impl WcetAnalysis {
             self.hw_next_line,
             PrevPass {
                 acfg: &self.acfg,
-                class: &self.class,
+                // Seed from the *cheap* classification: the skipped-SCC
+                // positional copy must reproduce the fixpoint's own
+                // output; refinement re-runs on top in `finish`.
+                class: &self.cheap_class,
                 mem_block: &self.mem_block,
                 pf_block: &self.pf_block,
                 out_states: &self.out_states,
@@ -297,6 +375,7 @@ impl WcetAnalysis {
             &self.config,
             &self.timing,
             self.hw_next_line,
+            self.refine,
             cls,
             Arc::clone(&self.cache),
             vivu_ns,
@@ -312,6 +391,7 @@ impl WcetAnalysis {
                 &self.config,
                 &self.timing,
                 self.hw_next_line,
+                self.refine,
             )?;
             debug_assert_eq!(
                 result.tau_w, full.tau_w,
@@ -320,6 +400,10 @@ impl WcetAnalysis {
             debug_assert_eq!(
                 result.class, full.class,
                 "incremental re-analysis diverged from from-scratch classification"
+            );
+            debug_assert_eq!(
+                result.cheap_class, full.cheap_class,
+                "incremental re-analysis diverged from from-scratch cheap classification"
             );
         }
 
@@ -368,10 +452,37 @@ impl WcetAnalysis {
         &self.profile
     }
 
-    /// Classification of reference `r`.
+    /// Classification of reference `r` (refined, when the refinement
+    /// stage upgraded it).
     #[inline]
     pub fn classification(&self, r: RefId) -> Classification {
         self.class[r.index()]
+    }
+
+    /// The cheap (unrefined) fixpoint classification of reference `r`.
+    /// Differs from [`classification`](WcetAnalysis::classification) only
+    /// on references the refinement stage upgraded.
+    #[inline]
+    pub fn cheap_classification(&self, r: RefId) -> Classification {
+        self.cheap_class[r.index()]
+    }
+
+    /// What the refinement stage did to reference `r`.
+    #[inline]
+    pub fn refine_mark(&self, r: RefId) -> RefineMark {
+        self.marks[r.index()]
+    }
+
+    /// The refinement configuration this analysis ran under.
+    #[inline]
+    pub fn refine_config(&self) -> RefineConfig {
+        self.refine
+    }
+
+    /// Outcome counters of the refinement stage.
+    #[inline]
+    pub fn refine_stats(&self) -> &RefineStats {
+        &self.refine_stats
     }
 
     /// Worst-case access time `t_w(r)` in cycles.

@@ -48,6 +48,7 @@ pub mod ipet;
 pub mod memo;
 pub mod persistence;
 pub mod profile;
+pub mod refine;
 pub mod vivu;
 
 pub use acfg::{Acfg, RefId, Reference};
@@ -57,4 +58,5 @@ pub use error::AnalysisError;
 pub use memo::AnalysisCache;
 pub use persistence::{persistence_report, tau_w_first_miss, PersistenceReport};
 pub use profile::AnalysisProfile;
+pub use refine::RefineStats;
 pub use vivu::{NodeId, VivuGraph, VivuNode};

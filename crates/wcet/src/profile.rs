@@ -20,6 +20,9 @@ pub struct AnalysisProfile {
     pub vivu_ns: u64,
     /// Must/may dataflow fixpoint (including classification recording).
     pub fixpoint_ns: u64,
+    /// Exact per-set refinement of unclassified references (DESIGN.md
+    /// §12); 0 under LRU or with refinement disabled.
+    pub refine_ns: u64,
     /// IPET longest-path solve and per-reference count extraction.
     pub ipet_ns: u64,
     /// Relocation / layout re-anchoring performed by the optimizer between
@@ -61,6 +64,7 @@ impl AnalysisProfile {
     pub fn add(&mut self, other: &AnalysisProfile) {
         self.vivu_ns += other.vivu_ns;
         self.fixpoint_ns += other.fixpoint_ns;
+        self.refine_ns += other.refine_ns;
         self.ipet_ns += other.ipet_ns;
         self.relocation_ns += other.relocation_ns;
         self.fixpoint_evals += other.fixpoint_evals;
@@ -81,7 +85,7 @@ impl AnalysisProfile {
 
     /// Total analysis time across the recorded phases.
     pub fn total_ns(&self) -> u64 {
-        self.vivu_ns + self.fixpoint_ns + self.ipet_ns + self.relocation_ns
+        self.vivu_ns + self.fixpoint_ns + self.refine_ns + self.ipet_ns + self.relocation_ns
     }
 
     /// Fraction of summed nodes that incremental re-analysis skipped.
@@ -108,9 +112,11 @@ impl fmt::Display for AnalysisProfile {
         )?;
         writeln!(
             f,
-            "phases:   vivu {:.2} ms | fixpoint {:.2} ms | ipet {:.2} ms | relocation {:.2} ms",
+            "phases:   vivu {:.2} ms | fixpoint {:.2} ms | refine {:.2} ms | ipet {:.2} ms | \
+             relocation {:.2} ms",
             ms(self.vivu_ns),
             ms(self.fixpoint_ns),
+            ms(self.refine_ns),
             ms(self.ipet_ns),
             ms(self.relocation_ns)
         )?;

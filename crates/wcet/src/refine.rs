@@ -1,0 +1,448 @@
+//! Per-set exact refinement behind the classify fixpoint (DESIGN.md §12).
+//!
+//! For every cache set holding a reference the cheap competitiveness-based
+//! FIFO/tree-PLRU analysis left unclassified, this pass runs a focused
+//! finite-state exploration over the VIVU context graph (with the loop
+//! back edges restored): the least fixpoint of *sets of concrete per-set
+//! policy states* ([`SetState`] — the exact FIFO insertion queue / PLRU
+//! tree bits projected onto that one cache set), seeded cold at
+//! predecessor-less nodes, unioned (and deduplicated) at join points, and
+//! pushed through each node's touched-block signature exactly as the
+//! concrete cache would execute it.
+//!
+//! The explored state sets over-approximate every state any bounded
+//! concrete walk can reach at a node, so the verdict is sound: an
+//! unclassified reference that hits in **every** explored in-state is
+//! upgraded to always-hit, one that misses in every state to always-miss,
+//! anything mixed stays unclassified. A per-node state budget
+//! ([`RefineConfig::max_states`]) bounds the exploration; exceeding it
+//! abandons the *whole* set — concluding from a partial exploration would
+//! be unsound — and keeps the cheap classification for its references.
+//!
+//! The pass runs deterministically after every classification (full and
+//! incremental alike), so an incremental re-analysis still produces
+//! bit-identical results to a from-scratch run.
+
+use rtpf_cache::{CacheConfig, Classification, RefineConfig, RefineMark, SetState};
+use rtpf_isa::MemBlockId;
+
+use crate::acfg::Acfg;
+use crate::memo::NodeSig;
+use crate::vivu::{NodeId, VivuGraph};
+
+/// Outcome counters of one refinement pass.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RefineStats {
+    /// Cache sets with at least one unclassified reference (exploration
+    /// targets).
+    pub sets_targeted: u32,
+    /// Targeted sets abandoned because a node's state set outgrew the
+    /// budget; their references keep the cheap classification.
+    pub sets_exhausted: u32,
+    /// References upgraded unclassified → always-hit.
+    pub refined_hits: u32,
+    /// References upgraded unclassified → always-miss.
+    pub refined_misses: u32,
+}
+
+/// Refines `class` in place and reports what happened to each reference.
+///
+/// `sigs` are the per-node touched-block signatures of the classify pass
+/// (own fetched block plus prefetch target per reference, in node-local
+/// order) — exactly the access sequence a concrete walk executes at the
+/// node. `mem_block` maps each reference to its fetched block.
+///
+/// The pass is a no-op (all marks [`RefineMark::Untouched`]) when
+/// disabled, under LRU (the cheap domain is already exact), or when a
+/// hardware next-line prefetcher is modelled (its folds are not part of
+/// the concrete per-set replay).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn refine_classification(
+    vivu: &VivuGraph,
+    acfg: &Acfg,
+    config: &CacheConfig,
+    refine: RefineConfig,
+    hw_next_line: Option<u32>,
+    sigs: &[NodeSig],
+    mem_block: &[MemBlockId],
+    class: &mut [Classification],
+) -> (Vec<RefineMark>, RefineStats) {
+    let mut marks = vec![RefineMark::Untouched; class.len()];
+    let mut stats = RefineStats::default();
+    if !refine.applies_to(config.policy()) || hw_next_line.is_some() {
+        return (marks, stats);
+    }
+    let policy = config.policy();
+    let assoc = config.assoc();
+    let n_sets = u64::from(config.n_sets());
+    let set_of = |b: MemBlockId| b.0 % n_sets;
+
+    // Sets to explore: every set with an unclassified reference. (Under
+    // FIFO/PLRU all of these are sentinel-caused — `NcCause::Sentinel` —
+    // since the may domain is unbounded; a future bounded-may policy
+    // would order sentinel sets first here.)
+    let mut targets: Vec<u64> = acfg
+        .refs()
+        .iter()
+        .filter(|r| class[r.id.index()] == Classification::Unclassified)
+        .map(|r| set_of(mem_block[r.id.index()]))
+        .collect();
+    targets.sort_unstable();
+    targets.dedup();
+    if targets.is_empty() {
+        return (marks, stats);
+    }
+
+    // VIVU adjacency with the loop back edges restored: the exploration
+    // must cover arbitrarily many iterations, not just the peeled DAG.
+    let n = vivu.len();
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, out) in succs.iter_mut().enumerate() {
+        for &s in vivu.succs(NodeId(i as u32)) {
+            preds[s.index()].push(i as u32);
+            out.push(s.0);
+        }
+    }
+    for &(from, to) in vivu.back_edges() {
+        preds[to.index()].push(from.0);
+        succs[from.index()].push(to.0);
+    }
+
+    // Flattened per-node access sequence (own block, then prefetch
+    // target, per reference — the order the concrete walk executes), and
+    // the sorted set-index footprint for quick "does this node touch set
+    // s" checks.
+    let mut accesses: Vec<Vec<MemBlockId>> = Vec::with_capacity(n);
+    let mut footprint: Vec<Vec<u64>> = Vec::with_capacity(n);
+    for sig in sigs.iter().take(n) {
+        let mut acc = Vec::with_capacity(sig.len());
+        for &(own, pf) in sig.iter() {
+            acc.push(own);
+            if let Some(t) = pf {
+                acc.push(t);
+            }
+        }
+        let mut fp: Vec<u64> = acc.iter().map(|&b| set_of(b)).collect();
+        fp.sort_unstable();
+        fp.dedup();
+        accesses.push(acc);
+        footprint.push(fp);
+    }
+
+    let budget = refine.max_states as usize;
+    let topo = vivu.topo();
+    let mut out: Vec<Vec<SetState>> = vec![Vec::new(); n];
+    let mut pending = vec![false; n];
+
+    for &set in &targets {
+        stats.sets_targeted += 1;
+        for o in &mut out {
+            o.clear();
+        }
+        pending.fill(true);
+        let mut exhausted = false;
+
+        // Chaotic iteration in topological order: forward edges resolve
+        // within a sweep, back edges re-arm their headers for the next
+        // one. State sets only grow (the transfer distributes over
+        // union), so the budget bounds termination.
+        'fixpoint: loop {
+            let mut progressed = false;
+            for &node in topo {
+                let i = node.index();
+                if !std::mem::replace(&mut pending[i], false) {
+                    continue;
+                }
+                let mut ins: Vec<SetState> = Vec::new();
+                if preds[i].is_empty() {
+                    ins.push(SetState::cold());
+                } else {
+                    for &p in &preds[i] {
+                        ins.extend(out[p as usize].iter().cloned());
+                    }
+                    ins.sort_unstable();
+                    ins.dedup();
+                    if ins.is_empty() {
+                        continue; // not reached yet; a pred update re-arms us
+                    }
+                }
+                if ins.len() > budget {
+                    exhausted = true;
+                    break 'fixpoint;
+                }
+                if footprint[i].binary_search(&set).is_ok() {
+                    for st in &mut ins {
+                        for &b in &accesses[i] {
+                            if set_of(b) == set {
+                                st.access(policy, assoc, b.0);
+                            }
+                        }
+                    }
+                    ins.sort_unstable();
+                    ins.dedup();
+                }
+                if ins != out[i] {
+                    out[i] = ins;
+                    for &s in &succs[i] {
+                        pending[s as usize] = true;
+                    }
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        if exhausted {
+            stats.sets_exhausted += 1;
+            for r in acfg.refs() {
+                let ri = r.id.index();
+                if class[ri] == Classification::Unclassified && set_of(mem_block[ri]) == set {
+                    marks[ri] = RefineMark::Examined;
+                }
+            }
+            continue;
+        }
+
+        // Verdict: replay every in-state through each node holding an
+        // unclassified reference of this set. Unanimous outcomes upgrade;
+        // anything mixed (or unreachable) stays cheap.
+        for &node in topo {
+            let i = node.index();
+            let rids = acfg.refs_of_node(node);
+            let sig = &sigs[i];
+            let wanted = rids.iter().zip(sig.iter()).any(|(r, &(own, _))| {
+                class[r.index()] == Classification::Unclassified && set_of(own) == set
+            });
+            if !wanted {
+                continue;
+            }
+            let mut ins: Vec<SetState> = Vec::new();
+            if preds[i].is_empty() {
+                ins.push(SetState::cold());
+            } else {
+                for &p in &preds[i] {
+                    ins.extend(out[p as usize].iter().cloned());
+                }
+                ins.sort_unstable();
+                ins.dedup();
+            }
+            let mut all_hit = vec![true; sig.len()];
+            let mut all_miss = vec![true; sig.len()];
+            for st0 in &ins {
+                let mut st = st0.clone();
+                for (j, &(own, pf)) in sig.iter().enumerate() {
+                    if set_of(own) == set {
+                        if st.access(policy, assoc, own.0) {
+                            all_miss[j] = false;
+                        } else {
+                            all_hit[j] = false;
+                        }
+                    }
+                    if let Some(t) = pf {
+                        if set_of(t) == set {
+                            st.access(policy, assoc, t.0);
+                        }
+                    }
+                }
+            }
+            for (j, &r) in rids.iter().enumerate() {
+                let ri = r.index();
+                if class[ri] != Classification::Unclassified || set_of(sig[j].0) != set {
+                    continue;
+                }
+                if ins.is_empty() {
+                    // Unreachable in the exploration (hence in every
+                    // concrete walk): no evidence either way.
+                    marks[ri] = RefineMark::Examined;
+                } else if all_hit[j] {
+                    class[ri] = Classification::AlwaysHit;
+                    marks[ri] = RefineMark::Refined;
+                    stats.refined_hits += 1;
+                } else if all_miss[j] {
+                    class[ri] = Classification::AlwaysMiss;
+                    marks[ri] = RefineMark::Refined;
+                    stats.refined_misses += 1;
+                } else {
+                    marks[ri] = RefineMark::Examined;
+                }
+            }
+        }
+    }
+    (marks, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use rtpf_cache::{
+        CacheConfig, Classification, MemTiming, RefineConfig, RefineMark, ReplacementPolicy,
+    };
+    use rtpf_isa::shape::Shape;
+    use rtpf_isa::Layout;
+
+    use crate::analysis::WcetAnalysis;
+
+    fn analyze(shape: &Shape, policy: ReplacementPolicy, refine: RefineConfig) -> WcetAnalysis {
+        analyze_in(shape, policy, refine, CacheConfig::new(2, 16, 256).unwrap())
+    }
+
+    fn analyze_in(
+        shape: &Shape,
+        policy: ReplacementPolicy,
+        refine: RefineConfig,
+        geometry: CacheConfig,
+    ) -> WcetAnalysis {
+        let p = shape.clone().compile("refine-t");
+        let cfg = geometry.with_policy(policy).unwrap();
+        WcetAnalysis::analyze_refined(&p, Layout::of(&p), &cfg, &MemTiming::default(), refine)
+            .unwrap()
+    }
+
+    #[test]
+    fn refinement_upgrades_warm_loop_references_under_fifo_and_plru() {
+        // A loop whose working set exactly fills the one 4-way set of a
+        // 64 B cache: every rest-iteration reference concretely always
+        // hits, but the competitiveness-reduced must analysis (FIFO at 1
+        // effective way, tree-PLRU at log2(4)+1 = 3) loses the rotation
+        // and leaves many unclassified. The exact exploration must
+        // recover hits the cheap pass missed, and never lose precision.
+        let shape = Shape::loop_(10, Shape::code(12));
+        let geometry = CacheConfig::new(4, 16, 64).unwrap();
+        for policy in [ReplacementPolicy::Fifo, ReplacementPolicy::Plru] {
+            let off = analyze_in(&shape, policy, RefineConfig::off(), geometry);
+            let on = analyze_in(&shape, policy, RefineConfig::on(), geometry);
+            let (hit_off, _, unk_off) = off.classification_counts();
+            let (hit_on, _, unk_on) = on.classification_counts();
+            assert!(
+                hit_on > hit_off,
+                "{policy}: refinement found no extra hits ({hit_off} → {hit_on})"
+            );
+            assert!(unk_on < unk_off, "{policy}: unclassified did not shrink");
+            assert!(
+                on.tau_w() < off.tau_w(),
+                "{policy}: extra always-hits must lower τ_w"
+            );
+            // The cheap view is preserved verbatim either way.
+            for r in on.acfg().refs() {
+                assert_eq!(on.cheap_classification(r.id), off.classification(r.id));
+                match on.refine_mark(r.id) {
+                    RefineMark::Untouched => {
+                        assert_ne!(on.cheap_classification(r.id), Classification::Unclassified);
+                    }
+                    RefineMark::Examined => {
+                        assert_eq!(on.classification(r.id), Classification::Unclassified);
+                    }
+                    RefineMark::Refined => {
+                        assert_eq!(on.cheap_classification(r.id), Classification::Unclassified);
+                        assert_ne!(on.classification(r.id), Classification::Unclassified);
+                    }
+                }
+            }
+            let stats = on.refine_stats();
+            assert!(stats.sets_targeted > 0);
+            assert_eq!(
+                u64::from(stats.refined_hits) + u64::from(stats.refined_misses),
+                on.acfg()
+                    .refs()
+                    .iter()
+                    .filter(|r| on.refine_mark(r.id) == RefineMark::Refined)
+                    .count() as u64
+            );
+            // With refinement off the stage must not have run at all.
+            assert!(off
+                .acfg()
+                .refs()
+                .iter()
+                .all(|r| off.refine_mark(r.id) == RefineMark::Untouched));
+            assert_eq!(*off.refine_stats(), super::RefineStats::default());
+        }
+    }
+
+    #[test]
+    fn lru_analysis_is_untouched_by_refinement() {
+        // LRU's abstract domain is exact; the stage must not run, and the
+        // result must be bit-identical with refinement on or off.
+        let shape = Shape::seq([
+            Shape::code(12),
+            Shape::loop_(6, Shape::if_else(1, Shape::code(8), Shape::code(4))),
+        ]);
+        let off = analyze(&shape, ReplacementPolicy::Lru, RefineConfig::off());
+        let on = analyze(&shape, ReplacementPolicy::Lru, RefineConfig::on());
+        assert_eq!(on.tau_w(), off.tau_w());
+        for r in on.acfg().refs() {
+            assert_eq!(on.classification(r.id), off.classification(r.id));
+            assert_eq!(on.refine_mark(r.id), RefineMark::Untouched);
+        }
+        assert_eq!(*on.refine_stats(), super::RefineStats::default());
+    }
+
+    #[test]
+    fn a_starved_budget_falls_back_to_the_cheap_result() {
+        let shape = Shape::loop_(10, Shape::if_else(2, Shape::code(10), Shape::code(6)));
+        let off = analyze(&shape, ReplacementPolicy::Fifo, RefineConfig::off());
+        let starved = analyze(
+            &shape,
+            ReplacementPolicy::Fifo,
+            RefineConfig {
+                enabled: true,
+                max_states: 0,
+            },
+        );
+        // Budget 0: every targeted set exhausts immediately; the cheap
+        // classification survives untouched and every NC target is marked
+        // examined (not upgraded).
+        assert_eq!(starved.tau_w(), off.tau_w());
+        let stats = starved.refine_stats();
+        assert!(stats.sets_targeted > 0);
+        assert_eq!(stats.sets_exhausted, stats.sets_targeted);
+        assert_eq!(stats.refined_hits + stats.refined_misses, 0);
+        for r in starved.acfg().refs() {
+            assert_eq!(starved.classification(r.id), off.classification(r.id));
+            match starved.classification(r.id) {
+                Classification::Unclassified => {
+                    assert_eq!(starved.refine_mark(r.id), RefineMark::Examined);
+                }
+                _ => assert_eq!(starved.refine_mark(r.id), RefineMark::Untouched),
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_reanalysis_stays_exact_under_refinement() {
+        use rtpf_isa::InstrKind;
+        // The optimizer's hot path: insert a prefetch, re-analyse
+        // incrementally, and demand bit-identical results to a
+        // from-scratch refined analysis (debug builds also cross-check
+        // inside `reanalyze_after_insert` itself).
+        let cfg = CacheConfig::new(2, 16, 128)
+            .unwrap()
+            .with_policy(ReplacementPolicy::Fifo)
+            .unwrap();
+        let timing = MemTiming::default();
+        let p1 = Shape::seq([Shape::code(6), Shape::loop_(8, Shape::code(12))]).compile("ri");
+        let a1 = WcetAnalysis::analyze(&p1, &cfg, &timing).unwrap();
+
+        let mut p2 = p1.clone();
+        let b0 = p2.entry();
+        let target = p2.block(b0).instrs()[4];
+        p2.insert_instr(b0, 1, InstrKind::Prefetch { target })
+            .unwrap();
+        let anchor = p2.block(b0).instrs()[0];
+        let layout2 = Layout::anchored(&p2, anchor, a1.layout().addr(anchor));
+
+        let inc = a1.reanalyze_after_insert(&p2, layout2.clone()).unwrap();
+        let full = WcetAnalysis::analyze_with_layout(&p2, layout2, &cfg, &timing).unwrap();
+        assert_eq!(inc.tau_w(), full.tau_w());
+        assert_eq!(inc.classification_counts(), full.classification_counts());
+        for r in inc.acfg().refs() {
+            assert_eq!(inc.classification(r.id), full.classification(r.id));
+            assert_eq!(
+                inc.cheap_classification(r.id),
+                full.cheap_classification(r.id)
+            );
+            assert_eq!(inc.refine_mark(r.id), full.refine_mark(r.id));
+        }
+    }
+}
