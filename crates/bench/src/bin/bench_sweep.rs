@@ -30,7 +30,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use rtpf_engine::Grid;
-use rtpf_experiments::{engine_for, paper_configs_for, to_csv, UnitResult};
+use rtpf_experiments::{engine_with_threads, paper_configs_for, to_csv, UnitResult};
 use rtpf_wcet::AnalysisProfile;
 
 const SMOKE_PROGRAMS: [&str; 3] = ["bs", "fft1", "statemate"];
@@ -50,6 +50,12 @@ struct Record {
     units: f64,
     vivu_ms: f64,
     fixpoint_ms: f64,
+    /// Join CPU-time component of the fixpoint (memo misses only; summed
+    /// over solver workers, so it can exceed `fixpoint_ms` wall clock
+    /// under `--threads N`).
+    join_ms: f64,
+    /// Transfer (classify + fold) CPU-time component of the fixpoint.
+    transfer_ms: f64,
     refine_ms: f64,
     ipet_ms: f64,
     relocation_ms: f64,
@@ -57,15 +63,20 @@ struct Record {
     verify_ms: f64,
     simulate_ms: f64,
     energy_ms: f64,
+    /// Figure-5 shrunk-capacity probe stage wall-clock (overlaps the
+    /// phase columns, like `optimize_ms` does).
+    probe_ms: f64,
     /// `Some` only for full runs: recomputed CSV == committed CSV.
     csv_identical: Option<bool>,
 }
 
-const NUM_FIELDS: [&str; 11] = [
+const NUM_FIELDS: [&str; 14] = [
     "wall_ms",
     "units",
     "vivu_ms",
     "fixpoint_ms",
+    "join_ms",
+    "transfer_ms",
     "refine_ms",
     "ipet_ms",
     "relocation_ms",
@@ -73,15 +84,18 @@ const NUM_FIELDS: [&str; 11] = [
     "verify_ms",
     "simulate_ms",
     "energy_ms",
+    "probe_ms",
 ];
 
 impl Record {
-    fn fields(&self) -> [f64; 11] {
+    fn fields(&self) -> [f64; 14] {
         [
             self.wall_ms,
             self.units,
             self.vivu_ms,
             self.fixpoint_ms,
+            self.join_ms,
+            self.transfer_ms,
             self.refine_ms,
             self.ipet_ms,
             self.relocation_ms,
@@ -89,15 +103,18 @@ impl Record {
             self.verify_ms,
             self.simulate_ms,
             self.energy_ms,
+            self.probe_ms,
         ]
     }
 
-    fn fields_mut(&mut self) -> [&mut f64; 11] {
+    fn fields_mut(&mut self) -> [&mut f64; 14] {
         [
             &mut self.wall_ms,
             &mut self.units,
             &mut self.vivu_ms,
             &mut self.fixpoint_ms,
+            &mut self.join_ms,
+            &mut self.transfer_ms,
             &mut self.refine_ms,
             &mut self.ipet_ms,
             &mut self.relocation_ms,
@@ -105,6 +122,7 @@ impl Record {
             &mut self.verify_ms,
             &mut self.simulate_ms,
             &mut self.energy_ms,
+            &mut self.probe_ms,
         ]
     }
 
@@ -129,8 +147,9 @@ impl Record {
         let mut r = Record::default();
         json_num(obj, "wall_ms")?;
         for (name, slot) in NUM_FIELDS.iter().zip(r.fields_mut()) {
-            // Fields added after a baseline was recorded (refine_ms) read
-            // as 0 from older committed files.
+            // Fields added after a baseline was recorded (refine_ms,
+            // join_ms, transfer_ms, probe_ms) read as 0 from older
+            // committed files.
             *slot = json_num(obj, name).unwrap_or(0.0);
         }
         r.csv_identical = json_bool(obj, "csv_identical");
@@ -245,7 +264,7 @@ impl Trajectory {
 /// Runs the grid (full suite, or the smoke slice) exactly the way
 /// `run_sweep` does — one ephemeral engine per unit on the work-stealing
 /// grid — capturing each engine's profile.
-fn measure(smoke: bool) -> Record {
+fn measure(smoke: bool, threads: usize) -> Record {
     let suite: Vec<_> = rtpf_suite::catalog()
         .into_iter()
         .filter(|b| !smoke || SMOKE_PROGRAMS.contains(&b.name))
@@ -265,7 +284,7 @@ fn measure(smoke: bool) -> Record {
     let results: Vec<(UnitResult, AnalysisProfile)> = grid.run(&units, |_, &(pi, ci)| {
         let b = &suite[pi];
         let (k, config) = &configs[ci];
-        let engine = engine_for(*config);
+        let engine = engine_with_threads(*config, threads);
         let unit = engine
             .unit(b.name, k, &b.program)
             .expect("suite programs evaluate");
@@ -292,6 +311,8 @@ fn measure(smoke: bool) -> Record {
         units: units.len() as f64,
         vivu_ms: ms(prof.vivu_ns),
         fixpoint_ms: ms(prof.fixpoint_ns),
+        join_ms: ms(prof.join_ns),
+        transfer_ms: ms(prof.transfer_ns),
         refine_ms: ms(prof.refine_ns),
         ipet_ms: ms(prof.ipet_ns),
         relocation_ms: ms(prof.relocation_ns),
@@ -299,23 +320,28 @@ fn measure(smoke: bool) -> Record {
         verify_ms: ms(prof.verify_ns),
         simulate_ms: ms(prof.simulate_ns),
         energy_ms: ms(prof.energy_ns),
+        probe_ms: ms(prof.probe_ns),
         csv_identical,
     }
 }
 
 fn print_record(label: &str, r: &Record) {
     println!(
-        "{label:<8} wall {:>10.1} ms | fixpoint {:>9.1} | refine {:>6.1} | vivu {:>7.1} | \
-         ipet {:>7.1} | reloc {:>7.1} | optimize {:>9.1} | simulate {:>8.1} | energy {:>6.1}",
+        "{label:<8} wall {:>10.1} ms | fixpoint {:>9.1} (join {:>7.1} + transfer {:>7.1}) | \
+         refine {:>6.1} | vivu {:>7.1} | ipet {:>7.1} | reloc {:>7.1} | optimize {:>9.1} | \
+         simulate {:>8.1} | energy {:>6.1} | probes {:>7.1}",
         r.wall_ms,
         r.fixpoint_ms,
+        r.join_ms,
+        r.transfer_ms,
         r.refine_ms,
         r.vivu_ms,
         r.ipet_ms,
         r.relocation_ms,
         r.optimize_ms,
         r.simulate_ms,
-        r.energy_ms
+        r.energy_ms,
+        r.probe_ms
     );
     if let Some(same) = r.csv_identical {
         println!(
@@ -329,6 +355,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke") || args.iter().any(|a| a == "--check");
     let check = args.iter().any(|a| a == "--check");
+    // Analysis worker threads per unit engine. Defaults to 1: the grid
+    // already runs one worker per core, so per-engine fan-out is only
+    // useful when pinning the grid down (or proving thread-determinism).
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map_or(1, |v| v.parse().expect("--threads takes a number"));
     let record_as = args
         .iter()
         .position(|a| a == "--record")
@@ -347,7 +381,7 @@ fn main() {
             .smoke_after
             .or(traj.smoke_before)
             .expect("--check needs a committed smoke record in results/bench_sweep.json");
-        let fresh = measure(true);
+        let fresh = measure(true, threads);
         print_record("baseline", &baseline);
         print_record("fresh", &fresh);
         let limit = baseline.wall_ms * REGRESSION_FACTOR;
@@ -365,7 +399,7 @@ fn main() {
         return;
     }
 
-    let fresh = measure(smoke);
+    let fresh = measure(smoke, threads);
     let slot = match (smoke, record_as) {
         (false, "before") => &mut traj.full_before,
         (false, _) => &mut traj.full_after,

@@ -10,20 +10,81 @@
 //! paid once.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::{Arc, Mutex};
 
 use crate::{MayState, MustState};
+
+/// Pass-through hasher for keys that are already well-mixed `u64`s —
+/// re-hashing the content hash through SipHash would only add latency.
+#[derive(Default)]
+struct PreHashed(u64);
+
+impl Hasher for PreHashed {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("interner keys are pre-hashed u64s");
+    }
+    fn write_u64(&mut self, x: u64) {
+        self.0 = x;
+    }
+}
 
 /// A must/may abstract state pair as propagated per VIVU context.
 pub type StatePair = (MustState, MayState);
 
+/// Folded 128-bit multiply (the wyhash primitive): one `mulx` mixes two
+/// words completely, and consecutive calls are independent, so the loop
+/// below runs at multiplier throughput instead of a serial mix-chain's
+/// latency.
+#[inline]
+fn mum(a: u64, b: u64) -> u64 {
+    let m = u128::from(a) * u128::from(b);
+    (m as u64) ^ ((m >> 64) as u64)
+}
+
+/// Content hash of a pair over the packed state words. Interning hashes
+/// every state the fixpoint produces and large states run to hundreds of
+/// words, so this is throughput-critical: word pairs fold through
+/// independent [`mum`]s xor-accumulated with a position salt (the salt
+/// keeps chunk order significant; the length seed keeps the must/may
+/// split significant). Collisions are harmless — the bucket compares
+/// full states.
+fn content_hash(pair: &StatePair) -> u64 {
+    const C0: u64 = 0x2d35_8dcc_aa6c_78a5;
+    const C1: u64 = 0x8bb8_4b93_962e_acc9;
+    const STEP: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut acc = mum(
+        pair.0.words().len() as u64 ^ C0,
+        pair.1.words().len() as u64 ^ C1,
+    );
+    let mut salt = 0u64;
+    for words in [pair.0.words(), pair.1.words()] {
+        let mut chunks = words.chunks_exact(2);
+        for c in &mut chunks {
+            salt = salt.wrapping_add(STEP);
+            acc ^= mum(c[0] ^ salt, c[1] ^ C1);
+        }
+        if let [w] = chunks.remainder() {
+            salt = salt.wrapping_add(STEP);
+            acc ^= mum(w ^ salt, C0);
+        }
+    }
+    mum(acc, C0)
+}
+
 /// Content-addressed store of [`StatePair`]s.
 ///
-/// Lookup is by 64-bit content hash with an explicit collision bucket, so
-/// two distinct states that happen to share a hash are still kept apart.
+/// Open-addressed on the 64-bit content hash: each map slot holds one
+/// canonical pair directly (no per-bucket `Vec`), and the astronomically
+/// rare distinct-content hash collision linear-probes to `key + 1`.
+/// Entries are never removed, so probe chains stay valid forever and a
+/// probe can stop at the first vacant slot.
 #[derive(Default, Debug)]
 pub struct StateInterner {
-    buckets: HashMap<u64, Vec<Arc<StatePair>>>,
+    buckets: HashMap<u64, Arc<StatePair>, BuildHasherDefault<PreHashed>>,
     hits: u64,
     fresh: u64,
 }
@@ -33,49 +94,66 @@ impl StateInterner {
         Self::default()
     }
 
-    /// Content hash of a pair: a multiply-rotate mix over the packed state
-    /// words. Interning hashes every state the fixpoint produces, so this
-    /// replaced `DefaultHasher` (SipHash) on the profile; collisions are
-    /// harmless — the bucket compares full states.
-    fn key_of(pair: &StatePair) -> u64 {
-        #[inline]
-        fn mix(h: u64, x: u64) -> u64 {
-            (h.rotate_left(5) ^ x).wrapping_mul(0x517c_c1b7_2722_0a95)
-        }
-        let mut h = 0x9e37_79b9_7f4a_7c15u64;
-        h = mix(h, pair.0.words().len() as u64);
-        for &w in pair.0.words() {
-            h = mix(h, w);
-        }
-        for &w in pair.1.words() {
-            h = mix(h, w);
-        }
-        h
-    }
-
     /// Registers an already-shared pair (e.g. carried over from a previous
     /// analysis) as canonical without touching the hit/fresh counters, so
     /// that recomputed states equal to it resolve to the same allocation.
     pub fn seed(&mut self, arc: &Arc<StatePair>) {
-        let bucket = self.buckets.entry(Self::key_of(arc)).or_default();
-        if !bucket.iter().any(|p| Arc::ptr_eq(p, arc) || **p == **arc) {
-            bucket.push(Arc::clone(arc));
+        let mut key = content_hash(arc);
+        loop {
+            match self.buckets.get(&key) {
+                Some(p) if Arc::ptr_eq(p, arc) || **p == **arc => return,
+                Some(_) => key = key.wrapping_add(1),
+                None => {
+                    self.buckets.insert(key, Arc::clone(arc));
+                    return;
+                }
+            }
         }
     }
 
     /// Returns the canonical `Arc` for `pair`, allocating only if no equal
     /// pair has been interned before.
     pub fn intern(&mut self, pair: StatePair) -> Arc<StatePair> {
-        let key = Self::key_of(&pair);
-        let bucket = self.buckets.entry(key).or_default();
-        if let Some(existing) = bucket.iter().find(|p| ***p == pair) {
-            self.hits += 1;
-            return Arc::clone(existing);
+        let mut key = content_hash(&pair);
+        loop {
+            match self.buckets.get(&key) {
+                Some(p) if **p == pair => {
+                    self.hits += 1;
+                    return Arc::clone(p);
+                }
+                Some(_) => key = key.wrapping_add(1),
+                None => {
+                    self.fresh += 1;
+                    let arc = Arc::new(pair);
+                    self.buckets.insert(key, Arc::clone(&arc));
+                    return arc;
+                }
+            }
         }
-        self.fresh += 1;
-        let arc = Arc::new(pair);
-        bucket.push(Arc::clone(&arc));
-        arc
+    }
+
+    /// [`intern`](StateInterner::intern) for a borrowed pair, with the
+    /// content hash precomputed by the caller: clones `pair` only when no
+    /// equal pair exists yet (the clone allocates exactly `len`, so
+    /// oversized scratch capacity is not carried into the store). Returns
+    /// the canonical `Arc` and whether it was freshly allocated.
+    fn intern_ref_hashed(&mut self, key: u64, pair: &StatePair) -> (Arc<StatePair>, bool) {
+        let mut key = key;
+        loop {
+            match self.buckets.get(&key) {
+                Some(p) if **p == *pair => {
+                    self.hits += 1;
+                    return (Arc::clone(p), false);
+                }
+                Some(_) => key = key.wrapping_add(1),
+                None => {
+                    self.fresh += 1;
+                    let arc = Arc::new(pair.clone());
+                    self.buckets.insert(key, Arc::clone(&arc));
+                    return (arc, true);
+                }
+            }
+        }
     }
 
     /// Number of `intern` calls answered from the store.
@@ -86,6 +164,63 @@ impl StateInterner {
     /// Number of `intern` calls that allocated a new canonical pair.
     pub fn fresh(&self) -> u64 {
         self.fresh
+    }
+}
+
+/// Number of independently locked shards in a [`SharedInterner`]. A power
+/// of two so the shard index is a shift of the (well-mixed) content hash.
+const SHARDS: usize = 16;
+
+/// A concurrency-safe [`StateInterner`], sharded by content hash.
+///
+/// The parallel classify fixpoint interns out-states from every worker
+/// thread; one global lock would serialize exactly the hot path the
+/// SCC-DAG scheduling parallelizes. Each shard owns a disjoint slice of
+/// the hash space behind its own mutex, and a shard's lock is held across
+/// the whole check-then-insert, so content-equal pairs always resolve to
+/// one canonical `Arc` — the invariant the pointer-keyed evaluation memo
+/// depends on — no matter how many threads race.
+#[derive(Default, Debug)]
+pub struct SharedInterner {
+    shards: [Mutex<StateInterner>; SHARDS],
+}
+
+impl SharedInterner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The content hash is multiply-mixed, so its high bits spread best.
+    #[inline]
+    fn shard_of(hash: u64) -> usize {
+        (hash >> 60) as usize & (SHARDS - 1)
+    }
+
+    /// Returns the canonical `Arc` for `pair` and whether it was freshly
+    /// allocated, cloning `pair` only on a miss.
+    pub fn intern_ref(&self, pair: &StatePair) -> (Arc<StatePair>, bool) {
+        let hash = content_hash(pair);
+        self.shards[Self::shard_of(hash)]
+            .lock()
+            .expect("interner shard poisoned")
+            .intern_ref_hashed(hash, pair)
+    }
+
+    /// Total intern calls answered from the store, across shards.
+    pub fn hits(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("interner shard poisoned").hits())
+            .sum()
+    }
+
+    /// Total intern calls that allocated a new canonical pair, across
+    /// shards.
+    pub fn fresh(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("interner shard poisoned").fresh())
+            .sum()
     }
 }
 
@@ -114,6 +249,27 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(it.hits(), 1);
         assert_eq!(it.fresh(), 1);
+    }
+
+    #[test]
+    fn shared_interner_resolves_equal_pairs_across_threads() {
+        let it = SharedInterner::new();
+        let canon: Vec<Arc<StatePair>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| it.intern_ref(&pair(&[1, 2, 3])).0))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for a in &canon {
+            assert!(Arc::ptr_eq(a, &canon[0]), "racy intern split the canon");
+        }
+        assert_eq!(it.fresh(), 1);
+        assert_eq!(it.hits(), 3);
+        // A content-distinct pair gets its own allocation.
+        let (other, fresh) = it.intern_ref(&pair(&[4]));
+        assert!(fresh);
+        assert!(!Arc::ptr_eq(&other, &canon[0]));
+        assert_eq!(it.fresh(), 2);
     }
 
     #[test]

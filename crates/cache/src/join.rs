@@ -1,0 +1,273 @@
+//! Allocation-lean k-way joins over packed state pairs.
+//!
+//! The classify fixpoint joins the out-states of all computed predecessors
+//! before walking a node's references. Folding pairwise
+//! (`clone` + `join` per extra predecessor) allocates one fresh word
+//! vector per step; this module merges all `k` inputs in a single pass
+//! into a caller-owned scratch [`StatePair`], so a node evaluation
+//! performs zero join allocations regardless of fan-in.
+//!
+//! The merges are exact restatements of the binary joins of
+//! [`MustState::join`](crate::MustState::join) and
+//! [`MayState::join`](crate::MayState::join), which are associative and
+//! commutative on the packed-word encoding:
+//!
+//! * **must** — a key survives iff it is present in *every* input, at the
+//!   word-wise maximum (equal keys share all high lanes, so the `u64` max
+//!   is the same block at its maximal age);
+//! * **may** — the union of all keys, at the word-wise minimum (minimal
+//!   age).
+//!
+//! A k-ary merge of sorted word vectors therefore produces bit-identical
+//! words to any pairwise fold order.
+
+use std::sync::Arc;
+
+use crate::intern::StatePair;
+use crate::packed;
+
+/// Joins the must/may pairs in `ins` into `dst`, overwriting its words.
+///
+/// `dst` carries the geometry (it is typically cloned once per solver from
+/// the [`crate::no_info`] sentinel); only its word vectors are rewritten,
+/// and their capacity is reused across calls. `cursors` is merge scratch,
+/// likewise reused. With no inputs `dst` becomes the no-information pair;
+/// with one input it becomes a copy of it — matching the fixpoint's
+/// semantics for predecessor-less and single-predecessor nodes.
+pub fn join_pairs_into(dst: &mut StatePair, ins: &[Arc<StatePair>], cursors: &mut Vec<usize>) {
+    match ins {
+        [] => {
+            dst.0.words_mut().clear();
+            dst.1.words_mut().clear();
+        }
+        [one] => {
+            copy_words(dst.0.words_mut(), one.0.words());
+            copy_words(dst.1.words_mut(), one.1.words());
+        }
+        [a, b] => {
+            // Two-input joins dominate real CFGs (diamond merges, loop
+            // headers); dedicated two-pointer merges skip the cursor
+            // machinery, and identical sides — the steady state at a
+            // converged fixpoint — reduce to one vectorized compare plus
+            // a copy.
+            must_merge2(dst.0.words_mut(), a.0.words(), b.0.words());
+            may_merge2(dst.1.words_mut(), a.1.words(), b.1.words());
+        }
+        _ => {
+            must_merge(dst, ins, cursors);
+            may_merge(dst, ins, cursors);
+        }
+    }
+}
+
+/// Binary must join into `out`: intersection at the word-wise maximum.
+fn must_merge2(out: &mut Vec<u64>, a: &[u64], b: &[u64]) {
+    if a == b {
+        copy_words(out, a);
+        return;
+    }
+    out.clear();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let (wa, wb) = (a[i], b[j]);
+        match packed::key_of(wa).cmp(&packed::key_of(wb)) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(wa.max(wb));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Binary may join into `out`: union at the word-wise minimum.
+fn may_merge2(out: &mut Vec<u64>, a: &[u64], b: &[u64]) {
+    if a == b {
+        copy_words(out, a);
+        return;
+    }
+    out.clear();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let (wa, wb) = (a[i], b[j]);
+        match packed::key_of(wa).cmp(&packed::key_of(wb)) {
+            std::cmp::Ordering::Less => {
+                out.push(wa);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(wb);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(wa.min(wb));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
+fn copy_words(dst: &mut Vec<u64>, src: &[u64]) {
+    dst.clear();
+    dst.extend_from_slice(src);
+}
+
+/// Intersection at maximal age: emit a key only when every input's cursor
+/// can be advanced onto it.
+fn must_merge(dst: &mut StatePair, ins: &[Arc<StatePair>], cur: &mut Vec<usize>) {
+    cur.clear();
+    cur.resize(ins.len(), 0);
+    let out = dst.0.words_mut();
+    out.clear();
+    'merge: loop {
+        // Candidate: the largest current key. Any exhausted input ends the
+        // intersection.
+        let mut cand = 0u64;
+        for (c, p) in cur.iter().zip(ins) {
+            let Some(&w) = p.0.words().get(*c) else {
+                break 'merge;
+            };
+            cand = cand.max(packed::key_of(w));
+        }
+        // Advance every cursor to the first key >= the candidate. If all
+        // land exactly on it the key is common; otherwise the next round's
+        // larger candidate retries.
+        let mut word = 0u64;
+        let mut common = true;
+        for (c, p) in cur.iter_mut().zip(ins) {
+            let words = p.0.words();
+            while *c < words.len() && packed::key_of(words[*c]) < cand {
+                *c += 1;
+            }
+            let Some(&w) = words.get(*c) else {
+                break 'merge;
+            };
+            if packed::key_of(w) == cand {
+                word = word.max(w);
+            } else {
+                common = false;
+            }
+        }
+        if common {
+            out.push(word);
+            for c in cur.iter_mut() {
+                *c += 1;
+            }
+        }
+    }
+}
+
+/// Union at minimal age: emit the smallest current key each round, folding
+/// every input positioned on it.
+fn may_merge(dst: &mut StatePair, ins: &[Arc<StatePair>], cur: &mut Vec<usize>) {
+    cur.clear();
+    cur.resize(ins.len(), 0);
+    let out = dst.1.words_mut();
+    out.clear();
+    loop {
+        let mut cand: Option<u64> = None;
+        for (c, p) in cur.iter().zip(ins) {
+            if let Some(&w) = p.1.words().get(*c) {
+                let k = packed::key_of(w);
+                cand = Some(cand.map_or(k, |b| b.min(k)));
+            }
+        }
+        let Some(cand) = cand else {
+            break;
+        };
+        let mut word = u64::MAX;
+        for (c, p) in cur.iter_mut().zip(ins) {
+            if let Some(&w) = p.1.words().get(*c) {
+                if packed::key_of(w) == cand {
+                    word = word.min(w);
+                    *c += 1;
+                }
+            }
+        }
+        out.push(word);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{no_info, CacheConfig, ReplacementPolicy};
+    use rtpf_isa::MemBlockId;
+
+    fn pair(config: &CacheConfig, blocks: &[u64]) -> Arc<StatePair> {
+        let mut p = no_info(config);
+        for &b in blocks {
+            p.0.update(MemBlockId(b));
+            p.1.update(MemBlockId(b));
+        }
+        Arc::new(p)
+    }
+
+    /// The k-way merge must equal a pairwise fold in any order.
+    fn fold(ins: &[Arc<StatePair>], seed: &StatePair) -> StatePair {
+        match ins.split_first() {
+            None => seed.clone(),
+            Some((first, rest)) => {
+                let mut acc = (**first).clone();
+                for p in rest {
+                    acc.0 = acc.0.join(&p.0);
+                    acc.1 = acc.1.join(&p.1);
+                }
+                acc
+            }
+        }
+    }
+
+    #[test]
+    fn kway_join_matches_pairwise_fold() {
+        let lru = CacheConfig::new(2, 16, 64).unwrap();
+        let fifo = lru.with_policy(ReplacementPolicy::Fifo).unwrap();
+        for config in [lru, fifo] {
+            let seed = no_info(&config);
+            let inputs: Vec<Vec<u64>> = vec![
+                vec![],
+                vec![1, 2],
+                vec![2, 1],
+                vec![1, 2, 3, 4],
+                vec![5, 6, 1],
+                vec![2, 4, 6, 8, 10],
+            ];
+            let pairs: Vec<Arc<StatePair>> = inputs.iter().map(|b| pair(&config, b)).collect();
+            let mut cursors = Vec::new();
+            // Every prefix with >= 0 inputs, plus a permuted triple.
+            for k in 0..=pairs.len() {
+                let ins = &pairs[..k];
+                let mut dst = seed.clone();
+                join_pairs_into(&mut dst, ins, &mut cursors);
+                assert_eq!(dst, fold(ins, &seed), "k = {k} under {config}");
+            }
+            let permuted = [
+                Arc::clone(&pairs[3]),
+                Arc::clone(&pairs[1]),
+                Arc::clone(&pairs[4]),
+            ];
+            let mut dst = seed.clone();
+            join_pairs_into(&mut dst, &permuted, &mut cursors);
+            assert_eq!(dst, fold(&permuted, &seed));
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_overwrites_stale_words() {
+        let config = CacheConfig::new(2, 16, 64).unwrap();
+        let seed = no_info(&config);
+        let mut dst = seed.clone();
+        let mut cursors = Vec::new();
+        let big = [pair(&config, &[1, 2, 3, 4, 5, 6])];
+        join_pairs_into(&mut dst, &big, &mut cursors);
+        assert!(!dst.0.is_empty());
+        // A later empty join must fully clear the previous content.
+        join_pairs_into(&mut dst, &[], &mut cursors);
+        assert_eq!(dst, seed);
+    }
+}

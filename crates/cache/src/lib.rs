@@ -50,6 +50,7 @@ pub mod classify;
 pub mod concrete;
 pub mod config;
 pub mod intern;
+pub mod join;
 #[cfg(any(test, feature = "legacy-oracle"))]
 pub mod legacy;
 pub mod may;
@@ -63,7 +64,8 @@ pub mod timing;
 pub use classify::Classification;
 pub use concrete::{AccessOutcome, ConcreteState};
 pub use config::{CacheConfig, ConfigError};
-pub use intern::{StateInterner, StatePair};
+pub use intern::{SharedInterner, StateInterner, StatePair};
+pub use join::join_pairs_into;
 pub use may::MayState;
 pub use must::MustState;
 pub use persistence::PersistenceState;

@@ -70,6 +70,14 @@ impl MayState {
         &self.words
     }
 
+    /// Mutable access to the packed words, for the k-way merge in
+    /// [`crate::join`] (which writes merged words into a reusable scratch
+    /// state instead of allocating per join).
+    #[inline]
+    pub(crate) fn words_mut(&mut self) -> &mut Vec<u64> {
+        &mut self.words
+    }
+
     /// Minimal age of `block`, if it might be cached.
     pub fn age(&self, block: MemBlockId) -> Option<u32> {
         if block.0 > packed::BLOCK_MASK {
@@ -105,37 +113,93 @@ impl MayState {
     /// blocks aging past the (effective) associativity are definitely
     /// evicted. In an unbounded domain nothing ever ages out: the update
     /// only records that the block may now be cached.
+    #[inline]
     pub fn update(&mut self, block: MemBlockId) {
+        self.update_classify(block);
+    }
+
+    /// [`update`](MayState::update) fused with the possibly-cached query:
+    /// applies the update and returns whether `block` might have been
+    /// cached *before* it — the answer [`contains`](MayState::contains)
+    /// would have given (`false` classifies the reference always-miss) —
+    /// from the same binary search, so the fixpoint's classify-then-fold
+    /// walk pays one lookup instead of two.
+    pub fn update_classify(&mut self, block: MemBlockId) -> bool {
         let key = packed::sort_key(self.n_sets, block.0);
         if self.assoc == ReplacementPolicy::UNBOUNDED {
-            if let Err(pos) = packed::find(&self.words, key) {
-                self.words.insert(pos, key << packed::AGE_BITS);
-            }
-            return;
+            return match packed::find(&self.words, key) {
+                Ok(_) => true,
+                Err(pos) => {
+                    self.words.insert(pos, key << packed::AGE_BITS);
+                    false
+                }
+            };
         }
         let set_mask = u64::from(self.n_sets) - 1;
         let set = block.0 & set_mask;
         let assoc = u64::from(self.assoc);
-        let pos = packed::find(&self.words, key);
-        // On a hit at age h blocks with age ≤ h age by one; on a miss every
-        // same-set block does. Either way, reaching the associativity means
-        // definite eviction.
-        let bump_max = match pos {
-            Ok(i) => self.words[i] & packed::AGE_MASK,
-            Err(_) => assoc - 1,
-        };
-        let (lo, hi) = packed::group_range(&self.words, key, pos);
-        let mut w = lo;
-        for r in lo..hi {
-            let word = self.words[r];
-            if packed::key_of(word) == key {
-                continue; // reinserted at age 0 below
+        match packed::find(&self.words, key) {
+            Ok(i) => {
+                // Hit at minimal age h: same-set blocks with age ≤ h move
+                // one step older; one of them can reach the associativity
+                // (age == h == assoc-1) and drop out, so the rewrite lags —
+                // but the common no-eviction case stays fully in place.
+                let bump_max = self.words[i] & packed::AGE_MASK;
+                let (lo, hi) = packed::group_range(&self.words, key, Ok(i));
+                let mut w = lo;
+                for r in lo..hi {
+                    let word = self.words[r];
+                    if r == i {
+                        // The refreshed block re-enters at age 0; the sort
+                        // key ignores the age lane, so its slot is stable.
+                        self.words[w] = key << packed::AGE_BITS;
+                        w += 1;
+                        continue;
+                    }
+                    let age = word & packed::AGE_MASK;
+                    // Group runs may mix sets if groups collide (> 2^20
+                    // sets); re-check the exact set from the block id.
+                    if packed::block_of(word) & set_mask == set && age <= bump_max {
+                        if age + 1 >= assoc {
+                            continue; // definitely evicted
+                        }
+                        self.words[w] = word + 1;
+                    } else {
+                        self.words[w] = word;
+                    }
+                    w += 1;
+                }
+                if w < hi {
+                    self.words.copy_within(hi.., w);
+                    self.words.truncate(self.words.len() - (hi - w));
+                }
+                true
             }
-            let age = word & packed::AGE_MASK;
-            // Group runs may mix sets if groups collide (> 2^20 sets);
-            // re-check the exact set from the block id.
-            if packed::block_of(word) & set_mask == set && age <= bump_max {
-                if age + 1 >= assoc {
+            Err(ins) => {
+                // Miss: every same-set block ages (bump_max = assoc-1
+                // covers all stored ages) and may be definitely evicted.
+                self.miss_update(key, set, set_mask, assoc, ins);
+                false
+            }
+        }
+    }
+
+    /// Compact-bumps run words in `[start, hi)` down to `w` — aging
+    /// same-set words, dropping those that reach `assoc` — then closes the
+    /// remaining gap against the state tail (at most one tail move).
+    fn compact_tail(
+        &mut self,
+        start: usize,
+        hi: usize,
+        mut w: usize,
+        set: u64,
+        set_mask: u64,
+        assoc: u64,
+    ) {
+        for r in start..hi {
+            let word = self.words[r];
+            if packed::block_of(word) & set_mask == set {
+                if (word & packed::AGE_MASK) + 1 >= assoc {
                     continue; // definitely evicted
                 }
                 self.words[w] = word + 1;
@@ -148,8 +212,55 @@ impl MayState {
             self.words.copy_within(hi.., w);
             self.words.truncate(self.words.len() - (hi - w));
         }
-        let ins = packed::find(&self.words, key).unwrap_err();
-        self.words.insert(ins, key << packed::AGE_BITS);
+    }
+
+    /// The miss half of [`update_classify`](MayState::update_classify):
+    /// ages the whole set run, drops what reaches `assoc`, and inserts the
+    /// referenced block at age 0 — reusing the first dropped slot so the
+    /// common saturated-set case never moves the state tail.
+    fn miss_update(&mut self, key: u64, set: u64, set_mask: u64, assoc: u64, ins: usize) {
+        let (lo, hi) = packed::group_range(&self.words, key, Err(ins));
+        // Compact-bump the run prefix before the insertion point; a
+        // removal there opens the slot the new word needs.
+        let mut w = lo;
+        for r in lo..ins {
+            let word = self.words[r];
+            if packed::block_of(word) & set_mask == set {
+                if (word & packed::AGE_MASK) + 1 >= assoc {
+                    continue;
+                }
+                self.words[w] = word + 1;
+            } else {
+                self.words[w] = word;
+            }
+            w += 1;
+        }
+        let new_word = key << packed::AGE_BITS;
+        if w < ins {
+            self.words[w] = new_word;
+            self.compact_tail(ins, hi, w + 1, set, set_mask, assoc);
+            return;
+        }
+        // No slot opened yet: shift the run suffix right with a carry
+        // until the first removal absorbs it; only if nothing ages out
+        // does the insertion move the tail.
+        let mut carry = new_word;
+        for r in ins..hi {
+            let word = self.words[r];
+            if packed::block_of(word) & set_mask == set {
+                if (word & packed::AGE_MASK) + 1 >= assoc {
+                    self.words[r] = carry;
+                    self.compact_tail(r + 1, hi, r + 1, set, set_mask, assoc);
+                    return;
+                }
+                self.words[r] = carry;
+                carry = word + 1;
+            } else {
+                self.words[r] = carry;
+                carry = word;
+            }
+        }
+        self.words.insert(hi, carry);
     }
 
     /// May join: union of both sides, keeping the *minimal* age. Identical

@@ -101,6 +101,14 @@ impl MustState {
         &self.words
     }
 
+    /// Mutable access to the packed words, for the k-way merge in
+    /// [`crate::join`] (which writes merged words into a reusable scratch
+    /// state instead of allocating per join).
+    #[inline]
+    pub(crate) fn words_mut(&mut self) -> &mut Vec<u64> {
+        &mut self.words
+    }
+
     /// Maximal age of `block`, if it is guaranteed cached.
     pub fn age(&self, block: MemBlockId) -> Option<u32> {
         if block.0 > packed::BLOCK_MASK {
@@ -122,31 +130,67 @@ impl MustState {
     /// younger blocks age by one; blocks aging past the associativity are
     /// no longer guaranteed cached. Only the referenced block's set run is
     /// scanned; the rest of the state is untouched.
+    #[inline]
     pub fn update(&mut self, block: MemBlockId) {
+        self.update_classify(block);
+    }
+
+    /// [`update`](MustState::update) fused with the always-hit query:
+    /// applies the update and returns whether `block` was guaranteed
+    /// cached *before* it — the answer [`contains`](MustState::contains)
+    /// would have given — from the same binary search, so the fixpoint's
+    /// classify-then-fold walk pays one lookup instead of two.
+    pub fn update_classify(&mut self, block: MemBlockId) -> bool {
         let key = packed::sort_key(self.n_sets, block.0);
         let set_mask = u64::from(self.n_sets) - 1;
         let set = block.0 & set_mask;
         let assoc = u64::from(self.assoc);
-        let pos = packed::find(&self.words, key);
-        // On a hit at age h only blocks younger than h age (and stay below
-        // the associativity); on a miss every same-set block ages and may
-        // fall out of the guarantee.
-        let cutoff = match pos {
-            Ok(i) => self.words[i] & packed::AGE_MASK,
-            Err(_) => assoc,
-        };
-        let (lo, hi) = packed::group_range(&self.words, key, pos);
-        let mut w = lo;
-        for r in lo..hi {
-            let word = self.words[r];
-            if packed::key_of(word) == key {
-                continue; // reinserted at age 0 below
+        match packed::find(&self.words, key) {
+            Ok(i) => {
+                // Hit at age h: only blocks strictly younger than h age,
+                // to at most h < assoc — nothing falls out of the
+                // guarantee, and the refreshed block keeps its slot (the
+                // sort key ignores the age lane), so the whole rewrite is
+                // in place with no insertion or tail move.
+                let cutoff = self.words[i] & packed::AGE_MASK;
+                let (lo, hi) = packed::group_range(&self.words, key, Ok(i));
+                for r in lo..hi {
+                    let word = self.words[r];
+                    let age = word & packed::AGE_MASK;
+                    // The group run may mix sets if groups collide
+                    // (> 2^20 sets); re-check the set from the block id.
+                    if r != i && packed::block_of(word) & set_mask == set && age < cutoff {
+                        self.words[r] = word + 1;
+                    }
+                }
+                self.words[i] = key << packed::AGE_BITS;
+                true
             }
-            let age = word & packed::AGE_MASK;
-            // The group run may mix sets if groups collide (> 2^20 sets);
-            // re-check the exact set from the block id.
-            if packed::block_of(word) & set_mask == set && age < cutoff {
-                if age + 1 >= assoc {
+            Err(ins) => {
+                // Miss: every same-set block ages (cutoff = assoc) and may
+                // fall out of the guarantee.
+                self.miss_update(key, set, set_mask, assoc, ins);
+                false
+            }
+        }
+    }
+
+    /// Compact-bumps run words in `[start, hi)` down to `w` — aging
+    /// same-set words, dropping those that reach `assoc` — then closes the
+    /// remaining gap against the state tail (at most one tail move).
+    fn compact_tail(
+        &mut self,
+        start: usize,
+        hi: usize,
+        mut w: usize,
+        set: u64,
+        set_mask: u64,
+        assoc: u64,
+    ) {
+        for r in start..hi {
+            let word = self.words[r];
+            if packed::block_of(word) & set_mask == set {
+                if (word & packed::AGE_MASK) + 1 >= assoc {
                     continue; // aged out of the guarantee
                 }
                 self.words[w] = word + 1;
@@ -159,8 +203,55 @@ impl MustState {
             self.words.copy_within(hi.., w);
             self.words.truncate(self.words.len() - (hi - w));
         }
-        let ins = packed::find(&self.words, key).unwrap_err();
-        self.words.insert(ins, key << packed::AGE_BITS);
+    }
+
+    /// The miss half of [`update_classify`](MustState::update_classify):
+    /// ages the whole set run, drops what reaches `assoc`, and inserts the
+    /// referenced block at age 0 — reusing the first dropped slot so the
+    /// common saturated-set case never moves the state tail.
+    fn miss_update(&mut self, key: u64, set: u64, set_mask: u64, assoc: u64, ins: usize) {
+        let (lo, hi) = packed::group_range(&self.words, key, Err(ins));
+        // Compact-bump the run prefix before the insertion point; a
+        // removal there opens the slot the new word needs.
+        let mut w = lo;
+        for r in lo..ins {
+            let word = self.words[r];
+            if packed::block_of(word) & set_mask == set {
+                if (word & packed::AGE_MASK) + 1 >= assoc {
+                    continue;
+                }
+                self.words[w] = word + 1;
+            } else {
+                self.words[w] = word;
+            }
+            w += 1;
+        }
+        let new_word = key << packed::AGE_BITS;
+        if w < ins {
+            self.words[w] = new_word;
+            self.compact_tail(ins, hi, w + 1, set, set_mask, assoc);
+            return;
+        }
+        // No slot opened yet: shift the run suffix right with a carry
+        // until the first removal absorbs it; only if nothing ages out
+        // does the insertion move the tail.
+        let mut carry = new_word;
+        for r in ins..hi {
+            let word = self.words[r];
+            if packed::block_of(word) & set_mask == set {
+                if (word & packed::AGE_MASK) + 1 >= assoc {
+                    self.words[r] = carry;
+                    self.compact_tail(r + 1, hi, r + 1, set, set_mask, assoc);
+                    return;
+                }
+                self.words[r] = carry;
+                carry = word + 1;
+            } else {
+                self.words[r] = carry;
+                carry = word;
+            }
+        }
+        self.words.insert(hi, carry);
     }
 
     /// Must join (Definition in [8]): keep only blocks present on **both**

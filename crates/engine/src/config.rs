@@ -67,6 +67,11 @@ pub struct EngineConfig {
     /// `OptimizeParams` docs), excluded from the artifact fingerprint.
     incremental: bool,
     verify_workers: usize,
+    /// Worker threads for the classify fixpoint (SCC-DAG scheduling) and
+    /// the per-set refinement fan-out; `0` = one per core. Result-invariant
+    /// like `verify_workers` (DESIGN.md §13), so excluded from the
+    /// fingerprint.
+    threads: usize,
     severity: SeverityConfig,
 }
 
@@ -99,6 +104,7 @@ impl EngineConfig {
             refine: RefineConfig::on(),
             incremental: true,
             verify_workers: 0,
+            threads: 0,
             severity: SeverityConfig::new(),
         }
     }
@@ -195,6 +201,24 @@ impl EngineConfig {
     pub fn with_verify_workers(mut self, workers: usize) -> EngineConfig {
         self.verify_workers = workers;
         self
+    }
+
+    /// Sets the analysis worker-thread count (`0` = one per core). Threads
+    /// drive the classify fixpoint's SCC-DAG scheduler and the per-set
+    /// refinement fan-out; outputs are byte-identical at any count
+    /// (DESIGN.md §13).
+    pub fn with_threads(mut self, threads: usize) -> EngineConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// The analysis worker-thread count with `0` resolved to one per core.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        }
     }
 
     /// Sets the audit severity policy.
@@ -365,8 +389,8 @@ impl EngineConfig {
 
     /// Content hash of everything that can influence a computed artifact.
     ///
-    /// `incremental` and `verify_workers` are excluded: both are proven
-    /// result-invariant (see `OptimizeParams`), so keying on them would
+    /// `incremental`, `verify_workers`, and `threads` are excluded: all are
+    /// proven result-invariant (see `OptimizeParams` and DESIGN.md §13), so keying on them would
     /// only invalidate caches spuriously. The severity policy is excluded
     /// because it shapes *reporting* of diagnostics, which are never
     /// cached.
@@ -442,8 +466,14 @@ mod tests {
     #[test]
     fn fingerprint_ignores_result_invariant_knobs() {
         let base = EngineConfig::evaluation(k8());
-        let same = base.clone().with_incremental(false).with_verify_workers(1);
+        let same = base
+            .clone()
+            .with_incremental(false)
+            .with_verify_workers(1)
+            .with_threads(3);
         assert_eq!(base.fingerprint(), same.fingerprint());
+        assert!(same.resolved_threads() == 3);
+        assert!(base.resolved_threads() >= 1);
         let diff = base.clone().with_seed(1);
         assert_ne!(base.fingerprint(), diff.fingerprint());
         let diff = base.clone().with_penalty(99);

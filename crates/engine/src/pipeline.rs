@@ -165,12 +165,13 @@ impl Engine {
         }
         let key = ArtifactKey::new(Stage::Analyze, &[h.finish()]);
         self.store.get_or_compute(key, || {
-            let a = WcetAnalysis::analyze_refined(
+            let a = WcetAnalysis::analyze_parallel(
                 p,
                 layout.clone(),
                 self.config.cache(),
                 &self.config.timing(),
                 self.config.refine(),
+                self.config.resolved_threads(),
             )
             .map_err(EngineError::Analysis)?;
             self.absorb(a.profile());
@@ -179,12 +180,13 @@ impl Engine {
     }
 
     fn compute_analysis(&self, p: &Program) -> Result<WcetAnalysis, EngineError> {
-        let a = WcetAnalysis::analyze_refined(
+        let a = WcetAnalysis::analyze_parallel(
             p,
             rtpf_isa::Layout::of(p),
             self.config.cache(),
             &self.config.timing(),
             self.config.refine(),
+            self.config.resolved_threads(),
         )
         .map_err(EngineError::Analysis)?;
         self.absorb(a.profile());
@@ -418,6 +420,17 @@ impl Engine {
             ])
         };
 
+        // The probe stage wall-clock (both divisors, hits and misses
+        // alike) lands in `probe_ns` — a stage counter overlapping the
+        // phase fields the sub-engines already absorbed above.
+        let t_probe = Instant::now();
+        let half = shrunk(2);
+        let quarter = shrunk(4);
+        self.absorb(&AnalysisProfile {
+            probe_ns: t_probe.elapsed().as_nanos() as u64,
+            ..AnalysisProfile::default()
+        });
+
         Ok(UnitResult {
             program: name.to_string(),
             k: k.to_string(),
@@ -435,8 +448,8 @@ impl Engine {
             instr_opt: sim_opt.mean_instr_executed(),
             energy_orig: e_orig,
             energy_opt: e_opt,
-            half: shrunk(2),
-            quarter: shrunk(4),
+            half,
+            quarter,
         })
     }
 

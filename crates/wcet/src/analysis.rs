@@ -37,6 +37,9 @@ pub struct WcetAnalysis {
     timing: MemTiming,
     hw_next_line: Option<u32>,
     refine: RefineConfig,
+    /// Worker threads for the classify fixpoint and the refinement
+    /// fan-out; inherited by incremental re-analyses of this lineage.
+    threads: usize,
     /// Fingerprint of the analysed program's CFG (blocks, edges, loop
     /// bounds); incremental re-analysis requires it to be unchanged.
     cfg_sig: u64,
@@ -114,7 +117,7 @@ impl WcetAnalysis {
         config: &CacheConfig,
         timing: &MemTiming,
     ) -> Result<Self, AnalysisError> {
-        Self::analyze_full(p, layout, config, timing, None, RefineConfig::default())
+        Self::analyze_full(p, layout, config, timing, None, RefineConfig::default(), 1)
     }
 
     /// [`analyze_with_layout`](WcetAnalysis::analyze_with_layout) with an
@@ -134,7 +137,29 @@ impl WcetAnalysis {
         timing: &MemTiming,
         refine: RefineConfig,
     ) -> Result<Self, AnalysisError> {
-        Self::analyze_full(p, layout, config, timing, None, refine)
+        Self::analyze_full(p, layout, config, timing, None, refine, 1)
+    }
+
+    /// [`analyze_refined`](WcetAnalysis::analyze_refined) solving the
+    /// classify fixpoint's ready SCCs — and the refinement stage's per-set
+    /// explorations — on `threads` scoped worker threads (`1` =
+    /// sequential). Results are bit-identical at any thread count; the
+    /// knob only trades wall-clock for cores. Incremental re-analyses
+    /// derived from this analysis inherit the same thread count.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `p` is structurally invalid or the analysis blows its
+    /// context budget.
+    pub fn analyze_parallel(
+        p: &Program,
+        layout: Layout,
+        config: &CacheConfig,
+        timing: &MemTiming,
+        refine: RefineConfig,
+        threads: usize,
+    ) -> Result<Self, AnalysisError> {
+        Self::analyze_full(p, layout, config, timing, None, refine, threads)
     }
 
     /// Analyses `p` assuming an always-on **next-N-line hardware
@@ -160,9 +185,11 @@ impl WcetAnalysis {
             timing,
             Some(n),
             RefineConfig::default(),
+            1,
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn analyze_full(
         p: &Program,
         layout: Layout,
@@ -170,6 +197,7 @@ impl WcetAnalysis {
         timing: &MemTiming,
         hw_next_line: Option<u32>,
         refine: RefineConfig,
+        threads: usize,
     ) -> Result<Self, AnalysisError> {
         let t0 = Instant::now();
         let vivu = Arc::new(VivuGraph::build(p)?);
@@ -178,8 +206,16 @@ impl WcetAnalysis {
 
         let t1 = Instant::now();
         let cache = Arc::new(AnalysisCache::new());
-        let cls =
-            classify::classify_full_cached(p, &layout, &vivu, &acfg, config, hw_next_line, &cache);
+        let cls = classify::classify_full_cached(
+            p,
+            &layout,
+            &vivu,
+            &acfg,
+            config,
+            hw_next_line,
+            &cache,
+            threads,
+        )?;
         let fixpoint_ns = t1.elapsed().as_nanos() as u64;
 
         Self::finish(
@@ -191,6 +227,7 @@ impl WcetAnalysis {
             timing,
             hw_next_line,
             refine,
+            threads,
             cls,
             cache,
             vivu_ns,
@@ -211,6 +248,7 @@ impl WcetAnalysis {
         timing: &MemTiming,
         hw_next_line: Option<u32>,
         refine: RefineConfig,
+        threads: usize,
         cls: ClassifyResult,
         cache: Arc<AnalysisCache>,
         vivu_ns: u64,
@@ -233,6 +271,7 @@ impl WcetAnalysis {
             &cls.sigs,
             &cls.mem_block,
             &mut class,
+            threads,
         );
         let refine_ns = t_refine.elapsed().as_nanos() as u64;
 
@@ -263,6 +302,8 @@ impl WcetAnalysis {
         let profile = AnalysisProfile {
             vivu_ns,
             fixpoint_ns,
+            join_ns: cls.join_ns,
+            transfer_ns: cls.transfer_ns,
             refine_ns,
             ipet_ns,
             relocation_ns: 0,
@@ -285,6 +326,7 @@ impl WcetAnalysis {
             timing: *timing,
             hw_next_line,
             refine,
+            threads,
             cfg_sig: cfg_signature(p),
             class,
             cheap_class,
@@ -336,6 +378,7 @@ impl WcetAnalysis {
                 &self.timing,
                 self.hw_next_line,
                 self.refine,
+                self.threads,
             );
         }
 
@@ -364,7 +407,8 @@ impl WcetAnalysis {
                 sigs: &self.sigs,
             },
             &self.cache,
-        );
+            self.threads,
+        )?;
         let fixpoint_ns = t1.elapsed().as_nanos() as u64;
 
         let result = Self::finish(
@@ -376,6 +420,7 @@ impl WcetAnalysis {
             &self.timing,
             self.hw_next_line,
             self.refine,
+            self.threads,
             cls,
             Arc::clone(&self.cache),
             vivu_ns,
@@ -392,6 +437,7 @@ impl WcetAnalysis {
                 &self.timing,
                 self.hw_next_line,
                 self.refine,
+                self.threads,
             )?;
             debug_assert_eq!(
                 result.tau_w, full.tau_w,

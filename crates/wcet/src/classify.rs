@@ -14,15 +14,34 @@
 //! into the abstract states at the prefetch point; the insertion criterion
 //! of `rtpf-core` guarantees the latency is hidden on the WCET path.
 //!
+//! # Solver structure
+//!
+//! The dataflow graph (VIVU edges plus restored back edges) is condensed
+//! into its strongly connected components; the condensation is a DAG, and
+//! each SCC is solved to its local fixpoint once all its predecessor SCCs
+//! are done. Inside an SCC the solver runs a *priority worklist*: members
+//! are (re-)evaluated in topological-position order, and a node re-enters
+//! the worklist only when one of its inputs actually changed. Both choices
+//! are pure scheduling: the must fixpoint is the greatest fixpoint of a
+//! monotone system and the may fixpoint the least one, so each is unique
+//! and chaotic iteration reaches it in *any* order — the worklist order
+//! only affects how fast.
+//!
+//! The same uniqueness argument makes the solver parallel: independent
+//! ready SCCs (indegree zero in the remaining condensation DAG) are
+//! handed to a scoped worker pool ([`classify_parallel`], or the
+//! `threads` knob threaded through the engine). Each SCC is still solved
+//! by exactly one worker with a deterministic worklist, and cross-SCC
+//! inputs are published write-once, so the computed states — and every
+//! classification derived from them — are bit-identical at any thread
+//! count.
+//!
 //! # Incremental re-analysis
 //!
 //! [`classify_incremental`] re-runs the fixpoint after a program edit that
 //! preserves the CFG (prefetch insertion never adds blocks or edges). The
-//! must fixpoint is the *greatest* fixpoint of a monotone system and the
-//! may fixpoint the least one, so both are unique; the solver evaluates
-//! the strongly connected components of the dataflow graph (VIVU edges
-//! plus the broken back edges) in condensation order, which makes an
-//! exact change-driven cutoff possible:
+//! solver evaluates the SCCs of the dataflow graph in condensation order,
+//! which makes an exact change-driven cutoff possible:
 //!
 //! * an SCC is **recomputed** (from the same ⊤/⊥ start a from-scratch run
 //!   uses) iff one of its nodes' touched-block signature changed or one of
@@ -40,12 +59,17 @@
 //! the whole-closure alternative would mark nearly everything affected
 //! whenever relocation shifts addresses near the entry.
 
-use std::sync::Arc;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
-use rtpf_cache::{CacheConfig, Classification, StatePair};
+use rtpf_cache::{join_pairs_into, CacheConfig, Classification, StatePair};
 use rtpf_isa::{InstrKind, Layout, MemBlockId, Program};
 
 use crate::acfg::Acfg;
+use crate::error::AnalysisError;
 use crate::memo::{AnalysisCache, NodeEval, NodeSig, Topology};
 use crate::vivu::{NodeId, VivuGraph};
 
@@ -63,7 +87,9 @@ pub struct ClassifyResult {
     /// Touched-block signature per VIVU node (drives the incremental
     /// dirty check and the evaluation memo of the next pass).
     pub sigs: Vec<NodeSig>,
-    /// Number of fixpoint iterations performed (diagnostics).
+    /// Worklist evaluations performed (pops plus singleton solves;
+    /// deterministic across thread counts — the per-SCC worklist order
+    /// is fixed).
     pub iterations: usize,
     /// Node evaluations actually executed (memo misses).
     pub evals: u64,
@@ -76,6 +102,12 @@ pub struct ClassifyResult {
     /// Nodes whose states were recomputed (equals the node count for a
     /// from-scratch run).
     pub nodes_reanalyzed: usize,
+    /// Nanoseconds spent joining predecessor states (memo misses only),
+    /// summed across workers — CPU time, not wall clock, under `threads > 1`.
+    pub join_ns: u64,
+    /// Nanoseconds spent walking references (classify + fold per
+    /// reference), summed across workers like [`join_ns`](Self::join_ns).
+    pub transfer_ns: u64,
 }
 
 /// The parts of a previous classification that seed an incremental run.
@@ -100,7 +132,7 @@ pub fn classify(
     vivu: &VivuGraph,
     acfg: &Acfg,
     config: &CacheConfig,
-) -> ClassifyResult {
+) -> Result<ClassifyResult, AnalysisError> {
     classify_with_hw(p, layout, vivu, acfg, config, None)
 }
 
@@ -122,13 +154,42 @@ pub fn classify_with_hw(
     acfg: &Acfg,
     config: &CacheConfig,
     hw_next_line: Option<u32>,
-) -> ClassifyResult {
+) -> Result<ClassifyResult, AnalysisError> {
     let cache = AnalysisCache::new();
-    run_classify(p, layout, vivu, acfg, config, hw_next_line, None, &cache)
+    run_classify(p, layout, vivu, acfg, config, hw_next_line, None, &cache, 1)
+}
+
+/// [`classify_with_hw`] solving ready SCCs of the condensation DAG on
+/// `threads` scoped worker threads (`1` = in-place sequential). Results
+/// are bit-identical at any thread count; only the eval/memo-hit and
+/// interned/fresh *splits* may shift (their sums stay fixed), because a
+/// racing worker can win the memo slot another would have filled.
+pub fn classify_parallel(
+    p: &Program,
+    layout: &Layout,
+    vivu: &VivuGraph,
+    acfg: &Acfg,
+    config: &CacheConfig,
+    hw_next_line: Option<u32>,
+    threads: usize,
+) -> Result<ClassifyResult, AnalysisError> {
+    let cache = AnalysisCache::new();
+    run_classify(
+        p,
+        layout,
+        vivu,
+        acfg,
+        config,
+        hw_next_line,
+        None,
+        &cache,
+        threads,
+    )
 }
 
 /// [`classify_with_hw`] recording its evaluations into a caller-provided
 /// lineage cache, so later incremental passes can reuse them.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn classify_full_cached(
     p: &Program,
     layout: &Layout,
@@ -137,8 +198,19 @@ pub(crate) fn classify_full_cached(
     config: &CacheConfig,
     hw_next_line: Option<u32>,
     cache: &AnalysisCache,
-) -> ClassifyResult {
-    run_classify(p, layout, vivu, acfg, config, hw_next_line, None, cache)
+    threads: usize,
+) -> Result<ClassifyResult, AnalysisError> {
+    run_classify(
+        p,
+        layout,
+        vivu,
+        acfg,
+        config,
+        hw_next_line,
+        None,
+        cache,
+        threads,
+    )
 }
 
 /// Re-classifies after a CFG-preserving program edit, recomputing only the
@@ -156,7 +228,8 @@ pub fn classify_incremental(
     hw_next_line: Option<u32>,
     prev: PrevPass<'_>,
     cache: &AnalysisCache,
-) -> ClassifyResult {
+    threads: usize,
+) -> Result<ClassifyResult, AnalysisError> {
     run_classify(
         p,
         layout,
@@ -166,6 +239,7 @@ pub fn classify_incremental(
         hw_next_line,
         Some(prev),
         cache,
+        threads,
     )
 }
 
@@ -174,20 +248,23 @@ pub fn classify_incremental(
 /// determines the node's transfer function entirely (hardware next-line
 /// folds depend only on the fetched block). Reuses the caller's scratch
 /// buffer so a classify pass allocates no per-node signature vectors.
+/// `block_shift` is `log2(block_bytes)` — block sizes are validated powers
+/// of two, and this runs for every reference of every pass, so the
+/// address-to-block map is a shift rather than a 64-bit division.
 fn fill_node_sig(
     p: &Program,
     layout: &Layout,
     acfg: &Acfg,
-    block_bytes: u32,
+    block_shift: u32,
     nid: NodeId,
     buf: &mut Vec<(MemBlockId, Option<MemBlockId>)>,
 ) {
     buf.clear();
     for &r in acfg.refs_of_node(nid) {
         let reference = acfg.reference(r);
-        let own = layout.block_of(reference.instr, block_bytes);
+        let own = MemBlockId(layout.addr(reference.instr) >> block_shift);
         let pf = match p.instr(reference.instr).kind {
-            InstrKind::Prefetch { target } => Some(layout.block_of(target, block_bytes)),
+            InstrKind::Prefetch { target } => Some(MemBlockId(layout.addr(target) >> block_shift)),
             _ => None,
         };
         buf.push((own, pf));
@@ -300,6 +377,441 @@ fn build_topology(vivu: &VivuGraph) -> Topology {
     Topology::from_parts(preds, succs, comps)
 }
 
+/// Classifies one reference and applies its fetch to the abstract state —
+/// fused so the classification answers fall out of the update's own
+/// binary searches — including the hardware next-line folds when enabled.
+fn classify_touch(
+    state: &mut StatePair,
+    b: MemBlockId,
+    hw_next_line: Option<u32>,
+) -> Classification {
+    let guaranteed = state.0.update_classify(b);
+    let possible = state.1.update_classify(b);
+    if let Some(n) = hw_next_line {
+        for k in 1..=u64::from(n) {
+            let nb = MemBlockId(b.0 + k);
+            state.0.update(nb);
+            state.1.update(nb);
+        }
+    }
+    if guaranteed {
+        Classification::AlwaysHit
+    } else if !possible {
+        Classification::AlwaysMiss
+    } else {
+        Classification::Unclassified
+    }
+}
+
+/// Everything a worker needs to learn about a node once its component
+/// converged. Published exactly once per node through a `OnceLock`, which
+/// is both the cross-thread synchronization (a successor component reads
+/// its external inputs here) and the proof that no state is ever
+/// published twice.
+struct NodeOutcome {
+    /// Converged (interned) out-state.
+    out: Arc<StatePair>,
+    /// The node's final evaluation; `None` for skipped nodes, whose
+    /// classifications are copied from the previous pass instead.
+    eval: Option<Arc<NodeEval>>,
+    /// Out-state content differs from the previous pass (trivially true
+    /// in a from-scratch run).
+    changed: bool,
+    /// Whether the node was actually re-evaluated this pass.
+    recomputed: bool,
+}
+
+/// Order-independent work counters, owned per worker and summed at the
+/// end. The sums are deterministic at any thread count; only the
+/// evals/memo-hits and interned/fresh *splits* can shift when workers
+/// race for a memo slot.
+#[derive(Clone, Copy, Default)]
+struct Counters {
+    iterations: usize,
+    evals: u64,
+    memo_hits: u64,
+    states_interned: u64,
+    states_fresh: u64,
+    join_ns: u64,
+    transfer_ns: u64,
+}
+
+impl Counters {
+    fn merge(&mut self, o: Counters) {
+        self.iterations += o.iterations;
+        self.evals += o.evals;
+        self.memo_hits += o.memo_hits;
+        self.states_interned += o.states_interned;
+        self.states_fresh += o.states_fresh;
+        self.join_ns += o.join_ns;
+        self.transfer_ns += o.transfer_ns;
+    }
+}
+
+/// Per-worker scratch. All vectors are node-indexed and reused across
+/// every component the worker solves, so a worker's steady-state
+/// allocation rate is zero: joins merge into `work`, signatures and
+/// inputs live in reusable buffers, and the worklist is a bitset plus a
+/// binary heap of component-local indices.
+pub(crate) struct WorkerState {
+    /// Input states of the node under evaluation.
+    ins_buf: Vec<Arc<StatePair>>,
+    /// k-way merge cursors.
+    cursors: Vec<usize>,
+    /// Join destination + reference-walk state; cloned once from the
+    /// no-information sentinel (carries the geometry, empty words).
+    work: StatePair,
+    /// Current out-state per member of the component being solved.
+    local_out: Vec<Option<Arc<StatePair>>>,
+    /// Final evaluation per member of the component being solved.
+    local_eval: Vec<Option<Arc<NodeEval>>>,
+    /// Component-local index (= topological rank within the component).
+    local_idx: Vec<u32>,
+    /// Worklist membership bit per node.
+    pend: Vec<bool>,
+    /// Priority worklist: pops the pending member with the lowest
+    /// topological position first, so straight-line chains inside a loop
+    /// body are swept in order instead of rescanning the whole component.
+    heap: BinaryHeap<Reverse<u32>>,
+    c: Counters,
+}
+
+impl WorkerState {
+    fn new(n: usize, empty: &StatePair) -> WorkerState {
+        WorkerState {
+            ins_buf: Vec::new(),
+            cursors: Vec::new(),
+            work: empty.clone(),
+            local_out: vec![None; n],
+            local_eval: vec![None; n],
+            local_idx: vec![0; n],
+            pend: vec![false; n],
+            heap: BinaryHeap::new(),
+            c: Counters::default(),
+        }
+    }
+
+    /// Fetches a scratch from the lineage pool, falling back to a fresh
+    /// one when the pool is empty or sized for a different graph. A
+    /// successfully finished solve leaves every node-indexed vector in its
+    /// initial state (worklist drained, local slots `take`n), so pooled
+    /// reuse skips the per-pass allocation *and* zero-fill.
+    fn acquire(cache: &AnalysisCache, n: usize, empty: &StatePair) -> WorkerState {
+        match cache.take_scratch() {
+            Some(ws) if ws.local_idx.len() == n => ws,
+            _ => WorkerState::new(n, empty),
+        }
+    }
+
+    /// Returns the scratch to the pool and hands back its counters. Only
+    /// called on clean exits — a worker that errored mid-component drops
+    /// its scratch instead, since the worklist invariants no longer hold.
+    fn release(mut self, cache: &AnalysisCache) -> Counters {
+        let c = self.c;
+        self.c = Counters::default();
+        self.ins_buf.clear();
+        cache.put_scratch(self);
+        c
+    }
+}
+
+/// Read-only solver context shared by every worker.
+struct Shared<'a> {
+    top: &'a Topology,
+    sigs: &'a [NodeSig],
+    cache: &'a AnalysisCache,
+    prev: Option<PrevPass<'a>>,
+    dirty: Option<&'a [bool]>,
+    hw_next_line: Option<u32>,
+    published: &'a [OnceLock<NodeOutcome>],
+}
+
+impl Shared<'_> {
+    fn publish(&self, i: usize, outcome: NodeOutcome) {
+        if self.published[i].set(outcome).is_err() {
+            unreachable!("node {i} published twice — a component was scheduled twice");
+        }
+    }
+
+    fn changed_of(&self, i: usize, new: &Arc<StatePair>) -> bool {
+        match self.prev {
+            Some(pv) => !Arc::ptr_eq(new, &pv.out_states[i]) && **new != *pv.out_states[i],
+            None => true,
+        }
+    }
+
+    /// Evaluates node `i` of component `cid` against its current inputs:
+    /// memo hit, or a real k-way join + per-reference classify/fold.
+    ///
+    /// Must analysis is an intersection-join ("available blocks")
+    /// problem: the sound *and precise* solution is the greatest
+    /// fixpoint, reached by descending from an optimistic start.
+    /// Same-component predecessors whose out-state has not been computed
+    /// yet are therefore *ignored* in the join (treated as ⊤), exactly
+    /// like uninitialized nodes in available-expressions analysis;
+    /// seeding them as "empty cache" would poison every loop with its own
+    /// not-yet-analysed back edge. The may analysis (union join) is
+    /// indifferent: skipping an uncomputed predecessor equals joining
+    /// with its ∅ bottom. Cross-component predecessors are always
+    /// published before this component is scheduled.
+    fn eval_node(&self, cid: usize, i: usize, ws: &mut WorkerState) -> Arc<NodeEval> {
+        ws.ins_buf.clear();
+        for &pr in self.top.preds(i) {
+            let pr = pr as usize;
+            if self.top.comp_id(pr) == cid {
+                if let Some(a) = &ws.local_out[pr] {
+                    ws.ins_buf.push(Arc::clone(a));
+                }
+            } else {
+                let ext = self.published[pr]
+                    .get()
+                    .expect("external predecessor published before scheduling");
+                ws.ins_buf.push(Arc::clone(&ext.out));
+            }
+        }
+        if let Some(hit) = self.cache.lookup(&self.sigs[i], &ws.ins_buf) {
+            ws.c.memo_hits += 1;
+            return hit;
+        }
+        ws.c.evals += 1;
+        let t_join = Instant::now();
+        join_pairs_into(&mut ws.work, &ws.ins_buf, &mut ws.cursors);
+        let t_walk = Instant::now();
+        ws.c.join_ns += t_walk.duration_since(t_join).as_nanos() as u64;
+        let sig = &self.sigs[i];
+        let mut class = Vec::with_capacity(sig.len());
+        for &(own, pf) in sig.iter() {
+            class.push(classify_touch(&mut ws.work, own, self.hw_next_line));
+            if let Some(tb) = pf {
+                ws.work.0.update(tb);
+                ws.work.1.update(tb);
+            }
+        }
+        ws.c.transfer_ns += t_walk.elapsed().as_nanos() as u64;
+        let (stored, fresh) = self.cache.store(sig, &ws.ins_buf, &ws.work, class);
+        if fresh {
+            ws.c.states_fresh += 1;
+        } else {
+            ws.c.states_interned += 1;
+        }
+        stored
+    }
+
+    /// Solves component `cid` to its local fixpoint and publishes every
+    /// member's outcome. Exactly one worker runs this per component, and
+    /// only after all predecessor components have been published.
+    fn process_comp(&self, cid: usize, ws: &mut WorkerState) -> Result<(), AnalysisError> {
+        let comp = self.top.comp(cid);
+        // Incremental cutoff: skip the whole component when no member's
+        // signature and no external input changed (see module docs).
+        let recompute = match (self.prev, self.dirty) {
+            (Some(_), Some(dirty)) => comp.iter().any(|&i| {
+                let i = i as usize;
+                dirty[i]
+                    || self.top.preds(i).iter().any(|&pr| {
+                        let pr = pr as usize;
+                        self.top.comp_id(pr) != cid
+                            && self.published[pr]
+                                .get()
+                                .expect("external predecessor published before scheduling")
+                                .changed
+                    })
+            }),
+            _ => true,
+        };
+        if !recompute {
+            let pv = self.prev.expect("skipping requires a previous pass");
+            for &i in comp {
+                let i = i as usize;
+                self.publish(
+                    i,
+                    NodeOutcome {
+                        out: Arc::clone(&pv.out_states[i]),
+                        eval: None,
+                        changed: false,
+                        recomputed: false,
+                    },
+                );
+            }
+            return Ok(());
+        }
+        if comp.len() == 1 && !self.top.preds(comp[0] as usize).contains(&comp[0]) {
+            // Acyclic singleton: one evaluation is the exact solution.
+            let i = comp[0] as usize;
+            ws.c.iterations += 1;
+            let ev = self.eval_node(cid, i, ws);
+            let changed = self.changed_of(i, &ev.out);
+            self.publish(
+                i,
+                NodeOutcome {
+                    out: Arc::clone(&ev.out),
+                    eval: Some(ev),
+                    changed,
+                    recomputed: true,
+                },
+            );
+            return Ok(());
+        }
+        // Priority worklist with change-driven re-evaluation: a member is
+        // (re-)evaluated only while one of its inputs may have changed
+        // since its last evaluation. Skipping is exact — re-applying a
+        // transfer to unchanged inputs reproduces the same output — and
+        // chaotic iteration from the extremal start reaches the unique
+        // extremal fixpoint in any order; topological-position priority
+        // just minimizes wasted evaluations against half-updated inputs.
+        debug_assert!(ws.heap.is_empty());
+        for (k, &i) in comp.iter().enumerate() {
+            let i = i as usize;
+            ws.local_idx[i] = k as u32;
+            ws.local_out[i] = None;
+            ws.local_eval[i] = None;
+            ws.pend[i] = true;
+            ws.heap.push(Reverse(k as u32));
+        }
+        // The solver descends a finite lattice, so this guard only trips
+        // on a broken transfer function or join — surfaced as a typed
+        // error instead of a panic.
+        let limit = comp.len().saturating_mul(1_000_000);
+        let mut pops = 0usize;
+        while let Some(Reverse(k)) = ws.heap.pop() {
+            let i = comp[k as usize] as usize;
+            if !ws.pend[i] {
+                continue;
+            }
+            ws.pend[i] = false;
+            pops += 1;
+            if pops > limit {
+                ws.heap.clear();
+                return Err(AnalysisError::FixpointDiverged { iterations: pops });
+            }
+            let ev = self.eval_node(cid, i, ws);
+            let same = ws.local_out[i]
+                .as_ref()
+                .is_some_and(|old| Arc::ptr_eq(old, &ev.out) || **old == *ev.out);
+            if !same {
+                ws.local_out[i] = Some(Arc::clone(&ev.out));
+                for &s in self.top.succs(i) {
+                    let s = s as usize;
+                    if self.top.comp_id(s) == cid && !ws.pend[s] {
+                        ws.pend[s] = true;
+                        ws.heap.push(Reverse(ws.local_idx[s]));
+                    }
+                }
+            }
+            ws.local_eval[i] = Some(ev);
+        }
+        ws.c.iterations += pops;
+        for &i in comp {
+            let i = i as usize;
+            let out = ws.local_out[i]
+                .take()
+                .expect("fixpoint computed every member");
+            let eval = ws.local_eval[i]
+                .take()
+                .expect("fixpoint evaluated every member");
+            let changed = self.changed_of(i, &out);
+            self.publish(
+                i,
+                NodeOutcome {
+                    out,
+                    eval: Some(eval),
+                    changed,
+                    recomputed: true,
+                },
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Runs ready components on `threads` scoped workers. The condensation
+/// DAG is walked with per-component indegree counters: a component enters
+/// the ready queue when its last predecessor completes, so a worker never
+/// reads an unpublished external input.
+fn solve_parallel(
+    shared: &Shared<'_>,
+    n: usize,
+    empty: &StatePair,
+    threads: usize,
+) -> Result<Counters, AnalysisError> {
+    let top = shared.top;
+    let n_comps = top.n_comps();
+    let indeg: Vec<AtomicU32> = (0..n_comps)
+        .map(|c| AtomicU32::new(top.comp_indegree(c)))
+        .collect();
+    let ready: Mutex<VecDeque<u32>> = Mutex::new(
+        (0..n_comps as u32)
+            .filter(|&c| top.comp_indegree(c as usize) == 0)
+            .collect(),
+    );
+    let cvar = Condvar::new();
+    let open = AtomicUsize::new(n_comps);
+    let done = AtomicBool::new(n_comps == 0);
+    let failure: Mutex<Option<AnalysisError>> = Mutex::new(None);
+
+    let mut totals = Counters::default();
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut ws = WorkerState::acquire(shared.cache, n, empty);
+                    loop {
+                        let cid = {
+                            let mut q = ready.lock().expect("scheduler queue poisoned");
+                            loop {
+                                if done.load(Ordering::Acquire) {
+                                    return ws.release(shared.cache);
+                                }
+                                if let Some(c) = q.pop_front() {
+                                    break c;
+                                }
+                                q = cvar.wait(q).expect("scheduler queue poisoned");
+                            }
+                        } as usize;
+                        match shared.process_comp(cid, &mut ws) {
+                            Ok(()) => {
+                                for &sc in top.comp_succs(cid) {
+                                    if indeg[sc as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                        let mut q = ready.lock().expect("scheduler queue poisoned");
+                                        q.push_back(sc);
+                                        cvar.notify_one();
+                                    }
+                                }
+                                if open.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                    // Flip `done` under the queue lock so a
+                                    // worker between its `done` check and
+                                    // `wait` cannot miss the wakeup.
+                                    let _q = ready.lock().expect("scheduler queue poisoned");
+                                    done.store(true, Ordering::Release);
+                                    cvar.notify_all();
+                                }
+                            }
+                            Err(e) => {
+                                let mut f = failure.lock().expect("failure slot poisoned");
+                                if f.is_none() {
+                                    *f = Some(e);
+                                }
+                                drop(f);
+                                let _q = ready.lock().expect("scheduler queue poisoned");
+                                done.store(true, Ordering::Release);
+                                cvar.notify_all();
+                                return ws.c;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            totals.merge(w.join().expect("classify worker panicked"));
+        }
+    });
+    match failure.into_inner().expect("failure slot poisoned") {
+        Some(e) => Err(e),
+        None => Ok(totals),
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_classify(
     p: &Program,
@@ -310,7 +822,8 @@ fn run_classify(
     hw_next_line: Option<u32>,
     prev: Option<PrevPass<'_>>,
     cache: &AnalysisCache,
-) -> ClassifyResult {
+    threads: usize,
+) -> Result<ClassifyResult, AnalysisError> {
     let n = vivu.len();
     // No-information sentinel for predecessor-less nodes. Cloning it is
     // allocation-free (empty packed-word vectors) — see `rtpf_cache::no_info`.
@@ -321,7 +834,7 @@ fn run_classify(
     // built on the first pass.
     let top = cache.topology(|| build_topology(vivu));
 
-    let block_bytes = config.block_bytes();
+    let block_shift = config.block_bytes().trailing_zeros();
     // Canonicalize signatures through the lineage cache: a node whose
     // signature content is unchanged keeps the previous pass's `Arc`
     // (no hashing), everything else is interned so content-equal
@@ -334,7 +847,7 @@ fn run_classify(
         Some(pv) => {
             let mut d = Vec::with_capacity(n);
             for i in 0..n {
-                fill_node_sig(p, layout, acfg, block_bytes, NodeId(i as u32), &mut scratch);
+                fill_node_sig(p, layout, acfg, block_shift, NodeId(i as u32), &mut scratch);
                 if pv.sigs[i].as_slice() == scratch.as_slice() {
                     sigs.push(Arc::clone(&pv.sigs[i]));
                     d.push(false);
@@ -347,179 +860,42 @@ fn run_classify(
         }
         None => {
             for i in 0..n {
-                fill_node_sig(p, layout, acfg, block_bytes, NodeId(i as u32), &mut scratch);
+                fill_node_sig(p, layout, acfg, block_shift, NodeId(i as u32), &mut scratch);
                 sigs.push(cache.intern_sig(&scratch));
             }
             None
         }
     };
-    let touch = |state: &mut StatePair, b: MemBlockId| {
-        state.0.update(b);
-        state.1.update(b);
-        if let Some(n) = hw_next_line {
-            for k in 1..=u64::from(n) {
-                let nb = MemBlockId(b.0 + k);
-                state.0.update(nb);
-                state.1.update(nb);
-            }
-        }
+
+    let published: Vec<OnceLock<NodeOutcome>> = (0..n).map(|_| OnceLock::new()).collect();
+    let shared = Shared {
+        top: &top,
+        sigs: &sigs,
+        cache,
+        prev,
+        dirty: dirty.as_deref(),
+        hw_next_line,
+        published: &published,
     };
 
-    // Fixpoint, solved per strongly connected component in condensation
-    // order (back edges force iteration inside an SCC; its nesting depth
-    // bounds the rounds).
-    //
-    // Must analysis is an intersection-join ("available blocks") problem:
-    // the sound *and precise* solution is the greatest fixpoint, reached
-    // by descending from an optimistic start. Predecessors whose out-state
-    // has not been computed yet are therefore *ignored* in the join
-    // (treated as ⊤), exactly like uninitialized nodes in available-
-    // expressions analysis; seeding them as "empty cache" would poison
-    // every loop with its own not-yet-analysed back edge. The may
-    // analysis (union join) is indifferent: skipping an uncomputed
-    // predecessor equals joining with its ∅ bottom.
-    //
-    // In incremental mode (`prev` set), an SCC whose members' signatures
-    // and external inputs are all unchanged is skipped wholesale — see the
-    // module docs for the exactness argument. Individual evaluations
-    // resolve through the lineage's shared memo, so even a recomputed SCC
-    // costs real state work only where it genuinely diverges from every
-    // analysis seen before.
-    let mut out: Vec<Option<Arc<StatePair>>> = vec![None; n];
-    let mut node_evals: Vec<Option<Arc<NodeEval>>> = vec![None; n];
-    let mut pend = vec![false; n];
-    let mut ins_buf: Vec<Arc<StatePair>> = Vec::new();
-    // `changed[i]`: out-state content differs from the previous pass
-    // (trivially true in a from-scratch run).
-    let mut changed = vec![true; n];
-    let mut recomputed = vec![false; n];
-    let mut iterations = 0usize;
-    let mut evals = 0u64;
-    let mut memo_hits = 0u64;
-    let mut states_interned = 0u64;
-    let mut states_fresh = 0u64;
-    for cid in 0..top.n_comps() {
-        let comp = top.comp(cid);
-        let recompute = match (prev, &dirty) {
-            (Some(_), Some(dirty)) => comp.iter().any(|&i| {
-                let i = i as usize;
-                dirty[i]
-                    || top.preds(i).iter().any(|&pr| {
-                        let pr = pr as usize;
-                        top.comp_id(pr) != cid && changed[pr]
-                    })
-            }),
-            _ => true,
-        };
-        if !recompute {
-            let pv = prev.expect("skipping requires a previous pass");
-            for &i in comp {
-                let i = i as usize;
-                out[i] = Some(Arc::clone(&pv.out_states[i]));
-                changed[i] = false;
-            }
-            continue;
+    // One worker per ready component up to `threads`; a single worker
+    // walks the condensation order in place, with no pool, no atomics
+    // traffic, and the same deterministic per-component worklist.
+    let threads = threads.max(1).min(top.n_comps().max(1));
+    let totals = if threads == 1 {
+        let mut ws = WorkerState::acquire(cache, n, &empty);
+        for cid in 0..top.n_comps() {
+            shared.process_comp(cid, &mut ws)?;
         }
-        // Evaluate node `i` against its current inputs: memo hit, or a
-        // real join + per-reference classify/fold.
-        let mut eval = |i: usize, out: &[Option<Arc<StatePair>>]| -> Arc<NodeEval> {
-            ins_buf.clear();
-            ins_buf.extend(
-                top.preds(i)
-                    .iter()
-                    .filter_map(|&pr| out[pr as usize].clone()),
-            );
-            if let Some(hit) = cache.lookup(&sigs[i], &ins_buf) {
-                memo_hits += 1;
-                return hit;
-            }
-            evals += 1;
-            let mut st = match ins_buf.split_first() {
-                None => empty.clone(),
-                Some((first, rest)) => {
-                    let mut acc = (**first).clone();
-                    for pr in rest {
-                        acc.0 = acc.0.join(&pr.0);
-                        acc.1 = acc.1.join(&pr.1);
-                    }
-                    acc
-                }
-            };
-            let mut class = Vec::with_capacity(sigs[i].len());
-            for &(own, pf) in sigs[i].iter() {
-                class.push(Classification::of(own, &st.0, &st.1));
-                touch(&mut st, own);
-                if let Some(tb) = pf {
-                    st.0.update(tb);
-                    st.1.update(tb);
-                }
-            }
-            let (stored, fresh) = cache.store(&sigs[i], &ins_buf, st, class);
-            if fresh {
-                states_fresh += 1;
-            } else {
-                states_interned += 1;
-            }
-            stored
-        };
-        if comp.len() == 1 && !top.preds(comp[0] as usize).contains(&comp[0]) {
-            // Acyclic singleton: one evaluation is the exact solution.
-            let i = comp[0] as usize;
-            iterations += 1;
-            let ev = eval(i, &out);
-            out[i] = Some(Arc::clone(&ev.out));
-            node_evals[i] = Some(ev);
-        } else {
-            // Chaotic iteration with change-driven re-evaluation: a member
-            // is (re-)evaluated only while one of its inputs may have
-            // changed since its last evaluation. Skipping is exact —
-            // re-applying a transfer to unchanged inputs reproduces the
-            // same output — and chaotic iteration from the extremal start
-            // reaches the unique extremal fixpoint in any order.
-            for &i in comp {
-                pend[i as usize] = true;
-            }
-            loop {
-                iterations += 1;
-                for &i in comp {
-                    let i = i as usize;
-                    if !pend[i] {
-                        continue;
-                    }
-                    pend[i] = false;
-                    let ev = eval(i, &out);
-                    let same = out[i]
-                        .as_ref()
-                        .is_some_and(|old| Arc::ptr_eq(old, &ev.out) || **old == *ev.out);
-                    if !same {
-                        out[i] = Some(Arc::clone(&ev.out));
-                        for &s in top.succs(i) {
-                            let s = s as usize;
-                            if top.comp_id(s) == cid {
-                                pend[s] = true;
-                            }
-                        }
-                    }
-                    node_evals[i] = Some(ev);
-                }
-                if !comp.iter().any(|&i| pend[i as usize]) {
-                    break;
-                }
-                assert!(iterations < 1_000_000, "classification fixpoint diverged");
-            }
-        }
-        for &i in comp {
-            let i = i as usize;
-            recomputed[i] = true;
-            changed[i] = match prev {
-                Some(pv) => {
-                    let new = out[i].as_ref().expect("fixpoint computed every member");
-                    !Arc::ptr_eq(new, &pv.out_states[i]) && **new != *pv.out_states[i]
-                }
-                None => true,
-            };
-        }
-    }
+        ws.release(cache)
+    } else {
+        solve_parallel(&shared, n, &empty, threads)?
+    };
+
+    let outcomes: Vec<NodeOutcome> = published
+        .into_iter()
+        .map(|o| o.into_inner().expect("scheduler published every node"))
+        .collect();
 
     // Final recording pass: recomputed nodes publish the classifications
     // of their converged evaluation; skipped nodes copy the previous
@@ -531,7 +907,8 @@ fn run_classify(
     let mut nodes_reanalyzed = 0usize;
     for &nid in vivu.topo() {
         let i = nid.index();
-        if !recomputed[i] {
+        let oc = &outcomes[i];
+        if !oc.recomputed {
             let prev = prev.expect("skipped nodes exist only in incremental mode");
             for (o, r) in prev
                 .acfg
@@ -546,9 +923,7 @@ fn run_classify(
             continue;
         }
         nodes_reanalyzed += 1;
-        let ev = node_evals[i]
-            .as_ref()
-            .expect("recomputed nodes were evaluated");
+        let ev = oc.eval.as_ref().expect("recomputed nodes were evaluated");
         let refs = acfg.refs_of_node(nid);
         debug_assert_eq!(refs.len(), ev.class.len());
         for ((&r, &cl), &(own, pf)) in refs.iter().zip(&ev.class).zip(sigs[i].iter()) {
@@ -558,24 +933,23 @@ fn run_classify(
         }
     }
 
-    let out_states: Vec<Arc<StatePair>> = out
-        .into_iter()
-        .map(|o| o.expect("fixpoint computed every node"))
-        .collect();
+    let out_states: Vec<Arc<StatePair>> = outcomes.into_iter().map(|o| o.out).collect();
 
-    ClassifyResult {
+    Ok(ClassifyResult {
         class,
         mem_block,
         pf_block,
         out_states,
         sigs,
-        iterations,
-        evals,
-        memo_hits,
-        states_interned,
-        states_fresh,
+        iterations: totals.iterations,
+        evals: totals.evals,
+        memo_hits: totals.memo_hits,
+        states_interned: totals.states_interned,
+        states_fresh: totals.states_fresh,
         nodes_reanalyzed,
-    }
+        join_ns: totals.join_ns,
+        transfer_ns: totals.transfer_ns,
+    })
 }
 
 #[cfg(test)]
@@ -588,7 +962,7 @@ mod tests {
         let layout = Layout::of(&p);
         let v = VivuGraph::build(&p).unwrap();
         let a = Acfg::build(&p, &v);
-        let c = classify(&p, &layout, &v, &a, &config);
+        let c = classify(&p, &layout, &v, &a, &config).unwrap();
         (p, a, c)
     }
 
@@ -615,7 +989,7 @@ mod tests {
         let layout = Layout::of(&p);
         let v = VivuGraph::build(&p).unwrap();
         let a = Acfg::build(&p, &v);
-        let c = classify(&p, &layout, &v, &a, &cfg);
+        let c = classify(&p, &layout, &v, &a, &cfg).unwrap();
         for r in a.refs() {
             let node = v.node(r.node);
             let is_rest = node
@@ -643,7 +1017,7 @@ mod tests {
         let layout = Layout::of(&p);
         let v = VivuGraph::build(&p).unwrap();
         let a = Acfg::build(&p, &v);
-        let c = classify(&p, &layout, &v, &a, &cfg);
+        let c = classify(&p, &layout, &v, &a, &cfg).unwrap();
         let rest_misses = a
             .refs()
             .iter()
@@ -674,7 +1048,7 @@ mod tests {
         let layout = Layout::of(&p);
         let v = VivuGraph::build(&p).unwrap();
         let a = Acfg::build(&p, &v);
-        let c = classify(&p, &layout, &v, &a, &cfg);
+        let c = classify(&p, &layout, &v, &a, &cfg).unwrap();
         // Find the reference fetching `target`.
         let r = a.refs().iter().find(|r| r.instr == target).unwrap();
         assert_eq!(c.class[r.id.index()], Classification::AlwaysHit);
@@ -691,8 +1065,8 @@ mod tests {
         let layout = Layout::of(&p);
         let v = VivuGraph::build(&p).unwrap();
         let a = Acfg::build(&p, &v);
-        let plain = classify(&p, &layout, &v, &a, &cfg);
-        let hw = classify_with_hw(&p, &layout, &v, &a, &cfg, Some(1));
+        let plain = classify(&p, &layout, &v, &a, &cfg).unwrap();
+        let hw = classify_with_hw(&p, &layout, &v, &a, &cfg, Some(1)).unwrap();
         let misses = |c: &ClassifyResult| c.class.iter().filter(|x| x.counts_as_miss()).count();
         assert_eq!(misses(&plain), 8, "32 instrs = 8 cold blocks");
         assert_eq!(misses(&hw), 1, "only the very first block misses");
@@ -721,6 +1095,37 @@ mod tests {
     }
 
     #[test]
+    fn parallel_solve_matches_sequential() {
+        // Non-trivial nesting so the condensation has real width and real
+        // cyclic components; 3 workers must reproduce the 1-worker result
+        // bit for bit.
+        let cfg = CacheConfig::new(2, 16, 128).unwrap();
+        let p = Shape::seq([
+            Shape::code(6),
+            Shape::loop_(
+                8,
+                Shape::seq([Shape::code(4), Shape::loop_(3, Shape::code(6))]),
+            ),
+            Shape::if_else(1, Shape::code(10), Shape::loop_(5, Shape::code(7))),
+            Shape::code(5),
+        ])
+        .compile("par");
+        let layout = Layout::of(&p);
+        let v = VivuGraph::build(&p).unwrap();
+        let a = Acfg::build(&p, &v);
+        let seq = classify_parallel(&p, &layout, &v, &a, &cfg, None, 1).unwrap();
+        let par = classify_parallel(&p, &layout, &v, &a, &cfg, None, 3).unwrap();
+        assert_eq!(par.class, seq.class);
+        assert_eq!(par.mem_block, seq.mem_block);
+        assert_eq!(par.pf_block, seq.pf_block);
+        assert_eq!(par.iterations, seq.iterations);
+        assert_eq!(par.evals + par.memo_hits, seq.evals + seq.memo_hits);
+        for (a, b) in par.out_states.iter().zip(&seq.out_states) {
+            assert_eq!(**a, **b);
+        }
+    }
+
+    #[test]
     fn incremental_after_insert_matches_from_scratch() {
         // Insert a prefetch mid-program and check the incremental pass
         // reproduces the from-scratch classification exactly while
@@ -735,7 +1140,7 @@ mod tests {
         let layout1 = Layout::of(&p1);
         let v = VivuGraph::build(&p1).unwrap();
         let a1 = Acfg::build(&p1, &v);
-        let c1 = classify(&p1, &layout1, &v, &a1, &cfg);
+        let c1 = classify(&p1, &layout1, &v, &a1, &cfg).unwrap();
 
         let mut p2 = p1.clone();
         let b0 = p2.entry();
@@ -746,7 +1151,7 @@ mod tests {
         let layout2 = Layout::anchored(&p2, anchor, layout1.addr(anchor));
 
         let a2 = Acfg::build(&p2, &v);
-        let full = classify(&p2, &layout2, &v, &a2, &cfg);
+        let full = classify(&p2, &layout2, &v, &a2, &cfg).unwrap();
         let inc = classify_incremental(
             &p2,
             &layout2,
@@ -763,7 +1168,9 @@ mod tests {
                 sigs: &c1.sigs,
             },
             &AnalysisCache::new(),
-        );
+            1,
+        )
+        .unwrap();
         assert_eq!(inc.class, full.class);
         assert_eq!(inc.mem_block, full.mem_block);
         assert_eq!(inc.pf_block, full.pf_block);
@@ -783,7 +1190,7 @@ mod tests {
         let layout = Layout::of(&p);
         let v = VivuGraph::build(&p).unwrap();
         let a = Acfg::build(&p, &v);
-        let c1 = classify(&p, &layout, &v, &a, &cfg);
+        let c1 = classify(&p, &layout, &v, &a, &cfg).unwrap();
         let inc = classify_incremental(
             &p,
             &layout,
@@ -800,7 +1207,9 @@ mod tests {
                 sigs: &c1.sigs,
             },
             &AnalysisCache::new(),
-        );
+            1,
+        )
+        .unwrap();
         assert_eq!(inc.nodes_reanalyzed, 0);
         assert_eq!(inc.evals, 0);
         assert_eq!(inc.class, c1.class);

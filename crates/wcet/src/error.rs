@@ -20,6 +20,15 @@ pub enum AnalysisError {
     Ipet(String),
     /// A loop header lost its bound between validation and analysis.
     MissingBound(BlockId),
+    /// The must/may classification fixpoint exceeded its iteration guard.
+    /// The solver descends a finite lattice, so this indicates a broken
+    /// transfer function or join, not a property of the input program —
+    /// but callers get a typed stage failure instead of a panic.
+    FixpointDiverged {
+        /// Worklist evaluations performed in the diverging component
+        /// before giving up.
+        iterations: usize,
+    },
 }
 
 impl fmt::Display for AnalysisError {
@@ -31,6 +40,12 @@ impl fmt::Display for AnalysisError {
             }
             AnalysisError::Ipet(msg) => write!(f, "IPET failed: {msg}"),
             AnalysisError::MissingBound(b) => write!(f, "missing loop bound at {b}"),
+            AnalysisError::FixpointDiverged { iterations } => {
+                write!(
+                    f,
+                    "classification fixpoint diverged after {iterations} evaluations"
+                )
+            }
         }
     }
 }

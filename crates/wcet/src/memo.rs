@@ -26,10 +26,12 @@
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
-use rtpf_cache::{Classification, StateInterner, StatePair};
+use rtpf_cache::{Classification, SharedInterner, StatePair};
 use rtpf_isa::MemBlockId;
+
+use crate::classify::WorkerState;
 
 /// A node's touched-block signature: for every reference in program
 /// order, the block it fetches and the block its prefetch targets (if it
@@ -52,6 +54,17 @@ struct Entry {
     sig: NodeSig,
     ins: Vec<Arc<StatePair>>,
     eval: Arc<NodeEval>,
+}
+
+impl Entry {
+    /// Whether this entry was stored for exactly (`sig`, `ins`) — pointer
+    /// identity, which interning makes equivalent to content identity.
+    #[inline]
+    fn matches(&self, sig: &NodeSig, ins: &[Arc<StatePair>]) -> bool {
+        Arc::ptr_eq(&self.sig, sig)
+            && self.ins.len() == ins.len()
+            && self.ins.iter().zip(ins).all(|(a, b)| Arc::ptr_eq(a, b))
+    }
 }
 
 /// Pass-through hasher for keys that are already well-mixed `u64`s.
@@ -94,7 +107,11 @@ fn sig_hash(sig: &[(MemBlockId, Option<MemBlockId>)]) -> u64 {
     h
 }
 
-type PreMap<V> = HashMap<u64, Vec<V>, BuildHasherDefault<PreHashed>>;
+/// Open-addressed map on pre-mixed 64-bit keys: one value per slot, and
+/// the astronomically rare distinct-key hash collision linear-probes to
+/// `key + 1` (see the probe loops at the use sites). Entries are never
+/// removed, so probe chains stay valid and stop at the first vacant slot.
+type PreMap<V> = HashMap<u64, V, BuildHasherDefault<PreHashed>>;
 
 /// Dataflow topology of the classification fixpoint: VIVU adjacency with
 /// the broken back edges restored, plus its SCC condensation. Every
@@ -113,6 +130,12 @@ pub(crate) struct Topology {
     comp_off: Vec<u32>,
     comp_dat: Vec<u32>,
     comp_id: Vec<u32>,
+    /// Condensation DAG, CSR over component ids: distinct successor
+    /// components per component, and each component's indegree (distinct
+    /// predecessor components). Drives the parallel SCC-DAG scheduler.
+    comp_succ_off: Vec<u32>,
+    comp_succ_dat: Vec<u32>,
+    comp_indeg: Vec<u32>,
 }
 
 impl Topology {
@@ -143,6 +166,33 @@ impl Topology {
                 comp_id[i] = cid as u32;
             }
         }
+        // Condensation edges: every cross-component node edge, deduplicated.
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for (i, ps) in preds.iter().enumerate() {
+            let ci = comp_id[i];
+            for &pr in ps {
+                let cp = comp_id[pr];
+                if cp != ci {
+                    edges.push((cp, ci));
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let n_comps = comps.len();
+        let mut comp_succ_off = Vec::with_capacity(n_comps + 1);
+        let mut comp_succ_dat = Vec::with_capacity(edges.len());
+        let mut comp_indeg = vec![0u32; n_comps];
+        comp_succ_off.push(0);
+        let mut e = 0usize;
+        for c in 0..n_comps as u32 {
+            while e < edges.len() && edges[e].0 == c {
+                comp_succ_dat.push(edges[e].1);
+                comp_indeg[edges[e].1 as usize] += 1;
+                e += 1;
+            }
+            comp_succ_off.push(comp_succ_dat.len() as u32);
+        }
         Topology {
             pred_off,
             pred_dat,
@@ -151,6 +201,9 @@ impl Topology {
             comp_off,
             comp_dat,
             comp_id,
+            comp_succ_off,
+            comp_succ_dat,
+            comp_indeg,
         }
     }
 
@@ -183,42 +236,67 @@ impl Topology {
     pub(crate) fn comp_id(&self, i: usize) -> usize {
         self.comp_id[i] as usize
     }
+
+    /// Distinct successor components of component `c` in the condensation
+    /// DAG.
+    #[inline]
+    pub(crate) fn comp_succs(&self, c: usize) -> &[u32] {
+        &self.comp_succ_dat[self.comp_succ_off[c] as usize..self.comp_succ_off[c + 1] as usize]
+    }
+
+    /// Number of distinct predecessor components of component `c`.
+    #[inline]
+    pub(crate) fn comp_indegree(&self, c: usize) -> u32 {
+        self.comp_indeg[c]
+    }
 }
 
-struct Inner {
-    interner: StateInterner,
-    sigs: PreMap<NodeSig>,
-    memo: PreMap<Entry>,
-    topo: Option<Arc<Topology>>,
-}
+/// Number of independently locked memo shards. A power of two so the
+/// shard index is a shift of the (well-mixed) key hash.
+const MEMO_SHARDS: usize = 16;
 
 /// Interner + evaluation memo shared by every analysis of one lineage
 /// (same cache configuration, timing, and hardware-prefetch setting).
+///
+/// Concurrency-safe by sharding: the parallel classify solver looks up and
+/// stores evaluations from every worker thread, so the memo is split into
+/// [`MEMO_SHARDS`] independently locked maps keyed by the high bits of the
+/// evaluation hash, and out-states intern through a
+/// [`SharedInterner`]. Signatures keep one mutex — they are interned in
+/// the solver's sequential setup phase. The topology is a `OnceLock`
+/// (write-once, lock-free reads).
 pub struct AnalysisCache {
-    inner: Mutex<Inner>,
+    interner: SharedInterner,
+    sigs: Mutex<PreMap<NodeSig>>,
+    memo: [Mutex<PreMap<Entry>>; MEMO_SHARDS],
+    topo: OnceLock<Arc<Topology>>,
+    /// Pool of solver scratch states. A lineage runs thousands of classify
+    /// passes over the same graph; recycling the node-indexed worker
+    /// vectors (and the grown word/merge buffers inside) removes five
+    /// allocations plus their zero-fill from every pass.
+    scratch: Mutex<Vec<WorkerState>>,
 }
 
 impl AnalysisCache {
     pub fn new() -> Self {
         AnalysisCache {
-            inner: Mutex::new(Inner {
-                interner: StateInterner::new(),
-                sigs: PreMap::default(),
-                memo: PreMap::default(),
-                topo: None,
-            }),
+            interner: SharedInterner::new(),
+            sigs: Mutex::new(PreMap::default()),
+            memo: std::array::from_fn(|_| Mutex::new(PreMap::default())),
+            topo: OnceLock::new(),
+            scratch: Mutex::new(Vec::new()),
         }
+    }
+
+    /// The key hash is multiply-mixed, so its high bits spread best.
+    #[inline]
+    fn shard_of(hash: u64) -> usize {
+        (hash >> 60) as usize & (MEMO_SHARDS - 1)
     }
 
     /// Returns the lineage's fixpoint topology, building it on first use.
     pub(crate) fn topology(&self, build: impl FnOnce() -> Topology) -> Arc<Topology> {
-        let mut inner = self.inner.lock().expect("analysis cache poisoned");
-        if let Some(t) = &inner.topo {
-            return Arc::clone(t);
-        }
-        let t = Arc::new(build());
-        inner.topo = Some(Arc::clone(&t));
-        t
+        Arc::clone(self.topo.get_or_init(|| Arc::new(build())))
     }
 
     /// Returns the canonical `Arc` for a signature, so content-equal
@@ -227,62 +305,93 @@ impl AnalysisCache {
     /// callers can fill one scratch buffer per pass instead of allocating
     /// a `Vec` per node.
     pub(crate) fn intern_sig(&self, sig: &[(MemBlockId, Option<MemBlockId>)]) -> NodeSig {
-        let h = sig_hash(sig);
-        let mut inner = self.inner.lock().expect("analysis cache poisoned");
-        let bucket = inner.sigs.entry(h).or_default();
-        if let Some(found) = bucket.iter().find(|s| s.as_slice() == sig) {
-            return Arc::clone(found);
+        let mut h = sig_hash(sig);
+        let mut sigs = self.sigs.lock().expect("analysis cache poisoned");
+        loop {
+            match sigs.get(&h) {
+                Some(found) if found.as_slice() == sig => return Arc::clone(found),
+                Some(_) => h = h.wrapping_add(1),
+                None => {
+                    let arc: NodeSig = Arc::new(sig.to_vec());
+                    sigs.insert(h, Arc::clone(&arc));
+                    return arc;
+                }
+            }
         }
-        let arc: NodeSig = Arc::new(sig.to_vec());
-        bucket.push(Arc::clone(&arc));
-        arc
     }
 
     /// Looks up a prior evaluation of `sig` against `ins`. Allocation-free;
     /// both must be interned (lineage-canonical) pointers.
     pub(crate) fn lookup(&self, sig: &NodeSig, ins: &[Arc<StatePair>]) -> Option<Arc<NodeEval>> {
-        let h = key_hash(sig, ins);
-        let inner = self.inner.lock().expect("analysis cache poisoned");
-        inner.memo.get(&h)?.iter().find_map(|e| {
-            let matches = Arc::ptr_eq(&e.sig, sig)
-                && e.ins.len() == ins.len()
-                && e.ins.iter().zip(ins).all(|(a, b)| Arc::ptr_eq(a, b));
-            matches.then(|| Arc::clone(&e.eval))
-        })
+        let mut h = key_hash(sig, ins);
+        let shard = self.memo[Self::shard_of(h)]
+            .lock()
+            .expect("analysis cache poisoned");
+        loop {
+            match shard.get(&h) {
+                Some(e) if e.matches(sig, ins) => return Some(Arc::clone(&e.eval)),
+                Some(_) => h = h.wrapping_add(1),
+                None => return None,
+            }
+        }
     }
 
-    /// Interns `out`, registers the evaluation, and returns the shared
-    /// record plus whether the out-state was a fresh allocation. On a
-    /// concurrent duplicate insert both records are content-identical.
+    /// Interns `out` (cloning it only if its content is new), registers
+    /// the evaluation, and returns the shared record plus whether the
+    /// out-state was a fresh allocation. Two threads racing to store the
+    /// same key compute content-identical evaluations; the first insert
+    /// wins and the loser adopts it, so the memo never grows duplicate
+    /// entries.
     pub(crate) fn store(
         &self,
         sig: &NodeSig,
         ins: &[Arc<StatePair>],
-        out: StatePair,
+        out: &StatePair,
         class: Vec<Classification>,
     ) -> (Arc<NodeEval>, bool) {
-        let h = key_hash(sig, ins);
-        let mut inner = self.inner.lock().expect("analysis cache poisoned");
-        let fresh_before = inner.interner.fresh();
-        let out = inner.interner.intern(out);
-        let fresh = inner.interner.fresh() != fresh_before;
+        let (out, fresh) = self.interner.intern_ref(out);
+        let mut h = key_hash(sig, ins);
+        let mut shard = self.memo[Self::shard_of(h)]
+            .lock()
+            .expect("analysis cache poisoned");
+        loop {
+            match shard.get(&h) {
+                Some(e) if e.matches(sig, ins) => return (Arc::clone(&e.eval), fresh),
+                Some(_) => h = h.wrapping_add(1),
+                None => break,
+            }
+        }
         let eval = Arc::new(NodeEval { out, class });
-        inner.memo.entry(h).or_default().push(Entry {
-            sig: Arc::clone(sig),
-            ins: ins.to_vec(),
-            eval: Arc::clone(&eval),
-        });
+        shard.insert(
+            h,
+            Entry {
+                sig: Arc::clone(sig),
+                ins: ins.to_vec(),
+                eval: Arc::clone(&eval),
+            },
+        );
         (eval, fresh)
+    }
+
+    /// Pops a pooled solver scratch, if any (see
+    /// [`WorkerState::acquire`]).
+    pub(crate) fn take_scratch(&self) -> Option<WorkerState> {
+        self.scratch.lock().expect("analysis cache poisoned").pop()
+    }
+
+    /// Returns a clean solver scratch to the pool for the next pass.
+    pub(crate) fn put_scratch(&self, ws: WorkerState) {
+        self.scratch
+            .lock()
+            .expect("analysis cache poisoned")
+            .push(ws);
     }
 
     /// Number of memoized node evaluations.
     pub fn len(&self) -> usize {
-        self.inner
-            .lock()
-            .expect("analysis cache poisoned")
-            .memo
-            .values()
-            .map(Vec::len)
+        self.memo
+            .iter()
+            .map(|m| m.lock().expect("analysis cache poisoned").len())
             .sum()
     }
 
@@ -325,10 +434,18 @@ mod tests {
         let (stored, fresh) = cache.store(
             &sig,
             std::slice::from_ref(&base),
-            out,
+            &out,
             vec![Classification::AlwaysMiss],
         );
         assert!(fresh);
+        // Storing the same key again adopts the first entry.
+        let (dup, _) = cache.store(
+            &sig,
+            std::slice::from_ref(&base),
+            &out,
+            vec![Classification::AlwaysMiss],
+        );
+        assert!(Arc::ptr_eq(&dup, &stored));
         let hit = cache
             .lookup(&sig, std::slice::from_ref(&base))
             .expect("memo hit");

@@ -20,6 +20,13 @@ pub struct AnalysisProfile {
     pub vivu_ns: u64,
     /// Must/may dataflow fixpoint (including classification recording).
     pub fixpoint_ns: u64,
+    /// Predecessor-state joins inside the fixpoint, memo misses only.
+    /// Summed across solver workers, so this is CPU time — under
+    /// `threads > 1` it can exceed the `fixpoint_ns` wall clock.
+    pub join_ns: u64,
+    /// Per-reference classify + fold walks inside the fixpoint, memo
+    /// misses only; CPU time like [`join_ns`](Self::join_ns).
+    pub transfer_ns: u64,
     /// Exact per-set refinement of unclassified references (DESIGN.md
     /// §12); 0 under LRU or with refinement disabled.
     pub refine_ns: u64,
@@ -53,6 +60,12 @@ pub struct AnalysisProfile {
     pub simulate_ns: u64,
     /// Engine Energy stage wall-clock (per-technology accounting).
     pub energy_ns: u64,
+    /// Figure-5 shrunk-capacity probe analyses wall-clock (the 1/2- and
+    /// 1/4-capacity sub-engine runs inside a unit evaluation). A *stage*
+    /// counter like `optimize_ns`: the probes' own phase work is already
+    /// included in the phase fields above, so this overlaps them rather
+    /// than extending `total_ns`.
+    pub probe_ns: u64,
     /// Artifact-store lookups answered from the store.
     pub store_hits: u64,
     /// Artifact-store lookups that had to compute.
@@ -64,6 +77,8 @@ impl AnalysisProfile {
     pub fn add(&mut self, other: &AnalysisProfile) {
         self.vivu_ns += other.vivu_ns;
         self.fixpoint_ns += other.fixpoint_ns;
+        self.join_ns += other.join_ns;
+        self.transfer_ns += other.transfer_ns;
         self.refine_ns += other.refine_ns;
         self.ipet_ns += other.ipet_ns;
         self.relocation_ns += other.relocation_ns;
@@ -79,6 +94,7 @@ impl AnalysisProfile {
         self.verify_ns += other.verify_ns;
         self.simulate_ns += other.simulate_ns;
         self.energy_ns += other.energy_ns;
+        self.probe_ns += other.probe_ns;
         self.store_hits += other.store_hits;
         self.store_misses += other.store_misses;
     }
@@ -112,10 +128,12 @@ impl fmt::Display for AnalysisProfile {
         )?;
         writeln!(
             f,
-            "phases:   vivu {:.2} ms | fixpoint {:.2} ms | refine {:.2} ms | ipet {:.2} ms | \
-             relocation {:.2} ms",
+            "phases:   vivu {:.2} ms | fixpoint {:.2} ms (join {:.2} + transfer {:.2}) | \
+             refine {:.2} ms | ipet {:.2} ms | relocation {:.2} ms",
             ms(self.vivu_ns),
             ms(self.fixpoint_ns),
+            ms(self.join_ns),
+            ms(self.transfer_ns),
             ms(self.refine_ns),
             ms(self.ipet_ns),
             ms(self.relocation_ns)
@@ -125,16 +143,18 @@ impl fmt::Display for AnalysisProfile {
             "work:     {} transfer evals + {} memo hits | states: {} interned / {} fresh",
             self.fixpoint_evals, self.memo_hits, self.states_interned, self.states_fresh
         )?;
-        let staged = self.optimize_ns + self.verify_ns + self.simulate_ns + self.energy_ns;
+        let staged =
+            self.optimize_ns + self.verify_ns + self.simulate_ns + self.energy_ns + self.probe_ns;
         if staged > 0 || self.store_hits + self.store_misses > 0 {
             write!(
                 f,
                 "\nstages:   optimize {:.2} ms | verify {:.2} ms | simulate {:.2} ms | \
-                 energy {:.2} ms | store {} hits / {} misses",
+                 energy {:.2} ms | probes {:.2} ms | store {} hits / {} misses",
                 ms(self.optimize_ns),
                 ms(self.verify_ns),
                 ms(self.simulate_ns),
                 ms(self.energy_ns),
+                ms(self.probe_ns),
                 self.store_hits,
                 self.store_misses
             )?;

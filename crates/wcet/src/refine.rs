@@ -19,9 +19,17 @@
 //! abandons the *whole* set — concluding from a partial exploration would
 //! be unsound — and keeps the cheap classification for its references.
 //!
+//! The per-set explorations are completely independent — each reads only
+//! the shared graph and touches only references mapping to its own set —
+//! so they fan out across the solver's worker threads (the `threads` knob)
+//! and their outcomes are applied sequentially in sorted set order, which
+//! keeps the pass deterministic at any thread count.
+//!
 //! The pass runs deterministically after every classification (full and
 //! incremental alike), so an incremental re-analysis still produces
 //! bit-identical results to a from-scratch run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use rtpf_cache::{CacheConfig, Classification, RefineConfig, RefineMark, SetState};
 use rtpf_isa::MemBlockId;
@@ -45,12 +53,209 @@ pub struct RefineStats {
     pub refined_misses: u32,
 }
 
+/// Read-only context shared by every per-set exploration.
+struct Ctx<'a> {
+    acfg: &'a Acfg,
+    sigs: &'a [NodeSig],
+    mem_block: &'a [MemBlockId],
+    /// Snapshot of the cheap classification the upgrades are judged
+    /// against; a set's exploration only reads entries of its own set.
+    class: &'a [Classification],
+    topo: &'a [NodeId],
+    preds: &'a [Vec<u32>],
+    succs: &'a [Vec<u32>],
+    /// Flattened per-node access sequence (own block, then prefetch
+    /// target, per reference — the order the concrete walk executes).
+    accesses: &'a [Vec<MemBlockId>],
+    /// Sorted set-index footprint per node, for quick "does this node
+    /// touch set s" checks.
+    footprint: &'a [Vec<u64>],
+    policy: rtpf_cache::ReplacementPolicy,
+    assoc: u32,
+    n_sets: u64,
+    budget: usize,
+}
+
+impl Ctx<'_> {
+    #[inline]
+    fn set_of(&self, b: MemBlockId) -> u64 {
+        b.0 % self.n_sets
+    }
+}
+
+/// What one set's exploration concluded. Applied to `class`/`marks`
+/// sequentially, in sorted set order.
+struct SetOutcome {
+    exhausted: bool,
+    /// `(reference index, upgraded classification)` pairs.
+    refined: Vec<(usize, Classification)>,
+    /// References examined without enough evidence to upgrade.
+    examined: Vec<usize>,
+}
+
+/// Per-worker exploration scratch, node-indexed and reused across sets.
+struct Scratch {
+    out: Vec<Vec<SetState>>,
+    pending: Vec<bool>,
+}
+
+impl Scratch {
+    fn new(n: usize) -> Scratch {
+        Scratch {
+            out: vec![Vec::new(); n],
+            pending: vec![false; n],
+        }
+    }
+}
+
+/// Runs the exploration and verdict for one cache set. Pure with respect
+/// to shared state: reads `ctx`, mutates only `scratch` and the returned
+/// outcome.
+fn explore_set(ctx: &Ctx<'_>, set: u64, scratch: &mut Scratch) -> SetOutcome {
+    let mut outcome = SetOutcome {
+        exhausted: false,
+        refined: Vec::new(),
+        examined: Vec::new(),
+    };
+    for o in &mut scratch.out {
+        o.clear();
+    }
+    scratch.pending.fill(true);
+
+    // Chaotic iteration in topological order: forward edges resolve
+    // within a sweep, back edges re-arm their headers for the next
+    // one. State sets only grow (the transfer distributes over
+    // union), so the budget bounds termination.
+    'fixpoint: loop {
+        let mut progressed = false;
+        for &node in ctx.topo {
+            let i = node.index();
+            if !std::mem::replace(&mut scratch.pending[i], false) {
+                continue;
+            }
+            let mut ins: Vec<SetState> = Vec::new();
+            if ctx.preds[i].is_empty() {
+                ins.push(SetState::cold());
+            } else {
+                for &p in &ctx.preds[i] {
+                    ins.extend(scratch.out[p as usize].iter().cloned());
+                }
+                ins.sort_unstable();
+                ins.dedup();
+                if ins.is_empty() {
+                    continue; // not reached yet; a pred update re-arms us
+                }
+            }
+            if ins.len() > ctx.budget {
+                outcome.exhausted = true;
+                break 'fixpoint;
+            }
+            if ctx.footprint[i].binary_search(&set).is_ok() {
+                for st in &mut ins {
+                    for &b in &ctx.accesses[i] {
+                        if ctx.set_of(b) == set {
+                            st.access(ctx.policy, ctx.assoc, b.0);
+                        }
+                    }
+                }
+                ins.sort_unstable();
+                ins.dedup();
+            }
+            if ins != scratch.out[i] {
+                scratch.out[i] = ins;
+                for &s in &ctx.succs[i] {
+                    scratch.pending[s as usize] = true;
+                }
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    if outcome.exhausted {
+        for r in ctx.acfg.refs() {
+            let ri = r.id.index();
+            if ctx.class[ri] == Classification::Unclassified && ctx.set_of(ctx.mem_block[ri]) == set
+            {
+                outcome.examined.push(ri);
+            }
+        }
+        return outcome;
+    }
+
+    // Verdict: replay every in-state through each node holding an
+    // unclassified reference of this set. Unanimous outcomes upgrade;
+    // anything mixed (or unreachable) stays cheap.
+    for &node in ctx.topo {
+        let i = node.index();
+        let rids = ctx.acfg.refs_of_node(node);
+        let sig = &ctx.sigs[i];
+        let wanted = rids.iter().zip(sig.iter()).any(|(r, &(own, _))| {
+            ctx.class[r.index()] == Classification::Unclassified && ctx.set_of(own) == set
+        });
+        if !wanted {
+            continue;
+        }
+        let mut ins: Vec<SetState> = Vec::new();
+        if ctx.preds[i].is_empty() {
+            ins.push(SetState::cold());
+        } else {
+            for &p in &ctx.preds[i] {
+                ins.extend(scratch.out[p as usize].iter().cloned());
+            }
+            ins.sort_unstable();
+            ins.dedup();
+        }
+        let mut all_hit = vec![true; sig.len()];
+        let mut all_miss = vec![true; sig.len()];
+        for st0 in &ins {
+            let mut st = st0.clone();
+            for (j, &(own, pf)) in sig.iter().enumerate() {
+                if ctx.set_of(own) == set {
+                    if st.access(ctx.policy, ctx.assoc, own.0) {
+                        all_miss[j] = false;
+                    } else {
+                        all_hit[j] = false;
+                    }
+                }
+                if let Some(t) = pf {
+                    if ctx.set_of(t) == set {
+                        st.access(ctx.policy, ctx.assoc, t.0);
+                    }
+                }
+            }
+        }
+        for (j, &r) in rids.iter().enumerate() {
+            let ri = r.index();
+            if ctx.class[ri] != Classification::Unclassified || ctx.set_of(sig[j].0) != set {
+                continue;
+            }
+            if ins.is_empty() {
+                // Unreachable in the exploration (hence in every
+                // concrete walk): no evidence either way.
+                outcome.examined.push(ri);
+            } else if all_hit[j] {
+                outcome.refined.push((ri, Classification::AlwaysHit));
+            } else if all_miss[j] {
+                outcome.refined.push((ri, Classification::AlwaysMiss));
+            } else {
+                outcome.examined.push(ri);
+            }
+        }
+    }
+    outcome
+}
+
 /// Refines `class` in place and reports what happened to each reference.
 ///
 /// `sigs` are the per-node touched-block signatures of the classify pass
 /// (own fetched block plus prefetch target per reference, in node-local
 /// order) — exactly the access sequence a concrete walk executes at the
-/// node. `mem_block` maps each reference to its fetched block.
+/// node. `mem_block` maps each reference to its fetched block. `threads`
+/// bounds the worker pool the per-set explorations fan out on (`1` =
+/// sequential in place); results are identical at any thread count.
 ///
 /// The pass is a no-op (all marks [`RefineMark::Untouched`]) when
 /// disabled, under LRU (the cheap domain is already exact), or when a
@@ -66,14 +271,13 @@ pub(crate) fn refine_classification(
     sigs: &[NodeSig],
     mem_block: &[MemBlockId],
     class: &mut [Classification],
+    threads: usize,
 ) -> (Vec<RefineMark>, RefineStats) {
     let mut marks = vec![RefineMark::Untouched; class.len()];
     let mut stats = RefineStats::default();
     if !refine.applies_to(config.policy()) || hw_next_line.is_some() {
         return (marks, stats);
     }
-    let policy = config.policy();
-    let assoc = config.assoc();
     let n_sets = u64::from(config.n_sets());
     let set_of = |b: MemBlockId| b.0 % n_sets;
 
@@ -109,10 +313,6 @@ pub(crate) fn refine_classification(
         succs[from.index()].push(to.0);
     }
 
-    // Flattened per-node access sequence (own block, then prefetch
-    // target, per reference — the order the concrete walk executes), and
-    // the sorted set-index footprint for quick "does this node touch set
-    // s" checks.
     let mut accesses: Vec<Vec<MemBlockId>> = Vec::with_capacity(n);
     let mut footprint: Vec<Vec<u64>> = Vec::with_capacity(n);
     for sig in sigs.iter().take(n) {
@@ -130,145 +330,81 @@ pub(crate) fn refine_classification(
         footprint.push(fp);
     }
 
-    let budget = refine.max_states as usize;
-    let topo = vivu.topo();
-    let mut out: Vec<Vec<SetState>> = vec![Vec::new(); n];
-    let mut pending = vec![false; n];
+    let ctx = Ctx {
+        acfg,
+        sigs,
+        mem_block,
+        class,
+        topo: vivu.topo(),
+        preds: &preds,
+        succs: &succs,
+        accesses: &accesses,
+        footprint: &footprint,
+        policy: config.policy(),
+        assoc: config.assoc(),
+        n_sets,
+        budget: refine.max_states as usize,
+    };
 
-    for &set in &targets {
-        stats.sets_targeted += 1;
-        for o in &mut out {
-            o.clear();
-        }
-        pending.fill(true);
-        let mut exhausted = false;
-
-        // Chaotic iteration in topological order: forward edges resolve
-        // within a sweep, back edges re-arm their headers for the next
-        // one. State sets only grow (the transfer distributes over
-        // union), so the budget bounds termination.
-        'fixpoint: loop {
-            let mut progressed = false;
-            for &node in topo {
-                let i = node.index();
-                if !std::mem::replace(&mut pending[i], false) {
-                    continue;
-                }
-                let mut ins: Vec<SetState> = Vec::new();
-                if preds[i].is_empty() {
-                    ins.push(SetState::cold());
-                } else {
-                    for &p in &preds[i] {
-                        ins.extend(out[p as usize].iter().cloned());
-                    }
-                    ins.sort_unstable();
-                    ins.dedup();
-                    if ins.is_empty() {
-                        continue; // not reached yet; a pred update re-arms us
-                    }
-                }
-                if ins.len() > budget {
-                    exhausted = true;
-                    break 'fixpoint;
-                }
-                if footprint[i].binary_search(&set).is_ok() {
-                    for st in &mut ins {
-                        for &b in &accesses[i] {
-                            if set_of(b) == set {
-                                st.access(policy, assoc, b.0);
-                            }
+    let workers = threads.max(1).min(targets.len());
+    let outcomes: Vec<SetOutcome> = if workers <= 1 {
+        let mut scratch = Scratch::new(n);
+        targets
+            .iter()
+            .map(|&set| explore_set(&ctx, set, &mut scratch))
+            .collect()
+    } else {
+        // Fan the independent per-set fixpoints out over a scoped pool:
+        // workers claim target indices from an atomic counter, and the
+        // outcomes are re-sorted into target order before applying.
+        let next = &AtomicUsize::new(0);
+        let ctx = &ctx;
+        let targets = &targets;
+        let mut indexed: Vec<(usize, SetOutcome)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(move || {
+                        let mut scratch = Scratch::new(n);
+                        let mut got: Vec<(usize, SetOutcome)> = Vec::new();
+                        loop {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&set) = targets.get(k) else {
+                                return got;
+                            };
+                            got.push((k, explore_set(ctx, set, &mut scratch)));
                         }
-                    }
-                    ins.sort_unstable();
-                    ins.dedup();
-                }
-                if ins != out[i] {
-                    out[i] = ins;
-                    for &s in &succs[i] {
-                        pending[s as usize] = true;
-                    }
-                    progressed = true;
-                }
-            }
-            if !progressed {
-                break;
-            }
-        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("refine worker panicked"))
+                .collect()
+        });
+        indexed.sort_unstable_by_key(|&(k, _)| k);
+        indexed.into_iter().map(|(_, o)| o).collect()
+    };
 
-        if exhausted {
+    for outcome in outcomes {
+        stats.sets_targeted += 1;
+        if outcome.exhausted {
             stats.sets_exhausted += 1;
-            for r in acfg.refs() {
-                let ri = r.id.index();
-                if class[ri] == Classification::Unclassified && set_of(mem_block[ri]) == set {
-                    marks[ri] = RefineMark::Examined;
-                }
+            for ri in outcome.examined {
+                marks[ri] = RefineMark::Examined;
             }
             continue;
         }
-
-        // Verdict: replay every in-state through each node holding an
-        // unclassified reference of this set. Unanimous outcomes upgrade;
-        // anything mixed (or unreachable) stays cheap.
-        for &node in topo {
-            let i = node.index();
-            let rids = acfg.refs_of_node(node);
-            let sig = &sigs[i];
-            let wanted = rids.iter().zip(sig.iter()).any(|(r, &(own, _))| {
-                class[r.index()] == Classification::Unclassified && set_of(own) == set
-            });
-            if !wanted {
-                continue;
+        for (ri, cl) in outcome.refined {
+            class[ri] = cl;
+            marks[ri] = RefineMark::Refined;
+            match cl {
+                Classification::AlwaysHit => stats.refined_hits += 1,
+                Classification::AlwaysMiss => stats.refined_misses += 1,
+                Classification::Unclassified => unreachable!("refinement never downgrades"),
             }
-            let mut ins: Vec<SetState> = Vec::new();
-            if preds[i].is_empty() {
-                ins.push(SetState::cold());
-            } else {
-                for &p in &preds[i] {
-                    ins.extend(out[p as usize].iter().cloned());
-                }
-                ins.sort_unstable();
-                ins.dedup();
-            }
-            let mut all_hit = vec![true; sig.len()];
-            let mut all_miss = vec![true; sig.len()];
-            for st0 in &ins {
-                let mut st = st0.clone();
-                for (j, &(own, pf)) in sig.iter().enumerate() {
-                    if set_of(own) == set {
-                        if st.access(policy, assoc, own.0) {
-                            all_miss[j] = false;
-                        } else {
-                            all_hit[j] = false;
-                        }
-                    }
-                    if let Some(t) = pf {
-                        if set_of(t) == set {
-                            st.access(policy, assoc, t.0);
-                        }
-                    }
-                }
-            }
-            for (j, &r) in rids.iter().enumerate() {
-                let ri = r.index();
-                if class[ri] != Classification::Unclassified || set_of(sig[j].0) != set {
-                    continue;
-                }
-                if ins.is_empty() {
-                    // Unreachable in the exploration (hence in every
-                    // concrete walk): no evidence either way.
-                    marks[ri] = RefineMark::Examined;
-                } else if all_hit[j] {
-                    class[ri] = Classification::AlwaysHit;
-                    marks[ri] = RefineMark::Refined;
-                    stats.refined_hits += 1;
-                } else if all_miss[j] {
-                    class[ri] = Classification::AlwaysMiss;
-                    marks[ri] = RefineMark::Refined;
-                    stats.refined_misses += 1;
-                } else {
-                    marks[ri] = RefineMark::Examined;
-                }
-            }
+        }
+        for ri in outcome.examined {
+            marks[ri] = RefineMark::Examined;
         }
     }
     (marks, stats)
@@ -357,6 +493,47 @@ mod tests {
                 .iter()
                 .all(|r| off.refine_mark(r.id) == RefineMark::Untouched));
             assert_eq!(*off.refine_stats(), super::RefineStats::default());
+        }
+    }
+
+    #[test]
+    fn parallel_refinement_matches_sequential() {
+        // Multiple targeted sets (working set spans several cache sets),
+        // so the parallel fan-out has real work to distribute. 1-thread
+        // and 3-thread passes must agree bit for bit.
+        let shape = Shape::seq([
+            Shape::loop_(10, Shape::code(24)),
+            Shape::if_else(1, Shape::code(12), Shape::code(8)),
+        ]);
+        let p = shape.compile("refine-par");
+        let cfg = CacheConfig::new(2, 16, 128)
+            .unwrap()
+            .with_policy(ReplacementPolicy::Fifo)
+            .unwrap();
+        let timing = MemTiming::default();
+        let seq = WcetAnalysis::analyze_parallel(
+            &p,
+            Layout::of(&p),
+            &cfg,
+            &timing,
+            RefineConfig::on(),
+            1,
+        )
+        .unwrap();
+        let par = WcetAnalysis::analyze_parallel(
+            &p,
+            Layout::of(&p),
+            &cfg,
+            &timing,
+            RefineConfig::on(),
+            3,
+        )
+        .unwrap();
+        assert_eq!(seq.tau_w(), par.tau_w());
+        assert_eq!(seq.refine_stats(), par.refine_stats());
+        for r in seq.acfg().refs() {
+            assert_eq!(seq.classification(r.id), par.classification(r.id));
+            assert_eq!(seq.refine_mark(r.id), par.refine_mark(r.id));
         }
     }
 
