@@ -17,7 +17,9 @@ use rtpf_isa::{BlockId, InstrId};
 /// `001..=019` IR lints, `020..=029` soundness audit, `030..=039`
 /// transform audit, `040..=049` refinement audit (the soundness
 /// cross-check specialized to classifications the exact FIFO/PLRU
-/// exploration produced), `090..=099` tool-level failures.
+/// exploration produced), `050..=059` hierarchy audit (the concrete
+/// two-level walk cross-checked against the per-level classifications of
+/// DESIGN.md §14), `090..=099` tool-level failures.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Code {
     /// RTPF001: a block is not reachable from the entry.
@@ -57,6 +59,16 @@ pub enum Code {
     /// RTPF042: a *refined* always-miss concretely hit — the refinement
     /// itself is unsound.
     RefinedUnsoundAlwaysMiss,
+    /// RTPF050: a reference whose L1 classification admits no L2 access
+    /// (L1 always-hit, filter `Never`) concretely reached the L2 — the
+    /// hierarchy filter itself is unsound.
+    HierarchyFilterViolated,
+    /// RTPF051: an L2 always-hit reference concretely filled from DRAM
+    /// (unsound: the WCET bound charged an L2 hit for a DRAM access).
+    UnsoundL2AlwaysHit,
+    /// RTPF052: an L2 always-miss reference concretely hit in the L2
+    /// (unsound may analysis at the second level).
+    UnsoundL2AlwaysMiss,
     /// RTPF030: input and output are not prefetch-equivalent.
     NotEquivalent,
     /// RTPF031: the transform increased `τ_w`.
@@ -75,7 +87,7 @@ pub enum Code {
 
 impl Code {
     /// Every code, in catalog order.
-    pub const ALL: [Code; 23] = [
+    pub const ALL: [Code; 26] = [
         Code::UnreachableBlock,
         Code::EmptyBlock,
         Code::MissingLoopBound,
@@ -92,6 +104,9 @@ impl Code {
         Code::RefinedUnsoundAlwaysHit,
         Code::RefinedPrecisionGap,
         Code::RefinedUnsoundAlwaysMiss,
+        Code::HierarchyFilterViolated,
+        Code::UnsoundL2AlwaysHit,
+        Code::UnsoundL2AlwaysMiss,
         Code::NotEquivalent,
         Code::WcetRegression,
         Code::IneffectivePrefetch,
@@ -120,6 +135,9 @@ impl Code {
             Code::RefinedUnsoundAlwaysHit => "RTPF040",
             Code::RefinedPrecisionGap => "RTPF041",
             Code::RefinedUnsoundAlwaysMiss => "RTPF042",
+            Code::HierarchyFilterViolated => "RTPF050",
+            Code::UnsoundL2AlwaysHit => "RTPF051",
+            Code::UnsoundL2AlwaysMiss => "RTPF052",
             Code::NotEquivalent => "RTPF030",
             Code::WcetRegression => "RTPF031",
             Code::IneffectivePrefetch => "RTPF032",
@@ -155,6 +173,9 @@ impl Code {
             | Code::UnsoundAlwaysMiss
             | Code::RefinedUnsoundAlwaysHit
             | Code::RefinedUnsoundAlwaysMiss
+            | Code::HierarchyFilterViolated
+            | Code::UnsoundL2AlwaysHit
+            | Code::UnsoundL2AlwaysMiss
             | Code::NotEquivalent
             | Code::WcetRegression
             | Code::RelocationUnsafe

@@ -24,6 +24,13 @@
 //! alongside the refined one, so the evaluation can quantify what the
 //! refinement bought.
 //!
+//! Under a two-level hierarchy (DESIGN.md §14) the walk drives the exact
+//! [`ConcreteHierarchy`] instead, and the per-level classifications are
+//! cross-checked the same way: a reference whose L1 outcome admits no L2
+//! access that concretely reaches the L2 is RTPF050, an L2 always-hit
+//! that concretely fills from DRAM is RTPF051, and an L2 always-miss
+//! that concretely hits in the L2 is RTPF052 (all deny).
+//!
 //! Because the abstract join covers *every* path through the context
 //! graph (including arbitrary flow around the broken back edges), any
 //! walk that respects loop bounds observes a subset of the abstracted
@@ -32,8 +39,11 @@
 
 use std::collections::HashMap;
 
-use rtpf_cache::{CacheConfig, Classification, ConcreteState, MemTiming, RefineMark};
-use rtpf_isa::{BlockId, Program};
+use rtpf_cache::{
+    CacheAccessClassification, CacheConfig, Classification, ConcreteHierarchy, HierarchyConfig,
+    HierarchyOutcome, MemTiming, RefineMark,
+};
+use rtpf_isa::{BlockId, Layout, Program};
 use rtpf_wcet::{AnalysisError, NodeId, RefId, WcetAnalysis};
 
 use crate::diag::{Code, DiagnosticSink, Span};
@@ -138,8 +148,59 @@ pub fn audit_soundness_forced(
     reclass: impl Fn(RefId, Classification, RefineMark) -> (Classification, RefineMark),
 ) -> Result<SoundnessSummary, AnalysisError> {
     let a = WcetAnalysis::analyze(p, config, timing)?;
-    let obs = observe(p, &a, config, opts);
-    Ok(compare(p, &a, &obs, sink, reclass))
+    let obs = observe(p, &a, &a.hierarchy(), opts);
+    Ok(compare(p, &a, &obs, sink, reclass, |_, c, cac| (c, cac)))
+}
+
+/// Runs the soundness audit of `p` under a full cache hierarchy: the
+/// walks replay the exact two-level semantics and the per-level
+/// classifications (L1 and, when present, L2 plus its L1-outcome filter)
+/// are each cross-checked against the concrete outcomes.
+///
+/// # Errors
+///
+/// Fails when the program cannot be analysed at all.
+pub fn audit_hierarchy_soundness(
+    p: &Program,
+    hierarchy: &HierarchyConfig,
+    timing: &MemTiming,
+    sink: &mut DiagnosticSink,
+    opts: &SoundnessOptions,
+) -> Result<SoundnessSummary, AnalysisError> {
+    audit_hierarchy_soundness_forced(p, hierarchy, timing, sink, opts, |_, c, cac| (c, cac))
+}
+
+/// [`audit_hierarchy_soundness`] with an L2 classification override, the
+/// seam that lets tests prove the audit catches a broken second-level
+/// classifier or a broken L1 filter: `reclass_l2` sees each reference's
+/// analysed L2 classification and L1-outcome filter and returns the pair
+/// to audit.
+///
+/// # Errors
+///
+/// Fails when the program cannot be analysed at all.
+pub fn audit_hierarchy_soundness_forced(
+    p: &Program,
+    hierarchy: &HierarchyConfig,
+    timing: &MemTiming,
+    sink: &mut DiagnosticSink,
+    opts: &SoundnessOptions,
+    reclass_l2: impl Fn(
+        RefId,
+        Classification,
+        CacheAccessClassification,
+    ) -> (Classification, CacheAccessClassification),
+) -> Result<SoundnessSummary, AnalysisError> {
+    let a = WcetAnalysis::analyze_hierarchy(
+        p,
+        Layout::of(p),
+        hierarchy,
+        timing,
+        rtpf_cache::RefineConfig::on(),
+        1,
+    )?;
+    let obs = observe(p, &a, hierarchy, opts);
+    Ok(compare(p, &a, &obs, sink, |_, c, m| (c, m), reclass_l2))
 }
 
 /// Runs the soundness audit over an already-computed analysis artifact
@@ -152,27 +213,34 @@ pub fn audit_soundness_artifact(
     sink: &mut DiagnosticSink,
     opts: &SoundnessOptions,
 ) -> SoundnessSummary {
-    let obs = observe(p, a, a.config(), opts);
-    compare(p, a, &obs, sink, |_, c, m| (c, m))
+    let obs = observe(p, a, &a.hierarchy(), opts);
+    compare(p, a, &obs, sink, |_, c, m| (c, m), |_, c, cac| (c, cac))
 }
 
-/// Per-reference concrete observations across all walks.
+/// Per-reference concrete observations across all walks. The `l2_*`
+/// counters track the second-level outcome of the own-block access and
+/// stay zero on a single-level hierarchy.
 struct Observations {
     hits: Vec<u64>,
     misses: Vec<u64>,
+    l2_hits: Vec<u64>,
+    l2_misses: Vec<u64>,
 }
 
 /// Walks the VIVU graph concretely, accumulating per-reference outcomes.
 fn observe(
     p: &Program,
     a: &WcetAnalysis,
-    config: &CacheConfig,
+    hierarchy: &HierarchyConfig,
     opts: &SoundnessOptions,
 ) -> Observations {
     let g = a.vivu();
     let acfg = a.acfg();
+    let two_level = hierarchy.l2().is_some();
     let mut hits = vec![0u64; acfg.len()];
     let mut misses = vec![0u64; acfg.len()];
+    let mut l2_hits = vec![0u64; acfg.len()];
+    let mut l2_misses = vec![0u64; acfg.len()];
     // Back edges grouped by source latch node.
     let mut back_of: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
     for &(l, h) in g.back_edges() {
@@ -183,7 +251,7 @@ fn observe(
     for w in 0..opts.walks {
         let mut rng = SplitMix64(opts.seed ^ u64::from(w).wrapping_mul(0x9e37_79b9_7f4a_7c15));
         let greedy = w == 0;
-        let mut state = ConcreteState::new(config);
+        let mut state = ConcreteHierarchy::new(hierarchy);
         let mut cur = g.entry();
         let mut fetches = 0u64;
         let mut steps = 0u64;
@@ -224,10 +292,18 @@ fn observe(
             // Execute the node's references, mirroring the abstract
             // transfer: access the own block, then the prefetch target.
             for &r in acfg.refs_of_node(cur) {
-                if state.access(a.mem_block(r)).is_hit() {
-                    hits[r.index()] += 1;
-                } else {
-                    misses[r.index()] += 1;
+                match state.access(a.mem_block(r)) {
+                    HierarchyOutcome::L1Hit => hits[r.index()] += 1,
+                    HierarchyOutcome::L2Hit => {
+                        misses[r.index()] += 1;
+                        l2_hits[r.index()] += 1;
+                    }
+                    HierarchyOutcome::Miss => {
+                        misses[r.index()] += 1;
+                        if two_level {
+                            l2_misses[r.index()] += 1;
+                        }
+                    }
                 }
                 fetches += 1;
                 if let Some(tb) = a.pf_block(r) {
@@ -268,7 +344,12 @@ fn observe(
             };
         }
     }
-    Observations { hits, misses }
+    Observations {
+        hits,
+        misses,
+        l2_hits,
+        l2_misses,
+    }
 }
 
 /// Exactness of one classification against one reference's observations,
@@ -289,6 +370,11 @@ fn compare(
     obs: &Observations,
     sink: &mut DiagnosticSink,
     reclass: impl Fn(RefId, Classification, RefineMark) -> (Classification, RefineMark),
+    reclass_l2: impl Fn(
+        RefId,
+        Classification,
+        CacheAccessClassification,
+    ) -> (Classification, CacheAccessClassification),
 ) -> SoundnessSummary {
     let acfg = a.acfg();
     let name = p.name().to_string();
@@ -323,7 +409,7 @@ fn compare(
                     if mark == RefineMark::Refined {
                         sink.report(
                             Code::RefinedUnsoundAlwaysHit,
-                            span,
+                            span.clone(),
                             format!(
                                 "refined always-hit reference {} in {} (context {}) concretely \
                                  missed {m} of {} executions",
@@ -341,7 +427,7 @@ fn compare(
                     } else {
                         sink.report(
                             Code::UnsoundAlwaysHit,
-                            span,
+                            span.clone(),
                             format!(
                                 "reference {} in {} (context {}) is classified always-hit but \
                                  concretely missed {m} of {} executions",
@@ -366,7 +452,7 @@ fn compare(
                     if mark == RefineMark::Refined {
                         sink.report(
                             Code::RefinedUnsoundAlwaysMiss,
-                            span,
+                            span.clone(),
                             format!(
                                 "refined always-miss reference {} in {} (context {}) concretely \
                                  hit {h} of {} executions",
@@ -384,7 +470,7 @@ fn compare(
                     } else {
                         sink.report(
                             Code::UnsoundAlwaysMiss,
-                            span,
+                            span.clone(),
                             format!(
                                 "reference {} in {} (context {}) is classified always-miss but \
                                  concretely hit {h} of {} executions",
@@ -409,7 +495,7 @@ fn compare(
                     if mark == RefineMark::Examined {
                         sink.report(
                             Code::RefinedPrecisionGap,
-                            span,
+                            span.clone(),
                             format!(
                                 "refinement-examined reference {} in {} (context {}) stayed \
                                  unclassified yet hit on all {h} observed executions",
@@ -424,7 +510,7 @@ fn compare(
                     } else {
                         sink.report(
                             Code::PrecisionGap,
-                            span,
+                            span.clone(),
                             format!(
                                 "unclassified reference {} in {} (context {}) hit on all {h} \
                                  observed executions",
@@ -437,7 +523,7 @@ fn compare(
                     s.precision_gaps += 1;
                     sink.report(
                         Code::RefinedPrecisionGap,
-                        span,
+                        span.clone(),
                         format!(
                             "refinement-examined reference {} in {} (context {}) stayed \
                              unclassified yet missed on all {m} observed executions",
@@ -452,6 +538,71 @@ fn compare(
                 } else if h > 0 {
                     exact += 1; // genuinely variable: unclassified is tight
                 }
+            }
+        }
+        // Second-level cross-check (two-level hierarchies only): the L1
+        // filter and the L2 classification are each falsified by one
+        // contradicting concrete outcome.
+        if let (Some(l2class), Some(cac)) = (a.l2_classification(r), a.l2_cac(r)) {
+            let (l2class, cac) = reclass_l2(r, l2class, cac);
+            let (l2h, l2m) = (obs.l2_hits[r.index()], obs.l2_misses[r.index()]);
+            if cac == CacheAccessClassification::Never && l2h + l2m > 0 {
+                s.unsound += 1;
+                sink.report(
+                    Code::HierarchyFilterViolated,
+                    span.clone(),
+                    format!(
+                        "reference {} in {} (context {}) is L1 always-hit (L2 filter                          `never`) yet concretely reached the L2 on {} of {} executions",
+                        rf.instr,
+                        node.block,
+                        node.ctx,
+                        l2h + l2m,
+                        h + m
+                    ),
+                    Some(
+                        "the L1 filter fed the L2 analysis a reference it promised away:                          this is a hierarchy soundness bug"
+                            .into(),
+                    ),
+                );
+            }
+            match l2class {
+                Classification::AlwaysHit if l2m > 0 => {
+                    s.unsound += 1;
+                    sink.report(
+                        Code::UnsoundL2AlwaysHit,
+                        span.clone(),
+                        format!(
+                            "reference {} in {} (context {}) is classified L2 always-hit                              but concretely filled from DRAM on {l2m} of {} L2 accesses",
+                            rf.instr,
+                            node.block,
+                            node.ctx,
+                            l2h + l2m
+                        ),
+                        Some(
+                            "the WCET bound charged an L2 hit for a DRAM access: this is                              a soundness bug"
+                                .into(),
+                        ),
+                    );
+                }
+                Classification::AlwaysMiss if l2h > 0 => {
+                    s.unsound += 1;
+                    sink.report(
+                        Code::UnsoundL2AlwaysMiss,
+                        span.clone(),
+                        format!(
+                            "reference {} in {} (context {}) is classified L2 always-miss                              but concretely hit in the L2 on {l2h} of {} L2 accesses",
+                            rf.instr,
+                            node.block,
+                            node.ctx,
+                            l2h + l2m
+                        ),
+                        Some(
+                            "the L2 may analysis under-approximates: this is a soundness                              bug"
+                                .into(),
+                        ),
+                    );
+                }
+                _ => {}
             }
         }
     }
@@ -658,5 +809,144 @@ mod tests {
             (s.refs_observed, s.precision_gaps, sink.diagnostics().len())
         };
         assert_eq!(run(), run());
+    }
+
+    fn demo_hierarchy() -> HierarchyConfig {
+        let l1 = CacheConfig::new(2, 16, 256).unwrap();
+        let l2 = CacheConfig::new(8, 16, 2048).unwrap();
+        HierarchyConfig::from_levels(&[l1, l2]).unwrap()
+    }
+
+    #[test]
+    fn honest_two_level_analysis_has_no_unsound_findings() {
+        let p = demo();
+        let mut sink = DiagnosticSink::new(SeverityConfig::new());
+        let s = audit_hierarchy_soundness(
+            &p,
+            &demo_hierarchy(),
+            &MemTiming::default(),
+            &mut sink,
+            &SoundnessOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(s.unsound, 0, "{}", sink.render_text());
+        assert!(!sink.has_denials(), "{}", sink.render_text());
+        assert!(s.refs_observed > 0);
+    }
+
+    #[test]
+    fn violated_l1_filter_fires_rtpf050() {
+        // Claim every reference is L1 always-hit as far as the L2 is
+        // concerned (filter `Never`): cold L1 misses still reach the L2
+        // concretely, so the filter lie cannot escape.
+        let p = demo();
+        let mut sink = DiagnosticSink::new(SeverityConfig::new());
+        let s = audit_hierarchy_soundness_forced(
+            &p,
+            &demo_hierarchy(),
+            &MemTiming::default(),
+            &mut sink,
+            &SoundnessOptions::default(),
+            |_, c, _| (c, CacheAccessClassification::Never),
+        )
+        .unwrap();
+        assert!(s.unsound > 0);
+        assert!(
+            sink.diagnostics()
+                .iter()
+                .any(|d| d.code == Code::HierarchyFilterViolated),
+            "expected RTPF050: {}",
+            sink.render_text()
+        );
+        assert!(sink.has_denials());
+    }
+
+    #[test]
+    fn broken_l2_must_analysis_fires_rtpf051() {
+        // Force L2 always-hit everywhere: the very first L2 access of a
+        // cold walk fills from DRAM, contradicting the claim.
+        let p = demo();
+        let mut sink = DiagnosticSink::new(SeverityConfig::new());
+        let s = audit_hierarchy_soundness_forced(
+            &p,
+            &demo_hierarchy(),
+            &MemTiming::default(),
+            &mut sink,
+            &SoundnessOptions::default(),
+            |_, _, cac| (Classification::AlwaysHit, cac),
+        )
+        .unwrap();
+        assert!(s.unsound > 0);
+        assert!(
+            sink.diagnostics()
+                .iter()
+                .any(|d| d.code == Code::UnsoundL2AlwaysHit),
+            "expected RTPF051: {}",
+            sink.render_text()
+        );
+        assert!(sink.has_denials());
+    }
+
+    #[test]
+    fn broken_l2_may_analysis_fires_rtpf052() {
+        // A loop that thrashes a tiny L1 but stays resident in the L2:
+        // rest-context L1 misses hit the L2 concretely, so classifying the
+        // L2 always-miss must be caught.
+        let p = Shape::loop_(16, Shape::code(40)).compile("l2-resident");
+        let l1 = CacheConfig::new(1, 16, 128).unwrap();
+        let l2 = CacheConfig::new(8, 16, 4096).unwrap();
+        let hierarchy = HierarchyConfig::from_levels(&[l1, l2]).unwrap();
+        let mut sink = DiagnosticSink::new(SeverityConfig::new());
+        let s = audit_hierarchy_soundness_forced(
+            &p,
+            &hierarchy,
+            &MemTiming::default(),
+            &mut sink,
+            &SoundnessOptions::default(),
+            |_, _, cac| (Classification::AlwaysMiss, cac),
+        )
+        .unwrap();
+        assert!(s.unsound > 0);
+        assert!(
+            sink.diagnostics()
+                .iter()
+                .any(|d| d.code == Code::UnsoundL2AlwaysMiss),
+            "expected RTPF052: {}",
+            sink.render_text()
+        );
+    }
+
+    #[test]
+    fn single_level_walks_never_touch_the_l2_counters() {
+        // The degenerate guard at the audit layer: with no L2 the
+        // hierarchy entry point must agree with the single-level one and
+        // raise none of the RTPF05x codes.
+        let p = demo();
+        let config = CacheConfig::new(2, 16, 256).unwrap();
+        let mut sink = DiagnosticSink::new(SeverityConfig::new());
+        let s = audit_hierarchy_soundness(
+            &p,
+            &HierarchyConfig::l1_only(config),
+            &MemTiming::default(),
+            &mut sink,
+            &SoundnessOptions::default(),
+        )
+        .unwrap();
+        let mut sink1 = DiagnosticSink::new(SeverityConfig::new());
+        let s1 = audit_soundness(
+            &p,
+            &config,
+            &MemTiming::default(),
+            &mut sink1,
+            &SoundnessOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(s.unsound, s1.unsound);
+        assert_eq!(s.refs_observed, s1.refs_observed);
+        assert_eq!(s.precision_gaps, s1.precision_gaps);
+        assert!(!sink.diagnostics().iter().any(|d| matches!(
+            d.code,
+            Code::HierarchyFilterViolated | Code::UnsoundL2AlwaysHit | Code::UnsoundL2AlwaysMiss
+        )));
     }
 }

@@ -24,13 +24,19 @@
 //! compares the rendered CSV byte-for-byte against the committed
 //! `results/sweep.csv`, recording the verdict as `csv_identical` — a
 //! perf PR must move the timings *without* moving a single output byte.
+//!
+//! `--l2 a:b:c[:policy]` benches the grid through the two-level pipeline
+//! instead; the record then carries an `l2` field naming the shared L2
+//! and skips the `csv_identical` check (the committed CSV is L1-only).
+//! Records written before the field existed parse with `l2` absent.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use rtpf_engine::Grid;
-use rtpf_experiments::{engine_with_threads, paper_configs_for, to_csv, UnitResult};
+use rtpf_cache::CacheConfig;
+use rtpf_engine::{Engine, EngineConfig, Grid};
+use rtpf_experiments::{paper_configs_for, to_csv, UnitResult};
 use rtpf_wcet::AnalysisProfile;
 
 const SMOKE_PROGRAMS: [&str; 3] = ["bs", "fft1", "statemate"];
@@ -44,7 +50,7 @@ fn results_path(name: &str) -> PathBuf {
 
 /// One recorded measurement: wall-clock plus the per-phase/per-stage
 /// breakdown summed over every unit's engine profile.
-#[derive(Clone, Copy, Default)]
+#[derive(Clone, Default)]
 struct Record {
     wall_ms: f64,
     units: f64,
@@ -68,6 +74,10 @@ struct Record {
     probe_ms: f64,
     /// `Some` only for full runs: recomputed CSV == committed CSV.
     csv_identical: Option<bool>,
+    /// `Some` when the grid ran under a shared L2 (the `a:b:c[:policy]`
+    /// spec); absent in records written before the field existed and in
+    /// single-level runs.
+    l2: Option<String>,
 }
 
 const NUM_FIELDS: [&str; 14] = [
@@ -126,10 +136,13 @@ impl Record {
         ]
     }
 
-    fn to_json(self) -> String {
+    fn to_json(&self) -> String {
         let mut s = String::from("{");
         for (name, v) in NUM_FIELDS.iter().zip(self.fields()) {
             let _ = write!(s, "\"{name}\": {v:.3}, ");
+        }
+        if let Some(l2) = &self.l2 {
+            let _ = write!(s, "\"l2\": \"{l2}\", ");
         }
         match self.csv_identical {
             Some(b) => {
@@ -153,6 +166,8 @@ impl Record {
             *slot = json_num(obj, name).unwrap_or(0.0);
         }
         r.csv_identical = json_bool(obj, "csv_identical");
+        // Optional since the hierarchy refactor: older records have no L2.
+        r.l2 = json_str(obj, "l2");
         Some(r)
     }
 }
@@ -166,6 +181,14 @@ fn json_num(obj: &str, key: &str) -> Option<f64> {
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
         .unwrap_or(tail.len());
     tail[..end].parse().ok()
+}
+
+/// Value of `"key": "<string>"` inside a flat JSON object (our specs
+/// never contain escapes).
+fn json_str(obj: &str, key: &str) -> Option<String> {
+    let tail = &obj[obj.find(&format!("\"{key}\":"))? + key.len() + 3..];
+    let tail = tail.trim_start().strip_prefix('"')?;
+    Some(tail[..tail.find('"')?].to_string())
 }
 
 fn json_bool(obj: &str, key: &str) -> Option<bool> {
@@ -264,7 +287,7 @@ impl Trajectory {
 /// Runs the grid (full suite, or the smoke slice) exactly the way
 /// `run_sweep` does — one ephemeral engine per unit on the work-stealing
 /// grid — capturing each engine's profile.
-fn measure(smoke: bool, threads: usize) -> Record {
+fn measure(smoke: bool, threads: usize, l2: Option<CacheConfig>) -> Record {
     let suite: Vec<_> = rtpf_suite::catalog()
         .into_iter()
         .filter(|b| !smoke || SMOKE_PROGRAMS.contains(&b.name))
@@ -284,7 +307,13 @@ fn measure(smoke: bool, threads: usize) -> Record {
     let results: Vec<(UnitResult, AnalysisProfile)> = grid.run(&units, |_, &(pi, ci)| {
         let b = &suite[pi];
         let (k, config) = &configs[ci];
-        let engine = engine_with_threads(*config, threads);
+        let mut econfig = EngineConfig::evaluation(*config).with_threads(threads);
+        if let Some(l2c) = l2 {
+            econfig = econfig
+                .with_l2(l2c)
+                .expect("every Table 2 geometry sits under the benched L2");
+        }
+        let engine = Engine::new(econfig);
         let unit = engine
             .unit(b.name, k, &b.program)
             .expect("suite programs evaluate");
@@ -296,7 +325,7 @@ fn measure(smoke: bool, threads: usize) -> Record {
     for (_, p) in &results {
         prof.add(p);
     }
-    let csv_identical = if smoke {
+    let csv_identical = if smoke || l2.is_some() {
         None
     } else {
         let mut rows: Vec<UnitResult> = results.into_iter().map(|(r, _)| r).collect();
@@ -322,6 +351,15 @@ fn measure(smoke: bool, threads: usize) -> Record {
         energy_ms: ms(prof.energy_ns),
         probe_ms: ms(prof.probe_ns),
         csv_identical,
+        l2: l2.map(|c| {
+            format!(
+                "{}:{}:{}:{}",
+                c.assoc(),
+                c.block_bytes(),
+                c.capacity_bytes(),
+                c.policy()
+            )
+        }),
     }
 }
 
@@ -363,6 +401,28 @@ fn main() {
         .position(|a| a == "--threads")
         .and_then(|i| args.get(i + 1))
         .map_or(1, |v| v.parse().expect("--threads takes a number"));
+    let l2: Option<CacheConfig> = args
+        .iter()
+        .position(|a| a == "--l2")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            let parts: Vec<&str> = v.split(':').collect();
+            assert!(
+                (3..=4).contains(&parts.len()),
+                "--l2 wants a:b:c[:policy], got {v}"
+            );
+            let n = |s: &str| s.parse().unwrap_or_else(|_| panic!("bad --l2 number {s}"));
+            let mut cfg = CacheConfig::new(n(parts[0]), n(parts[1]), n(parts[2]))
+                .unwrap_or_else(|e| panic!("bad --l2 geometry {v}: {e}"));
+            if let Some(name) = parts.get(3) {
+                let policy = rtpf_cache::ReplacementPolicy::parse(name)
+                    .unwrap_or_else(|| panic!("unknown policy {name} (expected lru|fifo|plru)"));
+                cfg = cfg
+                    .with_policy(policy)
+                    .unwrap_or_else(|e| panic!("bad --l2 policy for {v}: {e}"));
+            }
+            cfg
+        });
     let record_as = args
         .iter()
         .position(|a| a == "--record")
@@ -381,7 +441,7 @@ fn main() {
             .smoke_after
             .or(traj.smoke_before)
             .expect("--check needs a committed smoke record in results/bench_sweep.json");
-        let fresh = measure(true, threads);
+        let fresh = measure(true, threads, l2);
         print_record("baseline", &baseline);
         print_record("fresh", &fresh);
         let limit = baseline.wall_ms * REGRESSION_FACTOR;
@@ -399,7 +459,7 @@ fn main() {
         return;
     }
 
-    let fresh = measure(smoke, threads);
+    let fresh = measure(smoke, threads, l2);
     let slot = match (smoke, record_as) {
         (false, "before") => &mut traj.full_before,
         (false, _) => &mut traj.full_after,
@@ -426,4 +486,36 @@ fn main() {
         println!("speedup: {:.2}x end-to-end", b.wall_ms / a.wall_ms);
     }
     println!("wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrips_with_the_l2_field() {
+        let r = Record {
+            wall_ms: 12.5,
+            units: 3.0,
+            l2: Some("8:16:16384:lru".into()),
+            csv_identical: None,
+            ..Record::default()
+        };
+        let parsed = Record::from_json(&r.to_json()).expect("parses");
+        assert_eq!(parsed.l2.as_deref(), Some("8:16:16384:lru"));
+        assert_eq!(parsed.wall_ms, 12.5);
+    }
+
+    #[test]
+    fn pre_hierarchy_records_without_l2_still_parse() {
+        // Byte-for-byte shape of a record committed before the `l2` field
+        // existed: it must parse with `l2` absent, not fail.
+        let old = r#"{"wall_ms": 100.0, "units": 36.000, "vivu_ms": 1.0, "csv_identical": true}"#;
+        let parsed = Record::from_json(old).expect("back-compat parse");
+        assert_eq!(parsed.l2, None);
+        assert_eq!(parsed.csv_identical, Some(true));
+        assert_eq!(parsed.wall_ms, 100.0);
+        let modern = Record::from_json(&parsed.to_json()).expect("reparses");
+        assert_eq!(modern.l2, None);
+    }
 }

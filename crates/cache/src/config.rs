@@ -20,6 +20,24 @@ pub enum ConfigError {
     /// its direction bits in one 64-bit word per set, capping it at 64
     /// ways).
     PolicyUnsupported,
+    /// The per-level geometries do not form a valid (monotone) hierarchy —
+    /// see [`HierarchyViolation`] for the specific rule broken.
+    HierarchyInvalid(HierarchyViolation),
+}
+
+/// The specific way a multi-level hierarchy was inconsistent.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HierarchyViolation {
+    /// No levels at all.
+    Empty,
+    /// More levels than the analysis model supports (L1 + L2).
+    TooManyLevels,
+    /// A level's capacity is not strictly larger than the level above it
+    /// (an L2 no bigger than L1 filters every access and models nothing).
+    CapacityNotLarger,
+    /// Levels disagree on the block (line) size; the per-level filter
+    /// assumes one address-to-block map for the whole hierarchy.
+    BlockMismatch,
 }
 
 impl fmt::Display for ConfigError {
@@ -38,6 +56,18 @@ impl fmt::Display for ConfigError {
             ConfigError::PolicyUnsupported => {
                 write!(f, "replacement policy unsupported for this associativity")
             }
+            ConfigError::HierarchyInvalid(v) => match v {
+                HierarchyViolation::Empty => write!(f, "hierarchy has no levels"),
+                HierarchyViolation::TooManyLevels => {
+                    write!(f, "hierarchy has more levels than supported (L1 + L2)")
+                }
+                HierarchyViolation::CapacityNotLarger => {
+                    write!(f, "L2 capacity must be strictly larger than L1 capacity")
+                }
+                HierarchyViolation::BlockMismatch => {
+                    write!(f, "all hierarchy levels must share one block size")
+                }
+            },
         }
     }
 }

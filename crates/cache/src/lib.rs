@@ -49,6 +49,7 @@
 pub mod classify;
 pub mod concrete;
 pub mod config;
+pub mod hierarchy;
 pub mod intern;
 pub mod join;
 #[cfg(any(test, feature = "legacy-oracle"))]
@@ -63,7 +64,11 @@ pub mod timing;
 
 pub use classify::Classification;
 pub use concrete::{AccessOutcome, ConcreteState};
-pub use config::{CacheConfig, ConfigError};
+pub use config::{CacheConfig, ConfigError, HierarchyViolation};
+pub use hierarchy::{
+    classify_update_l2, CacheAccessClassification, ConcreteHierarchy, HierarchyConfig,
+    HierarchyOutcome,
+};
 pub use intern::{SharedInterner, StateInterner, StatePair};
 pub use join::join_pairs_into;
 pub use may::MayState;

@@ -89,7 +89,10 @@ pub struct Options {
     pub spec: Option<String>,
     /// `--cache a,b,c`.
     pub cache: Option<(u32, u32, u32)>,
-    /// `--policy lru|fifo|plru` (replacement policy; LRU by default).
+    /// `--l2 a:b:c[:policy]` — unified L2 behind the L1 (absent = the
+    /// classic single-level hierarchy).
+    pub l2: Option<(u32, u32, u32, Option<ReplacementPolicy>)>,
+    /// `--policy lru|fifo|plru` (L1 replacement policy; LRU by default).
     pub policy: Option<ReplacementPolicy>,
     /// `--refine on|off` (exact FIFO/PLRU refinement stage; on by
     /// default).
@@ -146,6 +149,7 @@ impl Options {
             command,
             spec: None,
             cache: None,
+            l2: None,
             policy: None,
             refine: None,
             refine_budget: None,
@@ -179,6 +183,10 @@ impl Options {
                         return Err(err(format!("--cache wants 3 numbers, got {v}")));
                     }
                     o.cache = Some((parts[0], parts[1], parts[2]));
+                }
+                "--l2" => {
+                    let v = it.next().ok_or_else(|| err("--l2 needs a:b:c[:policy]"))?;
+                    o.l2 = Some(parse_l2_spec(v)?);
                 }
                 "--policy" => {
                     let v = it
@@ -273,9 +281,37 @@ impl Options {
         }
     }
 
+    /// The L2 configuration from `--l2`, when given. The geometry and
+    /// policy are validated here; monotonicity against the L1 is checked
+    /// when the hierarchy is assembled (`with_l2`).
+    fn l2_config(&self) -> Result<Option<CacheConfig>, CliError> {
+        let Some((a, b, c, policy)) = self.l2 else {
+            return Ok(None);
+        };
+        let mut cfg = EngineConfig::geometry(a, b, c)
+            .map_err(|e| CliError::Engine(EngineError::Geometry(e)))?;
+        if let Some(p) = policy {
+            cfg = cfg
+                .with_policy(p)
+                .map_err(|e| CliError::Engine(EngineError::Geometry(e)))?;
+        }
+        Ok(Some(cfg))
+    }
+
+    /// Applies `--l2` (when given) to an engine profile, validating the
+    /// hierarchy.
+    fn apply_l2(&self, cfg: EngineConfig) -> Result<EngineConfig, CliError> {
+        match self.l2_config()? {
+            Some(l2) => cfg
+                .with_l2(l2)
+                .map_err(|e| CliError::Engine(EngineError::Geometry(e))),
+            None => Ok(cfg),
+        }
+    }
+
     /// Folds the interactive flags into the engine profile this command
     /// runs under.
-    fn engine_config(&self, cache: CacheConfig) -> EngineConfig {
+    fn engine_config(&self, cache: CacheConfig) -> Result<EngineConfig, CliError> {
         let mut cfg = EngineConfig::interactive(cache);
         if let Some(p) = self.penalty {
             cfg = cfg.with_penalty(p);
@@ -292,13 +328,15 @@ impl Options {
         if let Some(r) = self.rounds {
             cfg = cfg.with_rounds(r);
         }
-        cfg.with_threads(self.resolved_threads())
-            .with_refine(self.refine_config())
+        self.apply_l2(
+            cfg.with_threads(self.resolved_threads())
+                .with_refine(self.refine_config()),
+        )
     }
 
     /// The batch profile `sweep` and `audit --optimize` share: a small
     /// fixed optimizer budget so all 36 configurations stay interactive.
-    fn batch_config(&self, cache: CacheConfig) -> EngineConfig {
+    fn batch_config(&self, cache: CacheConfig) -> Result<EngineConfig, CliError> {
         let mut cfg = EngineConfig::cli_sweep(cache);
         if let Some(p) = self.penalty {
             cfg = cfg.with_penalty(p);
@@ -306,8 +344,10 @@ impl Options {
         if let Some(r) = self.rounds {
             cfg = cfg.with_rounds(r);
         }
-        cfg.with_threads(self.resolved_threads())
-            .with_refine(self.refine_config())
+        self.apply_l2(
+            cfg.with_threads(self.resolved_threads())
+                .with_refine(self.refine_config()),
+        )
     }
 
     /// `--threads` with the `--shards` interaction resolved: explicit
@@ -337,20 +377,46 @@ fn parse_num(v: Option<&String>, flag: &str) -> Result<u64, CliError> {
     v.parse().map_err(|_| err(format!("bad {flag} value {v}")))
 }
 
+/// Parses `--l2 a:b:c[:policy]` (assoc, block bytes, capacity bytes, and
+/// an optional replacement policy, colon-separated).
+fn parse_l2_spec(v: &str) -> Result<(u32, u32, u32, Option<ReplacementPolicy>), CliError> {
+    let parts: Vec<&str> = v.split(':').collect();
+    if parts.len() < 3 || parts.len() > 4 {
+        return Err(err(format!("--l2 wants a:b:c[:policy], got {v}")));
+    }
+    let mut nums = [0u32; 3];
+    for (slot, p) in nums.iter_mut().zip(&parts) {
+        *slot = p.trim().parse().map_err(|_| err(format!("bad --l2 {v}")))?;
+    }
+    let policy = match parts.get(3) {
+        Some(name) => Some(
+            ReplacementPolicy::parse(name)
+                .ok_or_else(|| CliError::UnknownPolicy((*name).to_string()))?,
+        ),
+        None => None,
+    };
+    Ok((nums[0], nums[1], nums[2], policy))
+}
+
 /// Usage text.
 pub const USAGE: &str = "usage: rtpf <command> [args]
 
 commands:
-  analyze  <file|suite:NAME> --cache a,b,c [--policy lru|fifo|plru] [--penalty N]
+  analyze  <file|suite:NAME> --cache a,b,c [--l2 a:b:c[:policy]]
+           [--policy lru|fifo|plru] [--penalty N]
            [--refine on|off] [--refine-budget N] [--threads N]
-  optimize <file|suite:NAME> --cache a,b,c [--policy lru|fifo|plru] [--penalty N]
+  optimize <file|suite:NAME> --cache a,b,c [--l2 a:b:c[:policy]]
+           [--policy lru|fifo|plru] [--penalty N]
            [--rounds N] [--refine on|off] [--refine-budget N] [--threads N] [-v]
-  simulate <file|suite:NAME> --cache a,b,c [--policy lru|fifo|plru] [--runs N]
+  simulate <file|suite:NAME> --cache a,b,c [--l2 a:b:c[:policy]]
+           [--policy lru|fifo|plru] [--runs N]
            [--seed N] [--behavior worst|random]
-  sweep    <file|suite:NAME> [--policy lru|fifo|plru] [--refine on|off]
+  sweep    <file|suite:NAME> [--l2 a:b:c[:policy]] [--policy lru|fifo|plru]
+           [--refine on|off]
            [--refine-budget N] [--profile] [--shards N] [--threads N]
                                             # all 36 paper configurations
-  audit    <file|suite:NAME|suite:all> [--cache a,b,c] [--policy lru|fifo|plru]
+  audit    <file|suite:NAME|suite:all> [--cache a,b,c] [--l2 a:b:c[:policy]]
+           [--policy lru|fifo|plru]
            [--refine on|off] [--refine-budget N] [--json] [--optimize]
            [--deny warnings|RTPF0xx] [--allow RTPF0xx] [-v]
   fmt      <file>                           # parse + pretty-print
@@ -359,7 +425,11 @@ commands:
 the program format is documented in `rtpf_isa::text`; `suite:NAME` loads a
 built-in Mälardalen skeleton (see `rtpf suite`). `--policy` selects the
 cache replacement policy (default lru; fifo and tree-plru are analyzed via
-a sound competitiveness reduction, see DESIGN.md §10). `--refine` toggles
+a sound competitiveness reduction, see DESIGN.md §10). `--l2` puts a
+unified second level behind the L1 (same block size, strictly larger
+capacity; optional fourth field = L2 replacement policy, default lru) —
+the whole pipeline then runs the two-level Hardy/Puaut analysis
+(DESIGN.md §14). `--refine` toggles
 the exact per-set FIFO/PLRU refinement of unclassified references
 (DESIGN.md §12; on by default, a no-op under lru) and `--refine-budget`
 caps its per-node state count (default 64). `--threads` sets the analysis
@@ -405,7 +475,7 @@ fn spec_of(o: &Options) -> Result<&str, CliError> {
 
 fn cmd_analyze(o: &Options) -> Result<String, CliError> {
     let (name, p) = load_program(spec_of(o)?)?;
-    let engine = Engine::new(o.engine_config(o.cache_config()?));
+    let engine = Engine::new(o.engine_config(o.cache_config()?)?);
     let config = *engine.config().cache();
     let timing = engine.config().timing();
     let a = engine.analysis(&p)?;
@@ -418,6 +488,9 @@ fn cmd_analyze(o: &Options) -> Result<String, CliError> {
         p.code_bytes()
     );
     let _ = writeln!(s, "cache {config} ({} sets), {timing}", config.n_sets());
+    if let Some(l2) = engine.config().l2() {
+        let _ = writeln!(s, "L2 {l2} ({} sets), unified behind L1", l2.n_sets());
+    }
     let _ = writeln!(
         s,
         "references: {} over {} contexts",
@@ -464,7 +537,7 @@ fn cmd_analyze(o: &Options) -> Result<String, CliError> {
 
 fn cmd_optimize(o: &Options) -> Result<String, CliError> {
     let (name, p) = load_program(spec_of(o)?)?;
-    let engine = Engine::new(o.engine_config(o.cache_config()?));
+    let engine = Engine::new(o.engine_config(o.cache_config()?)?);
     let config = *engine.config().cache();
     let (r, theorem) = engine.verified(&p)?;
 
@@ -513,12 +586,23 @@ fn cmd_optimize(o: &Options) -> Result<String, CliError> {
 
 fn cmd_simulate(o: &Options) -> Result<String, CliError> {
     let (name, p) = load_program(spec_of(o)?)?;
-    let engine = Engine::new(o.engine_config(o.cache_config()?));
+    let engine = Engine::new(o.engine_config(o.cache_config()?)?);
     let config = *engine.config().cache();
     let run = engine.simulated(&p)?;
     let [e45, e32] = engine.energies(&run);
     let mut s = String::new();
-    let _ = writeln!(s, "program {name} on {config} ({} runs):", run.runs);
+    match engine.config().l2() {
+        Some(l2) => {
+            let _ = writeln!(
+                s,
+                "program {name} on {config} + L2 {l2} ({} runs):",
+                run.runs
+            );
+        }
+        None => {
+            let _ = writeln!(s, "program {name} on {config} ({} runs):", run.runs);
+        }
+    }
     let _ = writeln!(s, "  ACET (memory): {:.0} cycles", run.acet_cycles());
     let _ = writeln!(
         s,
@@ -528,6 +612,13 @@ fn cmd_simulate(o: &Options) -> Result<String, CliError> {
         run.stats.misses,
         100.0 * run.miss_rate()
     );
+    if engine.config().l2().is_some() {
+        let _ = writeln!(
+            s,
+            "  L2: accesses {} | hits {} | misses {} (fills {})",
+            run.stats.l2_accesses, run.stats.l2_hits, run.stats.l2_misses, run.stats.l2_fills
+        );
+    }
     let _ = writeln!(
         s,
         "  prefetches issued {} (useful {}), stall cycles {}",
@@ -558,6 +649,30 @@ fn cmd_sweep(o: &Options) -> Result<String, CliError> {
         .into_iter()
         .map(|(k, c)| Ok((k, o.apply_policy(c)?)))
         .collect::<Result<_, CliError>>()?;
+    // Under --l2, Table 2 geometries that cannot sit beneath the shared
+    // L2 (block-size mismatch, or capacity not strictly smaller) are
+    // skipped up front rather than failing the whole sweep — the same
+    // policy the engine smoke drill uses.
+    let mut skipped: Vec<String> = Vec::new();
+    let mut configs = configs;
+    if o.l2.is_some() {
+        let mut kept = Vec::with_capacity(configs.len());
+        for (k, c) in configs {
+            if o.batch_config(c).is_ok() {
+                kept.push((k, c));
+            } else {
+                skipped.push(k);
+            }
+        }
+        configs = kept;
+        if configs.is_empty() {
+            return Err(CliError::Usage(
+                "--l2 leaves no Table 2 configuration to sweep (every geometry is \
+                 incompatible with the given L2)"
+                    .into(),
+            ));
+        }
+    }
     let t0 = std::time::Instant::now();
     // Without --shards: one worker, one shard — the classic serial sweep.
     // With --shards N: the engine's sharded grid scheduler, one worker
@@ -571,7 +686,7 @@ fn cmd_sweep(o: &Options) -> Result<String, CliError> {
     };
     let rows: Vec<Result<(String, rtpf_wcet::AnalysisProfile), CliError>> =
         grid.run(&configs, |_, (k, config)| {
-            let engine = Engine::new(o.batch_config(*config));
+            let engine = Engine::new(o.batch_config(*config)?);
             let r = engine
                 .optimized(&p)
                 .map_err(|e| tool_error(&name, Some(k), &e))?;
@@ -597,6 +712,14 @@ fn cmd_sweep(o: &Options) -> Result<String, CliError> {
         s.push_str(&line);
         profile.add(&prof);
         units += 1;
+    }
+    if !skipped.is_empty() {
+        let _ = writeln!(
+            s,
+            "skipped {} configuration(s) that cannot sit under --l2: {}",
+            skipped.len(),
+            skipped.join(", ")
+        );
     }
     if o.profile {
         let elapsed = t0.elapsed().as_secs_f64();
@@ -678,7 +801,7 @@ fn cmd_audit(o: &Options) -> Result<String, CliError> {
             // soundness audit force-recomputes its analysis with cache
             // bypass so its verdict cannot be influenced by a poisoned
             // artifact (see DESIGN.md §9).
-            let engine = Engine::new(o.batch_config(*config).with_severity(sev.clone()));
+            let engine = Engine::new(o.batch_config(*config)?.with_severity(sev.clone()));
             let mut csink = DiagnosticSink::new(engine.config().severity().clone());
             match engine.audit_soundness(p, &mut csink, &sopts, true) {
                 Ok(sum) => {
@@ -908,6 +1031,97 @@ mod tests {
     }
 
     #[test]
+    fn parses_l2_flag_with_and_without_policy() {
+        let o = Options::parse(&args(&[
+            "analyze",
+            "suite:bs",
+            "--cache",
+            "2,16,512",
+            "--l2",
+            "4:16:8192",
+        ]))
+        .expect("parses");
+        assert_eq!(o.l2, Some((4, 16, 8192, None)));
+
+        let o = Options::parse(&args(&[
+            "simulate",
+            "suite:bs",
+            "--cache",
+            "2,16,512",
+            "--l2",
+            "8:16:16384:fifo",
+        ]))
+        .expect("parses");
+        assert_eq!(o.l2, Some((8, 16, 16384, Some(ReplacementPolicy::Fifo))));
+
+        assert!(Options::parse(&args(&["analyze", "x", "--l2", "4:16"])).is_err());
+        assert!(Options::parse(&args(&["analyze", "x", "--l2", "a:b:c"])).is_err());
+        assert!(matches!(
+            Options::parse(&args(&["analyze", "x", "--l2", "4:16:8192:mru"])).unwrap_err(),
+            CliError::UnknownPolicy(ref p) if p == "mru"
+        ));
+    }
+
+    #[test]
+    fn analyze_and_simulate_run_two_level() {
+        let o = Options::parse(&args(&[
+            "analyze",
+            "suite:bs",
+            "--cache",
+            "2,16,512",
+            "--l2",
+            "4:16:8192",
+        ]))
+        .expect("parses");
+        let out = run(&o).expect("runs");
+        assert!(out.contains("L2 (4, 16, 8192)"), "{out}");
+        assert!(out.contains("WCET (memory):"), "{out}");
+
+        let o = Options::parse(&args(&[
+            "simulate",
+            "suite:bs",
+            "--cache",
+            "2,16,512",
+            "--l2",
+            "4:16:8192",
+            "--runs",
+            "1",
+        ]))
+        .expect("parses");
+        let out = run(&o).expect("runs");
+        assert!(out.contains("+ L2"), "{out}");
+        assert!(out.contains("L2: accesses"), "{out}");
+    }
+
+    #[test]
+    fn non_monotone_l2_is_a_typed_hierarchy_error() {
+        // Equal capacity: rejected when the hierarchy is assembled.
+        let o = Options::parse(&args(&[
+            "analyze", "suite:bs", "--cache", "2,16,512", "--l2", "4:16:512",
+        ]))
+        .expect("parses");
+        let e = run(&o).unwrap_err();
+        assert!(
+            matches!(e, CliError::Engine(EngineError::Geometry(_))),
+            "{e:?}"
+        );
+        assert!(e.to_string().contains("strictly larger"), "{e}");
+
+        // Block mismatch: same typed rejection.
+        let o = Options::parse(&args(&[
+            "analyze",
+            "suite:bs",
+            "--cache",
+            "2,16,512",
+            "--l2",
+            "4:32:8192",
+        ]))
+        .expect("parses");
+        let e = run(&o).unwrap_err();
+        assert!(e.to_string().contains("block size"), "{e}");
+    }
+
+    #[test]
     fn suite_listing_names_all_programs() {
         let out = cmd_suite();
         assert!(out.contains("matmult"));
@@ -962,6 +1176,30 @@ mod tests {
         assert!(out.contains("stages:"), "{out}");
         assert!(out.contains("optimize"), "{out}");
         assert!(out.contains("misses"), "{out}");
+    }
+
+    #[test]
+    fn sweep_under_l2_skips_incompatible_geometries() {
+        // Table 2 mixes 8/16/32-byte blocks and capacities up to the L2's
+        // size, so a shared L2 cannot sit over all 36 geometries; the
+        // sweep must run the compatible ones and report the rest skipped
+        // rather than fail.
+        let o = Options::parse(&args(&[
+            "sweep",
+            "suite:bs",
+            "--l2",
+            "8:16:16384",
+            "--rounds",
+            "1",
+        ]))
+        .expect("parses");
+        let out = run(&o).expect("runs");
+        assert!(
+            out.contains("skipped") && out.contains("cannot sit under --l2"),
+            "{out}"
+        );
+        // 16-byte-block geometries strictly smaller than 16 KiB survive.
+        assert!(out.lines().any(|l| l.contains(" 16 ")), "{out}");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The iterative prefetch-insertion optimizer (paper Algorithms 1–3).
 
-use rtpf_cache::{CacheConfig, MemTiming, RefineConfig};
+use rtpf_cache::{CacheConfig, HierarchyConfig, MemTiming, RefineConfig};
 use rtpf_isa::{InstrId, InstrKind, Layout, Program};
 use rtpf_wcet::{AnalysisError, AnalysisProfile, WcetAnalysis};
 
@@ -117,17 +117,27 @@ struct PlanEntry {
     target: InstrId,
 }
 
-/// The prefetch-insertion optimizer for one cache configuration.
+/// The prefetch-insertion optimizer for one cache hierarchy.
 #[derive(Clone, Debug)]
 pub struct Optimizer {
-    config: CacheConfig,
+    hierarchy: HierarchyConfig,
     params: OptimizeParams,
 }
 
 impl Optimizer {
-    /// An optimizer for `config` with the given parameters.
+    /// An optimizer for a single-level cache with the given parameters.
     pub fn new(config: CacheConfig, params: OptimizeParams) -> Self {
-        Optimizer { config, params }
+        Self::new_hierarchy(HierarchyConfig::l1_only(config), params)
+    }
+
+    /// An optimizer for a full cache hierarchy. With an L2 level every
+    /// analysis the optimizer consumes is hierarchy-aware, so the
+    /// profitability test's `mcost` (Eq. 9) automatically prices an
+    /// L1-miss-L2-hit at [`MemTiming::l2_hit_cycles`] instead of the DRAM
+    /// miss time — prefetches that only save an L2 hit usually stop
+    /// paying for themselves.
+    pub fn new_hierarchy(hierarchy: HierarchyConfig, params: OptimizeParams) -> Self {
+        Optimizer { hierarchy, params }
     }
 
     /// Optimizes `p`, returning the transformed program and its proof
@@ -158,12 +168,13 @@ impl Optimizer {
         let timing = self.params.timing;
         let mut prog = p.clone();
         let mut layout = Layout::of(&prog);
-        let before = WcetAnalysis::analyze_refined(
+        let before = WcetAnalysis::analyze_hierarchy(
             &prog,
             layout.clone(),
-            &self.config,
+            &self.hierarchy,
             &timing,
             self.params.refine,
+            1,
         )?;
         let mut cur = before.clone();
         let mut report = OptimizeReport {
@@ -241,12 +252,13 @@ impl Optimizer {
         if self.params.incremental {
             cur.reanalyze_after_insert(p, layout)
         } else {
-            WcetAnalysis::analyze_refined(
+            WcetAnalysis::analyze_hierarchy(
                 p,
                 layout,
-                &self.config,
+                &self.hierarchy,
                 &self.params.timing,
                 self.params.refine,
+                1,
             )
         }
     }
@@ -474,7 +486,7 @@ impl Optimizer {
         e: PlanEntry,
         reloc_ns: &mut u64,
     ) -> bool {
-        let bytes = self.config.block_bytes();
+        let bytes = self.hierarchy.l1().block_bytes();
         let tb = layout.block_of(e.target, bytes);
         if tb == layout.block_of(e.anchor, bytes) {
             return false;
@@ -662,6 +674,60 @@ mod tests {
         assert!(inc.report.decisions_eq(&full.report));
         assert!(inc.report.profile.incremental_analyses > 0);
         assert_eq!(full.report.profile.incremental_analyses, 0);
+    }
+
+    #[test]
+    fn l1_only_hierarchy_optimizer_matches_single_level() {
+        let p = compress_mini().compile("h");
+        let config = CacheConfig::new(2, 16, 128).unwrap();
+        let single = Optimizer::new(config, OptimizeParams::default())
+            .run(&p)
+            .unwrap();
+        let hier =
+            Optimizer::new_hierarchy(HierarchyConfig::l1_only(config), OptimizeParams::default())
+                .run(&p)
+                .unwrap();
+        assert_eq!(single.program, hier.program);
+        assert!(single.report.decisions_eq(&hier.report));
+    }
+
+    #[test]
+    fn l2_absorbing_misses_suppresses_unprofitable_prefetches() {
+        let p = compress_mini().compile("h2");
+        let l1 = CacheConfig::new(2, 16, 128).unwrap();
+        let l2 = CacheConfig::new(4, 16, 4096).unwrap();
+        let single = Optimizer::new(l1, OptimizeParams::default())
+            .run(&p)
+            .unwrap();
+        assert!(single.report.inserted > 0);
+        // A large L2 at 2-cycle service time makes the saved miss worth
+        // about as much as the prefetch's own cost (Eq. 9's mcost uses
+        // t_w = l2_hit_cycles for L1-miss-L2-hit references), so the
+        // hierarchy-aware optimizer inserts strictly less.
+        let params = OptimizeParams {
+            timing: MemTiming::default().with_l2_hit(2),
+            ..OptimizeParams::default()
+        };
+        let hier = Optimizer::new_hierarchy(HierarchyConfig::two_level(l1, l2).unwrap(), params)
+            .run(&p)
+            .unwrap();
+        assert!(
+            hier.report.inserted < single.report.inserted,
+            "L2 should suppress insertions: {} vs {}",
+            hier.report.inserted,
+            single.report.inserted
+        );
+        // Theorem 1 holds under the hierarchy too.
+        assert!(hier.report.wcet_after <= hier.report.wcet_before);
+        assert!(crate::verify::check_hierarchy(
+            &p,
+            &hier.program,
+            hier.analysis_after.layout().clone(),
+            &HierarchyConfig::two_level(l1, l2).unwrap(),
+            &params.timing,
+        )
+        .unwrap()
+        .holds());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! re-running the full WCET analysis — the experiment harness asserts it
 //! over all 2664 use cases.
 
-use rtpf_cache::{CacheConfig, MemTiming};
+use rtpf_cache::{CacheConfig, HierarchyConfig, MemTiming};
 use rtpf_isa::{InstrKind, Layout, Program};
 use rtpf_wcet::{AnalysisError, WcetAnalysis};
 
@@ -73,8 +73,40 @@ pub fn check(
     config: &CacheConfig,
     timing: &MemTiming,
 ) -> Result<TheoremReport, AnalysisError> {
-    let a = WcetAnalysis::analyze(original, config, timing)?;
-    let b = WcetAnalysis::analyze_with_layout(optimized, optimized_layout, config, timing)?;
+    check_hierarchy(
+        original,
+        optimized,
+        optimized_layout,
+        &HierarchyConfig::l1_only(*config),
+        timing,
+    )
+}
+
+/// [`check`] over a full cache hierarchy: both re-analyses run
+/// hierarchy-aware, so `τ_w` prices L1-miss-L2-hits at the L2 service
+/// time on both sides of the comparison.
+///
+/// # Errors
+///
+/// Fails if either program cannot be analysed.
+pub fn check_hierarchy(
+    original: &Program,
+    optimized: &Program,
+    optimized_layout: Layout,
+    hierarchy: &HierarchyConfig,
+    timing: &MemTiming,
+) -> Result<TheoremReport, AnalysisError> {
+    let refine = rtpf_cache::RefineConfig::default();
+    let a = WcetAnalysis::analyze_hierarchy(
+        original,
+        Layout::of(original),
+        hierarchy,
+        timing,
+        refine,
+        1,
+    )?;
+    let b =
+        WcetAnalysis::analyze_hierarchy(optimized, optimized_layout, hierarchy, timing, refine, 1)?;
     let tau_before = a.tau_w();
     let tau_after = b.tau_w();
     Ok(TheoremReport {

@@ -5,9 +5,14 @@
 //! never cross replacement policies.
 //!
 //! ```text
-//! cargo run --release -p rtpf-engine --example smoke            # all policies
-//! cargo run --release -p rtpf-engine --example smoke -- fifo   # one policy
+//! cargo run --release -p rtpf-engine --example smoke                    # all policies
+//! cargo run --release -p rtpf-engine --example smoke -- fifo           # one policy
+//! cargo run --release -p rtpf-engine --example smoke -- lru --l2 8:16:16384
 //! ```
+//!
+//! `--l2 a:b:c[:policy]` runs the same drill through the two-level
+//! pipeline (geometries whose block size or capacity cannot sit under the
+//! given L2 are skipped).
 //!
 //! Exits nonzero (via assert) if the warm pass misses the cache (unstable
 //! artifact keys), or if a warm store built under one policy answers a
@@ -16,17 +21,55 @@
 
 use std::sync::Arc;
 
-use rtpf_cache::ReplacementPolicy;
+use rtpf_cache::{CacheConfig, ReplacementPolicy};
 use rtpf_engine::{Engine, EngineConfig};
 
+/// Parses the `--l2 a:b:c[:policy]` value.
+fn parse_l2(v: &str) -> CacheConfig {
+    let parts: Vec<&str> = v.split(':').collect();
+    assert!(
+        (3..=4).contains(&parts.len()),
+        "--l2 wants a:b:c[:policy], got {v}"
+    );
+    let n = |s: &str| s.parse().unwrap_or_else(|_| panic!("bad --l2 number {s}"));
+    let mut cfg = EngineConfig::geometry(n(parts[0]), n(parts[1]), n(parts[2]))
+        .unwrap_or_else(|e| panic!("bad --l2 geometry {v}: {e}"));
+    if let Some(name) = parts.get(3) {
+        let policy = ReplacementPolicy::parse(name)
+            .unwrap_or_else(|| panic!("unknown policy {name} (expected lru|fifo|plru)"));
+        cfg = cfg
+            .with_policy(policy)
+            .unwrap_or_else(|e| panic!("bad --l2 policy for {v}: {e}"));
+    }
+    cfg
+}
+
 fn main() {
-    let policies: Vec<ReplacementPolicy> = match std::env::args().nth(1) {
-        Some(name) => vec![ReplacementPolicy::parse(&name)
-            .unwrap_or_else(|| panic!("unknown policy {name} (expected lru|fifo|plru)"))],
-        None => ReplacementPolicy::ALL.to_vec(),
-    };
+    let mut policies = ReplacementPolicy::ALL.to_vec();
+    let mut l2: Option<CacheConfig> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--l2" => {
+                let v = args.next().expect("--l2 needs a:b:c[:policy]");
+                l2 = Some(parse_l2(&v));
+            }
+            name => {
+                policies = vec![ReplacementPolicy::parse(name)
+                    .unwrap_or_else(|| panic!("unknown policy {name} (expected lru|fifo|plru)"))];
+            }
+        }
+    }
     let programs = ["bs", "fibcall", "sqrt", "crc"];
     let geometries = [(1u32, 16u32, 256u32), (2, 16, 512), (4, 32, 8192)];
+
+    // Folds the optional L2 behind an evaluation profile; `None` when the
+    // geometry cannot sit under the requested L2 (block mismatch or
+    // capacity not strictly larger).
+    let with_l2 = |cfg: EngineConfig| match l2 {
+        Some(l2c) => cfg.with_l2(l2c).ok(),
+        None => Some(cfg),
+    };
 
     let mut units = 0u64;
     for &policy in &policies {
@@ -35,7 +78,11 @@ fn main() {
                 .expect("valid geometry")
                 .with_policy(policy)
                 .expect("valid policy");
-            let engine = Engine::new(EngineConfig::evaluation(cache));
+            let Some(config) = with_l2(EngineConfig::evaluation(cache)) else {
+                println!("{cache}: skipped (cannot sit under --l2)");
+                continue;
+            };
+            let engine = Engine::new(config);
 
             let cold = std::time::Instant::now();
             for name in programs {
@@ -86,15 +133,14 @@ fn main() {
                 .with_policy(other_policy)
                 .expect("valid policy");
             let p = rtpf_suite::by_name(programs[0]).expect("known suite program");
-            let cold_ref = Engine::new(EngineConfig::evaluation(other_cache));
+            let other_config = with_l2(EngineConfig::evaluation(other_cache))
+                .expect("same geometry under the same L2");
+            let cold_ref = Engine::new(other_config.clone());
             cold_ref
                 .unit(programs[0], "smoke", &p.program)
                 .expect("evaluates");
 
-            let other = Engine::with_store(
-                EngineConfig::evaluation(other_cache),
-                Arc::clone(engine.store()),
-            );
+            let other = Engine::with_store(other_config, Arc::clone(engine.store()));
             let hits_before = other.store().hits();
             let misses_before = other.store().misses();
             other
@@ -111,9 +157,14 @@ fn main() {
             );
         }
     }
+    assert!(units > 0, "every geometry was skipped; --l2 too small?");
     println!(
-        "engine smoke OK: {units} units over {} policies, warm passes fully cached, \
+        "engine smoke OK: {units} units over {} policies{}, warm passes fully cached, \
          no cross-policy artifact reuse",
-        policies.len()
+        policies.len(),
+        match l2 {
+            Some(l2c) => format!(" with L2 {l2c}"),
+            None => String::new(),
+        }
     );
 }

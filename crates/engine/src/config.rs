@@ -20,7 +20,7 @@
 
 use rtpf_audit::SeverityConfig;
 pub use rtpf_cache::ConfigError;
-use rtpf_cache::{CacheConfig, MemTiming, RefineConfig};
+use rtpf_cache::{CacheConfig, HierarchyConfig, MemTiming, RefineConfig};
 use rtpf_energy::{EnergyModel, Technology};
 use rtpf_sim::{BranchBehavior, SimConfig};
 
@@ -50,6 +50,9 @@ pub enum OptimizePolicy {
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
     cache: CacheConfig,
+    /// Optional unified L2 behind the L1; validated against the L1 by
+    /// [`with_l2`](EngineConfig::with_l2), the only way to set it.
+    l2: Option<CacheConfig>,
     /// Explicit miss-penalty override; `None` derives timing from the
     /// 45 nm energy model, like every profile does by default.
     penalty: Option<u64>,
@@ -90,6 +93,7 @@ impl EngineConfig {
     pub fn interactive(cache: CacheConfig) -> EngineConfig {
         EngineConfig {
             cache,
+            l2: None,
             penalty: None,
             behavior: BranchBehavior::default(),
             sim_seed: 0xC0FF_EE00,
@@ -141,6 +145,33 @@ impl EngineConfig {
     pub fn with_penalty(mut self, penalty: u64) -> EngineConfig {
         self.penalty = Some(penalty);
         self
+    }
+
+    /// Adds a unified L2 behind the L1, validating the hierarchy (the L2
+    /// must be strictly larger and share the L1's block size).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError::HierarchyInvalid`] for non-monotone
+    /// hierarchies.
+    pub fn with_l2(mut self, l2: CacheConfig) -> Result<EngineConfig, ConfigError> {
+        HierarchyConfig::two_level(self.cache, l2)?;
+        self.l2 = Some(l2);
+        Ok(self)
+    }
+
+    /// The L2 geometry, when configured.
+    pub fn l2(&self) -> Option<&CacheConfig> {
+        self.l2.as_ref()
+    }
+
+    /// The full cache hierarchy every stage analyses, optimizes,
+    /// simulates, and prices.
+    pub fn hierarchy(&self) -> HierarchyConfig {
+        match self.l2 {
+            Some(l2) => HierarchyConfig::two_level(self.cache, l2).expect("validated by with_l2"),
+            None => HierarchyConfig::l1_only(self.cache),
+        }
     }
 
     /// Overrides the simulated branch behaviour.
@@ -248,7 +279,9 @@ impl EngineConfig {
     /// probe artifacts are keyed (and cached) exactly like first-class
     /// stages. Any explicit `penalty` override is dropped: probe timing
     /// has always been derived from the energy model of the *shrunken*
-    /// geometry, never inherited from the full-size one.
+    /// geometry, never inherited from the full-size one. Any configured L2
+    /// is kept: the probes shrink the L1 while the rest of the hierarchy
+    /// stays fixed (shrinking keeps the hierarchy monotone).
     pub(crate) fn with_cache(mut self, cache: CacheConfig) -> EngineConfig {
         self.cache = cache;
         self.penalty = None;
@@ -261,11 +294,20 @@ impl EngineConfig {
     }
 
     /// Memory timing: the explicit penalty override when present,
-    /// otherwise the 45 nm energy model's timing for this geometry.
+    /// otherwise the 45 nm energy model's timing for this hierarchy. With
+    /// an L2 configured, the L2 service time is always derived from the
+    /// energy model (there is no override knob for it).
     pub fn timing(&self) -> MemTiming {
+        let derived = EnergyModel::for_hierarchy(&self.hierarchy(), Technology::Nm45).timing();
         match self.penalty {
-            Some(p) => MemTiming::with_miss_penalty(p),
-            None => EnergyModel::new(&self.cache, Technology::Nm45).timing(),
+            Some(p) => {
+                let t = MemTiming::with_miss_penalty(p);
+                match derived.l2_hit_cycles {
+                    Some(l2) => t.with_l2_hit(l2),
+                    None => t,
+                }
+            }
+            None => derived,
         }
     }
 
@@ -332,6 +374,20 @@ impl EngineConfig {
         // the Analyze stage version bump already re-keyed every artifact.
         h.write_u8(u8::from(self.refine.enabled));
         h.write_u32(self.refine.max_states);
+        // The hierarchy below the L1: per-level classifications, τ_w, and
+        // the concrete walks all change with it, so its presence, geometry,
+        // policy, and service time key every analysis-derived artifact.
+        match &self.l2 {
+            None => h.write_u8(0),
+            Some(l2) => {
+                h.write_u8(1);
+                h.write_u32(l2.assoc());
+                h.write_u32(l2.block_bytes());
+                h.write_u32(l2.capacity_bytes());
+                h.write_u8(l2.policy().tag());
+                h.write_u64(t.l2_hit_cycles.unwrap_or(0));
+            }
+        }
     }
 
     fn write_sim_inputs(&self, h: &mut FpHasher) {
@@ -480,6 +536,53 @@ mod tests {
         assert_ne!(base.fingerprint(), diff.fingerprint());
         let diff = base.clone().with_check_effectiveness(false);
         assert_ne!(base.fingerprint(), diff.fingerprint());
+    }
+
+    #[test]
+    fn l2_moves_every_stage_fingerprint() {
+        let l2 = EngineConfig::geometry(4, 16, 8192).expect("valid");
+        let base = EngineConfig::evaluation(k8());
+        let two = base.clone().with_l2(l2).expect("valid hierarchy");
+        assert_eq!(two.l2(), Some(&l2));
+        assert!(two.hierarchy().is_multi_level());
+        assert!(!base.hierarchy().is_multi_level());
+        assert_ne!(base.analysis_fingerprint(), two.analysis_fingerprint());
+        assert_ne!(base.sim_fingerprint(), two.sim_fingerprint());
+        assert_ne!(base.optimize_fingerprint(), two.optimize_fingerprint());
+        assert_ne!(base.fingerprint(), two.fingerprint());
+        // Different L2 geometries key differently too.
+        let bigger = base
+            .clone()
+            .with_l2(EngineConfig::geometry(4, 16, 16384).expect("valid"))
+            .expect("valid hierarchy");
+        assert_ne!(two.analysis_fingerprint(), bigger.analysis_fingerprint());
+        // The derived timing gains the L2 service time.
+        assert!(two.timing().l2_hit_cycles.is_some());
+        assert_eq!(base.timing().l2_hit_cycles, None);
+        // A penalty override keeps the derived L2 service time.
+        let pen = two.clone().with_penalty(40);
+        assert!(pen.timing().l2_hit_cycles.is_some());
+        assert_eq!(pen.timing().miss_cycles, 41);
+    }
+
+    #[test]
+    fn with_l2_rejects_non_monotone_hierarchies() {
+        use rtpf_cache::HierarchyViolation;
+        let base = EngineConfig::evaluation(k8());
+        let same = EngineConfig::geometry(2, 16, 512).expect("valid");
+        assert!(matches!(
+            base.clone().with_l2(same),
+            Err(ConfigError::HierarchyInvalid(
+                HierarchyViolation::CapacityNotLarger
+            ))
+        ));
+        let other_block = EngineConfig::geometry(2, 32, 8192).expect("valid");
+        assert!(matches!(
+            base.clone().with_l2(other_block),
+            Err(ConfigError::HierarchyInvalid(
+                HierarchyViolation::BlockMismatch
+            ))
+        ));
     }
 
     #[test]

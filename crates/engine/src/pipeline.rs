@@ -12,7 +12,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use rtpf_audit::{DiagnosticSink, SoundnessOptions, SoundnessSummary, TransformSummary};
-use rtpf_core::{check, OptimizeResult, Optimizer, TheoremReport};
+use rtpf_core::{check_hierarchy, OptimizeResult, Optimizer, TheoremReport};
 use rtpf_energy::{EnergyBreakdown, EnergyModel, Technology};
 use rtpf_isa::Program;
 use rtpf_sim::{SimResult, Simulator};
@@ -165,10 +165,10 @@ impl Engine {
         }
         let key = ArtifactKey::new(Stage::Analyze, &[h.finish()]);
         self.store.get_or_compute(key, || {
-            let a = WcetAnalysis::analyze_parallel(
+            let a = WcetAnalysis::analyze_hierarchy(
                 p,
                 layout.clone(),
-                self.config.cache(),
+                &self.config.hierarchy(),
                 &self.config.timing(),
                 self.config.refine(),
                 self.config.resolved_threads(),
@@ -180,10 +180,10 @@ impl Engine {
     }
 
     fn compute_analysis(&self, p: &Program) -> Result<WcetAnalysis, EngineError> {
-        let a = WcetAnalysis::analyze_parallel(
+        let a = WcetAnalysis::analyze_hierarchy(
             p,
             rtpf_isa::Layout::of(p),
-            self.config.cache(),
+            &self.config.hierarchy(),
             &self.config.timing(),
             self.config.refine(),
             self.config.resolved_threads(),
@@ -228,7 +228,7 @@ impl Engine {
             if let Some(r) = rounds_override {
                 params.max_rounds = r;
             }
-            let r = Optimizer::new(*self.config.cache(), params)
+            let r = Optimizer::new_hierarchy(self.config.hierarchy(), params)
                 .run(p)
                 .map_err(EngineError::Optimize)?;
             let mut prof = r.report.profile;
@@ -253,11 +253,11 @@ impl Engine {
         let key = self.key_for(Stage::Verify, self.config.optimize_fingerprint(), pfp);
         let report = self.store.get_or_compute(key, || {
             let t0 = Instant::now();
-            let rep = check(
+            let rep = check_hierarchy(
                 p,
                 &r.program,
                 r.analysis_after.layout().clone(),
-                self.config.cache(),
+                &self.config.hierarchy(),
                 &self.config.timing(),
             )
             .map_err(EngineError::Verify)?;
@@ -287,8 +287,8 @@ impl Engine {
         let key = self.key_for(Stage::Simulate, self.config.sim_fingerprint(), pfp);
         self.store.get_or_compute(key, || {
             let t0 = Instant::now();
-            let run = Simulator::new(
-                *self.config.cache(),
+            let run = Simulator::new_hierarchy(
+                self.config.hierarchy(),
                 self.config.timing(),
                 self.config.sim_config(),
             )
@@ -307,9 +307,10 @@ impl Engine {
     pub fn energies(&self, run: &SimResult) -> [EnergyBreakdown; 2] {
         let t0 = Instant::now();
         let stats = run.mean_stats();
+        let hierarchy = self.config.hierarchy();
         let out = [
-            EnergyModel::new(self.config.cache(), Technology::Nm45).energy_of(&stats),
-            EnergyModel::new(self.config.cache(), Technology::Nm32).energy_of(&stats),
+            EnergyModel::for_hierarchy(&hierarchy, Technology::Nm45).energy_of(&stats),
+            EnergyModel::for_hierarchy(&hierarchy, Technology::Nm32).energy_of(&stats),
         ];
         self.absorb(&AnalysisProfile {
             energy_ns: t0.elapsed().as_nanos() as u64,
@@ -333,7 +334,7 @@ impl Engine {
     }
 
     fn gated_optimize_with_fp(&self, p: &Program, pfp: Fingerprint) -> Result<Gated, EngineError> {
-        let e45 = EnergyModel::new(self.config.cache(), Technology::Nm45);
+        let e45 = EnergyModel::for_hierarchy(&self.config.hierarchy(), Technology::Nm45);
         let energy = |run: &SimResult| e45.energy_of(&run.mean_stats()).total_nj();
         let mut opt = self.optimize_artifact(p, pfp, None)?;
         let sim_orig = self.simulated_with_fp(p, pfp)?;
@@ -399,12 +400,15 @@ impl Engine {
         let opt_fp = program_fingerprint(&opt.program);
         let shrunk = |divisor: u32| -> Option<[f64; 4]> {
             let small = config.shrink(divisor).ok()?;
-            let m45 = EnergyModel::new(&small, Technology::Nm45);
-            let m32 = EnergyModel::new(&small, Technology::Nm32);
             let sub = Engine::with_store(
                 self.config.clone().with_cache(small),
                 Arc::clone(&self.store),
             );
+            // Probe energies price the shrunken L1 under the unchanged
+            // rest of the hierarchy.
+            let sub_hierarchy = sub.config.hierarchy();
+            let m45 = EnergyModel::for_hierarchy(&sub_hierarchy, Technology::Nm45);
+            let m32 = EnergyModel::for_hierarchy(&sub_hierarchy, Technology::Nm32);
             let wcet = sub
                 .analysis_at_layout(&opt.program, opt_fp, opt.analysis_after.layout())
                 .ok()?
@@ -605,6 +609,45 @@ mod tests {
         assert!(prof.simulate_ns > 0);
         assert!(prof.optimize_ns > 0);
         assert_eq!(prof.store_misses, e.store().misses());
+    }
+
+    #[test]
+    fn two_level_engine_runs_the_whole_pipeline() {
+        let l1 = EngineConfig::geometry(2, 16, 512).expect("valid");
+        let l2 = EngineConfig::geometry(4, 16, 8192).expect("valid");
+        let cfg = EngineConfig::interactive(l1)
+            .with_l2(l2)
+            .expect("valid hierarchy");
+        let single = Engine::new(EngineConfig::interactive(l1));
+        let e = Engine::new(cfg);
+        let p = program();
+
+        let a = e.analysis(&p).expect("analyzes");
+        let a1 = single.analysis(&p).expect("analyzes");
+        assert!(a.tau_w() <= a1.tau_w(), "an L2 can only absorb misses");
+
+        let (r, theorem) = e.verified(&p).expect("verifies");
+        assert!(theorem.holds(), "{theorem:?}");
+        assert!(r.report.wcet_after <= r.report.wcet_before);
+
+        let run = e.simulated(&p).expect("simulates");
+        assert_eq!(
+            run.stats.l2_accesses,
+            run.stats.misses + run.prefetches_issued
+        );
+        let [e45, e32] = e.energies(&run);
+        assert!(e45.l2_static_nj > 0.0);
+        assert!(e32.l2_static_nj > 0.0);
+
+        // The single-level engine's artifacts never collide with the
+        // two-level ones in a shared store.
+        let run1 = single.simulated(&p).expect("simulates");
+        assert!(run1.stats.l2_accesses == 0);
+        let [s45, _] = single.energies(&run1);
+        assert_eq!(s45.l2_static_nj, 0.0);
+
+        let unit = e.unit("bs", "k9", &p).expect("unit");
+        assert!(unit.half.is_some(), "half-capacity probe runs under L2");
     }
 
     #[test]

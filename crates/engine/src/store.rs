@@ -62,19 +62,20 @@ impl Stage {
     /// algorithm changes observably** so stale on-disk artifacts are
     /// discarded instead of silently reused.
     pub fn version(self) -> u32 {
-        // v2 of Analyze/Optimize/Unit/Sweep: the exact FIFO/PLRU
-        // refinement stage (DESIGN.md §12) rewrites classifications, which
-        // feed τ_w, the optimizer's profitability inputs, and every
-        // evaluation row built on them.
+        // Latest bump: the multi-level hierarchy (DESIGN.md §14). Every
+        // stage that consumes the cache configuration now consumes a
+        // hierarchy — per-level classifications feed τ_w and the
+        // optimizer, the simulator walks both levels, and the energy
+        // breakdown grew L2 terms — so all of them re-key.
         match self {
             Stage::Parse => 1,
-            Stage::Analyze => 2,
-            Stage::Optimize => 2,
+            Stage::Analyze => 3,
+            Stage::Optimize => 3,
             Stage::Verify => 1,
-            Stage::Simulate => 1,
-            Stage::Energy => 1,
-            Stage::Unit => 2,
-            Stage::Sweep => 2,
+            Stage::Simulate => 2,
+            Stage::Energy => 2,
+            Stage::Unit => 3,
+            Stage::Sweep => 3,
         }
     }
 

@@ -1,0 +1,38 @@
+//! Runs the L2-capacity sweep — all 37 programs × the fixed-L1 axis of
+//! `rtpf_experiments::l2_sweep_points` (an L1-only baseline plus one
+//! two-level profile per swept L2 capacity) — and caches it under
+//! `results/sweep-l2.csv` with its `.hash` sidecar.
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let rows = rtpf_experiments::l2_sweep();
+    println!(
+        "sweep[l2] complete: {} units in {:.1}s",
+        rows.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    let violations = rows
+        .iter()
+        .filter(|(_, r)| r.wcet_opt > r.wcet_orig)
+        .count();
+    println!("Theorem 1 violations: {violations} (must be 0)");
+    assert_eq!(violations, 0, "Theorem 1 violated on the L2 sweep");
+
+    // The L2 can only help: with the L1 stream unchanged, every swept
+    // capacity must keep the original-program WCET at or below the
+    // baseline's (an L1 miss now costs an L2 hit at best, DRAM at worst).
+    let mut worse = 0usize;
+    for (_, base) in rows.iter().filter(|(l2, _)| l2.is_none()) {
+        for (_, two) in rows
+            .iter()
+            .filter(|(l2, r)| l2.is_some() && r.program == base.program)
+        {
+            if two.wcet_orig > base.wcet_orig {
+                worse += 1;
+            }
+        }
+    }
+    println!("two-level WCETs above the L1-only baseline: {worse} (must be 0)");
+    assert_eq!(worse, 0, "an L2 made some WCET bound worse");
+    println!("cache: {}", rtpf_experiments::l2_cache_path().display());
+}

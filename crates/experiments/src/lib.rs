@@ -253,6 +253,169 @@ pub fn run_sweep_for(policy: ReplacementPolicy) -> Vec<UnitResult> {
     out
 }
 
+/// Fixed L1 of the L2-capacity sweep axis: the mid-grid Table 2 geometry
+/// `(2, 16, 512)`, small enough that every swept L2 changes the DRAM
+/// traffic it sees.
+pub fn l2_sweep_l1() -> CacheConfig {
+    CacheConfig::new(2, 16, 512).expect("Table 2 geometry")
+}
+
+/// L2 capacities swept behind [`l2_sweep_l1`] (8-way, 16-byte blocks,
+/// LRU). A no-L2 baseline row rides along so each figure can report the
+/// marginal effect of the second level directly.
+pub const L2_CAPACITIES: [u32; 5] = [2048, 4096, 8192, 16384, 32768];
+
+/// The points of the L2 sweep: the L1-only baseline (`l2none`) followed
+/// by one two-level profile per [`L2_CAPACITIES`] entry (`l2c<capacity>`).
+pub fn l2_sweep_points() -> Vec<(String, EngineConfig)> {
+    let l1 = l2_sweep_l1();
+    let mut points = vec![("l2none".to_string(), EngineConfig::evaluation(l1))];
+    for cap in L2_CAPACITIES {
+        let l2 = CacheConfig::new(8, 16, cap).expect("valid L2 geometry");
+        points.push((
+            format!("l2c{cap}"),
+            EngineConfig::evaluation(l1)
+                .with_l2(l2)
+                .expect("capacities above the L1 are monotone"),
+        ));
+    }
+    points
+}
+
+/// On-disk name of the L2 sweep artifact.
+pub const L2_SWEEP_NAME: &str = "sweep-l2.csv";
+
+/// Location of the on-disk L2 sweep artifact (`.hash` sidecar beside it).
+pub fn l2_cache_path() -> PathBuf {
+    results_store()
+        .disk_path(L2_SWEEP_NAME)
+        .expect("store has a disk layer")
+}
+
+/// Content address of the L2 sweep: every program fingerprint × every
+/// sweep-point configuration fingerprint (the L2 geometry/policy enters
+/// each configuration fingerprint), plus the unit-stage version.
+pub fn l2_sweep_artifact_key() -> ArtifactKey {
+    let suite = rtpf_suite::catalog();
+    let econfigs: Vec<EngineConfig> = l2_sweep_points().into_iter().map(|(_, e)| e).collect();
+    rtpf_engine::sweep_key(
+        suite
+            .iter()
+            .flat_map(|b| econfigs.iter().map(move |e| (&b.program, e))),
+    )
+}
+
+/// One L2 sweep row: the sweep point's L2 (None = the baseline) plus the
+/// evaluated unit.
+pub type L2Row = (Option<CacheConfig>, UnitResult);
+
+/// Serializes L2 sweep rows. The layout is the [`COLUMNS`] unit schema
+/// with three trailing columns — `l2_assoc,l2_block,l2_capacity`, all `0`
+/// on the baseline row — so `results/sweep.csv` keeps its frozen 26-column
+/// shape and the L2 axis lives entirely in its own artifact.
+pub fn l2_to_csv(rows: &[L2Row]) -> String {
+    let mut s = String::new();
+    s.push_str(COLUMNS);
+    s.push_str(",l2_assoc,l2_block,l2_capacity\n");
+    for (l2, row) in rows {
+        let unit = to_csv(std::slice::from_ref(row));
+        let line = unit.lines().nth(1).expect("one data row");
+        let (a, b, c) = match l2 {
+            Some(l2) => (l2.assoc(), l2.block_bytes(), l2.capacity_bytes()),
+            None => (0, 0, 0),
+        };
+        use std::fmt::Write as _;
+        let _ = writeln!(s, "{line},{a},{b},{c}");
+    }
+    s
+}
+
+/// Parses the L2 sweep serialization back.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed row; callers treat that
+/// as a missing artifact and recompute.
+pub fn parse_l2_csv(text: &str) -> Result<Vec<L2Row>, String> {
+    let mut rows = Vec::new();
+    for (ln, line) in text.lines().enumerate().skip(1) {
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() < 4 {
+            return Err(format!("line {ln}: too few fields"));
+        }
+        let (unit_fields, l2_fields) = fields.split_at(fields.len() - 3);
+        let unit_text = format!("{COLUMNS}\n{}\n", unit_fields.join(","));
+        let unit = parse_csv(&unit_text)?
+            .pop()
+            .ok_or_else(|| format!("line {ln}: no unit row"))?;
+        let nums: Vec<u32> = l2_fields
+            .iter()
+            .map(|f| {
+                f.parse()
+                    .map_err(|_| format!("line {ln}: bad l2 field {f}"))
+            })
+            .collect::<Result<_, _>>()?;
+        let l2 = match (nums[0], nums[1], nums[2]) {
+            (0, 0, 0) => None,
+            (a, b, c) => Some(
+                CacheConfig::new(a, b, c)
+                    .map_err(|e| format!("line {ln}: bad l2 geometry: {e}"))?,
+            ),
+        };
+        rows.push((l2, unit));
+    }
+    Ok(rows)
+}
+
+/// Runs (or loads) the L2-capacity sweep: all 37 programs × the
+/// [`l2_sweep_points`] axis, persisted as `results/sweep-l2.csv` under
+/// its content address.
+pub fn l2_sweep() -> Vec<L2Row> {
+    let store = results_store();
+    let key = l2_sweep_artifact_key();
+    let expected = rtpf_suite::catalog().len() * l2_sweep_points().len();
+    if let Some(text) = store.disk_get(L2_SWEEP_NAME, key) {
+        match parse_l2_csv(&text) {
+            Ok(rows) if rows.len() == expected => return rows,
+            Ok(rows) => eprintln!(
+                "L2 sweep artifact has {} rows (expected {expected}), recomputing",
+                rows.len()
+            ),
+            Err(e) => eprintln!("corrupt L2 sweep artifact ({e}), recomputing"),
+        }
+    }
+    let rows = run_l2_sweep();
+    store
+        .disk_put(L2_SWEEP_NAME, key, &l2_to_csv(&rows))
+        .expect("persist L2 sweep artifact");
+    rows
+}
+
+/// Computes the L2 sweep from scratch on the engine's work-stealing grid.
+pub fn run_l2_sweep() -> Vec<L2Row> {
+    let suite = rtpf_suite::catalog();
+    let points = l2_sweep_points();
+    let units: Vec<(usize, usize)> = (0..suite.len())
+        .flat_map(|p| (0..points.len()).map(move |c| (p, c)))
+        .collect();
+    let grid = Grid {
+        workers: 0,
+        progress_every: 50,
+        label: "sweep[l2]",
+        shards: default_shards(),
+    };
+    let mut out: Vec<L2Row> = grid.run(&units, |_, &(pi, ci)| {
+        let b = &suite[pi];
+        let (k, econfig) = &points[ci];
+        let unit = Engine::new(econfig.clone().with_threads(1))
+            .unit(b.name, k, &b.program)
+            .expect("suite programs evaluate");
+        (econfig.l2().copied(), (*unit).clone())
+    });
+    out.sort_by(|a, b| (&a.1.program, &a.1.k).cmp(&(&b.1.program, &b.1.k)));
+    out
+}
+
 /// Per-policy precision of the abstract classifier, as measured by the
 /// soundness audit over the full suite × Table 2 grid.
 ///
@@ -446,6 +609,42 @@ mod tests {
         let rows = vec![r1];
         assert!(mean_by_capacity(&rows, 256, |r| r.wcet_ratio()).is_finite());
         assert!(mean_by_capacity(&rows, 512, |r| r.wcet_ratio()).is_nan());
+    }
+
+    #[test]
+    fn l2_rows_roundtrip_through_csv() {
+        let b = rtpf_suite::by_name("bs").unwrap();
+        let points = l2_sweep_points();
+        assert_eq!(points.len(), 1 + L2_CAPACITIES.len());
+        let rows: Vec<L2Row> = points
+            .iter()
+            .take(2)
+            .map(|(k, econfig)| {
+                let unit = Engine::new(econfig.clone().with_threads(1))
+                    .unit("bs", k, &b.program)
+                    .expect("evaluates");
+                (econfig.l2().copied(), (*unit).clone())
+            })
+            .collect();
+        assert!(rows[0].0.is_none(), "first point is the L1-only baseline");
+        assert!(rows[1].0.is_some());
+        let text = l2_to_csv(&rows);
+        assert!(text.starts_with(COLUMNS));
+        assert!(text
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("l2_assoc,l2_block,l2_capacity"));
+        let back = parse_l2_csv(&text).expect("roundtrip parses");
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn l2_sweep_key_differs_from_every_policy_sweep_key() {
+        let l2 = l2_sweep_artifact_key();
+        for p in ReplacementPolicy::ALL {
+            assert_ne!(l2, sweep_artifact_key_for(p));
+        }
     }
 
     #[test]

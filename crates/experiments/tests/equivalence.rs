@@ -67,6 +67,46 @@ fn sampled_units_match_checked_in_sweep_rows() {
 }
 
 #[test]
+fn l1_only_hierarchy_reproduces_checked_in_sweeps_for_every_policy() {
+    // The multi-level refactor's degenerate-case guard: an L1-only
+    // `HierarchyConfig` is what every evaluation profile now runs under,
+    // and it must reproduce the pre-hierarchy sweep bytes for all three
+    // replacement policies — the frozen golden slice for LRU, the
+    // checked-in per-policy artifacts for FIFO/PLRU.
+    use rtpf_cache::{HierarchyConfig, ReplacementPolicy};
+    for policy in ReplacementPolicy::ALL {
+        let reference = match policy {
+            ReplacementPolicy::Lru => GOLDEN.to_string(),
+            p => std::fs::read_to_string(rtpf_experiments::cache_path_for(p))
+                .expect("checked-in per-policy sweep present"),
+        };
+        for name in ["fibcall", "sqrt"] {
+            let b = rtpf_suite::by_name(name).expect("known");
+            for (k, config) in rtpf_experiments::paper_configs_for(policy) {
+                // The profile really is the degenerate hierarchy…
+                let econfig = rtpf_engine::EngineConfig::evaluation(config);
+                assert_eq!(econfig.hierarchy(), HierarchyConfig::l1_only(config));
+                assert!(econfig.l2().is_none());
+                // …and its unit row matches the pre-hierarchy bytes.
+                let row = rtpf_experiments::run_unit(name, &b.program, &k, config);
+                let line = rtpf_experiments::to_csv(std::slice::from_ref(&row));
+                let line = line.lines().nth(1).expect("one data row");
+                let want_prefix = format!("{name},{k},");
+                let want = reference
+                    .lines()
+                    .find(|l| l.starts_with(&want_prefix))
+                    .unwrap_or_else(|| panic!("no {policy} reference row for {name} {k}"));
+                assert_eq!(
+                    line, want,
+                    "L1-only hierarchy diverged from the pre-hierarchy {policy} bytes \
+                     on {name} {k}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn explicit_lru_policy_is_byte_identical_to_the_default() {
     // The policy-generic refactor must leave the paper's LRU numbers
     // untouched: selecting LRU *explicitly* reproduces the frozen

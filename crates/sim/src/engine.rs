@@ -2,7 +2,7 @@
 
 use std::collections::BTreeSet;
 
-use rtpf_cache::{CacheConfig, ConcreteState, MemTiming};
+use rtpf_cache::{CacheConfig, ConcreteState, HierarchyConfig, MemTiming};
 use rtpf_energy::MemStats;
 use rtpf_isa::MemBlockId;
 
@@ -65,6 +65,12 @@ impl LockedContents {
 #[derive(Debug)]
 pub struct CacheEngine {
     cache: ConcreteState,
+    /// Unified second level, filled from DRAM on its own misses
+    /// (fill-inclusive, no back-invalidation — mirrors
+    /// [`rtpf_cache::ConcreteHierarchy`]).
+    l2: Option<ConcreteState>,
+    /// Cost of an L1-miss-L2-hit (`miss_cycles` when no L2 latency given).
+    l2_hit_cycles: u64,
     timing: MemTiming,
     locked: Option<LockedContents>,
     /// Prefetches in flight: `(block, ready_cycle)`.
@@ -87,8 +93,17 @@ impl CacheEngine {
     /// A cold engine for the given configuration (geometry *and*
     /// replacement policy) and timing.
     pub fn new(config: &CacheConfig, timing: MemTiming) -> Self {
+        Self::new_hierarchy(&HierarchyConfig::l1_only(*config), timing)
+    }
+
+    /// A cold engine for a full hierarchy: with an L2 present, L1 misses
+    /// look it up before going to DRAM, and an L2 hit costs
+    /// [`MemTiming::l2_hit_cycles`] instead of the full miss penalty.
+    pub fn new_hierarchy(hierarchy: &HierarchyConfig, timing: MemTiming) -> Self {
         CacheEngine {
-            cache: ConcreteState::new(config),
+            cache: ConcreteState::new(hierarchy.l1()),
+            l2: hierarchy.l2().map(ConcreteState::new),
+            l2_hit_cycles: timing.l2_hit_cycles.unwrap_or(timing.miss_cycles),
             timing,
             locked: None,
             inflight: Vec::new(),
@@ -98,6 +113,26 @@ impl CacheEngine {
             prefetch_useful: 0,
             stall_cycles: 0,
             prefetched: BTreeSet::new(),
+        }
+    }
+
+    /// Serves an L1 miss from the levels below: looks up the L2 when
+    /// present (filling it from DRAM on an L2 miss) and returns the cycle
+    /// cost of the whole round trip.
+    fn memory_latency(&mut self, block: MemBlockId) -> u64 {
+        match &mut self.l2 {
+            Some(l2) => {
+                self.stats.l2_accesses += 1;
+                if l2.access(block).is_hit() {
+                    self.stats.l2_hits += 1;
+                    self.l2_hit_cycles
+                } else {
+                    self.stats.l2_misses += 1;
+                    self.stats.l2_fills += 1;
+                    self.timing.miss_cycles
+                }
+            }
+            None => self.timing.miss_cycles,
         }
     }
 
@@ -138,7 +173,9 @@ impl CacheEngine {
                 self.cycle += self.timing.hit_cycles;
             } else {
                 self.stats.misses += 1;
-                self.cycle += self.timing.miss_cycles;
+                // Only the L1 is locked; the bypassing access is still
+                // served by (and allocates in) the L2 when one exists.
+                self.cycle += self.memory_latency(block);
                 self.stats.fills += 1; // the block transfer still happens
             }
             self.stats.cycles = self.cycle;
@@ -172,7 +209,7 @@ impl CacheEngine {
         } else {
             self.stats.misses += 1;
             self.stats.fills += 1;
-            self.cycle += self.timing.miss_cycles;
+            self.cycle += self.memory_latency(block);
             if let Some(ev) = outcome.evicted() {
                 self.prefetched.remove(&ev);
             }
@@ -220,7 +257,9 @@ impl CacheEngine {
     }
 
     /// Issues a non-blocking prefetch of `block` (no clock cost beyond the
-    /// instruction fetch, which the caller accounts separately).
+    /// instruction fetch, which the caller accounts separately). With an
+    /// L2, a prefetch whose target is L2-resident completes after the L2
+    /// round trip instead of the full DRAM latency.
     pub fn prefetch(&mut self, block: MemBlockId) {
         self.drain_inflight();
         if self.cache.contains(block) {
@@ -230,13 +269,31 @@ impl CacheEngine {
             return;
         }
         self.prefetches_issued += 1;
-        self.inflight
-            .push((block, self.cycle + self.timing.prefetch_latency));
+        let latency = match &mut self.l2 {
+            Some(l2) => {
+                self.stats.l2_accesses += 1;
+                if l2.access(block).is_hit() {
+                    self.stats.l2_hits += 1;
+                    self.l2_hit_cycles.saturating_sub(self.timing.hit_cycles)
+                } else {
+                    self.stats.l2_misses += 1;
+                    self.stats.l2_fills += 1;
+                    self.timing.prefetch_latency
+                }
+            }
+            None => self.timing.prefetch_latency,
+        };
+        self.inflight.push((block, self.cycle + latency));
     }
 
-    /// Whether `block` is currently cached (completed fills only).
+    /// Whether `block` is currently cached in L1 (completed fills only).
     pub fn contains(&self, block: MemBlockId) -> bool {
         self.cache.contains(block)
+    }
+
+    /// The L2 contents, when the engine simulates a two-level hierarchy.
+    pub fn l2(&self) -> Option<&ConcreteState> {
+        self.l2.as_ref()
     }
 
     /// The timing model in use.
@@ -329,6 +386,126 @@ mod tests {
         assert_eq!(e.stats.accesses, 8);
         assert_eq!(e.stats.hits + e.stats.misses, 8);
         assert_eq!(e.stats.cycles, e.cycle);
+    }
+
+    fn two_level() -> CacheEngine {
+        // L1: one 2-way set over 16 B blocks; L2: 4-way, 16 blocks.
+        let l1 = CacheConfig::new(2, 16, 32).unwrap();
+        let l2 = CacheConfig::new(4, 16, 256).unwrap();
+        let h = HierarchyConfig::two_level(l1, l2).unwrap();
+        CacheEngine::new_hierarchy(&h, MemTiming::with_miss_penalty(20).with_l2_hit(8))
+    }
+
+    #[test]
+    fn l1_only_engine_keeps_l2_counters_at_zero() {
+        let mut e = engine();
+        for b in [1u64, 2, 3, 1, 2, 3] {
+            e.fetch(MemBlockId(b));
+        }
+        assert!(e.l2().is_none());
+        assert_eq!(e.stats.l2_accesses, 0);
+        assert_eq!(e.stats.l2_hits, 0);
+        assert_eq!(e.stats.l2_misses, 0);
+        assert_eq!(e.stats.l2_fills, 0);
+    }
+
+    #[test]
+    fn l2_hit_costs_less_than_a_dram_miss() {
+        let mut e = two_level();
+        // Cold: miss in both levels, full DRAM penalty.
+        assert!(!e.fetch(MemBlockId(1)));
+        assert_eq!(e.cycle, 21);
+        assert_eq!(
+            (e.stats.l2_accesses, e.stats.l2_misses, e.stats.l2_fills),
+            (1, 1, 1)
+        );
+        // Evict 1 from the single 2-way L1 set; the L2 keeps everything.
+        e.fetch(MemBlockId(2));
+        e.fetch(MemBlockId(3));
+        let before = e.cycle;
+        // L1 miss, L2 hit: pays 8, not 21.
+        assert!(!e.fetch(MemBlockId(1)));
+        assert_eq!(e.cycle, before + 8);
+        assert_eq!(e.stats.l2_hits, 1);
+        // The L2 access total reconciles.
+        assert_eq!(e.stats.l2_accesses, e.stats.l2_hits + e.stats.l2_misses);
+        assert_eq!(e.stats.l2_fills, e.stats.l2_misses);
+    }
+
+    #[test]
+    fn repeat_hits_never_touch_the_l2() {
+        let mut e = two_level();
+        e.fetch_run(MemBlockId(7), 50);
+        // One L1 miss went down; the 49 repeat hits stayed in L1.
+        assert_eq!(e.stats.accesses, 50);
+        assert_eq!(e.stats.misses, 1);
+        assert_eq!(e.stats.l2_accesses, 1);
+    }
+
+    #[test]
+    fn l2_accesses_reconcile_with_l1_misses_and_prefetches() {
+        let mut e = two_level();
+        for b in [1u64, 2, 3, 1, 2, 3, 4, 1] {
+            e.fetch(MemBlockId(b));
+        }
+        e.prefetch(MemBlockId(9));
+        assert_eq!(
+            e.stats.l2_accesses,
+            e.stats.misses + e.prefetches_issued,
+            "every L1 miss and every issued prefetch consults the L2, nothing else does"
+        );
+    }
+
+    #[test]
+    fn prefetch_from_l2_completes_after_the_l2_round_trip() {
+        let mut e = two_level();
+        // Install 9 in the L2 (and L1), then push it out of the tiny L1.
+        e.fetch(MemBlockId(9));
+        e.fetch(MemBlockId(1));
+        e.fetch(MemBlockId(2));
+        assert!(!e.contains(MemBlockId(9)));
+        let start = e.cycle;
+        e.prefetch(MemBlockId(9));
+        // Fetch immediately: the stall is the L2 residual (8 − 1), far
+        // below the DRAM prefetch latency of 20.
+        assert!(e.fetch(MemBlockId(9)));
+        assert_eq!(e.stall_cycles, 7);
+        assert_eq!(e.cycle, start + 7 + 1);
+        assert_eq!(e.prefetch_useful, 1);
+    }
+
+    #[test]
+    fn locked_l1_miss_is_served_by_the_l2() {
+        let mut e = two_level();
+        e.lock(LockedContents::new([MemBlockId(1)]));
+        assert!(e.fetch(MemBlockId(1)));
+        // First bypass: L2 miss, full penalty; the L2 allocates.
+        let before = e.cycle;
+        assert!(!e.fetch(MemBlockId(5)));
+        assert_eq!(e.cycle, before + 21);
+        // Second bypass of the same block: L2 hit.
+        let before = e.cycle;
+        assert!(!e.fetch(MemBlockId(5)));
+        assert_eq!(e.cycle, before + 8);
+        assert_eq!(e.stats.l2_hits, 1);
+    }
+
+    #[test]
+    fn degenerate_hierarchy_engine_matches_plain_engine() {
+        let cfg = CacheConfig::new(2, 16, 64).unwrap();
+        let timing = MemTiming::with_miss_penalty(20);
+        let mut plain = CacheEngine::new(&cfg, timing);
+        let mut degen = CacheEngine::new_hierarchy(&HierarchyConfig::l1_only(cfg), timing);
+        for b in [1u64, 2, 3, 1, 9, 2, 3, 4, 1, 5, 2, 9] {
+            assert_eq!(plain.fetch(MemBlockId(b)), degen.fetch(MemBlockId(b)));
+        }
+        plain.prefetch(MemBlockId(30));
+        degen.prefetch(MemBlockId(30));
+        plain.fetch(MemBlockId(30));
+        degen.fetch(MemBlockId(30));
+        assert_eq!(plain.stats, degen.stats);
+        assert_eq!(plain.cycle, degen.cycle);
+        assert_eq!(plain.stall_cycles, degen.stall_cycles);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::fmt;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use rtpf_cache::{CacheConfig, MemTiming};
+use rtpf_cache::{CacheConfig, HierarchyConfig, MemTiming};
 use rtpf_isa::dom::Dominators;
 use rtpf_isa::loops::LoopForest;
 use rtpf_isa::{BlockId, InstrKind, Layout, MemBlockId, Program};
@@ -158,19 +158,26 @@ impl WalkPlan {
     }
 }
 
-/// Trace-driven simulator for one cache configuration and timing model.
+/// Trace-driven simulator for one cache hierarchy and timing model.
 #[derive(Clone, Debug)]
 pub struct Simulator {
-    config: CacheConfig,
+    hierarchy: HierarchyConfig,
     timing: MemTiming,
     sim: SimConfig,
 }
 
 impl Simulator {
-    /// A simulator for the given geometry, timing, and policy.
+    /// A simulator for a single-level cache of the given geometry, timing,
+    /// and policy.
     pub fn new(config: CacheConfig, timing: MemTiming, sim: SimConfig) -> Self {
+        Self::new_hierarchy(HierarchyConfig::l1_only(config), timing, sim)
+    }
+
+    /// A simulator for a full hierarchy; with an L2, every run's engine
+    /// serves L1 misses through the exact two-level walk.
+    pub fn new_hierarchy(hierarchy: HierarchyConfig, timing: MemTiming, sim: SimConfig) -> Self {
         Simulator {
-            config,
+            hierarchy,
             timing,
             sim,
         }
@@ -237,11 +244,11 @@ impl Simulator {
         let forest =
             LoopForest::compute(p, &dom).map_err(|e| SimError::InvalidProgram(e.to_string()))?;
         let layout = Layout::of(p);
-        let plan = WalkPlan::build(p, &forest, &layout, self.config.block_bytes());
+        let plan = WalkPlan::build(p, &forest, &layout, self.hierarchy.l1().block_bytes());
 
         let mut result = SimResult::default();
         for k in 0..self.sim.runs {
-            let mut engine = CacheEngine::new(&self.config, self.timing);
+            let mut engine = CacheEngine::new_hierarchy(&self.hierarchy, self.timing);
             setup(&mut engine);
             let mut hw = hw_factory();
             let instrs = self.walk(
@@ -268,7 +275,7 @@ impl Simulator {
         seed: u64,
     ) -> Result<u64, SimError> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let block_bytes = self.config.block_bytes();
+        let block_bytes = self.hierarchy.l1().block_bytes();
         let mut counters: HashMap<BlockId, u64> = HashMap::new();
         let mut fetched: u64 = 0;
 

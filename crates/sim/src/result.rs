@@ -29,6 +29,10 @@ impl SimResult {
         self.stats.misses += engine.stats.misses;
         self.stats.fills += engine.stats.fills;
         self.stats.cycles += engine.stats.cycles;
+        self.stats.l2_accesses += engine.stats.l2_accesses;
+        self.stats.l2_hits += engine.stats.l2_hits;
+        self.stats.l2_misses += engine.stats.l2_misses;
+        self.stats.l2_fills += engine.stats.l2_fills;
         self.runs += 1;
         self.instr_executed += instrs;
         self.prefetches_issued += engine.prefetches_issued;
@@ -66,6 +70,10 @@ impl SimResult {
             misses: self.stats.misses / r,
             fills: self.stats.fills / r,
             cycles: self.stats.cycles / r,
+            l2_accesses: self.stats.l2_accesses / r,
+            l2_hits: self.stats.l2_hits / r,
+            l2_misses: self.stats.l2_misses / r,
+            l2_fills: self.stats.l2_fills / r,
         }
     }
 

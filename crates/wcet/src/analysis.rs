@@ -5,13 +5,17 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::Instant;
 
-use rtpf_cache::{CacheConfig, Classification, MemTiming, RefineConfig, RefineMark, StatePair};
+use rtpf_cache::{
+    CacheAccessClassification, CacheConfig, Classification, HierarchyConfig, MemTiming,
+    RefineConfig, RefineMark, StatePair,
+};
 use rtpf_isa::{Layout, MemBlockId, Program};
 
 use crate::acfg::{Acfg, RefId};
 use crate::classify::{self, ClassifyResult, PrevPass};
 use crate::error::AnalysisError;
 use crate::ipet;
+use crate::l2;
 use crate::memo::{AnalysisCache, NodeSig};
 use crate::profile::AnalysisProfile;
 use crate::refine::{self, RefineStats};
@@ -34,6 +38,16 @@ pub struct WcetAnalysis {
     vivu: Arc<VivuGraph>,
     acfg: Acfg,
     config: CacheConfig,
+    /// Second-level geometry, when the analysed hierarchy has one. `None`
+    /// keeps every L2 code path inert and the analysis bit-identical to
+    /// the historical single-level one.
+    l2: Option<CacheConfig>,
+    /// Per-reference L2 classification (empty when `l2` is `None`),
+    /// computed by the Hardy & Puaut filtered post-pass.
+    l2_class: Vec<Classification>,
+    /// Per-reference L1-outcome filter the L2 updates ran under (empty
+    /// when `l2` is `None`).
+    l2_cac: Vec<CacheAccessClassification>,
     timing: MemTiming,
     hw_next_line: Option<u32>,
     refine: RefineConfig,
@@ -117,7 +131,15 @@ impl WcetAnalysis {
         config: &CacheConfig,
         timing: &MemTiming,
     ) -> Result<Self, AnalysisError> {
-        Self::analyze_full(p, layout, config, timing, None, RefineConfig::default(), 1)
+        Self::analyze_full(
+            p,
+            layout,
+            &HierarchyConfig::l1_only(*config),
+            timing,
+            None,
+            RefineConfig::default(),
+            1,
+        )
     }
 
     /// [`analyze_with_layout`](WcetAnalysis::analyze_with_layout) with an
@@ -137,7 +159,15 @@ impl WcetAnalysis {
         timing: &MemTiming,
         refine: RefineConfig,
     ) -> Result<Self, AnalysisError> {
-        Self::analyze_full(p, layout, config, timing, None, refine, 1)
+        Self::analyze_full(
+            p,
+            layout,
+            &HierarchyConfig::l1_only(*config),
+            timing,
+            None,
+            refine,
+            1,
+        )
     }
 
     /// [`analyze_refined`](WcetAnalysis::analyze_refined) solving the
@@ -159,7 +189,38 @@ impl WcetAnalysis {
         refine: RefineConfig,
         threads: usize,
     ) -> Result<Self, AnalysisError> {
-        Self::analyze_full(p, layout, config, timing, None, refine, threads)
+        Self::analyze_full(
+            p,
+            layout,
+            &HierarchyConfig::l1_only(*config),
+            timing,
+            None,
+            refine,
+            threads,
+        )
+    }
+
+    /// [`analyze_parallel`](WcetAnalysis::analyze_parallel) over a full
+    /// cache [`HierarchyConfig`]. With a single-level hierarchy this is
+    /// bit-identical to the single-level entry points; with an L2 level
+    /// the refined L1 classification drives Hardy & Puaut's filtered L2
+    /// must/may pass, and `t_w` charges
+    /// [`MemTiming::l2_hit_cycles`] for L1 misses the L2 analysis proves
+    /// always-hit.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `p` is structurally invalid or the analysis blows its
+    /// context budget.
+    pub fn analyze_hierarchy(
+        p: &Program,
+        layout: Layout,
+        hierarchy: &HierarchyConfig,
+        timing: &MemTiming,
+        refine: RefineConfig,
+        threads: usize,
+    ) -> Result<Self, AnalysisError> {
+        Self::analyze_full(p, layout, hierarchy, timing, None, refine, threads)
     }
 
     /// Analyses `p` assuming an always-on **next-N-line hardware
@@ -181,7 +242,7 @@ impl WcetAnalysis {
         Self::analyze_full(
             p,
             Layout::of(p),
-            config,
+            &HierarchyConfig::l1_only(*config),
             timing,
             Some(n),
             RefineConfig::default(),
@@ -193,7 +254,7 @@ impl WcetAnalysis {
     fn analyze_full(
         p: &Program,
         layout: Layout,
-        config: &CacheConfig,
+        hierarchy: &HierarchyConfig,
         timing: &MemTiming,
         hw_next_line: Option<u32>,
         refine: RefineConfig,
@@ -211,7 +272,7 @@ impl WcetAnalysis {
             &layout,
             &vivu,
             &acfg,
-            config,
+            hierarchy.l1(),
             hw_next_line,
             &cache,
             threads,
@@ -223,7 +284,7 @@ impl WcetAnalysis {
             layout,
             vivu,
             acfg,
-            config,
+            hierarchy,
             timing,
             hw_next_line,
             refine,
@@ -244,7 +305,7 @@ impl WcetAnalysis {
         layout: Layout,
         vivu: Arc<VivuGraph>,
         acfg: Acfg,
-        config: &CacheConfig,
+        hierarchy: &HierarchyConfig,
         timing: &MemTiming,
         hw_next_line: Option<u32>,
         refine: RefineConfig,
@@ -255,6 +316,7 @@ impl WcetAnalysis {
         fixpoint_ns: u64,
         incremental: bool,
     ) -> Result<Self, AnalysisError> {
+        let config = hierarchy.l1();
         // Exact refinement of the cheap classification (a deterministic
         // post-pass, so incremental and full analyses stay bit-identical).
         // The unrefined vector is retained: it alone seeds the next
@@ -275,10 +337,41 @@ impl WcetAnalysis {
         );
         let refine_ns = t_refine.elapsed().as_nanos() as u64;
 
+        // Second-level classification: a deterministic post-pass fed by
+        // the *refined* L1 classes (the level-wise composition — refine
+        // runs per level in the sense that its upgrades tighten the L2
+        // filter). Recomputed from scratch every finish, so incremental
+        // and full analyses agree by construction. The hardware next-line
+        // model stays a single-level analysis.
+        let l2_cfg = if hw_next_line.is_some() {
+            None
+        } else {
+            hierarchy.l2().copied()
+        };
+        let (l2_class, l2_cac) = match &l2_cfg {
+            Some(l2cfg) => {
+                let r = l2::classify_l2(&vivu, &acfg, l2cfg, &class, &cls.sigs)?;
+                (r.class, r.cac)
+            }
+            None => (Vec::new(), Vec::new()),
+        };
+
         // Per-reference worst-case access time, from the refined view.
+        // With an L2 level, an L1 miss the L2 analysis proves always-hit
+        // is served in `l2_hit_cycles` instead of the DRAM time.
+        let l2_hit_cycles = timing.l2_hit_cycles.unwrap_or(timing.miss_cycles);
         let t_w: Vec<u64> = class
             .iter()
-            .map(|c| timing.access_cycles(!c.counts_as_miss()))
+            .enumerate()
+            .map(|(i, c)| {
+                if !c.counts_as_miss() {
+                    timing.hit_cycles
+                } else if l2_cfg.is_some() && l2_class[i] == Classification::AlwaysHit {
+                    l2_hit_cycles
+                } else {
+                    timing.miss_cycles
+                }
+            })
             .collect();
 
         let t2 = Instant::now();
@@ -323,6 +416,9 @@ impl WcetAnalysis {
             vivu,
             acfg,
             config: *config,
+            l2: l2_cfg,
+            l2_class,
+            l2_cac,
             timing: *timing,
             hw_next_line,
             refine,
@@ -374,7 +470,7 @@ impl WcetAnalysis {
             return Self::analyze_full(
                 p2,
                 layout2,
-                &self.config,
+                &self.hierarchy(),
                 &self.timing,
                 self.hw_next_line,
                 self.refine,
@@ -416,7 +512,7 @@ impl WcetAnalysis {
             layout2,
             vivu,
             acfg,
-            &self.config,
+            &self.hierarchy(),
             &self.timing,
             self.hw_next_line,
             self.refine,
@@ -433,7 +529,7 @@ impl WcetAnalysis {
             let full = Self::analyze_full(
                 p2,
                 result.layout.clone(),
-                &self.config,
+                &self.hierarchy(),
                 &self.timing,
                 self.hw_next_line,
                 self.refine,
@@ -480,10 +576,41 @@ impl WcetAnalysis {
         &self.acfg
     }
 
-    /// The cache geometry analysed against.
+    /// The cache geometry analysed against (the L1 level).
     #[inline]
     pub fn config(&self) -> &CacheConfig {
         &self.config
+    }
+
+    /// The second-level geometry, when the analysed hierarchy has one.
+    #[inline]
+    pub fn l2_config(&self) -> Option<&CacheConfig> {
+        self.l2.as_ref()
+    }
+
+    /// The full hierarchy this analysis ran under.
+    pub fn hierarchy(&self) -> HierarchyConfig {
+        match self.l2 {
+            Some(l2) => HierarchyConfig::two_level(self.config, l2)
+                .expect("hierarchy validated at analysis entry"),
+            None => HierarchyConfig::l1_only(self.config),
+        }
+    }
+
+    /// L2 classification of reference `r` — `None` for a single-level
+    /// hierarchy. For a reference whose access never reaches L2 (L1
+    /// always-hit) the value is
+    /// [`Classification::Unclassified`]: no claim is made.
+    #[inline]
+    pub fn l2_classification(&self, r: RefId) -> Option<Classification> {
+        self.l2.map(|_| self.l2_class[r.index()])
+    }
+
+    /// The L1-outcome filter reference `r`'s L2 update ran under — `None`
+    /// for a single-level hierarchy.
+    #[inline]
+    pub fn l2_cac(&self, r: RefId) -> Option<CacheAccessClassification> {
+        self.l2.map(|_| self.l2_cac[r.index()])
     }
 
     /// The timing model analysed against.

@@ -45,6 +45,7 @@ pub mod classify;
 pub mod context;
 pub mod error;
 pub mod ipet;
+mod l2;
 pub mod memo;
 pub mod persistence;
 pub mod profile;
