@@ -405,24 +405,7 @@ fn main() {
         .iter()
         .position(|a| a == "--l2")
         .and_then(|i| args.get(i + 1))
-        .map(|v| {
-            let parts: Vec<&str> = v.split(':').collect();
-            assert!(
-                (3..=4).contains(&parts.len()),
-                "--l2 wants a:b:c[:policy], got {v}"
-            );
-            let n = |s: &str| s.parse().unwrap_or_else(|_| panic!("bad --l2 number {s}"));
-            let mut cfg = CacheConfig::new(n(parts[0]), n(parts[1]), n(parts[2]))
-                .unwrap_or_else(|e| panic!("bad --l2 geometry {v}: {e}"));
-            if let Some(name) = parts.get(3) {
-                let policy = rtpf_cache::ReplacementPolicy::parse(name)
-                    .unwrap_or_else(|| panic!("unknown policy {name} (expected lru|fifo|plru)"));
-                cfg = cfg
-                    .with_policy(policy)
-                    .unwrap_or_else(|e| panic!("bad --l2 policy for {v}: {e}"));
-            }
-            cfg
-        });
+        .map(|v| CacheConfig::parse_spec(v).unwrap_or_else(|e| panic!("--l2 {v}: {e}")));
     let record_as = args
         .iter()
         .position(|a| a == "--record")

@@ -1,0 +1,484 @@
+//! Concurrent load generator for `rtpfd`: `results/bench_serve.json`.
+//!
+//! Drives a daemon (an in-process one by default, or an external one via
+//! `--addr`/`--port-file`) with a *mixed* workload — every service
+//! operation (analyze / optimize / audit / simulate) across a program ×
+//! configuration grid — from many concurrent clients, twice:
+//!
+//! * **cold**: the first pass computes every artifact. The `/metrics`
+//!   miss delta must not exceed the number of distinct artifacts the
+//!   workload can produce — concurrent duplicates of an in-flight key
+//!   must coalesce, never recompute (the single-flight guarantee, as an
+//!   exact counter assertion).
+//! * **warm**: the second pass must be served entirely from the store
+//!   (miss delta exactly zero).
+//!
+//! Both passes record wall-clock, requests/s, and p50/p99 latency; the
+//! store's hit/miss/coalesce counters complete the record.
+//!
+//! ```text
+//! cargo run --release -p rtpf-bench --bin loadgen -- --record   # full, 1000 clients
+//! cargo run --release -p rtpf-bench --bin loadgen -- --smoke --record
+//! cargo run --release -p rtpf-bench --bin loadgen -- --check    # CI regression gate
+//! loadgen --port-file /tmp/rtpfd.port --smoke --shutdown        # CI rtpfd-smoke
+//! ```
+//!
+//! `--check` reruns the smoke workload and fails (exit 1) when its warm
+//! wall-clock regresses more than 2x against the committed smoke record
+//! — wide because daemon throughput on shared CI runners is noisy; the
+//! exactly-once assertions above are exact and always enforced.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+use rtpf_engine::{ConfigSpec, ProgramSource, ServiceOp, ServiceRequest};
+use rtpf_serve::http::request as http_request;
+use rtpf_serve::json::Value;
+use rtpf_serve::{encode_request, Daemon, DaemonConfig};
+
+const FULL_CLIENTS: usize = 1000;
+const SMOKE_CLIENTS: usize = 64;
+/// Same smoke slice as `bench_sweep`.
+const SMOKE_PROGRAMS: [&str; 3] = ["bs", "fft1", "statemate"];
+/// CI gate: fail when the fresh warm wall-clock exceeds the committed
+/// record by more than this factor.
+const REGRESSION_FACTOR: f64 = 2.0;
+const TIMEOUT: Duration = Duration::from_secs(300);
+
+fn results_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/bench_serve.json")
+}
+
+/// The mixed workload: every op × program × configuration unit.
+fn workload(smoke: bool) -> Vec<ServiceRequest> {
+    let programs: Vec<&str> = if smoke {
+        SMOKE_PROGRAMS.to_vec()
+    } else {
+        rtpf_suite::catalog().iter().map(|b| b.name).collect()
+    };
+    // One representative Table 2 geometry; the grid axis the daemon is
+    // being benched on is concurrency, not configuration count.
+    let caches = ["2:16:512"];
+    let mut reqs = Vec::new();
+    for program in &programs {
+        for cache in &caches {
+            for op in [
+                ServiceOp::Analyze,
+                ServiceOp::Optimize,
+                ServiceOp::Audit,
+                ServiceOp::Simulate,
+            ] {
+                reqs.push(ServiceRequest {
+                    op,
+                    program: ProgramSource::Spec(format!("suite:{program}")),
+                    config: ConfigSpec {
+                        cache: cache.to_string(),
+                        ..ConfigSpec::default()
+                    },
+                });
+            }
+        }
+    }
+    reqs
+}
+
+/// Distinct store computations the workload can cause, at most once
+/// each: per (program, configuration) — one Analyze artifact (shared by
+/// `analyze` and `audit`), one Optimize + one Verify (the `optimize`
+/// op), one Simulate. Suite programs load without a Parse artifact.
+fn expected_misses(distinct_units: usize) -> u64 {
+    distinct_units as u64 * 4
+}
+
+struct PhaseRecord {
+    wall_ms: f64,
+    requests: usize,
+    rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+struct SectionRecord {
+    clients: usize,
+    distinct: usize,
+    cold: PhaseRecord,
+    warm: PhaseRecord,
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+    hit_rate: f64,
+}
+
+impl PhaseRecord {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"wall_ms\": {:.1}, \"requests\": {}, \"rps\": {:.1}, \
+             \"p50_ms\": {:.2}, \"p99_ms\": {:.2}}}",
+            self.wall_ms, self.requests, self.rps, self.p50_ms, self.p99_ms
+        )
+    }
+
+    fn from_json(v: &Value) -> Option<PhaseRecord> {
+        Some(PhaseRecord {
+            wall_ms: v.get("wall_ms")?.as_f64()?,
+            requests: v.get("requests")?.as_u64()? as usize,
+            rps: v.get("rps")?.as_f64()?,
+            p50_ms: v.get("p50_ms")?.as_f64()?,
+            p99_ms: v.get("p99_ms")?.as_f64()?,
+        })
+    }
+}
+
+impl SectionRecord {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n    \"clients\": {}, \"distinct\": {},\n    \"cold\": {},\n    \"warm\": {},\n    \
+             \"store\": {{\"hits\": {}, \"misses\": {}, \"coalesced\": {}, \"hit_rate\": {:.4}}}\n  }}",
+            self.clients,
+            self.distinct,
+            self.cold.to_json(),
+            self.warm.to_json(),
+            self.hits,
+            self.misses,
+            self.coalesced,
+            self.hit_rate
+        )
+    }
+
+    fn from_json(v: &Value) -> Option<SectionRecord> {
+        let store = v.get("store")?;
+        Some(SectionRecord {
+            clients: v.get("clients")?.as_u64()? as usize,
+            distinct: v.get("distinct")?.as_u64()? as usize,
+            cold: PhaseRecord::from_json(v.get("cold")?)?,
+            warm: PhaseRecord::from_json(v.get("warm")?)?,
+            hits: store.get("hits")?.as_u64()?,
+            misses: store.get("misses")?.as_u64()?,
+            coalesced: store.get("coalesced")?.as_u64()?,
+            hit_rate: store.get("hit_rate")?.as_f64()?,
+        })
+    }
+}
+
+#[derive(Default)]
+struct ResultsFile {
+    full: Option<SectionRecord>,
+    smoke: Option<SectionRecord>,
+}
+
+impl ResultsFile {
+    fn load() -> ResultsFile {
+        let Ok(text) = std::fs::read_to_string(results_path()) else {
+            return ResultsFile::default();
+        };
+        let Ok(doc) = Value::parse(&text) else {
+            return ResultsFile::default();
+        };
+        ResultsFile {
+            full: doc.get("full").and_then(SectionRecord::from_json),
+            smoke: doc.get("smoke").and_then(SectionRecord::from_json),
+        }
+    }
+
+    fn store(&self) {
+        let mut s = String::from("{\n");
+        let _ = writeln!(
+            s,
+            "  \"units\": \"milliseconds; mixed analyze/optimize/audit/simulate workload, \
+             concurrent clients, cold then warm pass\","
+        );
+        if let Some(full) = &self.full {
+            let _ = writeln!(s, "  \"full\": {},", full.to_json());
+        }
+        if let Some(smoke) = &self.smoke {
+            let names: Vec<String> = SMOKE_PROGRAMS.iter().map(|p| format!("\"{p}\"")).collect();
+            let _ = writeln!(s, "  \"smoke_programs\": [{}],", names.join(", "));
+            let _ = writeln!(s, "  \"smoke\": {},", smoke.to_json());
+        }
+        while s.ends_with('\n') || s.ends_with(',') {
+            s.truncate(s.len() - 1);
+        }
+        s.push_str("\n}\n");
+        let path = results_path();
+        std::fs::create_dir_all(path.parent().expect("has parent")).expect("results dir");
+        std::fs::write(&path, s).expect("write bench_serve.json");
+        println!("wrote {}", path.display());
+    }
+}
+
+struct Target {
+    addr: String,
+    /// The in-process daemon's thread, when loadgen owns the daemon.
+    daemon: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+struct Metrics {
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+}
+
+impl Target {
+    fn metrics(&self) -> Metrics {
+        let resp = http_request(self.addr.as_str(), "/metrics", None, TIMEOUT)
+            .expect("/metrics reachable");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let doc = Value::parse(&resp.body).expect("metrics json parses");
+        let store = doc.get("store").expect("metrics carries a store section");
+        let n = |k: &str| store.get(k).and_then(Value::as_u64).expect("counter");
+        Metrics {
+            hits: n("hits"),
+            misses: n("misses"),
+            coalesced: n("coalesced"),
+        }
+    }
+
+    fn shutdown(self) {
+        let resp = http_request(self.addr.as_str(), "/shutdown", Some("{}"), TIMEOUT)
+            .expect("/shutdown reachable");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        if let Some(thread) = self.daemon {
+            thread
+                .join()
+                .expect("daemon thread joins")
+                .expect("daemon drains cleanly");
+        }
+    }
+}
+
+/// Fires the whole request list from `clients` concurrent client
+/// threads (small stacks — a thousand clients is the point, not a
+/// thousand megabytes), returning the latency record.
+fn run_phase(addr: &str, requests: &[(String, String)], clients: usize) -> PhaseRecord {
+    let requests = Arc::new(requests.to_vec());
+    let latencies = Arc::new(Mutex::new(Vec::with_capacity(requests.len())));
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let addr = Arc::new(addr.to_string());
+
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let requests = Arc::clone(&requests);
+            let latencies = Arc::clone(&latencies);
+            let barrier = Arc::clone(&barrier);
+            let addr = Arc::clone(&addr);
+            std::thread::Builder::new()
+                .name(format!("loadgen-{c}"))
+                .stack_size(128 * 1024)
+                .spawn(move || {
+                    barrier.wait();
+                    let mut mine = Vec::new();
+                    // Client c serves every c-th request: all clients in
+                    // flight together, each on its own connections.
+                    for (path, body) in requests.iter().skip(c).step_by(clients.max(1)) {
+                        let t0 = Instant::now();
+                        // A thousand simultaneous connects overflow the
+                        // listener backlog; the kernel resets the excess.
+                        // Requests are idempotent (and cached), so retry
+                        // with backoff like any real client — the retry
+                        // wait stays inside the recorded latency.
+                        let mut attempt = 0;
+                        let resp = loop {
+                            match http_request(addr.as_str(), path, Some(body), TIMEOUT) {
+                                Ok(resp) => break resp,
+                                Err(e) if attempt < 50 => {
+                                    attempt += 1;
+                                    let _ = e;
+                                    std::thread::sleep(Duration::from_millis(2 * attempt));
+                                }
+                                Err(e) => panic!("{path}: {e} after {attempt} retries"),
+                            }
+                        };
+                        let ms = t0.elapsed().as_secs_f64() * 1e3;
+                        assert_eq!(resp.status, 200, "{path}: {}", resp.body);
+                        mine.push(ms);
+                    }
+                    latencies.lock().expect("latency lock").extend(mine);
+                })
+                .expect("spawns client")
+        })
+        .collect();
+
+    barrier.wait();
+    let t0 = Instant::now();
+    for w in workers {
+        w.join().expect("client joins");
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mut lat = Arc::try_unwrap(latencies)
+        .expect("clients joined")
+        .into_inner()
+        .expect("latency lock");
+    lat.sort_by(f64::total_cmp);
+    let pick = |q: f64| lat[(((lat.len() - 1) as f64) * q) as usize];
+    PhaseRecord {
+        wall_ms,
+        requests: lat.len(),
+        rps: lat.len() as f64 / (wall_ms / 1e3),
+        p50_ms: pick(0.50),
+        p99_ms: pick(0.99),
+    }
+}
+
+fn measure(target: &Target, smoke: bool, clients: usize) -> SectionRecord {
+    let reqs = workload(smoke);
+    let distinct = reqs.len() / 4; // (program, configuration) units
+    let wire: Vec<(String, String)> = reqs
+        .iter()
+        .map(|r| (format!("/{}", r.op.name()), encode_request(r)))
+        .collect();
+    // Enough traffic that every client has work and every request has
+    // concurrent duplicates in flight.
+    let mut traffic: Vec<(String, String)> = Vec::new();
+    while traffic.len() < 2 * clients.max(wire.len()) {
+        traffic.extend(wire.iter().cloned());
+    }
+
+    let m0 = target.metrics();
+    println!(
+        "cold: {} requests from {clients} clients ...",
+        traffic.len()
+    );
+    let cold = run_phase(&target.addr, &traffic, clients);
+    let m1 = target.metrics();
+    let cold_misses = m1.misses - m0.misses;
+    let budget = expected_misses(distinct);
+    // The exactly-once guarantee, as exact arithmetic: every distinct
+    // artifact computes at most once no matter how many copies of its
+    // request were in flight.
+    assert!(
+        cold_misses <= budget,
+        "duplicate computation: {cold_misses} misses > {budget} distinct artifacts"
+    );
+    if m0.misses == 0 {
+        assert_eq!(
+            cold_misses, budget,
+            "a fresh daemon must compute each distinct artifact exactly once"
+        );
+    }
+
+    println!(
+        "warm: {} requests from {clients} clients ...",
+        traffic.len()
+    );
+    let warm = run_phase(&target.addr, &traffic, clients);
+    let m2 = target.metrics();
+    assert_eq!(
+        m2.misses - m1.misses,
+        0,
+        "the warm pass must be served without recomputing any stage"
+    );
+
+    let lookups = m2.hits + m2.misses;
+    SectionRecord {
+        clients,
+        distinct,
+        cold,
+        warm,
+        hits: m2.hits,
+        misses: m2.misses,
+        coalesced: m2.coalesced,
+        hit_rate: if lookups == 0 {
+            0.0
+        } else {
+            m2.hits as f64 / lookups as f64
+        },
+    }
+}
+
+fn print_section(label: &str, r: &SectionRecord) {
+    println!(
+        "{label:<6} cold {:>8.1} ms ({:>7.1} req/s, p50 {:>7.2} ms, p99 {:>8.2} ms)",
+        r.cold.wall_ms, r.cold.rps, r.cold.p50_ms, r.cold.p99_ms
+    );
+    println!(
+        "       warm {:>8.1} ms ({:>7.1} req/s, p50 {:>7.2} ms, p99 {:>8.2} ms)",
+        r.warm.wall_ms, r.warm.rps, r.warm.p50_ms, r.warm.p99_ms
+    );
+    println!(
+        "       store: {} hits / {} misses / {} coalesced (hit rate {:.4})",
+        r.hits, r.misses, r.coalesced, r.hit_rate
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let check = flag("--check");
+    let smoke = flag("--smoke") || check;
+    let record = flag("--record");
+    let send_shutdown = flag("--shutdown");
+    let clients = value("--clients")
+        .map(|v| v.parse().expect("--clients takes a number"))
+        .unwrap_or(if smoke { SMOKE_CLIENTS } else { FULL_CLIENTS });
+
+    let external_addr = value("--addr").or_else(|| {
+        value("--port-file").map(|path| {
+            std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read --port-file {path}: {e}"))
+                .trim()
+                .to_string()
+        })
+    });
+    let target = match external_addr {
+        Some(addr) => Target { addr, daemon: None },
+        None => {
+            let workers = std::thread::available_parallelism().map_or(4, |n| n.get().max(4));
+            let daemon = Daemon::bind(DaemonConfig {
+                workers,
+                queue: 2048,
+                ..DaemonConfig::default()
+            })
+            .expect("daemon binds");
+            let addr = daemon.local_addr().to_string();
+            println!("in-process rtpfd on {addr} ({workers} workers)");
+            Target {
+                addr,
+                daemon: Some(std::thread::spawn(move || daemon.run())),
+            }
+        }
+    };
+
+    let fresh = measure(&target, smoke, clients);
+    print_section(if smoke { "smoke" } else { "full" }, &fresh);
+
+    let mut file = ResultsFile::load();
+    if check {
+        let baseline = file
+            .smoke
+            .as_ref()
+            .expect("--check needs a committed smoke record in results/bench_serve.json");
+        let limit = baseline.warm.wall_ms * REGRESSION_FACTOR;
+        if fresh.warm.wall_ms > limit {
+            eprintln!(
+                "serve-smoke REGRESSION: warm {:.1} ms > {:.1} ms ({}x committed {:.1} ms)",
+                fresh.warm.wall_ms, limit, REGRESSION_FACTOR, baseline.warm.wall_ms
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "serve-smoke ok: warm {:.1} ms <= {:.1} ms limit",
+            fresh.warm.wall_ms, limit
+        );
+    } else if record {
+        if smoke {
+            file.smoke = Some(fresh);
+        } else {
+            file.full = Some(fresh);
+        }
+        file.store();
+    }
+
+    if send_shutdown || target.daemon.is_some() {
+        target.shutdown();
+        println!("daemon drained cleanly");
+    }
+}

@@ -25,6 +25,33 @@ pub enum ConfigError {
     HierarchyInvalid(HierarchyViolation),
 }
 
+/// Error returned by [`CacheConfig::parse_spec`] for a malformed
+/// `a:b:c[:policy]` geometry spec.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SpecError {
+    /// Not three or four colon-separated fields.
+    Shape(String),
+    /// A numeric field that did not parse as `u32`.
+    Number(String),
+    /// An unknown replacement-policy name.
+    Policy(String),
+    /// The fields parsed but describe an invalid geometry.
+    Config(ConfigError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Shape(v) => write!(f, "cache spec wants a:b:c[:policy], got {v}"),
+            SpecError::Number(v) => write!(f, "bad number {v:?} in cache spec"),
+            SpecError::Policy(v) => write!(f, "unknown replacement policy {v:?}"),
+            SpecError::Config(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for SpecError {}
+
 /// The specific way a multi-level hierarchy was inconsistent.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum HierarchyViolation {
@@ -192,6 +219,36 @@ impl CacheConfig {
     }
 
     /// The 36 configurations of the paper's Table 2 (`k1..k36`), in order:
+    /// Parses the `a:b:c[:policy]` geometry spec shared by every front
+    /// end (`--l2`, the smoke drill, the bench bins, and `rtpfd`
+    /// requests): associativity, block bytes, capacity bytes, and an
+    /// optional replacement policy name, colon-separated.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming which part of the spec was
+    /// malformed, or wrapping the [`ConfigError`] of an invalid geometry.
+    pub fn parse_spec(v: &str) -> Result<CacheConfig, SpecError> {
+        let parts: Vec<&str> = v.split(':').collect();
+        if parts.len() < 3 || parts.len() > 4 {
+            return Err(SpecError::Shape(v.to_string()));
+        }
+        let mut nums = [0u32; 3];
+        for (slot, p) in nums.iter_mut().zip(&parts) {
+            *slot = p
+                .trim()
+                .parse()
+                .map_err(|_| SpecError::Number((*p).to_string()))?;
+        }
+        let mut cfg = CacheConfig::new(nums[0], nums[1], nums[2]).map_err(SpecError::Config)?;
+        if let Some(name) = parts.get(3) {
+            let policy = ReplacementPolicy::parse(name)
+                .ok_or_else(|| SpecError::Policy((*name).to_string()))?;
+            cfg = cfg.with_policy(policy).map_err(SpecError::Config)?;
+        }
+        Ok(cfg)
+    }
+
     /// capacities 256 B to 8 KiB, block sizes 16/32 B, associativities
     /// 1/2/4.
     pub fn paper_configs() -> Vec<(String, CacheConfig)> {

@@ -64,7 +64,7 @@ pub mod timing;
 
 pub use classify::Classification;
 pub use concrete::{AccessOutcome, ConcreteState};
-pub use config::{CacheConfig, ConfigError, HierarchyViolation};
+pub use config::{CacheConfig, ConfigError, HierarchyViolation, SpecError};
 pub use hierarchy::{
     classify_update_l2, CacheAccessClassification, ConcreteHierarchy, HierarchyConfig,
     HierarchyOutcome,

@@ -23,7 +23,7 @@
 use std::fmt::Write as _;
 
 use rtpf_audit::{Code, DiagnosticSink, Level, Severity, SeverityConfig, SoundnessOptions, Span};
-use rtpf_cache::{CacheConfig, RefineConfig, ReplacementPolicy};
+use rtpf_cache::{CacheConfig, RefineConfig, ReplacementPolicy, SpecError};
 use rtpf_engine::{Engine, EngineConfig, EngineError};
 use rtpf_isa::{InstrKind, Program};
 use rtpf_sim::BranchBehavior;
@@ -90,8 +90,10 @@ pub struct Options {
     /// `--cache a,b,c`.
     pub cache: Option<(u32, u32, u32)>,
     /// `--l2 a:b:c[:policy]` — unified L2 behind the L1 (absent = the
-    /// classic single-level hierarchy).
-    pub l2: Option<(u32, u32, u32, Option<ReplacementPolicy>)>,
+    /// classic single-level hierarchy). Parsed and validated by
+    /// [`CacheConfig::parse_spec`]; monotonicity against the L1 is
+    /// checked when the hierarchy is assembled (`with_l2`).
+    pub l2: Option<CacheConfig>,
     /// `--policy lru|fifo|plru` (L1 replacement policy; LRU by default).
     pub policy: Option<ReplacementPolicy>,
     /// `--refine on|off` (exact FIFO/PLRU refinement stage; on by
@@ -281,27 +283,10 @@ impl Options {
         }
     }
 
-    /// The L2 configuration from `--l2`, when given. The geometry and
-    /// policy are validated here; monotonicity against the L1 is checked
-    /// when the hierarchy is assembled (`with_l2`).
-    fn l2_config(&self) -> Result<Option<CacheConfig>, CliError> {
-        let Some((a, b, c, policy)) = self.l2 else {
-            return Ok(None);
-        };
-        let mut cfg = EngineConfig::geometry(a, b, c)
-            .map_err(|e| CliError::Engine(EngineError::Geometry(e)))?;
-        if let Some(p) = policy {
-            cfg = cfg
-                .with_policy(p)
-                .map_err(|e| CliError::Engine(EngineError::Geometry(e)))?;
-        }
-        Ok(Some(cfg))
-    }
-
     /// Applies `--l2` (when given) to an engine profile, validating the
     /// hierarchy.
     fn apply_l2(&self, cfg: EngineConfig) -> Result<EngineConfig, CliError> {
-        match self.l2_config()? {
+        match self.l2 {
             Some(l2) => cfg
                 .with_l2(l2)
                 .map_err(|e| CliError::Engine(EngineError::Geometry(e))),
@@ -377,25 +362,14 @@ fn parse_num(v: Option<&String>, flag: &str) -> Result<u64, CliError> {
     v.parse().map_err(|_| err(format!("bad {flag} value {v}")))
 }
 
-/// Parses `--l2 a:b:c[:policy]` (assoc, block bytes, capacity bytes, and
-/// an optional replacement policy, colon-separated).
-fn parse_l2_spec(v: &str) -> Result<(u32, u32, u32, Option<ReplacementPolicy>), CliError> {
-    let parts: Vec<&str> = v.split(':').collect();
-    if parts.len() < 3 || parts.len() > 4 {
-        return Err(err(format!("--l2 wants a:b:c[:policy], got {v}")));
-    }
-    let mut nums = [0u32; 3];
-    for (slot, p) in nums.iter_mut().zip(&parts) {
-        *slot = p.trim().parse().map_err(|_| err(format!("bad --l2 {v}")))?;
-    }
-    let policy = match parts.get(3) {
-        Some(name) => Some(
-            ReplacementPolicy::parse(name)
-                .ok_or_else(|| CliError::UnknownPolicy((*name).to_string()))?,
-        ),
-        None => None,
-    };
-    Ok((nums[0], nums[1], nums[2], policy))
+/// Parses `--l2 a:b:c[:policy]` via the shared [`CacheConfig::parse_spec`]
+/// grammar, mapping spec errors onto the CLI's error layers.
+fn parse_l2_spec(v: &str) -> Result<CacheConfig, CliError> {
+    CacheConfig::parse_spec(v).map_err(|e| match e {
+        SpecError::Policy(name) => CliError::UnknownPolicy(name),
+        SpecError::Config(c) => CliError::Engine(EngineError::Geometry(c)),
+        malformed => err(format!("--l2: {malformed}")),
+    })
 }
 
 /// Usage text.
@@ -421,6 +395,9 @@ commands:
            [--deny warnings|RTPF0xx] [--allow RTPF0xx] [-v]
   fmt      <file>                           # parse + pretty-print
   suite                                     # list built-in benchmarks
+  serve    [--addr HOST:PORT] [--workers N] [--queue N] [--store-dir PATH]
+           [--max-bytes N] [--shards N] [--port-file PATH]
+                                            # run the rtpfd daemon
 
 the program format is documented in `rtpf_isa::text`; `suite:NAME` loads a
 built-in Mälardalen skeleton (see `rtpf suite`). `--policy` selects the
@@ -437,7 +414,10 @@ worker threads per engine (0 = one per core; results are byte-identical
 at any count, DESIGN.md §13). `audit` runs the IR lints and
 the abstract-vs-concrete soundness audit (plus the transform audit with
 --optimize) over every Table 2 configuration unless --cache narrows it;
-deny-level findings make the command fail.";
+deny-level findings make the command fail. `serve` starts the analysis
+daemon (same entry point as the `rtpfd` binary, DESIGN.md §15): HTTP/1.1
++ JSON endpoints whose responses are byte-identical to the library
+path, backed by the shared single-flight artifact store.";
 
 /// Loads a program from `path` or `suite:NAME`.
 ///
@@ -1041,7 +1021,7 @@ mod tests {
             "4:16:8192",
         ]))
         .expect("parses");
-        assert_eq!(o.l2, Some((4, 16, 8192, None)));
+        assert_eq!(o.l2, Some(CacheConfig::new(4, 16, 8192).expect("valid l2")));
 
         let o = Options::parse(&args(&[
             "simulate",
@@ -1052,7 +1032,10 @@ mod tests {
             "8:16:16384:fifo",
         ]))
         .expect("parses");
-        assert_eq!(o.l2, Some((8, 16, 16384, Some(ReplacementPolicy::Fifo))));
+        let expected = CacheConfig::new(8, 16, 16384)
+            .and_then(|c| c.with_policy(ReplacementPolicy::Fifo))
+            .expect("valid l2");
+        assert_eq!(o.l2, Some(expected));
 
         assert!(Options::parse(&args(&["analyze", "x", "--l2", "4:16"])).is_err());
         assert!(Options::parse(&args(&["analyze", "x", "--l2", "a:b:c"])).is_err());

@@ -24,24 +24,9 @@ use std::sync::Arc;
 use rtpf_cache::{CacheConfig, ReplacementPolicy};
 use rtpf_engine::{Engine, EngineConfig};
 
-/// Parses the `--l2 a:b:c[:policy]` value.
+/// Parses the `--l2 a:b:c[:policy]` value (the shared spec grammar).
 fn parse_l2(v: &str) -> CacheConfig {
-    let parts: Vec<&str> = v.split(':').collect();
-    assert!(
-        (3..=4).contains(&parts.len()),
-        "--l2 wants a:b:c[:policy], got {v}"
-    );
-    let n = |s: &str| s.parse().unwrap_or_else(|_| panic!("bad --l2 number {s}"));
-    let mut cfg = EngineConfig::geometry(n(parts[0]), n(parts[1]), n(parts[2]))
-        .unwrap_or_else(|e| panic!("bad --l2 geometry {v}: {e}"));
-    if let Some(name) = parts.get(3) {
-        let policy = ReplacementPolicy::parse(name)
-            .unwrap_or_else(|| panic!("unknown policy {name} (expected lru|fifo|plru)"));
-        cfg = cfg
-            .with_policy(policy)
-            .unwrap_or_else(|e| panic!("bad --l2 policy for {v}: {e}"));
-    }
-    cfg
+    CacheConfig::parse_spec(v).unwrap_or_else(|e| panic!("--l2 {v}: {e}"))
 }
 
 fn main() {

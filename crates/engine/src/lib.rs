@@ -14,6 +14,7 @@ mod error;
 mod fingerprint;
 mod grid;
 mod pipeline;
+mod service;
 mod store;
 mod unit;
 
@@ -22,5 +23,10 @@ pub use error::EngineError;
 pub use fingerprint::{program_fingerprint, Fingerprint, FpHasher};
 pub use grid::Grid;
 pub use pipeline::{load_program, sweep_key, Engine, Gated};
-pub use store::{ArtifactKey, ArtifactStore, Stage};
+pub use service::{
+    AnalyzeResponse, AuditResponse, ConfigSpec, OptimizeResponse, ProgramSource, ResponseBody,
+    ServiceCore, ServiceError, ServiceOp, ServiceProfile, ServiceRequest, ServiceResponse,
+    SimulateResponse,
+};
+pub use store::{ArtifactKey, ArtifactStore, Stage, StoreConfig, StoreMetrics, Weigh};
 pub use unit::{parse_csv, to_csv, UnitResult, COLUMNS};

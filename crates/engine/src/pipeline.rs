@@ -505,7 +505,7 @@ impl Engine {
     }
 }
 
-fn parse_text(path: &str, src: &str) -> Result<(String, Program), EngineError> {
+pub(crate) fn parse_text(path: &str, src: &str) -> Result<(String, Program), EngineError> {
     let (name, shape) = rtpf_isa::text::parse(src).map_err(|e| EngineError::Parse {
         path: path.to_string(),
         error: e.to_string(),
